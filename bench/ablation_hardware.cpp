@@ -1,0 +1,79 @@
+// Design-choice ablations beyond the paper's figures (DESIGN.md "ours"):
+//  1. hardware-knob sweeps on the fixed VGG-style topology — how each NACIM
+//     knob moves energy/latency/area/accuracy (the gradients the optimizers
+//     must discover);
+//  2. optimizer ablation — LCDA vs NACIM-RL vs Genetic vs Random at equal
+//     episode budgets (20 and 100) on the energy objective.
+#include <cstdio>
+
+#include "lcda/cim/cost_model.h"
+#include "lcda/core/experiment.h"
+#include "lcda/surrogate/accuracy_model.h"
+
+int main() {
+  using namespace lcda;
+  const std::vector<nn::ConvSpec> rollout = {{32, 3}, {32, 3}, {64, 3},
+                                             {64, 3}, {128, 3}, {128, 3}};
+  const nn::BackboneOptions bopts;
+  const surrogate::AccuracyModel accuracy;
+
+  std::printf("# Ablation 1: one-knob-at-a-time hardware sweeps "
+              "(baseline RRAM b2 adc6 xbar128 mux8)\n");
+  std::printf("%-26s %10s %10s %9s %7s\n", "config", "energy(pJ)", "lat(ns)",
+              "area(mm2)", "acc");
+  auto report = [&](const cim::HardwareConfig& hw) {
+    const cim::CostEvaluator eval(hw);
+    const cim::CostReport rep = eval.evaluate(rollout, bopts);
+    const double acc = accuracy.noisy_accuracy(rollout, rep.weight_sigma,
+                                               rep.max_adc_deficit_bits);
+    std::printf("%-26s %10.3g %10.3g %9.1f %7.3f\n", hw.describe().c_str(),
+                rep.energy_total_pj, rep.latency_ns, rep.area_total_mm2, acc);
+  };
+
+  report(cim::HardwareConfig{});  // baseline
+  for (auto device : {cim::DeviceType::kFefet}) {
+    cim::HardwareConfig hw;
+    hw.device = device;
+    report(hw);
+  }
+  for (int bits : {1, 4}) {
+    cim::HardwareConfig hw;
+    hw.bits_per_cell = bits;
+    report(hw);
+  }
+  for (int adc : {4, 8}) {
+    cim::HardwareConfig hw;
+    hw.adc_bits = adc;
+    report(hw);
+  }
+  for (int xbar : {64, 256}) {
+    cim::HardwareConfig hw;
+    hw.xbar_size = xbar;
+    report(hw);
+  }
+  for (int mux : {4}) {
+    cim::HardwareConfig hw;
+    hw.col_mux = mux;
+    report(hw);
+  }
+
+  std::printf("\n# Ablation 2: optimizer strategies on reward_ae "
+              "(mean over 3 seeds)\n");
+  std::printf("%-12s %14s %14s\n", "strategy", "best @20 eps", "best @100 eps");
+  for (core::Strategy s : {core::Strategy::kLcda, core::Strategy::kNacimRl,
+                           core::Strategy::kGenetic, core::Strategy::kNsga2,
+                           core::Strategy::kRandom, core::Strategy::kLcdaNaive}) {
+    double best20 = 0.0, best100 = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      core::ExperimentConfig cfg;
+      cfg.seed = seed;
+      const core::RunResult run = core::run_strategy(s, 100, cfg);
+      best100 += run.best_reward() / 3.0;
+      const auto rmax = run.reward_running_max();
+      best20 += rmax[19] / 3.0;
+    }
+    std::printf("%-12s %14.3f %14.3f\n",
+                std::string(core::strategy_name(s)).c_str(), best20, best100);
+  }
+  return 0;
+}

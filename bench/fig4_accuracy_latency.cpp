@@ -1,0 +1,75 @@
+// Regenerates Figure 4: accuracy-latency trade-offs of candidates from
+// LCDA (20 episodes) and NACIM (500 episodes).
+//
+// Paper claims checked:
+//  * LCDA falls short of NACIM here (except possibly one upper-left
+//    outlier) — GPT-4's generic kernel-size priors ("smaller kernel =
+//    faster", "larger kernel = more accurate") do not hold on CiM hardware;
+//  * LCDA struggles to reach sufficiently low latencies.
+#include <cstdio>
+#include <iostream>
+
+#include "lcda/core/experiment.h"
+#include "lcda/core/pareto.h"
+#include "lcda/util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace lcda;
+  core::ExperimentConfig cfg;
+  cfg.objective = llm::Objective::kLatency;
+  cfg.seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+
+  const core::RunResult lcda =
+      core::run_strategy(core::Strategy::kLcda, cfg.lcda_episodes, cfg);
+  const core::RunResult nacim =
+      core::run_strategy(core::Strategy::kNacimRl, cfg.nacim_episodes, cfg);
+
+  std::printf("# Figure 4: accuracy-latency trade-offs (latency ns on X, "
+              "accuracy %% on Y)\n");
+  util::CsvWriter csv(std::cout);
+  csv.header({"method", "episode", "latency_ns", "accuracy_pct", "reward",
+              "design"});
+  auto dump = [&](const core::RunResult& run, const char* label) {
+    for (const auto& ep : run.episodes) {
+      if (!ep.valid) continue;
+      csv.field(label)
+          .field(ep.episode)
+          .field(ep.latency_ns)
+          .field(100.0 * ep.accuracy)
+          .field(ep.reward)
+          .field(ep.design.rollout_text())
+          .endrow();
+    }
+  };
+  dump(lcda, "LCDA");
+  dump(nacim, "NACIM");
+
+  const auto lp = core::tradeoff_points(lcda, cfg.objective);
+  const auto np = core::tradeoff_points(nacim, cfg.objective);
+  double lcda_min = 1e18, nacim_min = 1e18;
+  for (const auto& p : lp.points) lcda_min = std::min(lcda_min, p.cost);
+  for (const auto& p : np.points) nacim_min = std::min(nacim_min, p.cost);
+
+  // Kernel-size statistics: the wrong-prior fingerprint.
+  double lcda_kernel_changes = 0;
+  for (std::size_t i = 1; i < lcda.episodes.size(); ++i) {
+    const auto& prev = lcda.episodes[i - 1].design.rollout;
+    const auto& cur = lcda.episodes[i].design.rollout;
+    for (std::size_t l = 0; l < cur.size() && l < prev.size(); ++l) {
+      if (cur[l].kernel != prev[l].kernel) {
+        lcda_kernel_changes += 1;
+        break;
+      }
+    }
+  }
+
+  std::printf("\n# Summary (paper expectations in brackets)\n");
+  std::printf("fastest valid design: LCDA %.3g ns vs NACIM %.3g ns  "
+              "[LCDA struggles to reach low latency]\n", lcda_min, nacim_min);
+  std::printf("best reward: LCDA %.3f vs NACIM %.3f  [NACIM >= LCDA on this "
+              "objective]\n", lcda.best_reward(), nacim.best_reward());
+  std::printf("LCDA episodes that changed a kernel size: %.0f of %zu  "
+              "[kernel fiddling driven by wrong CiM priors]\n",
+              lcda_kernel_changes, lcda.episodes.size() - 1);
+  return 0;
+}

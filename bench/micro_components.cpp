@@ -1,0 +1,136 @@
+// google-benchmark microbenchmarks of the framework's hot components:
+// throughput numbers that justify using the surrogate evaluator for
+// 500-episode baseline runs and bound the cost of each pipeline stage.
+#include <benchmark/benchmark.h>
+
+#include "lcda/cim/cost_model.h"
+#include "lcda/core/evaluator.h"
+#include "lcda/llm/parser.h"
+#include "lcda/llm/prompt.h"
+#include "lcda/llm/simulated_gpt4.h"
+#include "lcda/noise/monte_carlo.h"
+#include "lcda/search/rl_optimizer.h"
+#include "lcda/surrogate/accuracy_model.h"
+#include "lcda/tensor/ops.h"
+
+namespace {
+
+using namespace lcda;
+
+const std::vector<nn::ConvSpec> kRollout = {{32, 3}, {32, 3}, {64, 3},
+                                            {64, 3}, {128, 3}, {128, 3}};
+
+void BM_CostEvaluator(benchmark::State& state) {
+  const cim::CostEvaluator eval{cim::HardwareConfig{}};
+  const nn::BackboneOptions bopts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(kRollout, bopts));
+  }
+}
+BENCHMARK(BM_CostEvaluator);
+
+void BM_SurrogateAccuracy(benchmark::State& state) {
+  const surrogate::AccuracyModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.noisy_accuracy(kRollout, 0.1, 1));
+  }
+}
+BENCHMARK(BM_SurrogateAccuracy);
+
+void BM_FullSurrogateEvaluation(benchmark::State& state) {
+  core::SurrogateEvaluator eval;
+  search::Design d;
+  d.rollout = kRollout;
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(d, rng));
+  }
+}
+BENCHMARK(BM_FullSurrogateEvaluation);
+
+void BM_PromptBuild(benchmark::State& state) {
+  llm::PromptBuilder builder{search::SearchSpace{}, {}};
+  std::vector<llm::HistoryEntry> history(static_cast<std::size_t>(state.range(0)));
+  for (auto& h : history) {
+    h.design.rollout = kRollout;
+    h.performance = 0.4;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(history));
+  }
+}
+BENCHMARK(BM_PromptBuild)->Arg(0)->Arg(20)->Arg(64);
+
+void BM_ResponseParse(benchmark::State& state) {
+  const search::SearchSpace space;
+  const std::string response =
+      "Based on the results, I suggest:\n"
+      "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]\n"
+      "hardware=[FeFET,2,6,128,8]";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llm::parse_design_response(response, space));
+  }
+}
+BENCHMARK(BM_ResponseParse);
+
+void BM_SimulatedGpt4Turn(benchmark::State& state) {
+  llm::SimulatedGpt4 gpt;
+  llm::PromptBuilder builder{search::SearchSpace{}, {}};
+  std::vector<llm::HistoryEntry> history(20);
+  for (auto& h : history) {
+    h.design.rollout = kRollout;
+    h.performance = 0.4;
+  }
+  const llm::ChatRequest req = builder.build(history);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpt.complete(req));
+  }
+}
+BENCHMARK(BM_SimulatedGpt4Turn);
+
+void BM_RlProposeFeedback(benchmark::State& state) {
+  search::RlOptimizer rl{search::SearchSpace{}};
+  util::Rng rng(2);
+  for (auto _ : state) {
+    const search::Design d = rl.propose(rng);
+    search::Observation obs;
+    obs.design = d;
+    obs.reward = 0.3;
+    rl.feedback(obs);
+  }
+}
+BENCHMARK(BM_RlProposeFeedback);
+
+void BM_MonteCarloSurrogate(benchmark::State& state) {
+  const surrogate::AccuracyModel model;
+  util::Rng rng(3);
+  const int samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noise::monte_carlo(
+        [&](util::Rng& r) {
+          return model.noisy_accuracy_sample(kRollout, 0.1, 1, r);
+        },
+        samples, rng));
+  }
+}
+BENCHMARK(BM_MonteCarloSurrogate)->Arg(16)->Arg(64);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  util::Rng rng(4);
+  const int c = static_cast<int>(state.range(0));
+  const tensor::ConvGeom g{16, 16, 3, 1, 1};
+  const tensor::Tensor x = tensor::Tensor::uniform({4, c, 16, 16}, -1, 1, rng);
+  const tensor::Tensor w = tensor::Tensor::uniform({c, c, 3, 3}, -1, 1, rng);
+  const tensor::Tensor b = tensor::Tensor::uniform({c}, -1, 1, rng);
+  tensor::Tensor y({4, c, 16, 16});
+  std::vector<float> scratch;
+  for (auto _ : state) {
+    tensor::conv2d_forward(x, w, b, g, y, scratch);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Regenerates the paper's headline claim (Sec. IV-A, abstract): "while
+// NACIM necessitates a minimum of 500 episodes ... LCDA can unearth
+// comparable solutions within just 20 episodes. This ... translates into a
+// speedup of 25 times."
+//
+// Two metrics, over multiple seeds:
+//  * budget ratio — the paper's accounting: NACIM's required budget (500)
+//    over LCDA's (20) = 25x, validated by checking LCDA's 20-episode best
+//    is comparable to (>= 95% of) NACIM's 500-episode best;
+//  * episodes-to-threshold — stricter: first episode at which each method
+//    reaches 95% of NACIM's final best.
+#include <cstdio>
+
+#include "lcda/core/experiment.h"
+#include "lcda/util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace lcda;
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  std::printf("# Table: episodes to a comparable solution (5 seeds)\n");
+  std::printf("%-5s %12s %12s %14s %14s %10s\n", "seed", "LCDA best",
+              "NACIM best", "LCDA eps->thr", "NACIM eps->thr", "speedup");
+
+  util::OnlineStats speedups;
+  int comparable = 0;
+  for (int s = 0; s < seeds; ++s) {
+    core::ExperimentConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(s) + 1;
+    const core::SpeedupReport rep = core::measure_speedup(cfg, 0.95);
+    if (rep.lcda_best >= 0.95 * rep.nacim_best) ++comparable;
+    std::printf("%-5d %12.3f %12.3f %14d %14d %9.1fx\n", s + 1, rep.lcda_best,
+                rep.nacim_best, rep.lcda_episodes, rep.nacim_episodes,
+                rep.speedup());
+    if (rep.speedup() > 0) speedups.add(rep.speedup());
+  }
+
+  std::printf("\n# Summary (paper expectations in brackets)\n");
+  std::printf("LCDA(20) comparable to NACIM(500) in %d/%d seeds  "
+              "[comparable solutions]\n", comparable, seeds);
+  std::printf("budget-ratio speedup: 500/20 = 25.0x  [the paper's 25x]\n");
+  std::printf("episodes-to-threshold speedup: geometric-scale mean %.1fx "
+              "(min %.1fx, max %.1fx)  [>= 25x]\n",
+              speedups.mean(), speedups.min(), speedups.max());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Full SW/HW co-design run on the accuracy-energy objective (paper
+// Sec. IV-A): LCDA's simulated-GPT-4 optimizer versus the NACIM
+// reinforcement-learning baseline, on identical evaluators.
+//
+// Usage: ./build/examples/codesign_energy [lcda_episodes] [nacim_episodes] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "lcda/core/experiment.h"
+#include "lcda/core/pareto.h"
+
+int main(int argc, char** argv) {
+  using namespace lcda;
+  core::ExperimentConfig cfg;
+  cfg.objective = llm::Objective::kEnergy;
+  cfg.lcda_episodes = argc > 1 ? std::atoi(argv[1]) : 20;
+  cfg.nacim_episodes = argc > 2 ? std::atoi(argv[2]) : 500;
+  cfg.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+
+  std::printf("== LCDA (LLM-driven, %d episodes) ==\n", cfg.lcda_episodes);
+  const core::RunResult lcda =
+      core::run_strategy(core::Strategy::kLcda, cfg.lcda_episodes, cfg);
+  for (const auto& ep : lcda.episodes) {
+    std::printf("  ep %2d  reward %+.3f  acc %.3f  E %.3g pJ  %s\n", ep.episode,
+                ep.reward, ep.accuracy, ep.energy_pj,
+                ep.design.rollout_text().c_str());
+  }
+
+  std::printf("\n== NACIM (RL baseline, %d episodes; printing every 50th) ==\n",
+              cfg.nacim_episodes);
+  const core::RunResult nacim =
+      core::run_strategy(core::Strategy::kNacimRl, cfg.nacim_episodes, cfg);
+  for (const auto& ep : nacim.episodes) {
+    if (ep.episode % 50 == 0 || ep.episode == cfg.nacim_episodes - 1) {
+      std::printf("  ep %3d  reward %+.3f  acc %.3f  E %.3g pJ\n", ep.episode,
+                  ep.reward, ep.accuracy, ep.energy_pj);
+    }
+  }
+
+  std::printf("\n== Pareto fronts (energy pJ, accuracy) ==\n");
+  for (const auto* run : {&lcda, &nacim}) {
+    const auto pts = core::tradeoff_points(*run, llm::Objective::kEnergy);
+    const auto front = core::pareto_front(pts.points);
+    std::printf("%s:", run == &lcda ? "LCDA " : "NACIM");
+    for (auto i : front) {
+      std::printf(" (%.2g, %.2f)", pts.points[i].cost, pts.points[i].accuracy);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nbest reward: LCDA %.3f in %d episodes, NACIM %.3f in %d\n",
+              lcda.best_reward(), cfg.lcda_episodes, nacim.best_reward(),
+              cfg.nacim_episodes);
+  std::printf("best LCDA design: %s\n", lcda.best().design.describe().c_str());
+  return 0;
+}

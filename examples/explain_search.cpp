@@ -1,0 +1,63 @@
+// Explainable NAS demo (paper Sec. V, future work #1): run a short LCDA
+// search and, after each episode, ask the LLM to explain the change it made
+// relative to the previous design — "transparency that breaks the black box
+// nature of RL-based NAS".
+//
+// Usage: ./build/examples/explain_search [episodes] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "lcda/core/evaluator.h"
+#include "lcda/core/loop.h"
+#include "lcda/llm/explain.h"
+#include "lcda/llm/llm_optimizer.h"
+#include "lcda/llm/simulated_gpt4.h"
+#include "lcda/util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace lcda;
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 6;
+  const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 3;
+
+  const search::SearchSpace space;
+  llm::SimulatedGpt4::Options gopts;
+  gopts.seed = seed;
+  auto client = std::make_shared<llm::SimulatedGpt4>(gopts);
+  llm::LlmOptimizer optimizer(space, client);
+  core::SurrogateEvaluator evaluator;
+  core::RewardFunction reward(llm::Objective::kEnergy);
+
+  core::CodesignLoop::Options lopts;
+  lopts.episodes = episodes;
+  core::CodesignLoop loop(optimizer, evaluator, reward, lopts);
+  util::Rng rng(seed);
+  const core::RunResult run = loop.run(rng);
+
+  // A separate Explainer session against the same (simulated) model.
+  llm::Explainer explainer(client);
+  for (std::size_t i = 0; i < run.episodes.size(); ++i) {
+    const auto& ep = run.episodes[i];
+    std::printf("episode %zu: %s  -> reward %+.3f\n", i,
+                ep.design.rollout_text().c_str(), ep.reward);
+    if (i == 0) {
+      std::printf("  (first proposal: drawn from the model's pretrained "
+                  "design knowledge — no cold start)\n\n");
+      continue;
+    }
+    llm::HistoryEntry prev;
+    prev.design = run.episodes[i - 1].design;
+    prev.performance = run.episodes[i - 1].reward;
+    llm::HistoryEntry cur;
+    cur.design = ep.design;
+    cur.performance = ep.reward;
+    const std::string why =
+        explainer.explain(prev, cur, llm::Objective::kEnergy);
+    std::printf("  LLM explanation:\n");
+    for (const auto& line : util::split(why, '\n')) {
+      std::printf("    %s\n", line.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

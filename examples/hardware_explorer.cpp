@@ -1,0 +1,51 @@
+// Hardware design-space explorer: sweep every knob of the NACIM hardware
+// space for a fixed DNN topology and print the resulting chip costs — a
+// handy way to see the tradeoffs the co-design loop navigates.
+//
+// Usage: ./build/examples/hardware_explorer
+#include <cstdio>
+
+#include "lcda/cim/cost_model.h"
+#include "lcda/nn/model_builder.h"
+#include "lcda/surrogate/accuracy_model.h"
+
+int main() {
+  using namespace lcda;
+  const std::vector<nn::ConvSpec> rollout = {{32, 3}, {32, 3}, {64, 3},
+                                             {64, 3}, {128, 3}, {128, 3}};
+  const nn::BackboneOptions bopts;
+  const surrogate::AccuracyModel accuracy;
+  const cim::HardwareChoices choices;
+
+  std::printf("topology: [[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] "
+              "(CIFAR backbone)\n\n");
+  std::printf("%-28s %10s %10s %9s %8s %7s %6s\n", "hardware", "energy(pJ)",
+              "lat(ns)", "area(mm2)", "leak(mW)", "acc", "valid");
+
+  for (cim::DeviceType device : choices.devices) {
+    for (int bits : choices.bits_per_cell) {
+      for (int adc : choices.adc_bits) {
+        for (int xbar : choices.xbar_sizes) {
+          for (int mux : choices.col_mux) {
+            cim::HardwareConfig hw;
+            hw.device = device;
+            hw.bits_per_cell = bits;
+            hw.adc_bits = adc;
+            hw.xbar_size = xbar;
+            hw.col_mux = mux;
+            if (!hw.validate().empty()) continue;
+            const cim::CostEvaluator eval(hw);
+            const cim::CostReport rep = eval.evaluate(rollout, bopts);
+            const double acc = accuracy.noisy_accuracy(
+                rollout, rep.weight_sigma, rep.max_adc_deficit_bits);
+            std::printf("%-28s %10.3g %10.3g %9.1f %8.1f %7.3f %6s\n",
+                        hw.describe().c_str(), rep.energy_total_pj,
+                        rep.latency_ns, rep.area_total_mm2, rep.leakage_mw,
+                        acc, rep.valid ? "yes" : "NO");
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "lcda/cim/circuits.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcda::cim {
+
+namespace {
+constexpr double kUm2ToMm2 = 1e-6;
+}
+
+AdcModel make_adc(int bits) {
+  if (bits < 1 || bits > 12) throw std::invalid_argument("make_adc: bits out of range");
+  AdcModel m;
+  m.bits = bits;
+  // Cap-DAC area doubles per bit over a fixed comparator/logic floor.
+  m.area_mm2 = (500.0 + 10.0 * std::pow(2.0, bits)) * kUm2ToMm2;
+  // ~1 pJ at 8 bits, dropping steeply at low resolution.
+  m.energy_per_conversion_pj = 0.004 * std::pow(2.0, bits) + 0.02 * bits;
+  // One SAR cycle per bit at 2 GHz internal clock.
+  m.latency_per_conversion_ns = 0.5 * bits;
+  m.leakage_mw = 0.002 * bits;
+  return m;
+}
+
+DacModel make_dac() {
+  DacModel m;
+  m.area_per_row_mm2 = 2.0 * kUm2ToMm2;       // 1-bit driver + level shifter
+  m.energy_per_row_activation_pj = 0.002;     // wordline cap swing
+  m.leakage_per_row_mw = 1e-5;
+  return m;
+}
+
+XbarModel make_xbar(int size, const DeviceModel& dev) {
+  if (size < 16) throw std::invalid_argument("make_xbar: size too small");
+  XbarModel m;
+  m.size = size;
+  const double cell_um2 = dev.cell_area_f2 * kFeatureSizeUm * kFeatureSizeUm;
+  m.area_mm2 = cell_um2 * size * size * kUm2ToMm2;
+  // Bitline RC grows with the number of rows hanging off the line;
+  // calibrated to ISAAC's ~100 ns crossbar read cycle.
+  m.read_settle_ns = 40.0 + 0.05 * size;
+  m.cell_read_energy_pj = dev.read_energy_pj;
+  m.leakage_mw = dev.leakage_nw * 1e-6 * size * size;
+  return m;
+}
+
+PeripheryModel make_periphery() {
+  PeripheryModel m;
+  m.mux_area_per_col_mm2 = 0.25 * kUm2ToMm2;
+  m.shift_add_area_per_adc_mm2 = 300.0 * kUm2ToMm2;
+  m.shift_add_energy_per_sample_pj = 0.02;
+  m.mux_energy_per_switch_pj = 0.0005;
+  m.leakage_per_adc_mw = 0.005;
+  return m;
+}
+
+BufferModel make_buffer() {
+  BufferModel m;
+  m.area_per_kb_mm2 = 300.0 * kUm2ToMm2;
+  m.energy_per_byte_pj = 0.02;
+  m.leakage_per_kb_mw = 0.01;
+  return m;
+}
+
+DigitalModel make_digital() {
+  DigitalModel m;
+  m.area_per_tile_mm2 = 5000.0 * kUm2ToMm2;
+  m.energy_per_output_pj = 0.01;
+  m.network_energy_per_byte_pj = 0.05;
+  m.leakage_per_tile_mw = 0.05;
+  return m;
+}
+
+double CircuitLibrary::array_area_mm2(const HardwareConfig& hw) const {
+  const int n_adc = adcs_per_array(hw.xbar_size, hw.col_mux);
+  double area = xbar.area_mm2;
+  area += dac.area_per_row_mm2 * hw.xbar_size;
+  area += periphery.mux_area_per_col_mm2 * hw.xbar_size;
+  area += adc.area_mm2 * n_adc;
+  area += periphery.shift_add_area_per_adc_mm2 * n_adc;
+  return area;
+}
+
+double CircuitLibrary::array_read_latency_ns(const HardwareConfig& hw) const {
+  // All ADCs convert in parallel; each serves col_mux columns sequentially.
+  return xbar.read_settle_ns + hw.col_mux * adc.latency_per_conversion_ns;
+}
+
+double CircuitLibrary::array_leakage_mw(const HardwareConfig& hw) const {
+  const int n_adc = adcs_per_array(hw.xbar_size, hw.col_mux);
+  return xbar.leakage_mw + n_adc * (adc.leakage_mw + periphery.leakage_per_adc_mw) +
+         dac.leakage_per_row_mw * hw.xbar_size;
+}
+
+CircuitLibrary make_circuits(const HardwareConfig& hw) {
+  const std::string err = hw.validate();
+  if (!err.empty()) throw std::invalid_argument("make_circuits: " + err);
+  CircuitLibrary lib;
+  lib.device = device_model(hw.device);
+  lib.adc = make_adc(hw.adc_bits);
+  lib.dac = make_dac();
+  lib.xbar = make_xbar(hw.xbar_size, lib.device);
+  lib.periphery = make_periphery();
+  lib.buffer = make_buffer();
+  lib.digital = make_digital();
+  return lib;
+}
+
+int required_adc_bits(int rows_used, int bits_per_cell) {
+  if (rows_used <= 0 || bits_per_cell <= 0) {
+    throw std::invalid_argument("required_adc_bits: bad arguments");
+  }
+  const int row_bits = static_cast<int>(std::ceil(std::log2(static_cast<double>(rows_used))));
+  // A single row still needs the full cell resolution; accumulation across
+  // rows adds log2(rows) bits, minus one because bit-serial inputs are 0/1.
+  return std::max(bits_per_cell, bits_per_cell + row_bits - 1);
+}
+
+}  // namespace lcda::cim

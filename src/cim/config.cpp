@@ -1,0 +1,46 @@
+#include "lcda/cim/config.h"
+
+#include <sstream>
+
+namespace lcda::cim {
+
+std::string HardwareConfig::validate() const {
+  const DeviceModel dev = device_model(device);
+  if (bits_per_cell <= 0) return "bits_per_cell must be positive";
+  if (bits_per_cell > dev.max_bits_per_cell) {
+    std::ostringstream os;
+    os << device_name(device) << " supports at most " << dev.max_bits_per_cell
+       << " bits per cell, got " << bits_per_cell;
+    return os.str();
+  }
+  if (weight_bits < bits_per_cell) return "weight_bits < bits_per_cell";
+  if (weight_bits > 16) return "weight_bits > 16 unsupported";
+  if (input_bits < 1 || input_bits > 16) return "input_bits out of range";
+  if (adc_bits < 1 || adc_bits > 12) return "adc_bits out of range";
+  if (xbar_size < 16 || xbar_size > 1024) return "xbar_size out of range";
+  if ((xbar_size & (xbar_size - 1)) != 0) return "xbar_size must be a power of two";
+  if (col_mux < 1 || col_mux > xbar_size) return "col_mux out of range";
+  if (area_budget_mm2 <= 0) return "area_budget must be positive";
+  return {};
+}
+
+std::string HardwareConfig::describe() const {
+  std::ostringstream os;
+  os << device_name(device) << " b" << bits_per_cell << " w" << weight_bits
+     << " adc" << adc_bits << " xbar" << xbar_size << " mux" << col_mux;
+  return os.str();
+}
+
+HardwareConfig isaac_reference() {
+  HardwareConfig hw;
+  hw.device = DeviceType::kRram;
+  hw.bits_per_cell = 2;
+  hw.weight_bits = 8;   // ISAAC: 16-bit weights over 8 cells; we use the
+  hw.input_bits = 8;    // NACIM-style 8-bit fixed point operating point.
+  hw.adc_bits = 8;
+  hw.xbar_size = 128;
+  hw.col_mux = 8;
+  return hw;
+}
+
+}  // namespace lcda::cim

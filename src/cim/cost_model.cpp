@@ -1,0 +1,148 @@
+#include "lcda/cim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "lcda/cim/noc.h"
+
+namespace lcda::cim {
+
+CostEvaluator::CostEvaluator(HardwareConfig hw, CostModelOptions opts)
+    : hw_(hw), opts_(opts), circuits_(make_circuits(hw)) {
+  opts_.mapper.input_bits = hw.input_bits;
+}
+
+CostReport CostEvaluator::evaluate(const std::vector<nn::ConvSpec>& rollout,
+                                   const nn::BackboneOptions& backbone) const {
+  return evaluate(nn::backbone_shapes(rollout, backbone));
+}
+
+CostReport CostEvaluator::evaluate(const std::vector<nn::LayerShape>& shapes) const {
+  CostReport report;
+  report.mapping = map_network(shapes, hw_, circuits_, opts_.mapper);
+  report.weight_sigma = effective_weight_sigma(
+      circuits_.device, hw_.bits_per_cell, hw_.cells_per_weight());
+
+  const double read_latency = circuits_.array_read_latency_ns(hw_);
+  const int n = hw_.xbar_size;
+
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const nn::LayerShape& shape = shapes[i];
+    const LayerMapping& lm = report.mapping.layers[i];
+    LayerCost lc;
+    lc.layer_index = static_cast<int>(i);
+    lc.arrays = lm.total_arrays();
+    lc.utilization = lm.utilization();
+    lc.adc_deficit_bits = std::max(0, lm.adc_bits_required - hw_.adc_bits);
+    report.max_adc_deficit_bits =
+        std::max(report.max_adc_deficit_bits, lc.adc_deficit_bits);
+
+    const auto reads = static_cast<double>(lm.reads_per_inference);
+    const auto rows = static_cast<double>(lm.rows_needed);
+    const auto cols = static_cast<double>(lm.cols_needed);
+    const double cols_allocated = static_cast<double>(lm.col_tiles) * n;
+
+    // ADC: every *used* column is digitized once per read, in every row tile
+    // (partial sums per tile are combined digitally afterwards).
+    const double conversions = reads * lm.row_tiles * cols;
+    const double e_adc = conversions * circuits_.adc.energy_per_conversion_pj;
+
+    // Analog crossbar: current flows through every cell on an active row,
+    // including cells in under-utilized (allocated-but-unused) columns —
+    // low column utilization costs real energy.
+    const double e_xbar =
+        reads * rows * cols_allocated * circuits_.xbar.cell_read_energy_pj;
+
+    // Wordline drivers fire once per active row per read.
+    const double e_dac = reads * rows * circuits_.dac.energy_per_row_activation_pj;
+
+    // Shift-&-add consumes one sample per conversion; column mux switches.
+    const double e_sa =
+        conversions * (circuits_.periphery.shift_add_energy_per_sample_pj +
+                       circuits_.periphery.mux_energy_per_switch_pj);
+
+    // Output-side digital work and buffering (write this layer's
+    // activations, read them back for the next layer).
+    const double outputs = shape.is_fc
+                               ? static_cast<double>(shape.out_channels)
+                               : static_cast<double>(shape.out_hw) * shape.out_hw *
+                                     shape.out_channels;
+    const double bytes = outputs;  // 8-bit activations
+    const double e_digital = outputs * circuits_.digital.energy_per_output_pj;
+    const double e_buffer = 2.0 * bytes * circuits_.buffer.energy_per_byte_pj;
+
+    // Inter-tile H-tree traffic: this layer's activations travel to the
+    // next layer's tiles. Tile count is estimated from this layer's arrays.
+    const long long layer_tiles = std::max<long long>(
+        1, (lm.total_arrays() + opts_.arrays_per_tile - 1) / opts_.arrays_per_tile);
+    const NocLayerCost noc = noc_layer_cost(make_noc(), bytes, layer_tiles);
+
+    lc.energy_pj = e_adc + e_xbar + e_dac + e_sa + e_digital + e_buffer +
+                   noc.energy_pj;
+    report.energy_adc_pj += e_adc;
+    report.energy_xbar_pj += e_xbar;
+    report.energy_dac_pj += e_dac;
+    report.energy_digital_pj += e_digital + e_sa;
+    report.energy_buffer_pj += e_buffer;
+    report.energy_noc_pj += noc.energy_pj;
+
+    // Latency: the layer's pixels stream through its replicated copies; row
+    // and column tiles operate in parallel, partial-sum combining adds a
+    // shallow adder-tree delay per read.
+    const double combine_ns =
+        lm.row_tiles > 1 ? 0.5 * std::ceil(std::log2(lm.row_tiles)) : 0.0;
+    lc.latency_ns =
+        static_cast<double>(lm.sequential_reads()) * (read_latency + combine_ns);
+    report.latency_ns += lc.latency_ns;
+
+    report.layers.push_back(lc);
+  }
+  report.energy_total_pj = report.energy_adc_pj + report.energy_xbar_pj +
+                           report.energy_dac_pj + report.energy_digital_pj +
+                           report.energy_buffer_pj + report.energy_noc_pj;
+
+  // --- area & leakage -----------------------------------------------------
+  const double area_per_array = circuits_.array_area_mm2(hw_);
+  const auto arrays = static_cast<double>(report.mapping.total_arrays);
+  const double tiles =
+      std::ceil(arrays / static_cast<double>(opts_.arrays_per_tile));
+  report.area_arrays_mm2 = arrays * area_per_array;
+  report.area_buffer_mm2 =
+      tiles * opts_.buffer_kb_per_tile * circuits_.buffer.area_per_kb_mm2;
+  report.area_digital_mm2 = tiles * circuits_.digital.area_per_tile_mm2;
+  const NocModel noc_model = make_noc();
+  report.area_noc_mm2 = tiles * noc_model.router_area_mm2;
+  report.area_total_mm2 = report.area_arrays_mm2 + report.area_buffer_mm2 +
+                          report.area_digital_mm2 + report.area_noc_mm2;
+
+  report.leakage_mw =
+      arrays * circuits_.array_leakage_mw(hw_) +
+      tiles * (opts_.buffer_kb_per_tile * circuits_.buffer.leakage_per_kb_mw +
+               circuits_.digital.leakage_per_tile_mw +
+               noc_model.router_leakage_mw);
+
+  // --- one-time programming cost --------------------------------------
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const nn::LayerShape& shape = shapes[i];
+    const LayerMapping& lm = report.mapping.layers[i];
+    report.total_weights +=
+        shape.weight_rows() * shape.weight_cols() * lm.replication;
+  }
+  report.total_cells = report.total_weights * hw_.cells_per_weight();
+  report.programming_energy_pj =
+      static_cast<double>(report.total_cells) * circuits_.device.write_energy_pj;
+
+  if (report.area_total_mm2 > hw_.area_budget_mm2) {
+    report.valid = false;
+    std::ostringstream os;
+    os << "chip area " << report.area_total_mm2 << " mm^2 exceeds budget "
+       << hw_.area_budget_mm2 << " mm^2";
+    report.invalid_reason = os.str();
+  } else {
+    report.valid = true;
+  }
+  return report;
+}
+
+}  // namespace lcda::cim

@@ -1,0 +1,81 @@
+#include "lcda/cim/device.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcda::cim {
+
+std::string_view device_name(DeviceType t) {
+  switch (t) {
+    case DeviceType::kRram: return "RRAM";
+    case DeviceType::kFefet: return "FeFET";
+    case DeviceType::kSram: return "SRAM";
+  }
+  return "?";
+}
+
+DeviceModel device_model(DeviceType t) {
+  DeviceModel m;
+  m.type = t;
+  switch (t) {
+    case DeviceType::kRram:
+      m.max_bits_per_cell = 4;
+      m.cell_area_f2 = 4.0;       // 1T1R
+      m.read_energy_pj = 0.0002;
+      m.write_energy_pj = 10.0;
+      m.programming_sigma = 0.10;  // [13],[16]-style write variation
+      m.temporal_sigma = 0.02;
+      m.on_off_ratio = 100.0;
+      m.leakage_nw = 0.0;
+      break;
+    case DeviceType::kFefet:
+      m.max_bits_per_cell = 4;
+      m.cell_area_f2 = 6.0;       // FeFET cell slightly larger
+      m.read_energy_pj = 0.00015;
+      m.write_energy_pj = 1.0;    // field-driven write, much cheaper
+      m.programming_sigma = 0.06; // tighter Vth distribution
+      m.temporal_sigma = 0.015;
+      m.on_off_ratio = 1000.0;
+      m.leakage_nw = 0.0;
+      break;
+    case DeviceType::kSram:
+      m.max_bits_per_cell = 1;
+      m.cell_area_f2 = 150.0;     // 6T cell
+      m.read_energy_pj = 0.0005;
+      m.write_energy_pj = 0.0005;
+      m.programming_sigma = 0.0;  // digital storage: no analog variation
+      m.temporal_sigma = 0.0;
+      m.on_off_ratio = 1e6;
+      m.leakage_nw = 0.5;
+      break;
+  }
+  return m;
+}
+
+double effective_weight_sigma(const DeviceModel& dev, int bits_per_cell,
+                              int cells_per_weight) {
+  if (bits_per_cell <= 0 || cells_per_weight <= 0) {
+    throw std::invalid_argument("effective_weight_sigma: bad cell split");
+  }
+  if (bits_per_cell > dev.max_bits_per_cell) {
+    throw std::invalid_argument("effective_weight_sigma: cell cannot hold that many bits");
+  }
+  // Each cell's conductance error is sigma_cell of the *cell* range; the
+  // cell holding bit-position p contributes scaled by 2^-(bits*index) of the
+  // full weight range. Quadrature sum over cells (independent errors).
+  double sum = 0.0;
+  for (int i = 0; i < cells_per_weight; ++i) {
+    const double scale = std::pow(2.0, -bits_per_cell * i);
+    sum += scale * scale;
+  }
+  const double sigma_cell =
+      std::sqrt(dev.programming_sigma * dev.programming_sigma +
+                dev.temporal_sigma * dev.temporal_sigma);
+  // Packing more levels into one cell makes write-verify convergence harder;
+  // empirically the residual programming error grows with level count
+  // (SWIM [5], Feinberg [13]). Linear factor in bits-per-cell.
+  const double level_difficulty = 1.0 + 0.3 * (bits_per_cell - 1);
+  return sigma_cell * level_difficulty * std::sqrt(sum);
+}
+
+}  // namespace lcda::cim

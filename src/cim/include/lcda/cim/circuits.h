@@ -1,0 +1,114 @@
+#pragma once
+
+#include "lcda/cim/config.h"
+#include "lcda/cim/device.h"
+
+namespace lcda::cim {
+
+/// Technology node the analytical models are calibrated at.
+inline constexpr double kFeatureSizeUm = 0.032;  // 32 nm
+
+/// Successive-approximation ADC macro model.
+///
+/// Area and conversion energy grow exponentially with resolution (capacitor
+/// DAC doubling per bit); conversion latency is one SAR cycle per bit.
+/// Calibrated so an 8-bit converter is ~3000 um^2, ~1 pJ/conversion and
+/// ~1 ns/conversion — the ISAAC operating point.
+struct AdcModel {
+  int bits = 0;
+  double area_mm2 = 0.0;
+  double energy_per_conversion_pj = 0.0;
+  double latency_per_conversion_ns = 0.0;
+  double leakage_mw = 0.0;
+};
+[[nodiscard]] AdcModel make_adc(int bits);
+
+/// Wordline driver + 1-bit DAC per crossbar row (inputs are bit-serial).
+struct DacModel {
+  double area_per_row_mm2 = 0.0;
+  double energy_per_row_activation_pj = 0.0;
+  double leakage_per_row_mw = 0.0;
+};
+[[nodiscard]] DacModel make_dac();
+
+/// The analog crossbar array itself.
+struct XbarModel {
+  int size = 0;                 ///< rows = cols
+  double area_mm2 = 0.0;        ///< cell matrix only (drivers modelled separately)
+  double read_settle_ns = 0.0;  ///< bitline settling time for one analog read
+  double cell_read_energy_pj = 0.0;
+  double leakage_mw = 0.0;      ///< array leakage (nonzero for SRAM cells)
+
+  /// Analog energy of one read that activates `rows_used` rows and senses
+  /// `cols_used` columns.
+  [[nodiscard]] double read_energy_pj(int rows_used, int cols_used) const {
+    return cell_read_energy_pj * rows_used * cols_used;
+  }
+};
+[[nodiscard]] XbarModel make_xbar(int size, const DeviceModel& dev);
+
+/// Column mux, shift-&-add tree, and the per-array digital glue.
+struct PeripheryModel {
+  double mux_area_per_col_mm2 = 0.0;
+  double shift_add_area_per_adc_mm2 = 0.0;
+  double shift_add_energy_per_sample_pj = 0.0;
+  double mux_energy_per_switch_pj = 0.0;
+  double leakage_per_adc_mw = 0.0;
+};
+[[nodiscard]] PeripheryModel make_periphery();
+
+/// eDRAM activation buffer (per-tile in ISAAC).
+struct BufferModel {
+  double area_per_kb_mm2 = 0.0;
+  double energy_per_byte_pj = 0.0;
+  double leakage_per_kb_mw = 0.0;
+};
+[[nodiscard]] BufferModel make_buffer();
+
+/// Non-crossbar digital units: activation, pooling, output registers,
+/// inter-tile network — lumped per-output-element costs.
+struct DigitalModel {
+  double area_per_tile_mm2 = 0.0;
+  double energy_per_output_pj = 0.0;
+  double network_energy_per_byte_pj = 0.0;
+  double leakage_per_tile_mw = 0.0;
+};
+[[nodiscard]] DigitalModel make_digital();
+
+/// Everything the cost model needs, instantiated for one HardwareConfig.
+struct CircuitLibrary {
+  AdcModel adc;
+  DacModel dac;
+  XbarModel xbar;
+  PeripheryModel periphery;
+  BufferModel buffer;
+  DigitalModel digital;
+  DeviceModel device;
+
+  /// ADCs physically attached to one crossbar (columns / mux ratio).
+  [[nodiscard]] int adcs_per_array(int xbar_size, int col_mux) const {
+    return (xbar_size + col_mux - 1) / col_mux;
+  }
+
+  /// Area of one array instance including drivers, mux, ADCs and shift-add.
+  [[nodiscard]] double array_area_mm2(const HardwareConfig& hw) const;
+
+  /// Time for one full analog read of an array: settle + sequential
+  /// conversion of all muxed columns.
+  [[nodiscard]] double array_read_latency_ns(const HardwareConfig& hw) const;
+
+  /// Leakage of one array instance.
+  [[nodiscard]] double array_leakage_mw(const HardwareConfig& hw) const;
+};
+
+/// Builds the full circuit library for a hardware configuration.
+/// Throws std::invalid_argument when hw.validate() fails.
+[[nodiscard]] CircuitLibrary make_circuits(const HardwareConfig& hw);
+
+/// ADC resolution needed to digitize a column dot-product of `rows_used`
+/// active rows with `bits_per_cell`-bit cells and 1-bit (serial) inputs
+/// without clipping: bits_per_cell + ceil(log2(rows)) - 1.
+/// (ISAAC: 2-bit cells, 128 rows -> 8 bits, matching its 8-bit ADC.)
+[[nodiscard]] int required_adc_bits(int rows_used, int bits_per_cell);
+
+}  // namespace lcda::cim

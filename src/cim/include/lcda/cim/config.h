@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lcda/cim/device.h"
+
+namespace lcda::cim {
+
+/// Hardware design point of the NACIM search space (paper Sec. IV):
+/// the hyperparameters LCDA/NACIM pick for the ISAAC-style accelerator.
+struct HardwareConfig {
+  DeviceType device = DeviceType::kRram;
+
+  /// Conductance bits stored per cell (1, 2 or 4 in the search space).
+  int bits_per_cell = 2;
+
+  /// Weight precision in bits; weights are split across
+  /// ceil(weight_bits / bits_per_cell) cells.
+  int weight_bits = 8;
+
+  /// Input (activation) precision; fed bit-serially over the DACs.
+  int input_bits = 8;
+
+  /// ADC resolution in bits.
+  int adc_bits = 6;
+
+  /// Square crossbar dimension (rows = cols = xbar_size).
+  int xbar_size = 128;
+
+  /// Columns sharing one ADC through an analog mux.
+  int col_mux = 8;
+
+  /// Area budget; designs whose chip area exceeds it are invalid and the
+  /// framework assigns them reward -1 (paper Algorithm 1 prompt).
+  double area_budget_mm2 = 75.0;
+
+  [[nodiscard]] int cells_per_weight() const {
+    return (weight_bits + bits_per_cell - 1) / bits_per_cell;
+  }
+
+  /// Validation; returns a human-readable reason or empty string if OK.
+  [[nodiscard]] std::string validate() const;
+
+  /// "RRAM b2 w8 adc6 xbar128 mux8".
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] bool operator==(const HardwareConfig&) const = default;
+};
+
+/// The hardware axis of the co-design space: legal values per knob.
+struct HardwareChoices {
+  std::vector<DeviceType> devices = {DeviceType::kRram, DeviceType::kFefet};
+  std::vector<int> bits_per_cell = {1, 2, 4};
+  std::vector<int> adc_bits = {4, 5, 6, 7, 8};
+  std::vector<int> xbar_sizes = {64, 128, 256};
+  std::vector<int> col_mux = {4, 8};
+
+  /// Total number of hardware combinations.
+  [[nodiscard]] std::size_t combinations() const {
+    return devices.size() * bits_per_cell.size() * adc_bits.size() *
+           xbar_sizes.size() * col_mux.size();
+  }
+};
+
+/// ISAAC reference design (Shafiee et al. 2016): the normalization point of
+/// the paper's reward functions (8e7 pJ energy scale, 1600 FPS).
+[[nodiscard]] HardwareConfig isaac_reference();
+
+}  // namespace lcda::cim

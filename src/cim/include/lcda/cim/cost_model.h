@@ -1,0 +1,111 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lcda/cim/circuits.h"
+#include "lcda/cim/config.h"
+#include "lcda/cim/mapper.h"
+#include "lcda/nn/model_builder.h"
+
+namespace lcda::cim {
+
+/// Per-layer slice of the chip cost.
+struct LayerCost {
+  int layer_index = 0;
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+  long long arrays = 0;
+  double utilization = 0.0;
+  int adc_deficit_bits = 0;  ///< required ADC bits minus provisioned bits, >= 0
+};
+
+/// Whole-chip cost report — the DNN+NeuroSim-equivalent output
+/// (chip area, latency, dynamic energy, leakage power; paper Sec. III-D).
+struct CostReport {
+  bool valid = false;
+  std::string invalid_reason;
+
+  // --- area (mm^2) ---
+  double area_arrays_mm2 = 0.0;   ///< crossbars + DAC/mux/ADC/shift-add
+  double area_buffer_mm2 = 0.0;   ///< eDRAM tiles
+  double area_digital_mm2 = 0.0;  ///< activation/pooling/registers
+  double area_noc_mm2 = 0.0;      ///< H-tree routers
+  double area_total_mm2 = 0.0;
+
+  // --- dynamic energy per inference (pJ) ---
+  double energy_adc_pj = 0.0;
+  double energy_xbar_pj = 0.0;
+  double energy_dac_pj = 0.0;
+  double energy_digital_pj = 0.0;
+  double energy_buffer_pj = 0.0;
+  double energy_noc_pj = 0.0;  ///< inter-tile H-tree traffic
+  double energy_total_pj = 0.0;
+
+  // --- timing ---
+  double latency_ns = 0.0;  ///< one frame, layer-sequential execution
+  [[nodiscard]] double fps() const {
+    return latency_ns > 0.0 ? 1e9 / latency_ns : 0.0;
+  }
+
+  // --- static power ---
+  double leakage_mw = 0.0;
+
+  // --- one-time chip programming (weights written once at deployment;
+  //     excluded from per-inference energy) ---
+  long long total_weights = 0;       ///< logical weights incl. replication
+  long long total_cells = 0;         ///< NVM devices programmed
+  double programming_energy_pj = 0.0;  ///< single-pulse write per cell; see
+                                       ///< noise::SelectiveWriteVerify for
+                                       ///< write-verify accounting
+
+  // --- bookkeeping for the accuracy models ---
+  /// Effective relative weight-error sigma of this hardware (device
+  /// programming + temporal variation composed across the cells holding one
+  /// weight). Consumed by noise::VariationModel / surrogate.
+  double weight_sigma = 0.0;
+  /// Worst-case ADC resolution shortfall across layers (0 = exact).
+  int max_adc_deficit_bits = 0;
+
+  std::vector<LayerCost> layers;
+  MappingResult mapping;
+
+  [[nodiscard]] double energy_per_mac_pj(long long total_macs) const {
+    return total_macs > 0 ? energy_total_pj / static_cast<double>(total_macs) : 0.0;
+  }
+};
+
+/// Options that define the fixed parts of the chip organization.
+struct CostModelOptions {
+  /// Crossbar arrays grouped per tile (shared buffer + digital units).
+  int arrays_per_tile = 16;
+  /// Activation buffer per tile, KB.
+  int buffer_kb_per_tile = 64;
+  MapperOptions mapper;
+};
+
+/// Evaluates ISAAC-style chip costs for a network on a hardware config.
+///
+/// Construction validates the config (throws std::invalid_argument).
+/// evaluate() never throws for well-formed shapes: an over-budget chip comes
+/// back with valid = false, which the framework maps to reward -1.
+class CostEvaluator {
+ public:
+  explicit CostEvaluator(HardwareConfig hw, CostModelOptions opts = {});
+
+  [[nodiscard]] CostReport evaluate(const std::vector<nn::LayerShape>& shapes) const;
+
+  /// Convenience: shapes derived from a rollout + backbone options.
+  [[nodiscard]] CostReport evaluate(const std::vector<nn::ConvSpec>& rollout,
+                                    const nn::BackboneOptions& backbone) const;
+
+  [[nodiscard]] const HardwareConfig& config() const { return hw_; }
+  [[nodiscard]] const CircuitLibrary& circuits() const { return circuits_; }
+
+ private:
+  HardwareConfig hw_;
+  CostModelOptions opts_;
+  CircuitLibrary circuits_;
+};
+
+}  // namespace lcda::cim

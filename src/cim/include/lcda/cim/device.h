@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace lcda::cim {
+
+/// Supported NVM / memory cell technologies (paper Sec. II-B; NeuroSim
+/// supports SRAM plus emerging NVMs — we model the two the NACIM search
+/// space uses, RRAM and FeFET, and SRAM as a conventional reference point).
+enum class DeviceType { kRram, kFefet, kSram };
+
+[[nodiscard]] std::string_view device_name(DeviceType t);
+
+/// Electrical and statistical parameters of one synaptic cell.
+///
+/// The numbers are representative published values at a 32 nm logic node
+/// (ISAAC / NeuroSim calibration range); they set the absolute scale of the
+/// cost model. Relative orderings between technologies are what the search
+/// relies on: RRAM is denser but noisier, FeFET writes cheaper and drifts
+/// less, SRAM is variation-free but large and volatile.
+struct DeviceModel {
+  DeviceType type = DeviceType::kRram;
+
+  /// Max conductance levels a single cell can reliably hold, as bits.
+  int max_bits_per_cell = 4;
+
+  /// Cell footprint in F^2 (F = feature size).
+  double cell_area_f2 = 4.0;
+
+  /// Energy to read one cell once (one MAC contribution), in pJ.
+  double read_energy_pj = 0.0002;
+
+  /// Energy to program one cell, in pJ (used by write/refresh accounting).
+  double write_energy_pj = 10.0;
+
+  /// Programming (write) conductance variation: relative standard deviation
+  /// of the stored conductance w.r.t. the full conductance range, per cell.
+  /// This is the sigma that the noise library and the surrogate consume.
+  double programming_sigma = 0.10;
+
+  /// Additional temporal (read) fluctuation sigma, per access.
+  double temporal_sigma = 0.02;
+
+  /// On/off conductance ratio; bounds how many levels are usable.
+  double on_off_ratio = 100.0;
+
+  /// Static leakage per cell in nW (SRAM leaks; NVMs effectively do not).
+  double leakage_nw = 0.0;
+};
+
+/// Returns the calibrated model for a technology.
+[[nodiscard]] DeviceModel device_model(DeviceType t);
+
+/// Effective relative weight-error sigma when a weight is split across
+/// `cells_per_weight` cells of `bits_per_cell` bits each.
+///
+/// The most significant cell dominates: its conductance error is worth
+/// 2^((cells-1)*bits) LSB steps of the composed weight. Summing the
+/// geometric contributions of all cells gives
+///   sigma_w = sigma_cell * sqrt(sum_i 4^(-i*bits)) (i = 0 .. cells-1)
+/// relative to the full weight range.
+[[nodiscard]] double effective_weight_sigma(const DeviceModel& dev,
+                                            int bits_per_cell,
+                                            int cells_per_weight);
+
+}  // namespace lcda::cim

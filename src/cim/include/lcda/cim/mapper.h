@@ -1,0 +1,89 @@
+#pragma once
+
+#include <vector>
+
+#include "lcda/cim/circuits.h"
+#include "lcda/cim/config.h"
+#include "lcda/nn/model_builder.h"
+
+namespace lcda::cim {
+
+/// How one network layer lands on crossbar arrays.
+///
+/// The unrolled weight matrix (rows = K*K*Cin, cols = Cout*cells_per_weight)
+/// is tiled over xbar_size x xbar_size arrays. Row tiles accumulate partial
+/// sums digitally; column tiles are independent. `replication` duplicates
+/// the whole layer to raise throughput (ISAAC-style pipeline balancing).
+struct LayerMapping {
+  int layer_index = 0;
+  bool is_fc = false;
+
+  long long rows_needed = 0;   ///< K*K*Cin
+  long long cols_needed = 0;   ///< Cout * cells_per_weight
+  int row_tiles = 0;
+  int col_tiles = 0;
+  int replication = 1;
+
+  /// Fraction of allocated crossbar cells holding real weights.
+  double row_utilization = 0.0;
+  double col_utilization = 0.0;
+  [[nodiscard]] double utilization() const {
+    return row_utilization * col_utilization;
+  }
+
+  /// Arrays for one copy of the layer / including replication.
+  [[nodiscard]] long long arrays_per_copy() const {
+    return static_cast<long long>(row_tiles) * col_tiles;
+  }
+  [[nodiscard]] long long total_arrays() const {
+    return arrays_per_copy() * replication;
+  }
+
+  /// Analog reads issued per inference per array *chain* (all row/col tiles
+  /// fire in parallel): output pixels times bit-serial input cycles.
+  long long reads_per_inference = 0;
+
+  /// Sequential reads after spreading pixels over `replication` copies.
+  [[nodiscard]] long long sequential_reads() const {
+    return (reads_per_inference + replication - 1) / replication;
+  }
+
+  /// Rows actually activated in the worst (fullest) row tile.
+  int rows_in_fullest_tile = 0;
+
+  /// ADC resolution this mapping would need for exact partial sums.
+  int adc_bits_required = 0;
+};
+
+/// Whole-network mapping.
+struct MappingResult {
+  std::vector<LayerMapping> layers;
+  long long total_arrays = 0;
+
+  /// Area-weighted average cell utilization.
+  [[nodiscard]] double mean_utilization() const;
+};
+
+struct MapperOptions {
+  /// Bit-serial input cycles per pixel (= input precision).
+  /// Taken from HardwareConfig::input_bits by the cost model.
+  int input_bits = 8;
+
+  /// Upper bound on per-layer replication during pipeline balancing.
+  int max_replication = 8;
+
+  /// Replication stops growing when the chip area (arrays only) would
+  /// exceed this fraction of the area budget. Keeps the balancer from
+  /// trivially invalidating every design.
+  double replication_area_fraction = 0.35;
+};
+
+/// Maps every layer, then greedily replicates the slowest layers until the
+/// area envelope is reached (deterministic; mirrors ISAAC's weight
+/// duplication for early, pixel-heavy layers).
+[[nodiscard]] MappingResult map_network(const std::vector<nn::LayerShape>& shapes,
+                                        const HardwareConfig& hw,
+                                        const CircuitLibrary& circuits,
+                                        const MapperOptions& opts = {});
+
+}  // namespace lcda::cim

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "lcda/cim/config.h"
+
+namespace lcda::cim {
+
+/// On-chip interconnect macro model (ISAAC links tiles with an H-tree; we
+/// model an H-tree of routers over the tile grid).
+///
+/// Traffic: each layer ships its output activation bytes from the tiles
+/// holding it to the tiles holding the next layer; the hop count grows
+/// logarithmically with the tile count (tree depth).
+struct NocModel {
+  /// Energy to move one byte across one hop (wire + router), pJ.
+  double energy_per_byte_hop_pj = 0.012;
+
+  /// Router traversal latency per hop, ns.
+  double hop_latency_ns = 1.2;
+
+  /// Link bandwidth per tree level, bytes per ns (≈ GB/s).
+  double link_bytes_per_ns = 4.0;
+
+  /// Router area per tile, mm^2.
+  double router_area_mm2 = 0.015;
+
+  /// Router leakage per tile, mW.
+  double router_leakage_mw = 0.08;
+};
+
+[[nodiscard]] NocModel make_noc();
+
+/// Tree depth (= max hop count) for `tiles` tiles in an H-tree.
+[[nodiscard]] int htree_depth(long long tiles);
+
+/// Per-layer NoC cost for shipping `bytes` of activations across a chip
+/// with `tiles` tiles.
+struct NocLayerCost {
+  double energy_pj = 0.0;
+  double latency_ns = 0.0;  ///< serialization + hop traversal
+  int hops = 0;
+};
+[[nodiscard]] NocLayerCost noc_layer_cost(const NocModel& noc, double bytes,
+                                          long long tiles);
+
+}  // namespace lcda::cim

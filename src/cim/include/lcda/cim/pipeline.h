@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "lcda/cim/cost_model.h"
+
+namespace lcda::cim {
+
+/// Layer-pipelined execution analysis (ISAAC Sec. 4: consecutive frames
+/// flow through the layer stages concurrently).
+///
+/// CostReport::latency_ns is the *frame latency* — one input traversing
+/// every stage in sequence. Under pipelining the steady-state *throughput*
+/// is set by the slowest stage alone, so:
+///   fps_pipelined = 1e9 / max_i(stage_latency_i)  >=  fps_frame.
+struct PipelineReport {
+  double frame_latency_ns = 0.0;
+  double bottleneck_latency_ns = 0.0;
+  int bottleneck_layer = -1;
+  std::vector<double> stage_latency_ns;
+
+  [[nodiscard]] double pipelined_fps() const {
+    return bottleneck_latency_ns > 0.0 ? 1e9 / bottleneck_latency_ns : 0.0;
+  }
+  [[nodiscard]] double frame_fps() const {
+    return frame_latency_ns > 0.0 ? 1e9 / frame_latency_ns : 0.0;
+  }
+  /// How unbalanced the pipeline is: bottleneck / mean stage latency
+  /// (1.0 = perfectly balanced).
+  [[nodiscard]] double imbalance() const;
+};
+
+/// Derives the pipeline view from a chip cost report.
+[[nodiscard]] PipelineReport analyze_pipeline(const CostReport& report);
+
+}  // namespace lcda::cim

@@ -1,0 +1,98 @@
+#include "lcda/cim/mapper.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcda::cim {
+
+double MappingResult::mean_utilization() const {
+  double weighted = 0.0;
+  long long arrays = 0;
+  for (const auto& lm : layers) {
+    weighted += lm.utilization() * static_cast<double>(lm.total_arrays());
+    arrays += lm.total_arrays();
+  }
+  return arrays ? weighted / static_cast<double>(arrays) : 0.0;
+}
+
+namespace {
+
+LayerMapping map_layer(int index, const nn::LayerShape& shape,
+                       const HardwareConfig& hw, const MapperOptions& opts) {
+  LayerMapping lm;
+  lm.layer_index = index;
+  lm.is_fc = shape.is_fc;
+  lm.rows_needed = shape.weight_rows();
+  lm.cols_needed = shape.weight_cols() * hw.cells_per_weight();
+
+  const int n = hw.xbar_size;
+  lm.row_tiles = static_cast<int>((lm.rows_needed + n - 1) / n);
+  lm.col_tiles = static_cast<int>((lm.cols_needed + n - 1) / n);
+  lm.row_utilization = static_cast<double>(lm.rows_needed) /
+                       (static_cast<double>(lm.row_tiles) * n);
+  lm.col_utilization = static_cast<double>(lm.cols_needed) /
+                       (static_cast<double>(lm.col_tiles) * n);
+
+  const long long pixels =
+      shape.is_fc ? 1 : static_cast<long long>(shape.out_hw) * shape.out_hw;
+  lm.reads_per_inference = pixels * opts.input_bits;
+
+  lm.rows_in_fullest_tile =
+      static_cast<int>(std::min<long long>(lm.rows_needed, n));
+  lm.adc_bits_required = required_adc_bits(lm.rows_in_fullest_tile, hw.bits_per_cell);
+  return lm;
+}
+
+}  // namespace
+
+MappingResult map_network(const std::vector<nn::LayerShape>& shapes,
+                          const HardwareConfig& hw, const CircuitLibrary& circuits,
+                          const MapperOptions& opts) {
+  if (shapes.empty()) throw std::invalid_argument("map_network: no layers");
+  MappingResult result;
+  result.layers.reserve(shapes.size());
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    result.layers.push_back(map_layer(static_cast<int>(i), shapes[i], hw, opts));
+  }
+
+  // --- Pipeline balancing via weight replication (ISAAC Sec. 4) ---------
+  // Greedily replicate the layer with the longest sequential read chain as
+  // long as (a) it helps, (b) per-layer replication stays bounded and
+  // (c) the array area stays inside the allotted envelope.
+  const double area_per_array = circuits.array_area_mm2(hw);
+  const double area_cap = hw.area_budget_mm2 * opts.replication_area_fraction;
+
+  auto total_arrays = [&result]() {
+    long long t = 0;
+    for (const auto& lm : result.layers) t += lm.total_arrays();
+    return t;
+  };
+
+  while (true) {
+    // Find the current bottleneck stage.
+    std::size_t worst = 0;
+    long long worst_reads = -1;
+    for (std::size_t i = 0; i < result.layers.size(); ++i) {
+      const long long sr = result.layers[i].sequential_reads();
+      if (sr > worst_reads) {
+        worst_reads = sr;
+        worst = i;
+      }
+    }
+    LayerMapping& bottleneck = result.layers[worst];
+    if (bottleneck.replication >= opts.max_replication) break;
+    // Replicating a 1-read stage cannot help.
+    if (bottleneck.sequential_reads() <= 1) break;
+
+    const double area_after =
+        static_cast<double>(total_arrays() + bottleneck.arrays_per_copy()) *
+        area_per_array;
+    if (area_after > area_cap) break;
+    ++bottleneck.replication;
+  }
+
+  result.total_arrays = total_arrays();
+  return result;
+}
+
+}  // namespace lcda::cim

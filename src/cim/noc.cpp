@@ -1,0 +1,34 @@
+#include "lcda/cim/noc.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcda::cim {
+
+NocModel make_noc() { return NocModel{}; }
+
+int htree_depth(long long tiles) {
+  if (tiles <= 0) throw std::invalid_argument("htree_depth: tiles must be positive");
+  int depth = 0;
+  long long n = 1;
+  while (n < tiles) {
+    n *= 2;
+    ++depth;
+  }
+  return depth;
+}
+
+NocLayerCost noc_layer_cost(const NocModel& noc, double bytes, long long tiles) {
+  if (bytes < 0.0) throw std::invalid_argument("noc_layer_cost: negative bytes");
+  NocLayerCost cost;
+  cost.hops = std::max(1, htree_depth(tiles));
+  cost.energy_pj = bytes * cost.hops * noc.energy_per_byte_hop_pj;
+  // Serialization over the root link plus the hop traversal chain. The
+  // transfer overlaps with compute in a pipelined chip; this is the
+  // non-overlapped frame contribution (conservative).
+  cost.latency_ns = bytes / noc.link_bytes_per_ns / 64.0 +
+                    cost.hops * noc.hop_latency_ns;
+  return cost;
+}
+
+}  // namespace lcda::cim

@@ -1,0 +1,32 @@
+#include "lcda/cim/pipeline.h"
+
+#include <stdexcept>
+
+namespace lcda::cim {
+
+double PipelineReport::imbalance() const {
+  if (stage_latency_ns.empty()) return 0.0;
+  double sum = 0.0;
+  for (double l : stage_latency_ns) sum += l;
+  const double mean = sum / static_cast<double>(stage_latency_ns.size());
+  return mean > 0.0 ? bottleneck_latency_ns / mean : 0.0;
+}
+
+PipelineReport analyze_pipeline(const CostReport& report) {
+  if (report.layers.empty()) {
+    throw std::invalid_argument("analyze_pipeline: empty cost report");
+  }
+  PipelineReport pr;
+  pr.frame_latency_ns = report.latency_ns;
+  pr.stage_latency_ns.reserve(report.layers.size());
+  for (const auto& lc : report.layers) {
+    pr.stage_latency_ns.push_back(lc.latency_ns);
+    if (lc.latency_ns > pr.bottleneck_latency_ns) {
+      pr.bottleneck_latency_ns = lc.latency_ns;
+      pr.bottleneck_layer = lc.layer_index;
+    }
+  }
+  return pr;
+}
+
+}  // namespace lcda::cim

@@ -1,0 +1,74 @@
+#include "lcda/core/evaluator.h"
+
+#include <cmath>
+
+#include "lcda/nn/quantize.h"
+#include "lcda/nn/trainer.h"
+#include "lcda/noise/monte_carlo.h"
+#include "lcda/noise/variation.h"
+#include "lcda/util/stats.h"
+
+namespace lcda::core {
+
+// ------------------------------------------------------ SurrogateEvaluator
+
+SurrogateEvaluator::SurrogateEvaluator(Options opts)
+    : opts_(opts), accuracy_(opts.accuracy) {}
+
+Evaluation SurrogateEvaluator::evaluate(const search::Design& design,
+                                        util::Rng& rng) {
+  Evaluation ev;
+  const cim::CostEvaluator cost_eval(design.hw, opts_.cost);
+  ev.cost = cost_eval.evaluate(design.rollout, opts_.backbone);
+
+  util::OnlineStats stats;
+  for (int i = 0; i < opts_.monte_carlo_samples; ++i) {
+    util::Rng sample_rng = rng.fork();
+    stats.add(accuracy_.noisy_accuracy_sample(design.rollout, ev.cost.weight_sigma,
+                                              ev.cost.max_adc_deficit_bits,
+                                              sample_rng));
+  }
+  ev.accuracy = stats.mean();
+  ev.accuracy_stddev = stats.stddev();
+  return ev;
+}
+
+// -------------------------------------------------------- TrainedEvaluator
+
+TrainedEvaluator::TrainedEvaluator(Options opts)
+    : opts_(opts), data_(data::make_synthetic_cifar(opts.dataset)) {
+  // Backbone geometry must match the generated dataset.
+  opts_.backbone.input_size = opts_.dataset.image_size;
+  opts_.backbone.num_classes = opts_.dataset.num_classes;
+}
+
+Evaluation TrainedEvaluator::evaluate(const search::Design& design,
+                                      util::Rng& rng) {
+  Evaluation ev;
+  const cim::CostEvaluator cost_eval(design.hw, opts_.cost);
+  ev.cost = cost_eval.evaluate(design.rollout, opts_.backbone);
+
+  // Noise-injection training at the hardware's variation level ([10]).
+  const noise::VariationModel variation(ev.cost.weight_sigma);
+  util::Rng train_rng = rng.fork();
+  nn::Sequential net = nn::build_backbone(design.rollout, opts_.backbone, train_rng);
+  nn::TrainOptions topts;
+  topts.epochs = opts_.epochs;
+  topts.perturber = variation.as_perturber();
+  (void)nn::train(net, data_.train, data_.test, topts, train_rng);
+
+  // Deployment: weights are quantized to the hardware's fixed-point format
+  // before being programmed into the crossbars.
+  auto params = net.params();
+  (void)nn::quantize_params(params, {.bits = design.hw.weight_bits});
+
+  // Monte-Carlo accuracy across simulated chip instances ([16]).
+  util::Rng mc_rng = rng.fork();
+  const noise::MonteCarloResult mc = noise::mc_noisy_accuracy(
+      net, data_.test, variation, opts_.monte_carlo_samples, mc_rng);
+  ev.accuracy = mc.mean();
+  ev.accuracy_stddev = mc.stddev();
+  return ev;
+}
+
+}  // namespace lcda::core

@@ -1,0 +1,109 @@
+#include "lcda/core/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lcda/util/csv.h"
+
+namespace lcda::core {
+
+std::string_view strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kLcda: return "LCDA";
+    case Strategy::kLcdaNaive: return "LCDA-naive";
+    case Strategy::kLcdaFinetuned: return "LCDA-finetuned";
+    case Strategy::kNacimRl: return "NACIM";
+    case Strategy::kGenetic: return "Genetic";
+    case Strategy::kNsga2: return "NSGA-II";
+    case Strategy::kAnnealing: return "Annealing";
+    case Strategy::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::unique_ptr<search::Optimizer> make_optimizer(Strategy strategy,
+                                                  const ExperimentConfig& config) {
+  search::SearchSpace space(config.space);
+  switch (strategy) {
+    case Strategy::kLcda:
+    case Strategy::kLcdaNaive:
+    case Strategy::kLcdaFinetuned: {
+      llm::SimulatedGpt4::Options gpt;
+      gpt.seed = util::hash_combine(config.seed, 0x69f7);
+      gpt.wrong_cim_kernel_priors = strategy != Strategy::kLcdaFinetuned;
+      auto client = std::make_shared<llm::SimulatedGpt4>(gpt);
+      llm::LlmOptimizer::Options opts;
+      opts.prompt.objective = config.objective;
+      opts.prompt.codesign_context = strategy != Strategy::kLcdaNaive;
+      return std::make_unique<llm::LlmOptimizer>(std::move(space),
+                                                 std::move(client), opts);
+    }
+    case Strategy::kNacimRl:
+      return std::make_unique<search::RlOptimizer>(std::move(space));
+    case Strategy::kGenetic:
+      return std::make_unique<search::GeneticOptimizer>(std::move(space));
+    case Strategy::kNsga2: {
+      search::Nsga2Optimizer::Options opts;
+      opts.use_latency = config.objective == llm::Objective::kLatency;
+      return std::make_unique<search::Nsga2Optimizer>(std::move(space), opts);
+    }
+    case Strategy::kAnnealing:
+      return std::make_unique<search::AnnealingOptimizer>(std::move(space));
+    case Strategy::kRandom:
+      return std::make_unique<search::RandomOptimizer>(std::move(space));
+  }
+  throw std::invalid_argument("make_optimizer: unknown strategy");
+}
+
+RunResult run_strategy(Strategy strategy, int episodes,
+                       const ExperimentConfig& config) {
+  auto optimizer = make_optimizer(strategy, config);
+  SurrogateEvaluator evaluator(config.evaluator);
+  RewardFunction reward(config.objective);
+  CodesignLoop::Options opts;
+  opts.episodes = episodes;
+  CodesignLoop loop(*optimizer, evaluator, reward, opts);
+  util::Rng rng(util::hash_combine(config.seed,
+                                   static_cast<std::uint64_t>(strategy) + 101));
+  return loop.run(rng);
+}
+
+SpeedupReport measure_speedup(const ExperimentConfig& config,
+                              double threshold_fraction) {
+  if (threshold_fraction <= 0.0 || threshold_fraction > 1.0) {
+    throw std::invalid_argument("measure_speedup: bad threshold fraction");
+  }
+  const RunResult lcda = run_strategy(Strategy::kLcda, config.lcda_episodes, config);
+  const RunResult nacim =
+      run_strategy(Strategy::kNacimRl, config.nacim_episodes, config);
+
+  SpeedupReport report;
+  report.lcda_best = lcda.best_reward();
+  report.nacim_best = nacim.best_reward();
+  report.threshold = threshold_fraction * report.nacim_best;
+  // Episodes are 0-based indices; report 1-based counts.
+  const int l = lcda.episodes_to_reach(report.threshold);
+  const int n = nacim.episodes_to_reach(report.threshold);
+  report.lcda_episodes = l < 0 ? -1 : l + 1;
+  report.nacim_episodes = n < 0 ? -1 : n + 1;
+  return report;
+}
+
+void write_run_csv(std::ostream& os, const RunResult& run,
+                   std::string_view label) {
+  util::CsvWriter csv(os);
+  for (const auto& ep : run.episodes) {
+    csv.field(label)
+        .field(ep.episode)
+        .field(ep.accuracy)
+        .field(ep.energy_pj)
+        .field(ep.latency_ns)
+        .field(ep.area_mm2)
+        .field(ep.reward)
+        .field(static_cast<long long>(ep.valid))
+        .field(ep.design.describe())
+        .endrow();
+  }
+}
+
+}  // namespace lcda::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "lcda/cim/cost_model.h"
+#include "lcda/data/synthetic_cifar.h"
+#include "lcda/search/design.h"
+#include "lcda/surrogate/accuracy_model.h"
+#include "lcda/util/rng.h"
+
+namespace lcda::core {
+
+/// Joint result of the DNN performance evaluator and the hardware cost
+/// evaluator for one candidate (paper Sec. III-C/D).
+struct Evaluation {
+  double accuracy = 0.0;        ///< mean Monte-Carlo accuracy under variation
+  double accuracy_stddev = 0.0; ///< chip-to-chip spread
+  cim::CostReport cost;
+};
+
+/// Evaluates a design candidate end to end: builds the hardware cost report
+/// and measures DNN accuracy under that hardware's device variation.
+class PerformanceEvaluator {
+ public:
+  virtual ~PerformanceEvaluator() = default;
+  [[nodiscard]] virtual Evaluation evaluate(const search::Design& design,
+                                            util::Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fast evaluator: surrogate accuracy model + analytical cost model, with a
+/// Monte-Carlo loop over the surrogate's chip-instance draws (DESIGN.md
+/// substitution #2). This is what the benchmark harnesses use — a
+/// 500-episode NACIM run completes in seconds.
+class SurrogateEvaluator final : public PerformanceEvaluator {
+ public:
+  struct Options {
+    surrogate::AccuracyModel::Options accuracy;
+    cim::CostModelOptions cost;
+    nn::BackboneOptions backbone;
+    int monte_carlo_samples = 16;
+  };
+
+  SurrogateEvaluator() : SurrogateEvaluator(Options{}) {}
+  explicit SurrogateEvaluator(Options opts);
+
+  [[nodiscard]] Evaluation evaluate(const search::Design& design,
+                                    util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Surrogate"; }
+
+ private:
+  Options opts_;
+  surrogate::AccuracyModel accuracy_;
+};
+
+/// Faithful evaluator: trains the candidate topology with noise injection
+/// on the synthetic CIFAR set, then Monte-Carlo evaluates it under the
+/// hardware's variation model (the paper's actual pipeline, Sec. III-C).
+/// Costs seconds-to-minutes per candidate — used by examples and
+/// integration tests on reduced datasets.
+class TrainedEvaluator final : public PerformanceEvaluator {
+ public:
+  struct Options {
+    data::SyntheticCifarOptions dataset;
+    nn::BackboneOptions backbone;
+    cim::CostModelOptions cost;
+    int epochs = 6;
+    int monte_carlo_samples = 8;
+  };
+
+  explicit TrainedEvaluator(Options opts);
+
+  [[nodiscard]] Evaluation evaluate(const search::Design& design,
+                                    util::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "Trained"; }
+
+  [[nodiscard]] const data::TrainTest& dataset() const { return data_; }
+
+ private:
+  Options opts_;
+  data::TrainTest data_;
+};
+
+}  // namespace lcda::core

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "lcda/core/loop.h"
+#include "lcda/llm/llm_optimizer.h"
+#include "lcda/llm/simulated_gpt4.h"
+#include "lcda/search/annealing_optimizer.h"
+#include "lcda/search/genetic_optimizer.h"
+#include "lcda/search/nsga2_optimizer.h"
+#include "lcda/search/random_optimizer.h"
+#include "lcda/search/rl_optimizer.h"
+
+namespace lcda::core {
+
+/// Shared configuration of the paper's experiments (Sec. IV): the NACIM
+/// search space, the surrogate evaluator, the reward for one objective,
+/// and the standard episode counts (LCDA 20, NACIM 500).
+struct ExperimentConfig {
+  llm::Objective objective = llm::Objective::kEnergy;
+  int lcda_episodes = 20;
+  int nacim_episodes = 500;
+  std::uint64_t seed = 1;
+  search::SearchSpace::Options space;
+  SurrogateEvaluator::Options evaluator;
+};
+
+/// Which optimization strategy drives a run.
+///
+/// kLcdaFinetuned is the paper's unfulfilled future-work point (Sec. IV-B:
+/// "A specific fine-tuning tailored to this task is necessary.
+/// Unfortunately ... we are unable to present results"): the same LCDA
+/// loop with a simulated LLM whose incorrect CiM kernel priors have been
+/// corrected — what a task-fine-tuned model would know.
+enum class Strategy {
+  kLcda,
+  kLcdaNaive,
+  kLcdaFinetuned,
+  kNacimRl,
+  kGenetic,
+  kNsga2,
+  kAnnealing,
+  kRandom,
+};
+
+[[nodiscard]] std::string_view strategy_name(Strategy s);
+
+/// Builds the optimizer for a strategy over the config's space. LCDA
+/// variants are wired to a fresh SimulatedGpt4 seeded from `config.seed`.
+[[nodiscard]] std::unique_ptr<search::Optimizer> make_optimizer(
+    Strategy strategy, const ExperimentConfig& config);
+
+/// Runs one strategy for `episodes` episodes and returns the trace.
+[[nodiscard]] RunResult run_strategy(Strategy strategy, int episodes,
+                                     const ExperimentConfig& config);
+
+/// Speedup analysis behind the paper's headline claim (Sec. IV-A):
+/// episodes each method needs to reach a comparable solution.
+struct SpeedupReport {
+  double threshold = 0.0;      ///< target reward (fraction of NACIM's best)
+  int lcda_episodes = -1;      ///< episodes LCDA needed (-1 = never)
+  int nacim_episodes = -1;     ///< episodes NACIM needed (-1 = never)
+  double lcda_best = 0.0;
+  double nacim_best = 0.0;
+  [[nodiscard]] double speedup() const {
+    if (lcda_episodes <= 0 || nacim_episodes <= 0) return 0.0;
+    return static_cast<double>(nacim_episodes) / lcda_episodes;
+  }
+};
+
+/// Runs LCDA and NACIM with the config's episode budgets and measures the
+/// episodes-to-threshold speedup. `threshold_fraction` defines "comparable
+/// solution" as that fraction of NACIM's final best reward.
+[[nodiscard]] SpeedupReport measure_speedup(const ExperimentConfig& config,
+                                            double threshold_fraction = 0.95);
+
+/// Writes a run as CSV rows (episode, accuracy, energy, latency, reward,
+/// valid, design) — the exact series behind the paper's scatter plots.
+void write_run_csv(std::ostream& os, const RunResult& run,
+                   std::string_view label);
+
+}  // namespace lcda::core

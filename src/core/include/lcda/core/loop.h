@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lcda/core/evaluator.h"
+#include "lcda/core/reward.h"
+#include "lcda/search/optimizer.h"
+
+namespace lcda::core {
+
+/// One completed episode of the co-design loop.
+struct EpisodeRecord {
+  int episode = 0;
+  search::Design design;
+  double accuracy = 0.0;
+  double energy_pj = 0.0;
+  double latency_ns = 0.0;
+  double area_mm2 = 0.0;
+  double reward = 0.0;
+  bool valid = false;
+};
+
+/// Result of a full co-design run.
+struct RunResult {
+  std::vector<EpisodeRecord> episodes;
+  int best_episode = -1;
+
+  [[nodiscard]] const EpisodeRecord& best() const;
+  [[nodiscard]] double best_reward() const;
+
+  /// Running maximum of the reward (what Fig. 3 projects).
+  [[nodiscard]] std::vector<double> reward_running_max() const;
+
+  /// First episode whose reward reaches `threshold`, or -1 if never.
+  [[nodiscard]] int episodes_to_reach(double threshold) const;
+};
+
+/// Algorithm 2: LCDA(Model, Choices, EP, f).
+///
+/// Drives `optimizer` for `episodes` episodes: propose -> generate ->
+/// evaluate DNN performance and hardware cost -> combine via the reward
+/// function -> feed the observation back and record it.
+class CodesignLoop {
+ public:
+  struct Options {
+    int episodes = 20;  ///< the paper's EP
+    /// Called after each episode (progress reporting in benches/examples).
+    std::function<void(const EpisodeRecord&)> on_episode;
+  };
+
+  CodesignLoop(search::Optimizer& optimizer, PerformanceEvaluator& evaluator,
+               RewardFunction reward, Options opts);
+
+  /// Runs the loop to completion. Deterministic given `rng`'s seed.
+  [[nodiscard]] RunResult run(util::Rng& rng);
+
+ private:
+  search::Optimizer* optimizer_;
+  PerformanceEvaluator* evaluator_;
+  RewardFunction reward_;
+  Options opts_;
+};
+
+}  // namespace lcda::core

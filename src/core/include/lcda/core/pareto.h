@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "lcda/core/loop.h"
+
+namespace lcda::core {
+
+/// A point in the accuracy-vs-hardware-cost plane (accuracy maximized,
+/// cost minimized) — the axes of the paper's Figs. 2, 4 and 5.
+struct TradeoffPoint {
+  double cost = 0.0;      ///< energy (pJ) or latency (ns); lower is better
+  double accuracy = 0.0;  ///< higher is better
+};
+
+/// True when `a` dominates `b` (no worse in both axes, better in one).
+[[nodiscard]] bool dominates(const TradeoffPoint& a, const TradeoffPoint& b);
+
+/// Indices of the non-dominated points, sorted by ascending cost.
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    const std::vector<TradeoffPoint>& points);
+
+/// Extracts the tradeoff points of a run's *valid* episodes, along with the
+/// episode index of each point.
+struct RunPoints {
+  std::vector<TradeoffPoint> points;
+  std::vector<int> episode_of_point;
+};
+[[nodiscard]] RunPoints tradeoff_points(const RunResult& run,
+                                        llm::Objective objective);
+
+/// Hypervolume-style scalar summary of a front: the area dominated with
+/// respect to a reference (cost_ref, 0) corner, for front-vs-front
+/// comparisons in tests and the speedup bench. Points are clipped to the
+/// reference cost.
+[[nodiscard]] double dominated_area(const std::vector<TradeoffPoint>& front,
+                                    double cost_ref);
+
+}  // namespace lcda::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lcda/core/loop.h"
+#include "lcda/util/json_lite.h"
+
+namespace lcda::core {
+
+/// JSON serialization of searches — the machine-readable output format of
+/// the benchmark harnesses (one object per run, one array entry per
+/// episode), for downstream plotting and archival.
+[[nodiscard]] util::Json design_to_json(const search::Design& design);
+[[nodiscard]] util::Json episode_to_json(const EpisodeRecord& episode);
+[[nodiscard]] util::Json run_to_json(const RunResult& run, std::string_view label);
+
+/// A whole experiment: several labelled runs plus shared metadata.
+struct LabelledRun {
+  std::string label;
+  const RunResult* run = nullptr;
+};
+[[nodiscard]] util::Json experiment_to_json(std::string_view name,
+                                            std::uint64_t seed,
+                                            const std::vector<LabelledRun>& runs);
+
+}  // namespace lcda::core

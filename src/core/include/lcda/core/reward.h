@@ -1,0 +1,40 @@
+#pragma once
+
+#include "lcda/cim/cost_model.h"
+#include "lcda/llm/prompt.h"
+
+namespace lcda::core {
+
+/// Reward assigned to designs whose hardware is invalid (area over budget):
+/// "If the hardware is invalid (e.g., too large in area), the performance I
+/// give you will be -1" (paper Algorithm 1).
+inline constexpr double kInvalidReward = -1.0;
+
+/// Eq. (1): reward_ae = Accuracy - sqrt(Energy / 8e7).
+/// Energy in pJ; 8e7 pJ normalizes to the original ISAAC design.
+[[nodiscard]] double reward_accuracy_energy(double accuracy, double energy_pj);
+
+/// Eq. (2): reward_al = Accuracy + FPS / 1600.
+/// Latency in ns; 1600 FPS normalizes to the original ISAAC design.
+[[nodiscard]] double reward_accuracy_latency(double accuracy, double latency_ns);
+
+/// Reward function f(acc, hw) of Algorithm 2, dispatching on the objective.
+/// Invalid cost reports yield kInvalidReward.
+class RewardFunction {
+ public:
+  explicit RewardFunction(llm::Objective objective) : objective_(objective) {}
+
+  [[nodiscard]] double operator()(double accuracy,
+                                  const cim::CostReport& cost) const;
+
+  [[nodiscard]] llm::Objective objective() const { return objective_; }
+
+  /// The hardware metric value this reward reads from a report
+  /// (energy in pJ or latency in ns).
+  [[nodiscard]] double hw_metric(const cim::CostReport& cost) const;
+
+ private:
+  llm::Objective objective_;
+};
+
+}  // namespace lcda::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "lcda/core/experiment.h"
+#include "lcda/util/stats.h"
+
+namespace lcda::core {
+
+/// Aggregated multi-seed results of one strategy: mean/stddev of the
+/// best-reward trajectory and scalar end-of-run statistics. This is what
+/// credible benchmark tables should report instead of single-seed runs.
+struct AggregateResult {
+  Strategy strategy{};
+  int episodes = 0;
+  int seeds = 0;
+
+  /// Per-episode statistics of the running-best reward across seeds.
+  std::vector<util::OnlineStats> running_best;
+
+  /// Final best reward across seeds.
+  util::OnlineStats final_best;
+
+  /// Episodes to reach an externally supplied threshold (only seeds that
+  /// reached it contribute); `reached` counts how many did.
+  util::OnlineStats episodes_to_threshold;
+  int reached = 0;
+
+  [[nodiscard]] double mean_running_best(int episode) const {
+    return running_best[static_cast<std::size_t>(episode)].mean();
+  }
+};
+
+/// Runs `strategy` for `episodes` episodes with seeds 1..seeds (offset by
+/// config.seed) and aggregates. `threshold` feeds episodes_to_threshold;
+/// pass NaN to skip.
+[[nodiscard]] AggregateResult run_aggregate(Strategy strategy, int episodes,
+                                            int seeds,
+                                            const ExperimentConfig& config,
+                                            double threshold);
+
+/// Paired multi-seed speedup study: for each seed, LCDA episodes-to-thresh
+/// vs NACIM episodes-to-thresh (threshold = fraction of that seed's NACIM
+/// best). Returns per-seed speedups.
+[[nodiscard]] std::vector<SpeedupReport> speedup_study(
+    const ExperimentConfig& config, int seeds, double threshold_fraction = 0.95);
+
+}  // namespace lcda::core

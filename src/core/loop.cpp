@@ -1,0 +1,87 @@
+#include "lcda/core/loop.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lcda::core {
+
+const EpisodeRecord& RunResult::best() const {
+  if (best_episode < 0 || best_episode >= static_cast<int>(episodes.size())) {
+    throw std::logic_error("RunResult::best: no episodes recorded");
+  }
+  return episodes[static_cast<std::size_t>(best_episode)];
+}
+
+double RunResult::best_reward() const { return best().reward; }
+
+std::vector<double> RunResult::reward_running_max() const {
+  std::vector<double> out;
+  out.reserve(episodes.size());
+  double mx = -std::numeric_limits<double>::infinity();
+  for (const auto& ep : episodes) {
+    mx = std::max(mx, ep.reward);
+    out.push_back(mx);
+  }
+  return out;
+}
+
+int RunResult::episodes_to_reach(double threshold) const {
+  for (const auto& ep : episodes) {
+    if (ep.reward >= threshold) return ep.episode;
+  }
+  return -1;
+}
+
+CodesignLoop::CodesignLoop(search::Optimizer& optimizer,
+                           PerformanceEvaluator& evaluator, RewardFunction reward,
+                           Options opts)
+    : optimizer_(&optimizer),
+      evaluator_(&evaluator),
+      reward_(reward),
+      opts_(std::move(opts)) {
+  if (opts_.episodes <= 0) throw std::invalid_argument("CodesignLoop: episodes");
+}
+
+RunResult CodesignLoop::run(util::Rng& rng) {
+  RunResult result;
+  result.episodes.reserve(static_cast<std::size_t>(opts_.episodes));
+  for (int ep = 0; ep < opts_.episodes; ++ep) {
+    // des_i = parse(LLM(prompt)) / controller sample / ...
+    const search::Design design = optimizer_->propose(rng);
+
+    // acc_i, hw_i = evaluators; perf_i = f(acc_i, hw_i).
+    util::Rng eval_rng = rng.fork();
+    const Evaluation ev = evaluator_->evaluate(design, eval_rng);
+    const double reward = reward_(ev.accuracy, ev.cost);
+
+    EpisodeRecord record;
+    record.episode = ep;
+    record.design = design;
+    record.accuracy = ev.accuracy;
+    record.energy_pj = ev.cost.energy_total_pj;
+    record.latency_ns = ev.cost.latency_ns;
+    record.area_mm2 = ev.cost.area_total_mm2;
+    record.reward = reward;
+    record.valid = ev.cost.valid;
+
+    // Add des_i and perf_i to l_des / l_perf.
+    search::Observation obs;
+    obs.design = design;
+    obs.reward = reward;
+    obs.accuracy = ev.accuracy;
+    obs.energy_pj = ev.cost.energy_total_pj;
+    obs.latency_ns = ev.cost.latency_ns;
+    obs.valid = ev.cost.valid;
+    optimizer_->feedback(obs);
+
+    if (result.best_episode < 0 || reward > result.best_reward()) {
+      result.best_episode = ep;
+    }
+    if (opts_.on_episode) opts_.on_episode(record);
+    result.episodes.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace lcda::core

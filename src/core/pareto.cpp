@@ -1,0 +1,60 @@
+#include "lcda/core/pareto.h"
+
+#include <algorithm>
+
+namespace lcda::core {
+
+bool dominates(const TradeoffPoint& a, const TradeoffPoint& b) {
+  const bool no_worse = a.cost <= b.cost && a.accuracy >= b.accuracy;
+  const bool better = a.cost < b.cost || a.accuracy > b.accuracy;
+  return no_worse && better;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<TradeoffPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool is_dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j != i && dominates(points[j], points[i])) {
+        is_dominated = true;
+        break;
+      }
+    }
+    if (!is_dominated) front.push_back(i);
+  }
+  std::sort(front.begin(), front.end(), [&points](std::size_t a, std::size_t b) {
+    if (points[a].cost != points[b].cost) return points[a].cost < points[b].cost;
+    return points[a].accuracy > points[b].accuracy;
+  });
+  return front;
+}
+
+RunPoints tradeoff_points(const RunResult& run, llm::Objective objective) {
+  RunPoints out;
+  for (const auto& ep : run.episodes) {
+    if (!ep.valid) continue;
+    TradeoffPoint p;
+    p.cost = objective == llm::Objective::kEnergy ? ep.energy_pj : ep.latency_ns;
+    p.accuracy = ep.accuracy;
+    out.points.push_back(p);
+    out.episode_of_point.push_back(ep.episode);
+  }
+  return out;
+}
+
+double dominated_area(const std::vector<TradeoffPoint>& front, double cost_ref) {
+  // Sort a copy of the non-dominated subset by cost and integrate the
+  // step function accuracy(cost) from each point to the reference.
+  const auto idx = pareto_front(front);
+  double area = 0.0;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const TradeoffPoint& p = front[idx[i]];
+    if (p.cost >= cost_ref) continue;
+    const double next_cost =
+        i + 1 < idx.size() ? std::min(front[idx[i + 1]].cost, cost_ref) : cost_ref;
+    area += (next_cost - p.cost) * p.accuracy;
+  }
+  return area;
+}
+
+}  // namespace lcda::core

@@ -1,0 +1,69 @@
+#include "lcda/core/report.h"
+
+#include <stdexcept>
+
+namespace lcda::core {
+
+util::Json design_to_json(const search::Design& design) {
+  util::Json j = util::Json::object();
+  util::Json rollout = util::Json::array();
+  for (const auto& spec : design.rollout) {
+    util::Json pair = util::Json::array();
+    pair.push_back(spec.channels);
+    pair.push_back(spec.kernel);
+    rollout.push_back(pair);
+  }
+  j["rollout"] = rollout;
+  util::Json hw = util::Json::object();
+  hw["device"] = std::string(cim::device_name(design.hw.device));
+  hw["bits_per_cell"] = design.hw.bits_per_cell;
+  hw["weight_bits"] = design.hw.weight_bits;
+  hw["adc_bits"] = design.hw.adc_bits;
+  hw["xbar_size"] = design.hw.xbar_size;
+  hw["col_mux"] = design.hw.col_mux;
+  j["hardware"] = hw;
+  return j;
+}
+
+util::Json episode_to_json(const EpisodeRecord& episode) {
+  util::Json j = util::Json::object();
+  j["episode"] = episode.episode;
+  j["accuracy"] = episode.accuracy;
+  j["energy_pj"] = episode.energy_pj;
+  j["latency_ns"] = episode.latency_ns;
+  j["area_mm2"] = episode.area_mm2;
+  j["reward"] = episode.reward;
+  j["valid"] = episode.valid;
+  j["design"] = design_to_json(episode.design);
+  return j;
+}
+
+util::Json run_to_json(const RunResult& run, std::string_view label) {
+  util::Json j = util::Json::object();
+  j["label"] = label;
+  j["episodes"] = static_cast<long long>(run.episodes.size());
+  if (!run.episodes.empty()) {
+    j["best_episode"] = run.best_episode;
+    j["best_reward"] = run.best_reward();
+  }
+  util::Json eps = util::Json::array();
+  for (const auto& ep : run.episodes) eps.push_back(episode_to_json(ep));
+  j["trace"] = eps;
+  return j;
+}
+
+util::Json experiment_to_json(std::string_view name, std::uint64_t seed,
+                              const std::vector<LabelledRun>& runs) {
+  util::Json j = util::Json::object();
+  j["experiment"] = name;
+  j["seed"] = static_cast<long long>(seed);
+  util::Json arr = util::Json::array();
+  for (const auto& lr : runs) {
+    if (!lr.run) throw std::invalid_argument("experiment_to_json: null run");
+    arr.push_back(run_to_json(*lr.run, lr.label));
+  }
+  j["runs"] = arr;
+  return j;
+}
+
+}  // namespace lcda::core

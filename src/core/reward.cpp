@@ -1,0 +1,36 @@
+#include "lcda/core/reward.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcda::core {
+
+double reward_accuracy_energy(double accuracy, double energy_pj) {
+  if (energy_pj < 0.0) throw std::invalid_argument("reward_ae: negative energy");
+  return accuracy - std::sqrt(energy_pj / 8e7);
+}
+
+double reward_accuracy_latency(double accuracy, double latency_ns) {
+  if (latency_ns <= 0.0) throw std::invalid_argument("reward_al: non-positive latency");
+  const double fps = 1e9 / latency_ns;
+  return accuracy + fps / 1600.0;
+}
+
+double RewardFunction::operator()(double accuracy,
+                                  const cim::CostReport& cost) const {
+  if (!cost.valid) return kInvalidReward;
+  switch (objective_) {
+    case llm::Objective::kEnergy:
+      return reward_accuracy_energy(accuracy, cost.energy_total_pj);
+    case llm::Objective::kLatency:
+      return reward_accuracy_latency(accuracy, cost.latency_ns);
+  }
+  return kInvalidReward;
+}
+
+double RewardFunction::hw_metric(const cim::CostReport& cost) const {
+  return objective_ == llm::Objective::kEnergy ? cost.energy_total_pj
+                                               : cost.latency_ns;
+}
+
+}  // namespace lcda::core

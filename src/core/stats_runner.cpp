@@ -1,0 +1,53 @@
+#include "lcda/core/stats_runner.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcda::core {
+
+AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
+                              const ExperimentConfig& config, double threshold) {
+  if (episodes <= 0 || seeds <= 0) {
+    throw std::invalid_argument("run_aggregate: episodes/seeds must be positive");
+  }
+  AggregateResult agg;
+  agg.strategy = strategy;
+  agg.episodes = episodes;
+  agg.seeds = seeds;
+  agg.running_best.resize(static_cast<std::size_t>(episodes));
+
+  for (int s = 0; s < seeds; ++s) {
+    ExperimentConfig cfg = config;
+    cfg.seed = util::hash_combine(config.seed, static_cast<std::uint64_t>(s) + 1);
+    const RunResult run = run_strategy(strategy, episodes, cfg);
+    const auto rmax = run.reward_running_max();
+    for (int e = 0; e < episodes; ++e) {
+      agg.running_best[static_cast<std::size_t>(e)].add(
+          rmax[static_cast<std::size_t>(e)]);
+    }
+    agg.final_best.add(run.best_reward());
+    if (!std::isnan(threshold)) {
+      const int hit = run.episodes_to_reach(threshold);
+      if (hit >= 0) {
+        agg.episodes_to_threshold.add(static_cast<double>(hit) + 1.0);
+        ++agg.reached;
+      }
+    }
+  }
+  return agg;
+}
+
+std::vector<SpeedupReport> speedup_study(const ExperimentConfig& config,
+                                         int seeds, double threshold_fraction) {
+  if (seeds <= 0) throw std::invalid_argument("speedup_study: seeds");
+  std::vector<SpeedupReport> out;
+  out.reserve(static_cast<std::size_t>(seeds));
+  for (int s = 0; s < seeds; ++s) {
+    ExperimentConfig cfg = config;
+    cfg.seed = util::hash_combine(config.seed, static_cast<std::uint64_t>(s) + 1);
+    out.push_back(measure_speedup(cfg, threshold_fraction));
+  }
+  return out;
+}
+
+}  // namespace lcda::core

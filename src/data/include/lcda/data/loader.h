@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "lcda/data/synthetic_cifar.h"
+#include "lcda/tensor/tensor.h"
+#include "lcda/util/rng.h"
+
+namespace lcda::data {
+
+/// A single minibatch (owned copies; safe to mutate).
+struct Batch {
+  tensor::Tensor images;
+  std::vector<int> labels;
+  [[nodiscard]] int size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/// Minibatch iterator over a Dataset with optional shuffling.
+///
+/// Usage:
+///   DataLoader loader(ds, 32);
+///   loader.start_epoch(rng);           // reshuffles
+///   while (auto b = loader.next()) { ... }
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, int batch_size, bool shuffle = true,
+             bool augment = false);
+
+  /// Resets the cursor; reshuffles when shuffling is enabled.
+  void start_epoch(util::Rng& rng);
+
+  /// Returns the next batch, or an empty batch (size 0) at epoch end.
+  /// With augmentation enabled, each image is horizontally mirrored with
+  /// probability 1/2 (the classic CIFAR augmentation; labels unchanged).
+  [[nodiscard]] Batch next();
+
+  [[nodiscard]] int batches_per_epoch() const;
+  [[nodiscard]] int batch_size() const { return batch_size_; }
+
+ private:
+  const Dataset* dataset_;
+  int batch_size_;
+  bool shuffle_;
+  bool augment_;
+  std::vector<int> order_;
+  std::size_t cursor_ = 0;
+  util::Rng augment_rng_{0};
+};
+
+}  // namespace lcda::data

@@ -1,0 +1,70 @@
+#include "lcda/data/loader.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace lcda::data {
+
+DataLoader::DataLoader(const Dataset& dataset, int batch_size, bool shuffle,
+                       bool augment)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      augment_(augment) {
+  if (batch_size <= 0) throw std::invalid_argument("DataLoader: batch_size <= 0");
+  if (dataset.size() == 0) throw std::invalid_argument("DataLoader: empty dataset");
+  order_.resize(static_cast<std::size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+void DataLoader::start_epoch(util::Rng& rng) {
+  cursor_ = 0;
+  if (shuffle_) rng.shuffle(order_);
+  if (augment_) augment_rng_ = rng.fork();
+}
+
+namespace {
+void mirror_horizontal(float* img, int channels, int h, int w) {
+  for (int c = 0; c < channels; ++c) {
+    float* plane = img + static_cast<std::size_t>(c) * h * w;
+    for (int y = 0; y < h; ++y) {
+      float* row = plane + static_cast<std::size_t>(y) * w;
+      for (int x = 0; x < w / 2; ++x) {
+        std::swap(row[x], row[w - 1 - x]);
+      }
+    }
+  }
+}
+}  // namespace
+
+Batch DataLoader::next() {
+  Batch batch;
+  const auto total = order_.size();
+  if (cursor_ >= total) return batch;
+  const std::size_t count = std::min<std::size_t>(batch_size_, total - cursor_);
+
+  const auto& shape = dataset_->images.shape();
+  const int c = shape[1], h = shape[2], w = shape[3];
+  const std::size_t img_elems = static_cast<std::size_t>(c) * h * w;
+
+  batch.images = tensor::Tensor({static_cast<int>(count), c, h, w});
+  batch.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int src = order_[cursor_ + i];
+    const float* from = dataset_->images.raw() + src * img_elems;
+    float* to = batch.images.raw() + i * img_elems;
+    std::copy(from, from + img_elems, to);
+    if (augment_ && augment_rng_.chance(0.5)) {
+      mirror_horizontal(to, c, h, w);
+    }
+    batch.labels[i] = dataset_->labels[static_cast<std::size_t>(src)];
+  }
+  cursor_ += count;
+  return batch;
+}
+
+int DataLoader::batches_per_epoch() const {
+  return static_cast<int>((order_.size() + batch_size_ - 1) / batch_size_);
+}
+
+}  // namespace lcda::data

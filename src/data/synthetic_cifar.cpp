@@ -1,0 +1,114 @@
+#include "lcda/data/synthetic_cifar.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace lcda::data {
+
+namespace {
+
+/// Per-class texture definition: three sinusoidal gratings per channel plus
+/// a color offset. Everything is drawn once from the seeded RNG so the class
+/// structure is stable across train and test splits.
+struct ClassProto {
+  struct Grating {
+    double fx, fy, phase, amp;
+  };
+  std::array<std::vector<Grating>, 3> gratings;  // per channel
+  std::array<double, 3> color;
+};
+
+std::vector<ClassProto> make_protos(int num_classes, util::Rng& rng) {
+  std::vector<ClassProto> protos;
+  protos.reserve(static_cast<std::size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) {
+    ClassProto p;
+    for (int c = 0; c < 3; ++c) {
+      const int n_gratings = 2 + static_cast<int>(rng.uniform_int(0, 1));
+      for (int gi = 0; gi < n_gratings; ++gi) {
+        ClassProto::Grating g;
+        g.fx = rng.uniform(0.5, 4.0);
+        g.fy = rng.uniform(0.5, 4.0);
+        g.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        g.amp = rng.uniform(0.25, 0.6);
+        p.gratings[static_cast<std::size_t>(c)].push_back(g);
+      }
+      p.color[static_cast<std::size_t>(c)] = rng.uniform(-0.4, 0.4);
+    }
+    protos.push_back(std::move(p));
+  }
+  return protos;
+}
+
+void render_sample(const ClassProto& proto, int size, double noise, int max_shift,
+                   util::Rng& rng, float* out) {
+  const double amp_jitter = rng.uniform(0.8, 1.2);
+  const int sx = static_cast<int>(rng.uniform_int(-max_shift, max_shift));
+  const int sy = static_cast<int>(rng.uniform_int(-max_shift, max_shift));
+  const double inv = 2.0 * std::numbers::pi / size;
+  for (int c = 0; c < 3; ++c) {
+    float* plane = out + static_cast<std::size_t>(c) * size * size;
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        // Toroidal shift keeps energy constant across samples.
+        const int yy = (y + sy + size) % size;
+        const int xx = (x + sx + size) % size;
+        double v = proto.color[static_cast<std::size_t>(c)];
+        for (const auto& g : proto.gratings[static_cast<std::size_t>(c)]) {
+          v += amp_jitter * g.amp *
+               std::sin(g.fx * xx * inv + g.fy * yy * inv + g.phase);
+        }
+        v += rng.normal(0.0, noise);
+        plane[static_cast<std::size_t>(y) * size + x] =
+            static_cast<float>(std::clamp(v, -1.5, 1.5));
+      }
+    }
+  }
+}
+
+Dataset make_split(const std::vector<ClassProto>& protos, int per_class, int size,
+                   double noise, int max_shift, util::Rng& rng) {
+  const int num_classes = static_cast<int>(protos.size());
+  const int n = per_class * num_classes;
+  Dataset ds;
+  ds.images = tensor::Tensor({n, 3, size, size});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  const std::size_t img_elems = static_cast<std::size_t>(3) * size * size;
+  // Interleave classes so any prefix of the split is roughly balanced.
+  int idx = 0;
+  for (int rep = 0; rep < per_class; ++rep) {
+    for (int k = 0; k < num_classes; ++k) {
+      render_sample(protos[static_cast<std::size_t>(k)], size, noise, max_shift,
+                    rng, ds.images.raw() + idx * img_elems);
+      ds.labels[static_cast<std::size_t>(idx)] = k;
+      ++idx;
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+TrainTest make_synthetic_cifar(const SyntheticCifarOptions& opts) {
+  if (opts.num_classes < 2) {
+    throw std::invalid_argument("make_synthetic_cifar: need >= 2 classes");
+  }
+  if (opts.image_size < 8) {
+    throw std::invalid_argument("make_synthetic_cifar: image_size too small");
+  }
+  util::Rng rng(opts.seed);
+  const auto protos = make_protos(opts.num_classes, rng);
+  util::Rng train_rng = rng.fork();
+  util::Rng test_rng = rng.fork();
+  TrainTest tt;
+  tt.train = make_split(protos, opts.train_per_class, opts.image_size, opts.noise,
+                        opts.max_shift, train_rng);
+  tt.test = make_split(protos, opts.test_per_class, opts.image_size, opts.noise,
+                       opts.max_shift, test_rng);
+  return tt;
+}
+
+}  // namespace lcda::data

@@ -1,0 +1,48 @@
+#include "lcda/llm/explain.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lcda::llm {
+
+Explainer::Explainer(std::shared_ptr<LlmClient> client)
+    : client_(std::move(client)) {
+  if (!client_) throw std::invalid_argument("Explainer: null client");
+}
+
+ChatRequest Explainer::build_request(const HistoryEntry& previous,
+                                     const HistoryEntry& proposed,
+                                     Objective objective) {
+  ChatRequest req;
+  ChatMessage system;
+  system.role = ChatMessage::Role::kSystem;
+  system.content =
+      "You are an expert in the field of neural architecture search.";
+  req.messages.push_back(std::move(system));
+
+  std::ostringstream os;
+  os << "We are performing SW-HW co-design of a DNN and a compute-in-memory "
+        "accelerator; the hardware metric is "
+     << (objective == Objective::kEnergy ? "energy consumption"
+                                         : "inference latency")
+     << ".\n";
+  os << "Previous design:\n" << PromptBuilder::history_line(previous) << "\n";
+  os << "Proposed design:\n" << PromptBuilder::history_line(proposed) << "\n";
+  os << kExplainMarker
+     << " from the previous design to the proposed design, referring to the "
+        "specific parameters you changed.";
+
+  ChatMessage user;
+  user.role = ChatMessage::Role::kUser;
+  user.content = os.str();
+  req.messages.push_back(std::move(user));
+  return req;
+}
+
+std::string Explainer::explain(const HistoryEntry& previous,
+                               const HistoryEntry& proposed,
+                               Objective objective) {
+  return client_->complete(build_request(previous, proposed, objective)).content;
+}
+
+}  // namespace lcda::llm

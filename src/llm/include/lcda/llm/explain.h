@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lcda/llm/client.h"
+#include "lcda/llm/prompt.h"
+
+namespace lcda::llm {
+
+/// Explainable NAS (paper Sec. V, first future-work direction): "The
+/// changes in design parameters between consecutive episodes are
+/// human-readable, allowing users to request explanations by sending
+/// prompts to LLMs."
+///
+/// Explainer builds such a prompt — the previous design, the newly proposed
+/// design, their rewards and the objective — and returns the LLM's
+/// free-text rationale. SimulatedGpt4 answers these prompts by diffing the
+/// two designs it reads out of the prompt and narrating the heuristic
+/// behind each change, so the explanation honestly reflects what the
+/// optimizer can see.
+class Explainer {
+ public:
+  explicit Explainer(std::shared_ptr<LlmClient> client);
+
+  /// Builds the explanation prompt (exposed for tests / transcripts).
+  [[nodiscard]] static ChatRequest build_request(const HistoryEntry& previous,
+                                                 const HistoryEntry& proposed,
+                                                 Objective objective);
+
+  /// Asks the LLM why it moved from `previous` to `proposed`.
+  [[nodiscard]] std::string explain(const HistoryEntry& previous,
+                                    const HistoryEntry& proposed,
+                                    Objective objective);
+
+ private:
+  std::shared_ptr<LlmClient> client_;
+};
+
+/// Marker phrase the explanation prompt carries; prompt-driven simulators
+/// dispatch on it.
+inline constexpr std::string_view kExplainMarker =
+    "Please explain the reasoning behind the change";
+
+}  // namespace lcda::llm

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lcda/search/design.h"
+#include "lcda/search/space.h"
+
+namespace lcda::llm {
+
+/// Outcome of parsing one LLM response into a Design.
+struct ParseResult {
+  bool ok = false;
+  search::Design design;
+  std::string error;
+
+  /// Number of values that had to be snapped to the nearest legal choice
+  /// (0 when the response was exactly in-space).
+  int repairs = 0;
+};
+
+/// Parses the design generator's input: the LLM's free-text answer
+/// (paper Sec. III-B, following GENIUS' output handling).
+///
+/// Tolerates chatter around the payload. Recognizes:
+///  * the rollout as the first `conv_layers` bracketed integer pairs
+///    ("[[32,3],[32,3],...]" in any spacing);
+///  * the hardware as "hardware=[DEV,b,adc,xbar,mux]" (device by name,
+///    case-insensitive) — optional; defaults are used when missing;
+///  * out-of-space values, which are snapped to the nearest legal choice
+///    and counted in `repairs`.
+/// Fails (ok=false) when fewer than `conv_layers` pairs can be recovered.
+[[nodiscard]] ParseResult parse_design_response(std::string_view text,
+                                                const search::SearchSpace& space);
+
+}  // namespace lcda::llm

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lcda/llm/prompt.h"
+#include "lcda/search/design.h"
+#include "lcda/search/space.h"
+
+namespace lcda::llm {
+
+/// Everything a prompt-driven model can recover from the Algorithm-1 prompt
+/// text. SimulatedGpt4 *only* sees the prompt — exactly like the real GPT-4
+/// — so all task knowledge must round-trip through this reader. That keeps
+/// the prompt format honest: if PromptBuilder stopped emitting something,
+/// the simulated optimizer would genuinely lose that information.
+struct PromptFacts {
+  /// True when the prompt frames the task as NAS / SW-HW co-design (the
+  /// LCDA-naive ablation strips this framing).
+  bool codesign_context = false;
+
+  /// Which hardware metric the prompt names (energy when unspecified).
+  Objective objective = Objective::kEnergy;
+
+  /// Channel / kernel choices recovered from the choices line.
+  std::vector<int> channel_choices;
+  std::vector<int> kernel_choices;
+
+  /// Hardware knob choices recovered from the choices line.
+  std::vector<cim::DeviceType> device_choices;
+  std::vector<int> bits_per_cell_choices;
+  std::vector<int> adc_bits_choices;
+  std::vector<int> xbar_choices;
+  std::vector<int> mux_choices;
+
+  /// Conv layer count implied by the response-format sentence (default 6).
+  int conv_layers = 6;
+
+  /// The (design, performance) history, oldest first.
+  std::vector<HistoryEntry> history;
+};
+
+/// Parses a full prompt (system + user text). Never throws; missing pieces
+/// are left at defaults.
+[[nodiscard]] PromptFacts read_prompt(std::string_view prompt_text);
+
+}  // namespace lcda::llm

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "lcda/llm/client.h"
+
+namespace lcda::llm {
+
+/// Test double: replays a fixed sequence of responses and records every
+/// request it received.
+class ScriptedLlm final : public LlmClient {
+ public:
+  explicit ScriptedLlm(std::vector<std::string> responses);
+
+  /// Returns the next scripted response; when the script is exhausted the
+  /// last response is repeated (an empty script yields empty responses).
+  [[nodiscard]] ChatResponse complete(const ChatRequest& request) override;
+  [[nodiscard]] std::string name() const override { return "Scripted"; }
+
+  [[nodiscard]] const std::vector<ChatRequest>& requests() const {
+    return requests_;
+  }
+  [[nodiscard]] std::size_t calls() const { return requests_.size(); }
+
+ private:
+  std::vector<std::string> responses_;
+  std::size_t cursor_ = 0;
+  std::vector<ChatRequest> requests_;
+};
+
+}  // namespace lcda::llm

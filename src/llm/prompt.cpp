@@ -1,0 +1,121 @@
+#include "lcda/llm/prompt.h"
+
+#include <sstream>
+
+namespace lcda::llm {
+
+std::string ChatRequest::full_text() const {
+  std::string out;
+  for (const auto& m : messages) {
+    out += m.content;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string_view objective_name(Objective o) {
+  switch (o) {
+    case Objective::kEnergy: return "energy";
+    case Objective::kLatency: return "latency";
+  }
+  return "?";
+}
+
+PromptBuilder::PromptBuilder(search::SearchSpace space, Options opts)
+    : space_(std::move(space)), opts_(opts) {}
+
+std::string PromptBuilder::hardware_text(const cim::HardwareConfig& hw) {
+  std::ostringstream os;
+  os << '[' << cim::device_name(hw.device) << ',' << hw.bits_per_cell << ','
+     << hw.adc_bits << ',' << hw.xbar_size << ',' << hw.col_mux << ']';
+  return os.str();
+}
+
+std::string PromptBuilder::history_line(const HistoryEntry& entry) {
+  std::ostringstream os;
+  os << "rollout=" << entry.design.rollout_text()
+     << " hardware=" << hardware_text(entry.design.hw)
+     << " performance=" << entry.performance;
+  return os.str();
+}
+
+ChatRequest PromptBuilder::build(const std::vector<HistoryEntry>& history) const {
+  ChatRequest req;
+
+  // prompt_s of Algorithm 1.
+  ChatMessage system;
+  system.role = ChatMessage::Role::kSystem;
+  system.content = opts_.codesign_context
+                       ? "You are an expert in the field of neural architecture "
+                         "search."
+                       : "You are a helpful assistant.";
+  req.messages.push_back(std::move(system));
+
+  // prompt_u of Algorithm 1.
+  std::ostringstream os;
+  if (opts_.codesign_context) {
+    os << "Your task is to assist me in selecting the best rollout numbers "
+          "for a given model architecture. The model will be trained and "
+          "tested on CIFAR10, and your objective will be to maximize the "
+          "model's performance on CIFAR10.\n";
+    os << "The model architecture will be defined as the following.\n"
+       << space_.model_text() << "\n";
+    os << "For the 'rollout' variable to design the model, the available "
+          "number for each index would be: "
+       << space_.choices_text() << "\n";
+    os << "Your objective is to define the optimal number of rollouts for "
+          "each layer based on the given options above to maximize the "
+          "model's performance on CIFAR10.\n";
+    os << "The model's performance is a combination of hardware performance "
+          "and model accuracy. The hardware metric for this study is ";
+    os << (opts_.objective == Objective::kEnergy
+               ? "the energy consumption during inference on a "
+                 "compute-in-memory DNN accelerator"
+               : "the inference latency on a compute-in-memory DNN "
+                 "accelerator");
+    os << ". If the hardware is invalid (e.g., too large in area), the "
+          "performance I give you will be -1. After you give me a rollout "
+          "list, I will give you the model's performance I calculated.\n";
+    os << "Your response should be the rollout list consisting of 6 number "
+          "pairs (e.g. [[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]) "
+          "followed on the next line by the hardware configuration "
+          "hardware=[device,bits_per_cell,adc_bits,xbar_size,col_mux] "
+          "(e.g. hardware=[RRAM,2,6,128,8]).\n";
+  } else {
+    // LCDA-naive: same decision problem with all domain context removed.
+    os << "I am running a black-box optimization. Select one list of 6 "
+          "number pairs and one list of settings to maximize a score I will "
+          "compute.\n";
+    os << "The available numbers for each pair are: " << space_.choices_text()
+       << "\n";
+    os << "If the settings are invalid the score will be -1. After you give "
+          "me a list, I will tell you the score.\n";
+    os << "Your response should be the list of 6 number pairs (e.g. "
+          "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]) followed on the "
+          "next line by hardware=[device,bits_per_cell,adc_bits,xbar_size,"
+          "col_mux] (e.g. hardware=[RRAM,2,6,128,8]).\n";
+  }
+
+  if (!history.empty()) {
+    os << "Here are some experimental results that you can use as a "
+          "reference:\n";
+    const std::size_t start =
+        history.size() > opts_.max_history ? history.size() - opts_.max_history : 0;
+    for (std::size_t i = start; i < history.size(); ++i) {
+      os << history_line(history[i]) << "\n";
+    }
+  }
+
+  os << "Please suggest a rollout list that can improve the model's "
+        "performance beyond the experimental results provided above. Please "
+        "do not include anything else other than the rollout list and the "
+        "hardware configuration in your response.";
+
+  ChatMessage user;
+  user.role = ChatMessage::Role::kUser;
+  user.content = os.str();
+  req.messages.push_back(std::move(user));
+  return req;
+}
+
+}  // namespace lcda::llm

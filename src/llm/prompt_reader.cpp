@@ -1,0 +1,134 @@
+#include "lcda/llm/prompt_reader.h"
+
+#include "lcda/util/strings.h"
+
+namespace lcda::llm {
+
+namespace {
+
+/// Extracts the integer list between the first '{' after `key` and the
+/// matching '}'.
+std::vector<int> braced_ints_after(std::string_view text, std::string_view key) {
+  std::vector<int> out;
+  const std::string lower = util::to_lower(text);
+  const std::string lkey = util::to_lower(key);
+  const std::size_t pos = lower.find(lkey);
+  if (pos == std::string::npos) return out;
+  const std::size_t open = text.find('{', pos);
+  if (open == std::string::npos) return out;
+  const std::size_t close = text.find('}', open);
+  if (close == std::string::npos) return out;
+  for (long long v : util::extract_ints(text.substr(open + 1, close - open - 1))) {
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+std::vector<cim::DeviceType> devices_after(std::string_view text,
+                                           std::string_view key) {
+  std::vector<cim::DeviceType> out;
+  const std::string lower = util::to_lower(text);
+  const std::size_t pos = lower.find(util::to_lower(key));
+  if (pos == std::string::npos) return out;
+  const std::size_t open = lower.find('{', pos);
+  const std::size_t close = open == std::string::npos ? std::string::npos
+                                                      : lower.find('}', open);
+  if (close == std::string::npos) return out;
+  const std::string_view body =
+      std::string_view(lower).substr(open + 1, close - open - 1);
+  if (body.find("rram") != std::string_view::npos) {
+    out.push_back(cim::DeviceType::kRram);
+  }
+  if (body.find("fefet") != std::string_view::npos) {
+    out.push_back(cim::DeviceType::kFefet);
+  }
+  if (body.find("sram") != std::string_view::npos) {
+    out.push_back(cim::DeviceType::kSram);
+  }
+  return out;
+}
+
+/// Parses one "rollout=... hardware=... performance=..." history line.
+bool parse_history_line(std::string_view line, HistoryEntry& out) {
+  const std::size_t rpos = line.find("rollout=");
+  const std::size_t ppos = line.find("performance=");
+  if (rpos == std::string_view::npos || ppos == std::string_view::npos) {
+    return false;
+  }
+  // Rollout pairs between "rollout=" and "hardware=" (or "performance=").
+  const std::size_t hpos = line.find("hardware=");
+  const std::size_t rollout_end = hpos != std::string_view::npos ? hpos : ppos;
+  const auto ints =
+      util::extract_ints(line.substr(rpos + 8, rollout_end - (rpos + 8)));
+  if (ints.size() < 2 || ints.size() % 2 != 0) return false;
+  out.design.rollout.clear();
+  for (std::size_t i = 0; i + 1 < ints.size(); i += 2) {
+    nn::ConvSpec spec;
+    spec.channels = static_cast<int>(ints[i]);
+    spec.kernel = static_cast<int>(ints[i + 1]);
+    out.design.rollout.push_back(spec);
+  }
+  if (hpos != std::string_view::npos) {
+    const std::string_view hw_part = line.substr(hpos, ppos - hpos);
+    if (util::contains_icase(hw_part, "fefet")) {
+      out.design.hw.device = cim::DeviceType::kFefet;
+    } else if (util::contains_icase(hw_part, "sram")) {
+      out.design.hw.device = cim::DeviceType::kSram;
+    } else {
+      out.design.hw.device = cim::DeviceType::kRram;
+    }
+    const auto hw_ints = util::extract_ints(hw_part);
+    if (hw_ints.size() >= 4) {
+      out.design.hw.bits_per_cell = static_cast<int>(hw_ints[0]);
+      out.design.hw.adc_bits = static_cast<int>(hw_ints[1]);
+      out.design.hw.xbar_size = static_cast<int>(hw_ints[2]);
+      out.design.hw.col_mux = static_cast<int>(hw_ints[3]);
+    }
+  }
+  const auto perf = util::parse_double(util::trim(line.substr(ppos + 12)));
+  if (!perf) return false;
+  out.performance = *perf;
+  return true;
+}
+
+}  // namespace
+
+PromptFacts read_prompt(std::string_view text) {
+  PromptFacts facts;
+
+  facts.codesign_context =
+      util::contains_icase(text, "neural architecture search") ||
+      util::contains_icase(text, "model architecture");
+  if (util::contains_icase(text, "inference latency")) {
+    facts.objective = Objective::kLatency;
+  } else {
+    facts.objective = Objective::kEnergy;
+  }
+
+  facts.channel_choices = braced_ints_after(text, "channels per layer:");
+  facts.kernel_choices = braced_ints_after(text, "kernel sizes:");
+  facts.device_choices = devices_after(text, "device in");
+  facts.bits_per_cell_choices = braced_ints_after(text, "bits_per_cell in");
+  facts.adc_bits_choices = braced_ints_after(text, "adc_bits in");
+  facts.xbar_choices = braced_ints_after(text, "xbar_size in");
+  facts.mux_choices = braced_ints_after(text, "col_mux in");
+
+  // "...rollout list consisting of N number pairs"
+  const std::size_t npos_marker = text.find("consisting of ");
+  if (npos_marker != std::string_view::npos) {
+    const auto ints = util::extract_ints(
+        text.substr(npos_marker, text.find("number pairs", npos_marker) -
+                                     npos_marker));
+    if (!ints.empty() && ints[0] > 0 && ints[0] <= 32) {
+      facts.conv_layers = static_cast<int>(ints[0]);
+    }
+  }
+
+  for (const std::string& line : util::split(text, '\n')) {
+    HistoryEntry entry;
+    if (parse_history_line(line, entry)) facts.history.push_back(std::move(entry));
+  }
+  return facts;
+}
+
+}  // namespace lcda::llm

@@ -1,0 +1,17 @@
+#include "lcda/llm/scripted_llm.h"
+
+namespace lcda::llm {
+
+ScriptedLlm::ScriptedLlm(std::vector<std::string> responses)
+    : responses_(std::move(responses)) {}
+
+ChatResponse ScriptedLlm::complete(const ChatRequest& request) {
+  requests_.push_back(request);
+  ChatResponse resp;
+  if (responses_.empty()) return resp;
+  resp.content = responses_[std::min(cursor_, responses_.size() - 1)];
+  if (cursor_ < responses_.size()) ++cursor_;
+  return resp;
+}
+
+}  // namespace lcda::llm

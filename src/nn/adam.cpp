@@ -1,0 +1,50 @@
+#include "lcda/nn/adam.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcda::nn {
+
+Adam::Adam(std::vector<Param*> params, Options opts)
+    : params_(std::move(params)), opts_(opts) {
+  if (opts_.lr <= 0.0) throw std::invalid_argument("Adam: lr must be positive");
+  if (opts_.beta1 < 0.0 || opts_.beta1 >= 1.0 || opts_.beta2 < 0.0 ||
+      opts_.beta2 >= 1.0) {
+    throw std::invalid_argument("Adam: betas must be in [0,1)");
+  }
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(Tensor::zeros(p->value.shape()));
+    v_.emplace_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(t_));
+  const auto b1 = static_cast<float>(opts_.beta1);
+  const auto b2 = static_cast<float>(opts_.beta2);
+  const auto eps = static_cast<float>(opts_.epsilon);
+  const auto lr = static_cast<float>(opts_.lr);
+  const auto wd = static_cast<float>(opts_.weight_decay);
+
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param& p = *params_[pi];
+    auto w = p.value.data();
+    auto g = p.grad.data();
+    auto m = m_[pi].data();
+    auto v = v_[pi].data();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+      v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+      const float mhat = m[i] / static_cast<float>(bc1);
+      const float vhat = v[i] / static_cast<float>(bc2);
+      // Decoupled weight decay (AdamW): applied directly to the weight.
+      w[i] -= lr * (mhat / (std::sqrt(vhat) + eps) + wd * w[i]);
+    }
+  }
+}
+
+}  // namespace lcda::nn

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "lcda/nn/layers.h"
+
+namespace lcda::nn {
+
+/// Adam optimizer (Kingma & Ba 2015) with bias correction and decoupled
+/// weight decay (AdamW-style). Provided alongside Sgd because noise-
+/// injection training of narrow candidate networks is sometimes unstable
+/// under plain momentum SGD; Adam's per-parameter scaling helps small
+/// evaluator budgets converge.
+class Adam {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  explicit Adam(std::vector<Param*> params) : Adam(std::move(params), Options{}) {}
+  Adam(std::vector<Param*> params, Options opts);
+
+  /// Applies one update using each Param's current grad.
+  void step();
+
+  void set_lr(double lr) { opts_.lr = lr; }
+  [[nodiscard]] double lr() const { return opts_.lr; }
+  [[nodiscard]] long long steps() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  Options opts_;
+  long long t_ = 0;
+};
+
+}  // namespace lcda::nn

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "lcda/nn/layers.h"
+
+namespace lcda::nn {
+
+/// Symmetric per-tensor fixed-point quantization.
+///
+/// The CiM hardware stores weights as `weight_bits`-bit fixed point split
+/// across NVM cells (cim::HardwareConfig); the faithful evaluation pipeline
+/// therefore quantizes trained weights before programming/Monte-Carlo
+/// evaluation. Quantization is symmetric around zero with a per-tensor
+/// scale = max|w| / (2^(bits-1) - 1).
+struct QuantSpec {
+  int bits = 8;
+
+  [[nodiscard]] int levels() const { return (1 << (bits - 1)) - 1; }
+};
+
+/// Quantizes a span in place; returns the scale used (0 for all-zero input).
+float quantize_span(std::span<float> values, const QuantSpec& spec);
+
+/// Quantizes every parameter tensor of a network in place. Returns the
+/// per-tensor scales (same order as `params`).
+std::vector<float> quantize_params(std::vector<Param*>& params,
+                                   const QuantSpec& spec);
+
+/// Largest absolute round-off introduced by quantizing with `spec` for a
+/// tensor whose range is `max_abs` (half an LSB).
+[[nodiscard]] float max_quant_error(float max_abs, const QuantSpec& spec);
+
+/// Mean squared quantization error actually incurred on `values` had they
+/// been quantized (does not modify the input) — used by tests and the
+/// accuracy analysis.
+[[nodiscard]] double quant_mse(std::span<const float> values, const QuantSpec& spec);
+
+}  // namespace lcda::nn

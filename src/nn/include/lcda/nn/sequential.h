@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lcda/nn/layers.h"
+
+namespace lcda::nn {
+
+/// Feed-forward stack of layers with a softmax-cross-entropy head.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Runs all layers; returns the logits of the last layer.
+  const Tensor& forward(const Tensor& x);
+
+  /// Backpropagates from the loss gradient at the logits.
+  void backward(const Tensor& dlogits);
+
+  /// Forward + softmax + cross-entropy + backward in one call.
+  /// Returns the mean loss over the batch.
+  double train_step_loss(const Tensor& x, std::span<const int> labels);
+
+  /// Forward + argmax; returns predicted class per sample.
+  std::vector<int> predict(const Tensor& x);
+
+  /// Fraction of samples classified correctly.
+  double accuracy(const Tensor& x, std::span<const int> labels);
+
+  /// All learnable parameters across layers.
+  std::vector<Param*> params();
+
+  /// Propagates the training/inference mode to every layer.
+  void set_training(bool training);
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Total MACs per sample (conv + dense).
+  [[nodiscard]] long long macs_per_sample() const;
+
+  /// Total parameter count.
+  [[nodiscard]] std::size_t param_count();
+
+  /// Multi-line architecture summary.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  Tensor probs_;
+  Tensor dlogits_;
+};
+
+}  // namespace lcda::nn

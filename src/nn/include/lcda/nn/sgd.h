@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "lcda/nn/layers.h"
+
+namespace lcda::nn {
+
+/// SGD with classical momentum and decoupled weight decay.
+class Sgd {
+ public:
+  struct Options {
+    double lr = 0.05;
+    double momentum = 0.9;
+    double weight_decay = 1e-4;
+  };
+
+  Sgd(std::vector<Param*> params, Options opts);
+
+  /// Applies one update using each Param's current grad.
+  void step();
+
+  /// Scales the learning rate (for simple schedules).
+  void set_lr(double lr) { opts_.lr = lr; }
+  [[nodiscard]] double lr() const { return opts_.lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  Options opts_;
+};
+
+}  // namespace lcda::nn

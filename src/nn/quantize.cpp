@@ -1,0 +1,62 @@
+#include "lcda/nn/quantize.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcda::nn {
+
+namespace {
+void check(const QuantSpec& spec) {
+  if (spec.bits < 2 || spec.bits > 16) {
+    throw std::invalid_argument("QuantSpec: bits must be in [2,16]");
+  }
+}
+
+float span_max_abs(std::span<const float> values) {
+  float m = 0.0f;
+  for (float v : values) m = std::max(m, std::abs(v));
+  return m;
+}
+}  // namespace
+
+float quantize_span(std::span<float> values, const QuantSpec& spec) {
+  check(spec);
+  const float max_abs = span_max_abs(values);
+  if (max_abs == 0.0f) return 0.0f;
+  const float scale = max_abs / static_cast<float>(spec.levels());
+  for (float& v : values) {
+    v = std::round(v / scale) * scale;
+  }
+  return scale;
+}
+
+std::vector<float> quantize_params(std::vector<Param*>& params,
+                                   const QuantSpec& spec) {
+  std::vector<float> scales;
+  scales.reserve(params.size());
+  for (Param* p : params) {
+    scales.push_back(quantize_span(p->value.data(), spec));
+  }
+  return scales;
+}
+
+float max_quant_error(float max_abs, const QuantSpec& spec) {
+  check(spec);
+  if (max_abs <= 0.0f) return 0.0f;
+  return 0.5f * max_abs / static_cast<float>(spec.levels());
+}
+
+double quant_mse(std::span<const float> values, const QuantSpec& spec) {
+  check(spec);
+  const float max_abs = span_max_abs(values);
+  if (max_abs == 0.0f || values.empty()) return 0.0;
+  const float scale = max_abs / static_cast<float>(spec.levels());
+  double mse = 0.0;
+  for (float v : values) {
+    const float q = std::round(v / scale) * scale;
+    mse += static_cast<double>(q - v) * (q - v);
+  }
+  return mse / static_cast<double>(values.size());
+}
+
+}  // namespace lcda::nn

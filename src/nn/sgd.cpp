@@ -1,0 +1,29 @@
+#include "lcda/nn/sgd.h"
+
+namespace lcda::nn {
+
+Sgd::Sgd(std::vector<Param*> params, Options opts)
+    : params_(std::move(params)), opts_(opts) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(Tensor::zeros(p->value.shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param& p = *params_[pi];
+    Tensor& v = velocity_[pi];
+    auto w = p.value.data();
+    auto g = p.grad.data();
+    auto vel = v.data();
+    const auto lr = static_cast<float>(opts_.lr);
+    const auto mu = static_cast<float>(opts_.momentum);
+    const auto wd = static_cast<float>(opts_.weight_decay);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float grad = g[i] + wd * w[i];
+      vel[i] = mu * vel[i] - lr * grad;
+      w[i] += vel[i];
+    }
+  }
+}
+
+}  // namespace lcda::nn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+
+#include "lcda/data/synthetic_cifar.h"
+#include "lcda/nn/sequential.h"
+#include "lcda/noise/variation.h"
+#include "lcda/util/rng.h"
+#include "lcda/util/stats.h"
+
+namespace lcda::noise {
+
+/// Result of a Monte-Carlo robustness evaluation (paper Sec. III-C, [16]).
+struct MonteCarloResult {
+  util::OnlineStats stats;
+  [[nodiscard]] double mean() const { return stats.mean(); }
+  [[nodiscard]] double stddev() const { return stats.stddev(); }
+  [[nodiscard]] double worst() const { return stats.min(); }
+  [[nodiscard]] double best() const { return stats.max(); }
+  [[nodiscard]] std::size_t samples() const { return stats.count(); }
+};
+
+/// Generic Monte-Carlo driver: draws `samples` evaluations of `sample_fn`,
+/// each receiving a forked RNG so sample count does not perturb other
+/// consumers of the parent stream.
+[[nodiscard]] MonteCarloResult monte_carlo(
+    const std::function<double(util::Rng&)>& sample_fn, int samples,
+    util::Rng& rng);
+
+/// Monte-Carlo accuracy of a trained network under device variation: each
+/// sample programs one "chip instance" (fresh weight perturbation draw) and
+/// measures test accuracy; weights are restored between samples.
+[[nodiscard]] MonteCarloResult mc_noisy_accuracy(nn::Sequential& net,
+                                                 const data::Dataset& test,
+                                                 const VariationModel& variation,
+                                                 int samples, util::Rng& rng);
+
+}  // namespace lcda::noise

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lcda/cim/config.h"
+#include "lcda/nn/layers.h"
+#include "lcda/nn/trainer.h"
+#include "lcda/util/rng.h"
+
+namespace lcda::noise {
+
+/// NVM conductance-variation model (paper Sec. II-B, refs [13], [16]).
+///
+/// When a DNN weight is programmed into NVM cells, the realized conductance
+/// deviates from the target; we model the composed per-weight error as
+/// additive Gaussian noise relative to the layer's weight range:
+///     w' = w + sigma * range(layer) * N(0, 1)
+/// with sigma the effective per-weight relative error of the hardware
+/// (device programming + temporal variation across the cells of one weight,
+/// see cim::effective_weight_sigma). Errors are independent across devices,
+/// matching the paper's "non-idealities ... uncorrelated amongst the NVM
+/// devices" assumption.
+class VariationModel {
+ public:
+  /// Directly from an effective weight sigma.
+  explicit VariationModel(double weight_sigma);
+
+  /// From a hardware configuration (derives the sigma from its device model
+  /// and cell split).
+  explicit VariationModel(const cim::HardwareConfig& hw);
+
+  [[nodiscard]] double weight_sigma() const { return sigma_; }
+
+  /// Perturbs a flat weight span in place; `range` is the representable
+  /// weight magnitude of that tensor (per-tensor quantization range).
+  void perturb_span(std::span<float> weights, float range, util::Rng& rng) const;
+
+  /// Perturbs every parameter of a network in place (bias tensors included —
+  /// they live in the same arrays). Range is taken per-tensor as max|w|.
+  void perturb_params(std::vector<nn::Param*>& params, util::Rng& rng) const;
+
+  /// Adapter usable as nn::WeightPerturber for noise-injection training.
+  [[nodiscard]] nn::WeightPerturber as_perturber() const;
+
+ private:
+  double sigma_;
+};
+
+}  // namespace lcda::noise

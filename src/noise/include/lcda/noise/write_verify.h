@@ -1,0 +1,71 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lcda/cim/device.h"
+#include "lcda/nn/trainer.h"
+#include "lcda/noise/variation.h"
+
+namespace lcda::noise {
+
+/// Selective write-verify (SWIM, paper ref [5]: Yan, Hu, Shi, DAC'22).
+///
+/// Programming an NVM cell with write-verify — iteratively write, read
+/// back, correct — shrinks its conductance error by an order of magnitude
+/// but costs many write pulses. Verifying *every* device is prohibitively
+/// slow; SWIM's observation is that verifying only the most sensitive
+/// fraction of the weights captures most of the accuracy benefit.
+///
+/// This module implements that scheme on top of VariationModel:
+///  * pick the `fraction` most sensitive weights per tensor (sensitivity =
+///    |w|, the first-order proxy: large weights move outputs most);
+///  * verified weights are programmed at `verified_sigma_scale` * sigma,
+///    the rest at the raw device sigma;
+///  * programming_cost() accounts the extra write pulses.
+class SelectiveWriteVerify {
+ public:
+  struct Options {
+    /// Fraction of weights (per tensor) that get write-verified, in [0,1].
+    double fraction = 0.1;
+    /// Residual error of a verified cell relative to the raw sigma.
+    double verified_sigma_scale = 0.1;
+    /// Mean write pulses needed per verified device (iterative correction).
+    double pulses_per_verified_device = 8.0;
+  };
+
+  SelectiveWriteVerify(VariationModel variation, Options opts);
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Perturbs parameters like VariationModel::perturb_params, but with the
+  /// per-tensor top-`fraction` weights (by |w|) drawn at the verified
+  /// (reduced) sigma.
+  void perturb_params(std::vector<nn::Param*>& params, util::Rng& rng) const;
+
+  /// Adapter for noise-injection training / Monte-Carlo evaluation.
+  [[nodiscard]] nn::WeightPerturber as_perturber() const;
+
+  /// Programming cost of one chip write for `total_weights` weights stored
+  /// on `cells_per_weight` cells each.
+  struct ProgrammingCost {
+    long long total_devices = 0;
+    long long verified_devices = 0;
+    double write_pulses = 0.0;
+    double energy_pj = 0.0;
+  };
+  [[nodiscard]] ProgrammingCost programming_cost(long long total_weights,
+                                                 int cells_per_weight,
+                                                 const cim::DeviceModel& dev) const;
+
+ private:
+  VariationModel variation_;
+  Options opts_;
+};
+
+/// Magnitude threshold below which a weight is NOT verified, given the
+/// desired fraction (exposed for tests): the (1-fraction) quantile of |w|.
+[[nodiscard]] float verify_threshold(std::span<const float> weights,
+                                     double fraction);
+
+}  // namespace lcda::noise

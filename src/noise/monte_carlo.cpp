@@ -1,0 +1,32 @@
+#include "lcda/noise/monte_carlo.h"
+
+#include <stdexcept>
+
+#include "lcda/nn/trainer.h"
+
+namespace lcda::noise {
+
+MonteCarloResult monte_carlo(const std::function<double(util::Rng&)>& sample_fn,
+                             int samples, util::Rng& rng) {
+  if (samples <= 0) throw std::invalid_argument("monte_carlo: samples <= 0");
+  if (!sample_fn) throw std::invalid_argument("monte_carlo: null sample_fn");
+  MonteCarloResult result;
+  for (int i = 0; i < samples; ++i) {
+    util::Rng sample_rng = rng.fork();
+    result.stats.add(sample_fn(sample_rng));
+  }
+  return result;
+}
+
+MonteCarloResult mc_noisy_accuracy(nn::Sequential& net, const data::Dataset& test,
+                                   const VariationModel& variation, int samples,
+                                   util::Rng& rng) {
+  const nn::WeightPerturber perturber = variation.as_perturber();
+  return monte_carlo(
+      [&](util::Rng& sample_rng) {
+        return nn::evaluate_noisy(net, test, perturber, sample_rng);
+      },
+      samples, rng);
+}
+
+}  // namespace lcda::noise

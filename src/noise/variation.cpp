@@ -1,0 +1,43 @@
+#include "lcda/noise/variation.h"
+
+#include <stdexcept>
+
+namespace lcda::noise {
+
+VariationModel::VariationModel(double weight_sigma) : sigma_(weight_sigma) {
+  if (weight_sigma < 0.0) {
+    throw std::invalid_argument("VariationModel: sigma must be non-negative");
+  }
+}
+
+VariationModel::VariationModel(const cim::HardwareConfig& hw)
+    : VariationModel(cim::effective_weight_sigma(cim::device_model(hw.device),
+                                                 hw.bits_per_cell,
+                                                 hw.cells_per_weight())) {}
+
+void VariationModel::perturb_span(std::span<float> weights, float range,
+                                  util::Rng& rng) const {
+  if (sigma_ == 0.0 || range == 0.0f) return;
+  const double scale = sigma_ * range;
+  for (float& w : weights) {
+    w += static_cast<float>(rng.normal(0.0, scale));
+  }
+}
+
+void VariationModel::perturb_params(std::vector<nn::Param*>& params,
+                                    util::Rng& rng) const {
+  if (sigma_ == 0.0) return;
+  for (nn::Param* p : params) {
+    const float range = p->value.max_abs();
+    perturb_span(p->value.data(), range, rng);
+  }
+}
+
+nn::WeightPerturber VariationModel::as_perturber() const {
+  const VariationModel copy = *this;
+  return [copy](std::vector<nn::Param*>& params, util::Rng& rng) {
+    copy.perturb_params(params, rng);
+  };
+}
+
+}  // namespace lcda::noise

@@ -1,0 +1,85 @@
+#include "lcda/noise/write_verify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lcda::noise {
+
+float verify_threshold(std::span<const float> weights, double fraction) {
+  if (weights.empty() || fraction <= 0.0) {
+    return std::numeric_limits<float>::infinity();  // verify nothing
+  }
+  if (fraction >= 1.0) return -1.0f;  // verify everything (|w| >= 0 > -1)
+  std::vector<float> mags(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) mags[i] = std::abs(weights[i]);
+  const auto k = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(mags.size()) - 1.0,
+                       (1.0 - fraction) * static_cast<double>(mags.size())));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k),
+                   mags.end());
+  return mags[k];
+}
+
+SelectiveWriteVerify::SelectiveWriteVerify(VariationModel variation, Options opts)
+    : variation_(variation), opts_(opts) {
+  if (opts.fraction < 0.0 || opts.fraction > 1.0) {
+    throw std::invalid_argument("SelectiveWriteVerify: fraction out of [0,1]");
+  }
+  if (opts.verified_sigma_scale < 0.0 || opts.verified_sigma_scale > 1.0) {
+    throw std::invalid_argument(
+        "SelectiveWriteVerify: verified_sigma_scale out of [0,1]");
+  }
+  if (opts.pulses_per_verified_device < 1.0) {
+    throw std::invalid_argument(
+        "SelectiveWriteVerify: pulses_per_verified_device < 1");
+  }
+}
+
+void SelectiveWriteVerify::perturb_params(std::vector<nn::Param*>& params,
+                                          util::Rng& rng) const {
+  const double sigma = variation_.weight_sigma();
+  if (sigma == 0.0) return;
+  for (nn::Param* p : params) {
+    auto w = p->value.data();
+    const float range = p->value.max_abs();
+    if (range == 0.0f) continue;
+    const float threshold = verify_threshold(w, opts_.fraction);
+    const double raw_scale = sigma * range;
+    const double verified_scale = raw_scale * opts_.verified_sigma_scale;
+    for (float& x : w) {
+      const double scale =
+          std::abs(x) >= threshold ? verified_scale : raw_scale;
+      x += static_cast<float>(rng.normal(0.0, scale));
+    }
+  }
+}
+
+nn::WeightPerturber SelectiveWriteVerify::as_perturber() const {
+  const SelectiveWriteVerify copy = *this;
+  return [copy](std::vector<nn::Param*>& params, util::Rng& rng) {
+    copy.perturb_params(params, rng);
+  };
+}
+
+SelectiveWriteVerify::ProgrammingCost SelectiveWriteVerify::programming_cost(
+    long long total_weights, int cells_per_weight,
+    const cim::DeviceModel& dev) const {
+  if (total_weights < 0 || cells_per_weight <= 0) {
+    throw std::invalid_argument("programming_cost: bad arguments");
+  }
+  ProgrammingCost cost;
+  cost.total_devices = total_weights * cells_per_weight;
+  cost.verified_devices = static_cast<long long>(
+      std::llround(opts_.fraction * static_cast<double>(cost.total_devices)));
+  // Unverified devices: one pulse. Verified: iterative write-verify.
+  cost.write_pulses =
+      static_cast<double>(cost.total_devices - cost.verified_devices) +
+      static_cast<double>(cost.verified_devices) *
+          opts_.pulses_per_verified_device;
+  cost.energy_pj = cost.write_pulses * dev.write_energy_pj;
+  return cost;
+}
+
+}  // namespace lcda::noise

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "lcda/search/optimizer.h"
+#include "lcda/search/space.h"
+
+namespace lcda::search {
+
+/// Simulated-annealing design optimizer — a classical single-trajectory
+/// baseline between random search and the population methods: propose a
+/// neighbour of the current design, accept it if better, or with the
+/// Metropolis probability exp(delta / T) if worse; T cools geometrically.
+class AnnealingOptimizer final : public Optimizer {
+ public:
+  struct Options {
+    double initial_temperature = 0.25;  ///< in reward units
+    double cooling_rate = 0.97;         ///< per accepted feedback
+    double min_temperature = 0.005;
+    /// Genes flipped per neighbour proposal.
+    int mutations_per_step = 2;
+  };
+
+  explicit AnnealingOptimizer(SearchSpace space)
+      : AnnealingOptimizer(std::move(space), Options{}) {}
+  AnnealingOptimizer(SearchSpace space, Options opts);
+
+  [[nodiscard]] Design propose(util::Rng& rng) override;
+  void feedback(const Observation& obs) override;
+  [[nodiscard]] std::string name() const override { return "Annealing"; }
+
+  [[nodiscard]] double temperature() const { return temperature_; }
+  [[nodiscard]] bool has_state() const { return !current_genes_.empty(); }
+
+ private:
+  SearchSpace space_;
+  Options opts_;
+  std::vector<int> current_genes_;
+  double current_reward_ = 0.0;
+  std::vector<int> pending_genes_;
+  double temperature_;
+  /// Drives accept/reject draws; seeded on first propose() so the whole
+  /// trajectory is reproducible from the caller's RNG.
+  util::Rng accept_rng_{0};
+  bool accept_rng_seeded_ = false;
+};
+
+}  // namespace lcda::search

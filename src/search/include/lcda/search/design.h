@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lcda/cim/config.h"
+#include "lcda/nn/model_builder.h"
+
+namespace lcda::search {
+
+/// One co-design candidate: the DNN rollout (six [channels, kernel] pairs in
+/// the paper's space) plus the CiM hardware instance.
+struct Design {
+  std::vector<nn::ConvSpec> rollout;
+  cim::HardwareConfig hw;
+
+  /// Rollout as the paper's text form: "[[32,3],[32,3],...]".
+  [[nodiscard]] std::string rollout_text() const;
+
+  /// Full human-readable description (rollout + hardware).
+  [[nodiscard]] std::string describe() const;
+
+  /// Stable content hash (used for dedup and deterministic per-design
+  /// jitter). Covers rollout and every searched hardware knob.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  [[nodiscard]] bool operator==(const Design&) const = default;
+};
+
+}  // namespace lcda::search

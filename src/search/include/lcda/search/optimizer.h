@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "lcda/search/design.h"
+#include "lcda/util/rng.h"
+
+namespace lcda::search {
+
+/// What the framework reports back to an optimizer after evaluating one
+/// design candidate (one "episode" in the paper's terminology).
+struct Observation {
+  Design design;
+  /// Scalar reward from the reward function; -1 for invalid hardware.
+  double reward = 0.0;
+  /// Components, for optimizers/logs that want them.
+  double accuracy = 0.0;
+  double energy_pj = 0.0;
+  double latency_ns = 0.0;
+  bool valid = false;
+};
+
+/// Design optimizer interface (paper Sec. III-A): proposes the next design
+/// candidate given everything observed so far.
+///
+/// Implementations: llm::LlmOptimizer (LCDA), RlOptimizer (NACIM's RL
+/// strategy), GeneticOptimizer, RandomOptimizer.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Next candidate to evaluate.
+  [[nodiscard]] virtual Design propose(util::Rng& rng) = 0;
+
+  /// Result of evaluating the most recent (or any past) proposal.
+  virtual void feedback(const Observation& obs) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace lcda::search

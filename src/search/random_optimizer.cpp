@@ -1,0 +1,26 @@
+#include "lcda/search/random_optimizer.h"
+
+namespace lcda::search {
+
+RandomOptimizer::RandomOptimizer(SearchSpace space, bool avoid_duplicates,
+                                 int max_retries)
+    : space_(std::move(space)),
+      avoid_duplicates_(avoid_duplicates),
+      max_retries_(max_retries) {}
+
+Design RandomOptimizer::propose(util::Rng& rng) {
+  Design d = space_.sample(rng);
+  if (avoid_duplicates_) {
+    for (int attempt = 0; attempt < max_retries_ && seen_.contains(d.hash());
+         ++attempt) {
+      d = space_.sample(rng);
+    }
+  }
+  return d;
+}
+
+void RandomOptimizer::feedback(const Observation& obs) {
+  seen_.insert(obs.design.hash());
+}
+
+}  // namespace lcda::search

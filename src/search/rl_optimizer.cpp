@@ -1,0 +1,77 @@
+#include "lcda/search/rl_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lcda::search {
+
+RlOptimizer::RlOptimizer(SearchSpace space, Options opts)
+    : space_(std::move(space)),
+      opts_(opts),
+      baseline_(opts.baseline_decay),
+      temperature_(opts.initial_temperature) {
+  logits_.resize(space_.dimensions());
+  for (std::size_t d = 0; d < logits_.size(); ++d) {
+    logits_[d].assign(space_.cardinality(d), 0.0);
+  }
+}
+
+std::vector<double> RlOptimizer::probabilities(std::size_t dim) const {
+  const auto& logit = logits_[dim];
+  std::vector<double> p(logit.size());
+  const double t = std::max(1.0, temperature_);
+  double mx = logit[0];
+  for (double l : logit) mx = std::max(mx, l);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logit.size(); ++i) {
+    p[i] = std::exp((logit[i] - mx) / t);
+    sum += p[i];
+  }
+  for (double& x : p) x /= sum;
+  return p;
+}
+
+std::vector<double> RlOptimizer::policy(std::size_t dim) const {
+  if (dim >= logits_.size()) throw std::out_of_range("RlOptimizer::policy");
+  return probabilities(dim);
+}
+
+Design RlOptimizer::propose(util::Rng& rng) {
+  last_choice_.clear();
+  last_choice_.reserve(space_.dimensions());
+  for (std::size_t d = 0; d < space_.dimensions(); ++d) {
+    const auto p = probabilities(d);
+    last_choice_.push_back(static_cast<int>(rng.weighted_index(p)));
+  }
+  return space_.decode(last_choice_);
+}
+
+void RlOptimizer::feedback(const Observation& obs) {
+  // REINFORCE on the episode that produced `obs`. If feedback arrives for a
+  // design other than the last proposal (e.g. replayed history), re-encode.
+  std::vector<int> choice = last_choice_;
+  if (choice.empty() || space_.decode(choice) != obs.design) {
+    if (!space_.contains(obs.design)) return;  // outside our space: ignore
+    choice = space_.encode(obs.design);
+  }
+
+  const double baseline =
+      baseline_.initialized() ? baseline_.value() : obs.reward;
+  const double advantage = obs.reward - baseline;
+  baseline_.update(obs.reward);
+
+  for (std::size_t d = 0; d < logits_.size(); ++d) {
+    const auto p = probabilities(d);
+    const auto chosen = static_cast<std::size_t>(choice[d]);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double grad = (i == chosen ? 1.0 - p[i] : -p[i]);
+      logits_[d][i] += opts_.learning_rate * advantage * grad;
+    }
+  }
+  temperature_ = 1.0 + (temperature_ - 1.0) * opts_.temperature_decay;
+  ++episodes_;
+  last_choice_.clear();
+}
+
+}  // namespace lcda::search

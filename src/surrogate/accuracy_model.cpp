@@ -1,0 +1,105 @@
+#include "lcda/surrogate/accuracy_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "lcda/util/rng.h"
+
+namespace lcda::surrogate {
+
+namespace {
+constexpr int kInputChannels = 3;
+}
+
+double AccuracyModel::luck(const std::vector<nn::ConvSpec>& rollout) const {
+  std::vector<int> key;
+  key.reserve(rollout.size() * 2);
+  for (const auto& spec : rollout) {
+    key.push_back(spec.channels);
+    key.push_back(spec.kernel);
+  }
+  const std::uint64_t h = util::hash_ints(key, opts_.calibration_seed);
+  // Map the hash to an approximately normal deviate via 4-fold sum of
+  // uniforms (deterministic per design).
+  util::Rng rng(h);
+  double z = 0.0;
+  for (int i = 0; i < 4; ++i) z += rng.uniform() - 0.5;
+  return z * opts_.luck_sigma * 2.0;  // variance of sum of 4 U(-.5,.5) is 1/3
+}
+
+double AccuracyModel::clean_accuracy(const std::vector<nn::ConvSpec>& rollout) const {
+  if (rollout.empty()) throw std::invalid_argument("clean_accuracy: empty rollout");
+  double score = 0.0;
+  int prev_channels = kInputChannels;
+  const double denom = static_cast<double>(rollout.size());
+  for (const auto& spec : rollout) {
+    if (spec.channels <= 0 || spec.kernel <= 0) {
+      throw std::invalid_argument("clean_accuracy: bad conv spec");
+    }
+    // Width: log-capacity, averaged over layers so depth does not inflate it.
+    score += opts_.width_coeff * std::log2(std::max(1.0, spec.channels / 8.0)) / denom;
+    switch (spec.kernel) {
+      case 1: score += opts_.kernel1_penalty; break;
+      case 3: break;
+      case 5: score += opts_.kernel5_bonus; break;
+      case 7: score += opts_.kernel7_bonus; break;
+      default: score += opts_.kernel7_bonus; break;  // exotic large kernels
+    }
+    // Structural penalties apply between conv layers only; the step from
+    // the 3-channel RGB input is conventional at any width.
+    if (prev_channels != kInputChannels) {
+      if (spec.channels < prev_channels) score += opts_.shrink_penalty;
+      if (spec.channels > 4 * prev_channels) score += opts_.jump_penalty;
+    }
+    prev_channels = spec.channels;
+  }
+  // Saturating capacity curve + deterministic training luck.
+  const double acc = opts_.base +
+                     opts_.amplitude *
+                         (1.0 - std::exp(-score / opts_.saturation_scale)) +
+                     luck(rollout);
+  return std::clamp(acc, opts_.floor, 0.99);
+}
+
+double AccuracyModel::sensitivity(const std::vector<nn::ConvSpec>& rollout) const {
+  if (rollout.empty()) throw std::invalid_argument("sensitivity: empty rollout");
+  // Dot-product fan-in amplifies weight error: a column sums K^2*Cin noisy
+  // terms, so its output error scales with sqrt(K^2 * Cin). Reference point
+  // is a 3x3 kernel over 64 channels (sqrt(9 * 64) = 24).
+  constexpr double kReference = 24.0;
+  double total = 0.0;
+  int cin = kInputChannels;
+  for (const auto& spec : rollout) {
+    const double fan_in = static_cast<double>(spec.kernel) * spec.kernel * cin;
+    total += std::sqrt(fan_in) / kReference;
+    cin = spec.channels;
+  }
+  return total / static_cast<double>(rollout.size());
+}
+
+double AccuracyModel::noisy_accuracy(const std::vector<nn::ConvSpec>& rollout,
+                                     double weight_sigma,
+                                     int adc_deficit_bits) const {
+  if (weight_sigma < 0.0) {
+    throw std::invalid_argument("noisy_accuracy: negative sigma");
+  }
+  const double clean = clean_accuracy(rollout);
+  const double drop = opts_.variation_coeff * opts_.injection_recovery *
+                      weight_sigma * sensitivity(rollout);
+  const double adc_drop = opts_.adc_deficit_penalty * std::max(0, adc_deficit_bits);
+  return std::clamp(clean - drop - adc_drop, opts_.floor, 0.99);
+}
+
+double AccuracyModel::noisy_accuracy_sample(const std::vector<nn::ConvSpec>& rollout,
+                                            double weight_sigma,
+                                            int adc_deficit_bits,
+                                            util::Rng& rng) const {
+  const double mean = noisy_accuracy(rollout, weight_sigma, adc_deficit_bits);
+  const double clean = clean_accuracy(rollout);
+  // Chip-to-chip spread grows with how much accuracy variation is eating.
+  const double spread = 0.25 * (clean - mean) + 0.004;
+  return std::clamp(mean + rng.normal(0.0, spread), opts_.floor, 0.99);
+}
+
+}  // namespace lcda::surrogate

@@ -1,0 +1,364 @@
+#include "lcda/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lcda::tensor {
+
+namespace {
+void check_matrix(const Tensor& t, const char* name) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(name) + ": expected rank-2 tensor, got " +
+                                t.shape_str());
+  }
+}
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_matrix(a, "gemm:A");
+  check_matrix(b, "gemm:B");
+  check_matrix(c, "gemm:C");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm: dimension mismatch");
+  }
+  const float* A = a.raw();
+  const float* B = b.raw();
+  float* C = c.raw();
+  std::fill(C, C + static_cast<std::size_t>(m) * n, 0.0f);
+  // ikj loop order: streams through B and C rows — cache friendly.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = A[static_cast<std::size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const float* Brow = B + static_cast<std::size_t>(kk) * n;
+      float* Crow = C + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
+    }
+  }
+}
+
+void gemm_at_b(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_matrix(a, "gemm_at_b:A");
+  check_matrix(b, "gemm_at_b:B");
+  check_matrix(c, "gemm_at_b:C");
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_at_b: dimension mismatch");
+  }
+  const float* A = a.raw();
+  const float* B = b.raw();
+  float* C = c.raw();
+  std::fill(C, C + static_cast<std::size_t>(m) * n, 0.0f);
+  for (int kk = 0; kk < k; ++kk) {
+    const float* Arow = A + static_cast<std::size_t>(kk) * m;
+    const float* Brow = B + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float aki = Arow[i];
+      if (aki == 0.0f) continue;
+      float* Crow = C + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) Crow[j] += aki * Brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Tensor& a, const Tensor& b, Tensor& c) {
+  check_matrix(a, "gemm_a_bt:A");
+  check_matrix(b, "gemm_a_bt:B");
+  check_matrix(c, "gemm_a_bt:C");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("gemm_a_bt: dimension mismatch");
+  }
+  const float* A = a.raw();
+  const float* B = b.raw();
+  float* C = c.raw();
+  for (int i = 0; i < m; ++i) {
+    const float* Arow = A + static_cast<std::size_t>(i) * k;
+    float* Crow = C + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* Brow = B + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += Arow[kk] * Brow[kk];
+      Crow[j] = acc;
+    }
+  }
+}
+
+void im2col(const float* input, int channels, const ConvGeom& g, float* columns) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const int k = g.kernel;
+  // columns layout: row = (c*k*k + ki*k + kj), col = (y*ow + x)
+  for (int c = 0; c < channels; ++c) {
+    const float* img = input + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj) {
+        float* dst = columns + (static_cast<std::size_t>(c) * k * k + ki * k + kj) *
+                                   (static_cast<std::size_t>(oh) * ow);
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * g.stride + ki - g.pad;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * g.stride + kj - g.pad;
+            const bool in_bounds = iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w;
+            dst[static_cast<std::size_t>(y) * ow + x] =
+                in_bounds ? img[static_cast<std::size_t>(iy) * g.in_w + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, int channels, const ConvGeom& g, float* input_grad) {
+  const int oh = g.out_h(), ow = g.out_w();
+  const int k = g.kernel;
+  for (int c = 0; c < channels; ++c) {
+    float* img = input_grad + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+    for (int ki = 0; ki < k; ++ki) {
+      for (int kj = 0; kj < k; ++kj) {
+        const float* src = columns +
+                           (static_cast<std::size_t>(c) * k * k + ki * k + kj) *
+                               (static_cast<std::size_t>(oh) * ow);
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * g.stride + ki - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * g.stride + kj - g.pad;
+            if (ix < 0 || ix >= g.in_w) continue;
+            img[static_cast<std::size_t>(iy) * g.in_w + ix] +=
+                src[static_cast<std::size_t>(y) * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+void conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    const ConvGeom& g, Tensor& y, std::vector<float>& scratch) {
+  const int n = x.dim(0), cin = x.dim(1);
+  const int cout = w.dim(0), k = w.dim(2);
+  if (w.dim(1) != cin || w.dim(3) != k || k != g.kernel) {
+    throw std::invalid_argument("conv2d_forward: weight shape mismatch");
+  }
+  const int oh = g.out_h(), ow = g.out_w();
+  const std::size_t col_rows = static_cast<std::size_t>(cin) * k * k;
+  const std::size_t col_cols = static_cast<std::size_t>(oh) * ow;
+  scratch.resize(col_rows * col_cols);
+
+  const std::size_t img_in = static_cast<std::size_t>(cin) * g.in_h * g.in_w;
+  const std::size_t img_out = static_cast<std::size_t>(cout) * oh * ow;
+
+  for (int i = 0; i < n; ++i) {
+    im2col(x.raw() + i * img_in, cin, g, scratch.data());
+    // y_img (cout x col_cols) = W (cout x col_rows) * columns
+    const float* W = w.raw();
+    float* Y = y.raw() + i * img_out;
+    for (int co = 0; co < cout; ++co) {
+      float* yrow = Y + static_cast<std::size_t>(co) * col_cols;
+      const float b = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(co)];
+      std::fill(yrow, yrow + col_cols, b);
+      const float* wrow = W + static_cast<std::size_t>(co) * col_rows;
+      for (std::size_t r = 0; r < col_rows; ++r) {
+        const float wv = wrow[r];
+        if (wv == 0.0f) continue;
+        const float* crow = scratch.data() + r * col_cols;
+        for (std::size_t j = 0; j < col_cols; ++j) yrow[j] += wv * crow[j];
+      }
+    }
+  }
+}
+
+void conv2d_backward(const Tensor& x, const Tensor& w, const ConvGeom& g,
+                     const Tensor& dy, Tensor* dx, Tensor* dw, Tensor* dbias,
+                     std::vector<float>& scratch) {
+  const int n = x.dim(0), cin = x.dim(1);
+  const int cout = w.dim(0), k = w.dim(2);
+  const int oh = g.out_h(), ow = g.out_w();
+  const std::size_t col_rows = static_cast<std::size_t>(cin) * k * k;
+  const std::size_t col_cols = static_cast<std::size_t>(oh) * ow;
+  const std::size_t img_in = static_cast<std::size_t>(cin) * g.in_h * g.in_w;
+  const std::size_t img_out = static_cast<std::size_t>(cout) * oh * ow;
+
+  // scratch holds both the forward columns and the gradient columns.
+  scratch.resize(2 * col_rows * col_cols);
+  float* cols = scratch.data();
+  float* dcols = scratch.data() + col_rows * col_cols;
+
+  if (dw) dw->fill(0.0f);
+  if (dbias) dbias->fill(0.0f);
+  if (dx) dx->fill(0.0f);
+
+  for (int i = 0; i < n; ++i) {
+    const float* DY = dy.raw() + i * img_out;
+
+    if (dbias) {
+      for (int co = 0; co < cout; ++co) {
+        const float* dyrow = DY + static_cast<std::size_t>(co) * col_cols;
+        float acc = 0.0f;
+        for (std::size_t j = 0; j < col_cols; ++j) acc += dyrow[j];
+        (*dbias)[static_cast<std::size_t>(co)] += acc;
+      }
+    }
+
+    if (dw) {
+      im2col(x.raw() + i * img_in, cin, g, cols);
+      // dW (cout x col_rows) += dy_img (cout x col_cols) * cols^T
+      for (int co = 0; co < cout; ++co) {
+        const float* dyrow = DY + static_cast<std::size_t>(co) * col_cols;
+        float* dwrow = dw->raw() + static_cast<std::size_t>(co) * col_rows;
+        for (std::size_t r = 0; r < col_rows; ++r) {
+          const float* crow = cols + r * col_cols;
+          float acc = 0.0f;
+          for (std::size_t j = 0; j < col_cols; ++j) acc += dyrow[j] * crow[j];
+          dwrow[r] += acc;
+        }
+      }
+    }
+
+    if (dx) {
+      // dcols (col_rows x col_cols) = W^T (col_rows x cout) * dy_img
+      std::fill(dcols, dcols + col_rows * col_cols, 0.0f);
+      for (int co = 0; co < cout; ++co) {
+        const float* wrow = w.raw() + static_cast<std::size_t>(co) * col_rows;
+        const float* dyrow = DY + static_cast<std::size_t>(co) * col_cols;
+        for (std::size_t r = 0; r < col_rows; ++r) {
+          const float wv = wrow[r];
+          if (wv == 0.0f) continue;
+          float* drow = dcols + r * col_cols;
+          for (std::size_t j = 0; j < col_cols; ++j) drow[j] += wv * dyrow[j];
+        }
+      }
+      col2im(dcols, cin, g, dx->raw() + i * img_in);
+    }
+  }
+}
+
+void maxpool2x2_forward(const Tensor& x, Tensor& y, std::vector<int>& argmax) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = h / 2, ow = w / 2;
+  argmax.assign(static_cast<std::size_t>(n) * c * oh * ow, 0);
+  std::size_t out_idx = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int y0 = 0; y0 < oh; ++y0) {
+        for (int x0 = 0; x0 < ow; ++x0) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = 0;
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              const int iy = y0 * 2 + dy, ix = x0 * 2 + dx;
+              const std::size_t idx =
+                  ((static_cast<std::size_t>(i) * c + ch) * h + iy) * w + ix;
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = static_cast<int>(idx);
+              }
+            }
+          }
+          y[out_idx] = best;
+          argmax[out_idx] = best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+}
+
+void maxpool2x2_backward(const Tensor& dy, const std::vector<int>& argmax,
+                         Tensor& dx) {
+  dx.fill(0.0f);
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    dx[static_cast<std::size_t>(argmax[i])] += dy[i];
+  }
+}
+
+void relu_forward(const Tensor& x, Tensor& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void relu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
+  for (std::size_t i = 0; i < x.size(); ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+void dense_forward(const Tensor& x, const Tensor& w, const Tensor& bias, Tensor& y) {
+  gemm(x, w, y);
+  const int n = y.dim(0), out = y.dim(1);
+  if (!bias.empty()) {
+    for (int i = 0; i < n; ++i) {
+      float* row = y.raw() + static_cast<std::size_t>(i) * out;
+      for (int j = 0; j < out; ++j) row[j] += bias[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+void dense_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                    Tensor* dx, Tensor* dw, Tensor* dbias) {
+  if (dx) gemm_a_bt(dy, w, *dx);          // dx (N,In) = dy (N,Out) * W^T
+  if (dw) gemm_at_b(x, dy, *dw);          // dw (In,Out) = x^T * dy
+  if (dbias) {
+    dbias->fill(0.0f);
+    const int n = dy.dim(0), out = dy.dim(1);
+    for (int i = 0; i < n; ++i) {
+      const float* row = dy.raw() + static_cast<std::size_t>(i) * out;
+      for (int j = 0; j < out; ++j) (*dbias)[static_cast<std::size_t>(j)] += row[j];
+    }
+  }
+}
+
+void softmax_rows(const Tensor& logits, Tensor& probs) {
+  const int n = logits.dim(0), c = logits.dim(1);
+  for (int i = 0; i < n; ++i) {
+    const float* in = logits.raw() + static_cast<std::size_t>(i) * c;
+    float* out = probs.raw() + static_cast<std::size_t>(i) * c;
+    float mx = in[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, in[j]);
+    double sum = 0.0;
+    for (int j = 0; j < c; ++j) {
+      out[j] = std::exp(in[j] - mx);
+      sum += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int j = 0; j < c; ++j) out[j] *= inv;
+  }
+}
+
+double cross_entropy_loss(const Tensor& probs, std::span<const int> labels,
+                          Tensor& dlogits) {
+  const int n = probs.dim(0), c = probs.dim(1);
+  if (labels.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("cross_entropy_loss: label count mismatch");
+  }
+  double loss = 0.0;
+  const float invn = 1.0f / static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    const int label = labels[static_cast<std::size_t>(i)];
+    if (label < 0 || label >= c) {
+      throw std::invalid_argument("cross_entropy_loss: label out of range");
+    }
+    const float* p = probs.raw() + static_cast<std::size_t>(i) * c;
+    float* d = dlogits.raw() + static_cast<std::size_t>(i) * c;
+    loss -= std::log(std::max(p[label], 1e-12f));
+    for (int j = 0; j < c; ++j) d[j] = p[j] * invn;
+    d[label] -= invn;
+  }
+  return loss / n;
+}
+
+std::vector<int> argmax_rows(const Tensor& t) {
+  const int n = t.dim(0), c = t.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const float* row = t.raw() + static_cast<std::size_t>(i) * c;
+    int best = 0;
+    for (int j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace lcda::tensor

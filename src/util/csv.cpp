@@ -1,0 +1,59 @@
+#include "lcda/util/csv.h"
+
+#include <charconv>
+
+namespace lcda::util {
+
+std::string csv_escape(std::string_view value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(value);
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter& CsvWriter::header(const std::vector<std::string>& names) {
+  for (const auto& n : names) field(n);
+  return endrow();
+}
+
+void CsvWriter::sep() {
+  if (row_started_) *out_ << ',';
+  row_started_ = true;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  sep();
+  *out_ << csv_escape(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  sep();
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value,
+                                 std::chars_format::general, 10);
+  (void)ec;
+  out_->write(buf, ptr - buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(long long value) {
+  sep();
+  *out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::endrow() {
+  *out_ << '\n';
+  row_started_ = false;
+  ++rows_;
+  return *this;
+}
+
+}  // namespace lcda::util

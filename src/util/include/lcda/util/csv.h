@@ -1,0 +1,42 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcda::util {
+
+/// Tiny CSV emitter used by the benchmark harnesses to dump figure series.
+///
+/// Quotes fields that contain separators/quotes/newlines; numbers are
+/// formatted with enough precision to round-trip.
+class CsvWriter {
+ public:
+  /// Writes to an external stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  CsvWriter& header(const std::vector<std::string>& names);
+
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(double value);
+  CsvWriter& field(long long value);
+  CsvWriter& field(int value) { return field(static_cast<long long>(value)); }
+  CsvWriter& field(std::size_t value) { return field(static_cast<long long>(value)); }
+
+  /// Terminates the current row.
+  CsvWriter& endrow();
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void sep();
+  std::ostream* out_;
+  bool row_started_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a single CSV field (exposed for tests).
+[[nodiscard]] std::string csv_escape(std::string_view value);
+
+}  // namespace lcda::util

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace lcda::util {
+
+/// Minimal JSON value for serializing designs and experiment results.
+///
+/// Write-oriented: builds a tree and renders it; no parser is provided (the
+/// project never consumes JSON). Keys are emitted in insertion order.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<double>(v)) {}
+  Json(long long v) : value_(static_cast<double>(v)) {}
+  Json(std::size_t v) : value_(static_cast<double>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+
+  /// Creates an empty object / array.
+  static Json object();
+  static Json array();
+
+  /// Object access; converts a null value into an object on first use.
+  Json& operator[](const std::string& key);
+
+  /// Array append; converts a null value into an array on first use.
+  void push_back(Json v);
+
+  [[nodiscard]] bool is_object() const;
+  [[nodiscard]] bool is_array() const;
+
+  /// Serializes; `indent` < 0 means compact single-line output.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  struct ObjectRep {
+    std::vector<std::pair<std::string, Json>> items;
+  };
+  struct ArrayRep {
+    std::vector<Json> items;
+  };
+  using Value = std::variant<std::nullptr_t, bool, double, std::string,
+                             std::shared_ptr<ObjectRep>, std::shared_ptr<ArrayRep>>;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+  Value value_;
+};
+
+/// Escapes a string for embedding in JSON (exposed for tests).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace lcda::util

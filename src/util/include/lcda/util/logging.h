@@ -1,0 +1,52 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lcda::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr: "[LEVEL] component: message".
+void log(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style helper:  Logger("cim").info() << "x=" << x;
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  class Line {
+   public:
+    Line(LogLevel level, std::string_view component)
+        : level_(level), component_(component) {}
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+    ~Line();
+
+    template <typename T>
+    Line& operator<<(const T& value) {
+      stream_ << value;
+      return *this;
+    }
+
+   private:
+    LogLevel level_;
+    std::string component_;
+    std::ostringstream stream_;
+  };
+
+  [[nodiscard]] Line debug() const { return Line(LogLevel::kDebug, component_); }
+  [[nodiscard]] Line info() const { return Line(LogLevel::kInfo, component_); }
+  [[nodiscard]] Line warn() const { return Line(LogLevel::kWarn, component_); }
+  [[nodiscard]] Line error() const { return Line(LogLevel::kError, component_); }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace lcda::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcda::util {
+
+/// Removes ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits on a single character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive substring search.
+[[nodiscard]] bool contains_icase(std::string_view haystack, std::string_view needle);
+
+/// Lower-cases ASCII.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Parses a decimal integer; nullopt on any trailing garbage.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view s);
+
+/// Parses a double; nullopt on any trailing garbage.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// Extracts every decimal integer appearing in `s`, in order.
+/// "[ [32, 3], [64,3] ]" -> {32, 3, 64, 3}. Minus signs directly before a
+/// digit are honoured.
+[[nodiscard]] std::vector<long long> extract_ints(std::string_view s);
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
+                                      std::string_view to);
+
+}  // namespace lcda::util

@@ -1,0 +1,165 @@
+#include "lcda/util/json_lite.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lcda::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = std::make_shared<ObjectRep>();
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = std::make_shared<ArrayRep>();
+  return j;
+}
+
+bool Json::is_object() const {
+  return std::holds_alternative<std::shared_ptr<ObjectRep>>(value_);
+}
+
+bool Json::is_array() const {
+  return std::holds_alternative<std::shared_ptr<ArrayRep>>(value_);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    value_ = std::make_shared<ObjectRep>();
+  }
+  auto* rep = std::get_if<std::shared_ptr<ObjectRep>>(&value_);
+  if (!rep) throw std::logic_error("Json::operator[]: not an object");
+  for (auto& [k, v] : (*rep)->items) {
+    if (k == key) return v;
+  }
+  (*rep)->items.emplace_back(key, Json());
+  return (*rep)->items.back().second;
+}
+
+void Json::push_back(Json v) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    value_ = std::make_shared<ArrayRep>();
+  }
+  auto* rep = std::get_if<std::shared_ptr<ArrayRep>>(&value_);
+  if (!rep) throw std::logic_error("Json::push_back: not an array");
+  (*rep)->items.push_back(std::move(v));
+}
+
+namespace {
+void append_number(std::string& out, double d) {
+  if (std::isfinite(d)) {
+    // Integers print without a decimal point.
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      char buf[32];
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                     static_cast<long long>(d));
+      (void)ec;
+      out.append(buf, ptr);
+    } else {
+      char buf[64];
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d,
+                                     std::chars_format::general, 12);
+      (void)ec;
+      out.append(buf, ptr);
+    }
+  } else {
+    out += "null";  // JSON has no NaN/Inf
+  }
+}
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad = indent >= 0 ? std::string(static_cast<std::size_t>(indent) * (depth + 1), ' ') : "";
+  const std::string pad_close = indent >= 0 ? std::string(static_cast<std::size_t>(indent) * depth, ' ') : "";
+  const char* nl = indent >= 0 ? "\n" : "";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (auto* d = std::get_if<double>(&value_)) {
+    append_number(out, *d);
+  } else if (auto* s = std::get_if<std::string>(&value_)) {
+    out += '"';
+    out += json_escape(*s);
+    out += '"';
+  } else if (auto* obj = std::get_if<std::shared_ptr<ObjectRep>>(&value_)) {
+    if ((*obj)->items.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    bool first = true;
+    for (const auto& [k, v] : (*obj)->items) {
+      if (!first) {
+        out += ',';
+        out += nl;
+      }
+      first = false;
+      out += pad;
+      out += '"';
+      out += json_escape(k);
+      out += indent >= 0 ? "\": " : "\":";
+      v.dump_to(out, indent, depth + 1);
+    }
+    out += nl;
+    out += pad_close;
+    out += '}';
+  } else if (auto* arr = std::get_if<std::shared_ptr<ArrayRep>>(&value_)) {
+    if ((*arr)->items.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    bool first = true;
+    for (const auto& v : (*arr)->items) {
+      if (!first) {
+        out += ',';
+        out += nl;
+      }
+      first = false;
+      out += pad;
+      v.dump_to(out, indent, depth + 1);
+    }
+    out += nl;
+    out += pad_close;
+    out += ']';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace lcda::util

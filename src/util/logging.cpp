@@ -1,0 +1,37 @@
+#include "lcda/util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace lcda::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << '[' << level_name(level) << "] " << component << ": " << message
+            << '\n';
+}
+
+Logger::Line::~Line() { log(level_, component_, stream_.str()); }
+
+}  // namespace lcda::util

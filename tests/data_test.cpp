@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lcda/data/loader.h"
+#include "lcda/data/synthetic_cifar.h"
+
+namespace lcda::data {
+namespace {
+
+SyntheticCifarOptions tiny_opts() {
+  SyntheticCifarOptions opts;
+  opts.num_classes = 5;
+  opts.image_size = 16;
+  opts.train_per_class = 8;
+  opts.test_per_class = 4;
+  opts.seed = 77;
+  return opts;
+}
+
+TEST(SyntheticCifar, ShapesAndCounts) {
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  EXPECT_EQ(tt.train.size(), 40);
+  EXPECT_EQ(tt.test.size(), 20);
+  EXPECT_EQ(tt.train.images.shape(), (std::vector<int>{40, 3, 16, 16}));
+  EXPECT_EQ(tt.train.labels.size(), 40u);
+}
+
+TEST(SyntheticCifar, LabelsBalancedAndInRange) {
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  std::vector<int> counts(5, 0);
+  for (int label : tt.train.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 5);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 8);
+}
+
+TEST(SyntheticCifar, DeterministicForSeed) {
+  const auto a = make_synthetic_cifar(tiny_opts());
+  const auto b = make_synthetic_cifar(tiny_opts());
+  ASSERT_EQ(a.train.images.size(), b.train.images.size());
+  for (std::size_t i = 0; i < a.train.images.size(); ++i) {
+    ASSERT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(SyntheticCifar, DifferentSeedsDiffer) {
+  auto opts = tiny_opts();
+  const auto a = make_synthetic_cifar(opts);
+  opts.seed = 78;
+  const auto b = make_synthetic_cifar(opts);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.train.images.size(); ++i) {
+    diff += std::abs(a.train.images[i] - b.train.images[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticCifar, PixelsWithinClampRange) {
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  for (float v : tt.train.images.data()) {
+    ASSERT_GE(v, -1.5f);
+    ASSERT_LE(v, 1.5f);
+  }
+}
+
+TEST(SyntheticCifar, TrainAndTestShareClassStructure) {
+  // Same class should be more similar across splits than different classes:
+  // compare class-mean images.
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  const int classes = 5;
+  const std::size_t img = 3u * 16 * 16;
+  auto class_mean = [&](const Dataset& ds, int k) {
+    std::vector<double> mean(img, 0.0);
+    int n = 0;
+    for (int i = 0; i < ds.size(); ++i) {
+      if (ds.labels[static_cast<std::size_t>(i)] != k) continue;
+      for (std::size_t j = 0; j < img; ++j) mean[j] += ds.images[i * img + j];
+      ++n;
+    }
+    for (auto& v : mean) v /= n;
+    return mean;
+  };
+  auto dist = [&](const std::vector<double>& a, const std::vector<double>& b) {
+    double d = 0.0;
+    for (std::size_t j = 0; j < img; ++j) d += (a[j] - b[j]) * (a[j] - b[j]);
+    return d;
+  };
+  for (int k = 0; k < classes; ++k) {
+    const auto train_mean = class_mean(tt.train, k);
+    const auto test_same = class_mean(tt.test, k);
+    const auto test_other = class_mean(tt.test, (k + 1) % classes);
+    EXPECT_LT(dist(train_mean, test_same), dist(train_mean, test_other))
+        << "class " << k;
+  }
+}
+
+TEST(SyntheticCifar, RejectsBadOptions) {
+  SyntheticCifarOptions opts;
+  opts.num_classes = 1;
+  EXPECT_THROW((void)make_synthetic_cifar(opts), std::invalid_argument);
+  opts = SyntheticCifarOptions{};
+  opts.image_size = 4;
+  EXPECT_THROW((void)make_synthetic_cifar(opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Loader
+
+TEST(DataLoader, CoversAllSamplesOncePerEpoch) {
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  DataLoader loader(tt.train, 7);
+  util::Rng rng(1);
+  loader.start_epoch(rng);
+  int total = 0, batches = 0;
+  std::vector<int> label_counts(5, 0);
+  while (true) {
+    const Batch b = loader.next();
+    if (b.size() == 0) break;
+    total += b.size();
+    ++batches;
+    for (int label : b.labels) ++label_counts[static_cast<std::size_t>(label)];
+  }
+  EXPECT_EQ(total, 40);
+  EXPECT_EQ(batches, loader.batches_per_epoch());
+  for (int c : label_counts) EXPECT_EQ(c, 8);
+}
+
+TEST(DataLoader, LastBatchMayBeShort) {
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  DataLoader loader(tt.train, 16);
+  util::Rng rng(2);
+  loader.start_epoch(rng);
+  std::vector<int> sizes;
+  while (true) {
+    const Batch b = loader.next();
+    if (b.size() == 0) break;
+    sizes.push_back(b.size());
+  }
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[2], 8);
+}
+
+TEST(DataLoader, ShuffleChangesOrderButDeterministically) {
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  auto first_labels = [&](std::uint64_t seed) {
+    DataLoader loader(tt.train, 40);
+    util::Rng rng(seed);
+    loader.start_epoch(rng);
+    return loader.next().labels;
+  };
+  EXPECT_EQ(first_labels(3), first_labels(3));
+  EXPECT_NE(first_labels(3), first_labels(4));
+}
+
+TEST(DataLoader, NoShufflePreservesOrder) {
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  DataLoader loader(tt.train, 40, /*shuffle=*/false);
+  util::Rng rng(5);
+  loader.start_epoch(rng);
+  const Batch b = loader.next();
+  EXPECT_EQ(b.labels, tt.train.labels);
+}
+
+TEST(DataLoader, RejectsBadArguments) {
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  EXPECT_THROW(DataLoader(tt.train, 0), std::invalid_argument);
+  Dataset empty;
+  EXPECT_THROW(DataLoader(empty, 4), std::invalid_argument);
+}
+
+TEST(DataLoader, BatchImagesMatchSource) {
+  const auto tt = make_synthetic_cifar(tiny_opts());
+  DataLoader loader(tt.train, 4, /*shuffle=*/false);
+  util::Rng rng(6);
+  loader.start_epoch(rng);
+  const Batch b = loader.next();
+  const std::size_t img = 3u * 16 * 16;
+  for (int i = 0; i < b.size(); ++i) {
+    for (std::size_t j = 0; j < img; ++j) {
+      ASSERT_EQ(b.images[i * img + j], tt.train.images[i * img + j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcda::data

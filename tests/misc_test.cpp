@@ -1,0 +1,137 @@
+// Coverage for remaining public surface: choice-space accounting, snap with
+// out-of-space devices, surrogate calibration seeds, mapper option edges,
+// evaluator quantization behaviour, and CSV run dumps under invalid designs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lcda/cim/cost_model.h"
+#include "lcda/core/evaluator.h"
+#include "lcda/core/experiment.h"
+#include "lcda/search/space.h"
+#include "lcda/surrogate/accuracy_model.h"
+
+namespace lcda {
+namespace {
+
+TEST(HardwareChoices, CombinationCount) {
+  cim::HardwareChoices choices;
+  // 2 devices * 3 bits * 5 adc * 3 xbar * 2 mux = 180.
+  EXPECT_EQ(choices.combinations(), 180u);
+  choices.devices.push_back(cim::DeviceType::kSram);
+  EXPECT_EQ(choices.combinations(), 270u);
+}
+
+TEST(Space, SnapReplacesForeignDevice) {
+  const search::SearchSpace space;  // devices: RRAM, FeFET
+  search::Design d;
+  d.rollout.assign(6, {32, 3});
+  d.hw.device = cim::DeviceType::kSram;
+  const search::Design snapped = space.snap(d);
+  EXPECT_EQ(snapped.hw.device, cim::DeviceType::kRram);
+  EXPECT_TRUE(space.contains(snapped));
+}
+
+TEST(Surrogate, CalibrationSeedChangesLuckOnly) {
+  surrogate::AccuracyModel::Options a;
+  surrogate::AccuracyModel::Options b = a;
+  b.calibration_seed = a.calibration_seed + 1;
+  const surrogate::AccuracyModel ma(a), mb(b);
+  const std::vector<nn::ConvSpec> rollout(6, {64, 3});
+  const double accA = ma.clean_accuracy(rollout);
+  const double accB = mb.clean_accuracy(rollout);
+  EXPECT_NE(accA, accB);
+  EXPECT_NEAR(accA, accB, 4.0 * a.luck_sigma + 1e-9);
+}
+
+TEST(Mapper, SingleLayerNetworkMaps) {
+  cim::HardwareConfig hw;
+  const auto circuits = cim::make_circuits(hw);
+  nn::BackboneOptions bb;
+  bb.pool_after = {};
+  const auto shapes = nn::backbone_shapes({{16, 3}}, bb);
+  const auto mapping = cim::map_network(shapes, hw, circuits);
+  ASSERT_EQ(mapping.layers.size(), 3u);  // conv + 2 FC
+  EXPECT_GT(mapping.total_arrays, 0);
+  EXPECT_GT(mapping.mean_utilization(), 0.0);
+}
+
+TEST(Mapper, EmptyNetworkRejected) {
+  cim::HardwareConfig hw;
+  const auto circuits = cim::make_circuits(hw);
+  EXPECT_THROW((void)cim::map_network({}, hw, circuits), std::invalid_argument);
+}
+
+TEST(Mapper, ZeroMaxReplicationEffectivelyOne) {
+  cim::HardwareConfig hw;
+  const auto circuits = cim::make_circuits(hw);
+  nn::BackboneOptions bb;
+  cim::MapperOptions mopts;
+  mopts.max_replication = 1;
+  const auto mapping = cim::map_network(
+      nn::backbone_shapes({{32, 3}, {32, 3}}, bb), hw, circuits, mopts);
+  for (const auto& lm : mapping.layers) EXPECT_EQ(lm.replication, 1);
+}
+
+TEST(SurrogateEvaluator, MoreMcSamplesTightensSem) {
+  core::SurrogateEvaluator::Options few;
+  few.monte_carlo_samples = 4;
+  core::SurrogateEvaluator::Options many;
+  many.monte_carlo_samples = 256;
+  core::SurrogateEvaluator e_few(few), e_many(many);
+  search::Design d;
+  d.rollout.assign(6, {64, 3});
+  // Run each several times and compare the spread of the *means*.
+  util::OnlineStats means_few, means_many;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    util::Rng r1(s), r2(s);
+    means_few.add(e_few.evaluate(d, r1).accuracy);
+    means_many.add(e_many.evaluate(d, r2).accuracy);
+  }
+  EXPECT_GT(means_few.stddev(), means_many.stddev());
+}
+
+TEST(WriteRunCsv, InvalidEpisodesStillEmitted) {
+  core::RunResult run;
+  core::EpisodeRecord bad;
+  bad.episode = 0;
+  bad.valid = false;
+  bad.reward = -1.0;
+  bad.design.rollout.assign(6, {128, 7});
+  run.episodes.push_back(bad);
+  std::ostringstream os;
+  core::write_run_csv(os, run, "x");
+  EXPECT_NE(os.str().find(",-1,0,"), std::string::npos);
+}
+
+TEST(CostModel, MuxFourBeatsMuxEightOnLatency) {
+  // Fewer columns share an ADC -> fewer serialized conversions per read.
+  cim::HardwareConfig m8;
+  cim::HardwareConfig m4;
+  m4.col_mux = 4;
+  const std::vector<nn::ConvSpec> rollout(6, {64, 3});
+  nn::BackboneOptions bb;
+  const auto r8 = cim::CostEvaluator(m8).evaluate(rollout, bb);
+  const auto r4 = cim::CostEvaluator(m4).evaluate(rollout, bb);
+  EXPECT_LT(r4.latency_ns, r8.latency_ns);
+  // ...at the cost of more ADC area per array.
+  EXPECT_GT(r4.area_arrays_mm2 / r4.mapping.total_arrays,
+            r8.area_arrays_mm2 / r8.mapping.total_arrays);
+}
+
+TEST(Experiment, SeedChangesTrajectories) {
+  core::ExperimentConfig a;
+  a.seed = 1;
+  core::ExperimentConfig b;
+  b.seed = 2;
+  const auto ra = core::run_strategy(core::Strategy::kNacimRl, 10, a);
+  const auto rb = core::run_strategy(core::Strategy::kNacimRl, 10, b);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (!(ra.episodes[i].design == rb.episodes[i].design)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace lcda

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lcda/data/synthetic_cifar.h"
+#include "lcda/nn/layers.h"
+#include "lcda/nn/sequential.h"
+#include "lcda/noise/monte_carlo.h"
+#include "lcda/noise/variation.h"
+#include "lcda/util/stats.h"
+
+namespace lcda::noise {
+namespace {
+
+TEST(VariationModel, RejectsNegativeSigma) {
+  EXPECT_THROW(VariationModel(-0.1), std::invalid_argument);
+}
+
+TEST(VariationModel, FromHardwareConfigMatchesDeviceMath) {
+  cim::HardwareConfig hw;
+  const VariationModel vm(hw);
+  EXPECT_DOUBLE_EQ(vm.weight_sigma(),
+                   cim::effective_weight_sigma(cim::device_model(hw.device),
+                                               hw.bits_per_cell,
+                                               hw.cells_per_weight()));
+}
+
+TEST(VariationModel, PerturbationHasExpectedScale) {
+  const double sigma = 0.1;
+  const VariationModel vm(sigma);
+  std::vector<float> weights(20000, 0.5f);
+  util::Rng rng(1);
+  vm.perturb_span(weights, /*range=*/2.0f, rng);
+  util::OnlineStats stats;
+  for (float w : weights) stats.add(w - 0.5);
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), sigma * 2.0, 0.01);
+}
+
+TEST(VariationModel, ZeroSigmaIsNoOp) {
+  const VariationModel vm(0.0);
+  std::vector<float> weights(100, 1.0f);
+  util::Rng rng(2);
+  vm.perturb_span(weights, 1.0f, rng);
+  for (float w : weights) ASSERT_EQ(w, 1.0f);
+}
+
+TEST(VariationModel, ZeroRangeIsNoOp) {
+  const VariationModel vm(0.5);
+  std::vector<float> weights(10, 0.0f);
+  util::Rng rng(3);
+  vm.perturb_span(weights, 0.0f, rng);
+  for (float w : weights) ASSERT_EQ(w, 0.0f);
+}
+
+TEST(VariationModel, PerturbParamsScalesWithTensorRange) {
+  // A tensor with larger weights gets proportionally larger noise (range is
+  // per-tensor max|w| — per-tensor quantization scaling).
+  nn::Param small, large;
+  small.value = nn::Tensor({1000});
+  small.value.fill(0.1f);
+  small.grad = nn::Tensor({1000});
+  large.value = nn::Tensor({1000});
+  large.value.fill(10.0f);
+  large.grad = nn::Tensor({1000});
+  std::vector<nn::Param*> params = {&small, &large};
+
+  const VariationModel vm(0.05);
+  util::Rng rng(4);
+  vm.perturb_params(params, rng);
+
+  util::OnlineStats ds, dl;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ds.add(small.value[i] - 0.1f);
+    dl.add(large.value[i] - 10.0f);
+  }
+  EXPECT_NEAR(dl.stddev() / ds.stddev(), 100.0, 20.0);
+}
+
+TEST(VariationModel, AsPerturberIsSelfContained) {
+  const nn::WeightPerturber perturber = [] {
+    const VariationModel vm(0.2);
+    return vm.as_perturber();  // vm dies here; the copy must survive
+  }();
+  nn::Param p;
+  p.value = nn::Tensor({100});
+  p.value.fill(1.0f);
+  p.grad = nn::Tensor({100});
+  std::vector<nn::Param*> params = {&p};
+  util::Rng rng(5);
+  perturber(params, rng);
+  double moved = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) moved += std::abs(p.value[i] - 1.0f);
+  EXPECT_GT(moved, 0.0);
+}
+
+// ------------------------------------------------------------ MonteCarlo
+
+TEST(MonteCarlo, StatisticsOfKnownDistribution) {
+  util::Rng rng(6);
+  const auto result = monte_carlo(
+      [](util::Rng& r) { return r.normal(10.0, 2.0); }, 4000, rng);
+  EXPECT_EQ(result.samples(), 4000u);
+  EXPECT_NEAR(result.mean(), 10.0, 0.15);
+  EXPECT_NEAR(result.stddev(), 2.0, 0.15);
+  EXPECT_LT(result.worst(), result.best());
+}
+
+TEST(MonteCarlo, RejectsBadArguments) {
+  util::Rng rng(7);
+  EXPECT_THROW((void)monte_carlo(nullptr, 10, rng), std::invalid_argument);
+  EXPECT_THROW((void)monte_carlo([](util::Rng&) { return 0.0; }, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(MonteCarlo, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    util::Rng rng(seed);
+    return monte_carlo([](util::Rng& r) { return r.uniform(); }, 64, rng).mean();
+  };
+  EXPECT_DOUBLE_EQ(run(8), run(8));
+  EXPECT_NE(run(8), run(9));
+}
+
+TEST(MonteCarlo, SampleCountDoesNotPerturbParentStream) {
+  // Forked sample RNGs mean the parent's post-MC state depends only on the
+  // number of forks, not on what samples did with their generators.
+  util::Rng a(10), b(10);
+  (void)monte_carlo([](util::Rng& r) { return r.uniform(); }, 16, a);
+  (void)monte_carlo(
+      [](util::Rng& r) {
+        double acc = 0;
+        for (int i = 0; i < 100; ++i) acc += r.uniform();
+        return acc;
+      },
+      16, b);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(McNoisyAccuracy, RestoresWeightsAndDegradesAccuracy) {
+  data::SyntheticCifarOptions dopts;
+  dopts.image_size = 16;
+  dopts.num_classes = 4;
+  dopts.train_per_class = 10;
+  dopts.test_per_class = 8;
+  const auto data = data::make_synthetic_cifar(dopts);
+
+  util::Rng rng(11);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Conv2d>(3, 8, 3, 16, 16, rng));
+  net.add(std::make_unique<nn::ReLU>());
+  net.add(std::make_unique<nn::Flatten>());
+  net.add(std::make_unique<nn::Dense>(8 * 16 * 16, 4, rng));
+
+  const nn::Tensor before = net.params()[0]->value;
+  const double clean = nn::evaluate(net, data.test);
+
+  const VariationModel heavy(0.5);
+  const auto mc = mc_noisy_accuracy(net, data.test, heavy, 8, rng);
+  EXPECT_EQ(mc.samples(), 8u);
+
+  // Weights untouched afterwards.
+  const nn::Tensor after = net.params()[0]->value;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    ASSERT_EQ(before[i], after[i]);
+  }
+  // Massive variation cannot help an evaluated network on average (allow
+  // noise slack for the untrained net).
+  EXPECT_LE(mc.mean(), clean + 0.15);
+  EXPECT_GE(mc.worst(), 0.0);
+  EXPECT_LE(mc.best(), 1.0);
+}
+
+}  // namespace
+}  // namespace lcda::noise

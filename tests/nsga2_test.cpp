@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lcda/search/nsga2_optimizer.h"
+
+namespace lcda::search {
+namespace {
+
+TEST(MoDominance, Definition) {
+  const MoPoint a{0.8, -1.0};
+  const MoPoint b{0.7, -2.0};
+  const MoPoint c{0.9, -3.0};
+  EXPECT_TRUE(mo_dominates(a, b));
+  EXPECT_FALSE(mo_dominates(b, a));
+  EXPECT_FALSE(mo_dominates(a, c));  // c is better on accuracy, worse on cost
+  EXPECT_FALSE(mo_dominates(c, a));
+  EXPECT_FALSE(mo_dominates(a, a));
+}
+
+TEST(NonDominatedSort, RanksLayeredFronts) {
+  // Front 0: (1,0), (0,1); front 1: (0.5,0.5)? No — (0.5,0.5) is not
+  // dominated by either. Use truly layered points.
+  const std::vector<MoPoint> pts = {
+      {1.0, -1.0},   // 0: front 0
+      {0.5, -0.5},   // 1: front 0 (trade-off with 0)
+      {0.9, -1.5},   // 2: dominated by 0 -> front 1
+      {0.4, -0.9},   // 3: dominated by 1 -> front 1
+      {0.3, -2.0},   // 4: dominated by several -> front >= 1
+  };
+  const auto ranks = non_dominated_sort(pts);
+  EXPECT_EQ(ranks[0], 0);
+  EXPECT_EQ(ranks[1], 0);
+  EXPECT_EQ(ranks[2], 1);
+  EXPECT_EQ(ranks[3], 1);
+  EXPECT_GE(ranks[4], 1);
+}
+
+TEST(NonDominatedSort, AllIncomparableIsOneFront) {
+  const std::vector<MoPoint> pts = {{0.1, -1}, {0.2, -2}, {0.3, -3}};
+  for (int r : non_dominated_sort(pts)) EXPECT_EQ(r, 0);
+}
+
+TEST(CrowdingDistance, BoundariesAreInfinite) {
+  const std::vector<MoPoint> pts = {{0.1, -1}, {0.2, -2}, {0.3, -3}, {0.4, -4}};
+  const auto ranks = non_dominated_sort(pts);
+  const auto crowd = crowding_distance(pts, ranks);
+  EXPECT_TRUE(std::isinf(crowd[0]));
+  EXPECT_TRUE(std::isinf(crowd[3]));
+  EXPECT_FALSE(std::isinf(crowd[1]));
+  EXPECT_FALSE(std::isinf(crowd[2]));
+  EXPECT_GT(crowd[1], 0.0);
+}
+
+TEST(Nsga2, ProposalsStayInSpace) {
+  const SearchSpace space;
+  Nsga2Optimizer nsga(space, {.population = 8, .crossover_rate = 0.9,
+                              .mutation_rate = 0.1, .use_latency = false});
+  util::Rng rng(1);
+  for (int ep = 0; ep < 40; ++ep) {
+    const Design d = nsga.propose(rng);
+    ASSERT_TRUE(space.contains(d));
+    Observation obs;
+    obs.design = d;
+    obs.accuracy = 0.5;
+    obs.energy_pj = 1e7;
+    obs.valid = true;
+    nsga.feedback(obs);
+  }
+  EXPECT_GT(nsga.archive_size(), 0u);
+}
+
+TEST(Nsga2, RejectsTinyPopulation) {
+  EXPECT_THROW(Nsga2Optimizer(SearchSpace{},
+                              {.population = 2, .crossover_rate = 0.9,
+                               .mutation_rate = 0.1, .use_latency = false}),
+               std::invalid_argument);
+}
+
+TEST(Nsga2, SpreadsAlongAPlantedFront) {
+  // Objectives depend only on the first layer's channels: accuracy grows
+  // with width, cost grows with width^2 — every width is Pareto-optimal.
+  // NSGA-II should keep a diverse set of widths on its front, not collapse.
+  const SearchSpace space;
+  Nsga2Optimizer nsga(space, {.population = 16, .crossover_rate = 0.9,
+                              .mutation_rate = 0.1, .use_latency = false});
+  util::Rng rng(2);
+  for (int ep = 0; ep < 300; ++ep) {
+    const Design d = nsga.propose(rng);
+    Observation obs;
+    obs.design = d;
+    const double w = d.rollout[0].channels;
+    obs.accuracy = w / 128.0;
+    obs.energy_pj = w * w;
+    obs.valid = true;
+    nsga.feedback(obs);
+  }
+  const auto front = nsga.pareto_designs();
+  ASSERT_GE(front.size(), 3u);
+  std::set<int> widths;
+  for (const auto& d : front) widths.insert(d.rollout[0].channels);
+  EXPECT_GE(widths.size(), 3u) << "front must stay spread across widths";
+}
+
+TEST(Nsga2, InvalidDesignsNeverOnFront) {
+  const SearchSpace space;
+  Nsga2Optimizer nsga(space, {.population = 8, .crossover_rate = 0.9,
+                              .mutation_rate = 0.1, .use_latency = false});
+  util::Rng rng(3);
+  for (int ep = 0; ep < 30; ++ep) {
+    const Design d = nsga.propose(rng);
+    Observation obs;
+    obs.design = d;
+    obs.valid = ep % 2 == 0;
+    obs.accuracy = 0.6;
+    obs.energy_pj = 1e6;
+    nsga.feedback(obs);
+  }
+  for (const auto& d : nsga.pareto_designs()) {
+    EXPECT_TRUE(space.contains(d));
+  }
+  EXPECT_GE(nsga.pareto_designs().size(), 1u);
+}
+
+TEST(Nsga2, UsesLatencyWhenConfigured) {
+  const SearchSpace space;
+  Nsga2Optimizer nsga(space, {.population = 8, .crossover_rate = 0.9,
+                              .mutation_rate = 0.1, .use_latency = true});
+  util::Rng rng(4);
+  // Two designs, same accuracy; only latency differs. The slower one must
+  // not appear on the front once both are archived.
+  const Design fast = space.sample(rng);
+  Design slow = space.sample(rng);
+  while (slow == fast) slow = space.sample(rng);
+
+  Observation a;
+  a.design = fast;
+  a.accuracy = 0.5;
+  a.latency_ns = 1e5;
+  a.energy_pj = 9e9;  // would lose on energy; must be ignored
+  a.valid = true;
+  nsga.feedback(a);
+  Observation b;
+  b.design = slow;
+  b.accuracy = 0.5;
+  b.latency_ns = 2e5;
+  b.energy_pj = 1.0;
+  b.valid = true;
+  nsga.feedback(b);
+
+  const auto front = nsga.pareto_designs();
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], fast);
+}
+
+}  // namespace
+}  // namespace lcda::search

@@ -1,0 +1,208 @@
+// Randomized property sweeps across the whole co-design space: invariants
+// that must hold for EVERY design the optimizers can propose, checked on
+// hundreds of uniformly sampled points. Plus tests for the transcript
+// writer and data augmentation added in the extension batches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "lcda/core/evaluator.h"
+#include "lcda/core/reward.h"
+#include "lcda/data/loader.h"
+#include "lcda/llm/llm_optimizer.h"
+#include "lcda/llm/simulated_gpt4.h"
+#include "lcda/llm/transcript.h"
+#include "lcda/surrogate/accuracy_model.h"
+
+namespace lcda {
+namespace {
+
+class DesignSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DesignSweep, CostModelInvariantsHoldEverywhere) {
+  const search::SearchSpace space;
+  const nn::BackboneOptions bb;
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    const search::Design d = space.sample(rng);
+    const cim::CostEvaluator eval(d.hw);
+    const cim::CostReport rep = eval.evaluate(d.rollout, bb);
+
+    // Finiteness and positivity.
+    ASSERT_TRUE(std::isfinite(rep.energy_total_pj)) << d.describe();
+    ASSERT_GT(rep.energy_total_pj, 0.0) << d.describe();
+    ASSERT_GT(rep.latency_ns, 0.0);
+    ASSERT_GT(rep.area_total_mm2, 0.0);
+    ASSERT_GE(rep.leakage_mw, 0.0);
+    ASSERT_GT(rep.total_cells, 0);
+
+    // Breakdown additivity.
+    ASSERT_NEAR(rep.energy_total_pj,
+                rep.energy_adc_pj + rep.energy_xbar_pj + rep.energy_dac_pj +
+                    rep.energy_digital_pj + rep.energy_buffer_pj +
+                    rep.energy_noc_pj,
+                rep.energy_total_pj * 1e-9);
+
+    // Validity flag consistent with the budget.
+    ASSERT_EQ(rep.valid, rep.area_total_mm2 <= d.hw.area_budget_mm2);
+
+    // Mapping sanity for every layer.
+    for (const auto& lm : rep.mapping.layers) {
+      ASSERT_GE(lm.replication, 1);
+      ASSERT_GT(lm.utilization(), 0.0);
+      ASSERT_LE(lm.utilization(), 1.0 + 1e-12);
+      ASSERT_GE(lm.adc_bits_required, 1);
+    }
+  }
+}
+
+TEST_P(DesignSweep, SurrogateInvariantsHoldEverywhere) {
+  const search::SearchSpace space;
+  const surrogate::AccuracyModel model;
+  const nn::BackboneOptions bb;
+  util::Rng rng(GetParam() + 100);
+  for (int i = 0; i < 60; ++i) {
+    const search::Design d = space.sample(rng);
+    const cim::CostEvaluator eval(d.hw);
+    const cim::CostReport rep = eval.evaluate(d.rollout, bb);
+
+    const double clean = model.clean_accuracy(d.rollout);
+    const double noisy =
+        model.noisy_accuracy(d.rollout, rep.weight_sigma, rep.max_adc_deficit_bits);
+    ASSERT_GE(clean, model.options().floor);
+    ASSERT_LE(clean, 0.99);
+    ASSERT_LE(noisy, clean + 1e-12) << d.describe();
+    ASSERT_GE(noisy, model.options().floor);
+
+    // Monte-Carlo samples stay within bounds.
+    util::Rng sample_rng = rng.fork();
+    for (int s = 0; s < 4; ++s) {
+      const double sample = model.noisy_accuracy_sample(
+          d.rollout, rep.weight_sigma, rep.max_adc_deficit_bits, sample_rng);
+      ASSERT_GE(sample, model.options().floor);
+      ASSERT_LE(sample, 0.99);
+    }
+  }
+}
+
+TEST_P(DesignSweep, RewardInvariantsHoldEverywhere) {
+  const search::SearchSpace space;
+  core::SurrogateEvaluator evaluator;
+  const core::RewardFunction r_ae(llm::Objective::kEnergy);
+  const core::RewardFunction r_al(llm::Objective::kLatency);
+  util::Rng rng(GetParam() + 200);
+  for (int i = 0; i < 40; ++i) {
+    const search::Design d = space.sample(rng);
+    util::Rng eval_rng = rng.fork();
+    const core::Evaluation ev = evaluator.evaluate(d, eval_rng);
+    const double ae = r_ae(ev.accuracy, ev.cost);
+    const double al = r_al(ev.accuracy, ev.cost);
+    if (!ev.cost.valid) {
+      ASSERT_EQ(ae, core::kInvalidReward);
+      ASSERT_EQ(al, core::kInvalidReward);
+      continue;
+    }
+    // Eq. (1): bounded above by accuracy, below by accuracy - sqrt(Emax/8e7)
+    ASSERT_LT(ae, ev.accuracy);
+    ASSERT_TRUE(std::isfinite(ae));
+    // Eq. (2): strictly above accuracy (FPS term is positive).
+    ASSERT_GT(al, ev.accuracy);
+    ASSERT_TRUE(std::isfinite(al));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesignSweep, ::testing::Values(11, 22, 33));
+
+// ------------------------------------------------------------ Transcript
+
+TEST(Transcript, MarkdownCarriesPromptAndResponse) {
+  const search::SearchSpace space;
+  auto client = std::make_shared<llm::SimulatedGpt4>();
+  llm::LlmOptimizer optimizer(space, client);
+  util::Rng rng(1);
+  for (int ep = 0; ep < 3; ++ep) {
+    const search::Design d = optimizer.propose(rng);
+    search::Observation obs;
+    obs.design = d;
+    obs.reward = 0.3 + 0.01 * ep;
+    optimizer.feedback(obs);
+  }
+  std::ostringstream os;
+  llm::write_transcript_markdown(os, optimizer, "test transcript");
+  const std::string md = os.str();
+  EXPECT_NE(md.find("# test transcript"), std::string::npos);
+  EXPECT_NE(md.find("## Exchange 0"), std::string::npos);
+  EXPECT_NE(md.find("## Exchange 2"), std::string::npos);
+  EXPECT_NE(md.find("> You are an expert"), std::string::npos);
+  EXPECT_NE(md.find("```"), std::string::npos);
+  EXPECT_NE(md.find("*parsed: ok"), std::string::npos);
+  EXPECT_NE(md.find("3 evaluated design(s)"), std::string::npos);
+}
+
+// ---------------------------------------------------------- Augmentation
+
+TEST(Augmentation, MirrorsAboutVerticalAxis) {
+  data::SyntheticCifarOptions dopts;
+  dopts.image_size = 8;
+  dopts.num_classes = 2;
+  dopts.train_per_class = 8;
+  dopts.test_per_class = 2;
+  dopts.seed = 5;
+  const auto data = data::make_synthetic_cifar(dopts);
+
+  // With augmentation, across many epochs some batches must contain the
+  // mirrored version of a source image; every image must be either the
+  // original or its exact mirror.
+  data::DataLoader loader(data.train, 16, /*shuffle=*/false, /*augment=*/true);
+  util::Rng rng(6);
+  const std::size_t img = 3u * 8 * 8;
+  int mirrored = 0, plain = 0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    loader.start_epoch(rng);
+    data::Batch b = loader.next();
+    for (int i = 0; i < b.size(); ++i) {
+      const float* got = b.images.raw() + i * img;
+      const float* src = data.train.images.raw() + i * img;
+      bool is_plain = true, is_mirror = true;
+      for (int c = 0; c < 3 && (is_plain || is_mirror); ++c) {
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) {
+            const float v = got[(c * 8 + y) * 8 + x];
+            if (v != src[(c * 8 + y) * 8 + x]) is_plain = false;
+            if (v != src[(c * 8 + y) * 8 + (7 - x)]) is_mirror = false;
+          }
+        }
+      }
+      ASSERT_TRUE(is_plain || is_mirror) << "image must be original or mirror";
+      // Symmetric images count as both; prefer plain.
+      if (is_plain) {
+        ++plain;
+      } else {
+        ++mirrored;
+      }
+    }
+  }
+  EXPECT_GT(mirrored, 0);
+  EXPECT_GT(plain, 0);
+}
+
+TEST(Augmentation, OffByDefaultPreservesImages) {
+  data::SyntheticCifarOptions dopts;
+  dopts.image_size = 8;
+  dopts.num_classes = 2;
+  dopts.train_per_class = 4;
+  dopts.test_per_class = 2;
+  dopts.seed = 7;
+  const auto data = data::make_synthetic_cifar(dopts);
+  data::DataLoader loader(data.train, 8, /*shuffle=*/false);
+  util::Rng rng(8);
+  loader.start_epoch(rng);
+  const data::Batch b = loader.next();
+  for (std::size_t i = 0; i < b.images.size(); ++i) {
+    ASSERT_EQ(b.images[i], data.train.images[i]);
+  }
+}
+
+}  // namespace
+}  // namespace lcda

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "lcda/surrogate/accuracy_model.h"
+#include "lcda/util/rng.h"
+#include "lcda/util/stats.h"
+
+namespace lcda::surrogate {
+namespace {
+
+using nn::ConvSpec;
+
+std::vector<ConvSpec> uniform_rollout(int channels, int kernel) {
+  return std::vector<ConvSpec>(6, ConvSpec{channels, kernel});
+}
+
+const std::vector<ConvSpec> kVgg = {{32, 3}, {32, 3}, {64, 3},
+                                    {64, 3}, {128, 3}, {128, 3}};
+
+TEST(AccuracyModel, CleanAccuracyInPlausibleBand) {
+  const AccuracyModel model;
+  for (int ch : {16, 32, 64, 128}) {
+    const double acc = model.clean_accuracy(uniform_rollout(ch, 3));
+    EXPECT_GT(acc, 0.3) << ch;
+    EXPECT_LT(acc, 0.9) << ch;
+  }
+}
+
+class WidthMonotonicity : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(WidthMonotonicity, WiderIsCleanerUpToLuck) {
+  const auto [narrow, wide] = GetParam();
+  const AccuracyModel model;
+  EXPECT_LT(model.clean_accuracy(uniform_rollout(narrow, 3)),
+            model.clean_accuracy(uniform_rollout(wide, 3)) + 0.02)
+      << narrow << " vs " << wide;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, WidthMonotonicity,
+                         ::testing::Values(std::make_pair(16, 32),
+                                           std::make_pair(32, 64),
+                                           std::make_pair(64, 128),
+                                           std::make_pair(16, 128)));
+
+TEST(AccuracyModel, OneByOneKernelsCollapse) {
+  const AccuracyModel model;
+  // All-1x1 networks cannot extract spatial features: clean accuracy far
+  // below the same widths with 3x3 kernels.
+  EXPECT_LT(model.clean_accuracy(uniform_rollout(64, 1)),
+            model.clean_accuracy(uniform_rollout(64, 3)) - 0.15);
+}
+
+TEST(AccuracyModel, LargerKernelsHelpCleanAccuracySlightly) {
+  // GPT-4's prior is *correct on clean hardware*: larger kernels add a bit.
+  const AccuracyModel model;
+  EXPECT_GE(model.clean_accuracy(uniform_rollout(64, 7)),
+            model.clean_accuracy(uniform_rollout(64, 3)));
+}
+
+TEST(AccuracyModel, ShrinkingChannelsHurts) {
+  const AccuracyModel model;
+  const std::vector<ConvSpec> growing = {{16, 3}, {24, 3}, {32, 3},
+                                         {48, 3}, {64, 3}, {96, 3}};
+  const std::vector<ConvSpec> shrinking = {{96, 3}, {64, 3}, {48, 3},
+                                           {32, 3}, {24, 3}, {16, 3}};
+  EXPECT_GT(model.clean_accuracy(growing),
+            model.clean_accuracy(shrinking) + 0.03);
+}
+
+TEST(AccuracyModel, SensitivityGrowsWithKernel) {
+  const AccuracyModel model;
+  EXPECT_LT(model.sensitivity(uniform_rollout(64, 3)),
+            model.sensitivity(uniform_rollout(64, 5)));
+  EXPECT_LT(model.sensitivity(uniform_rollout(64, 5)),
+            model.sensitivity(uniform_rollout(64, 7)));
+}
+
+TEST(AccuracyModel, SensitivityGrowsWithWidth) {
+  const AccuracyModel model;
+  EXPECT_LT(model.sensitivity(uniform_rollout(16, 3)),
+            model.sensitivity(uniform_rollout(128, 3)));
+}
+
+TEST(AccuracyModel, NoisyNeverExceedsClean) {
+  const AccuracyModel model;
+  for (double sigma : {0.0, 0.05, 0.1, 0.2}) {
+    EXPECT_LE(model.noisy_accuracy(kVgg, sigma, 0),
+              model.clean_accuracy(kVgg) + 1e-12)
+        << sigma;
+  }
+}
+
+TEST(AccuracyModel, ZeroSigmaZeroDeficitEqualsClean) {
+  const AccuracyModel model;
+  EXPECT_DOUBLE_EQ(model.noisy_accuracy(kVgg, 0.0, 0), model.clean_accuracy(kVgg));
+}
+
+TEST(AccuracyModel, MoreVariationMoreDrop) {
+  const AccuracyModel model;
+  EXPECT_GT(model.noisy_accuracy(kVgg, 0.05, 0),
+            model.noisy_accuracy(kVgg, 0.15, 0));
+}
+
+TEST(AccuracyModel, LargeKernelsLoseMoreUnderVariation) {
+  // The paper's central CiM fact (Sec. IV-B): bigger kernels amplify device
+  // variation, so the clean-accuracy kernel bonus inverts on noisy hardware.
+  const AccuracyModel model;
+  const double sigma = 0.14;  // RRAM-ish
+  const double drop3 = model.clean_accuracy(uniform_rollout(64, 3)) -
+                       model.noisy_accuracy(uniform_rollout(64, 3), sigma, 0);
+  const double drop7 = model.clean_accuracy(uniform_rollout(64, 7)) -
+                       model.noisy_accuracy(uniform_rollout(64, 7), sigma, 0);
+  EXPECT_GT(drop7, drop3 * 1.5);
+  EXPECT_GT(model.noisy_accuracy(uniform_rollout(64, 3), sigma, 0),
+            model.noisy_accuracy(uniform_rollout(64, 7), sigma, 0));
+}
+
+TEST(AccuracyModel, AdcDeficitCostsAccuracy) {
+  const AccuracyModel model;
+  EXPECT_GT(model.noisy_accuracy(kVgg, 0.1, 0), model.noisy_accuracy(kVgg, 0.1, 3));
+}
+
+TEST(AccuracyModel, FloorHolds) {
+  const AccuracyModel model;
+  EXPECT_GE(model.noisy_accuracy(uniform_rollout(16, 7), 1.0, 10),
+            model.options().floor);
+}
+
+TEST(AccuracyModel, DeterministicPerDesign) {
+  const AccuracyModel model;
+  EXPECT_DOUBLE_EQ(model.clean_accuracy(kVgg), model.clean_accuracy(kVgg));
+  // Per-design luck differs between designs but is stable per design.
+  const auto other = uniform_rollout(64, 3);
+  EXPECT_DOUBLE_EQ(model.clean_accuracy(other), model.clean_accuracy(other));
+}
+
+TEST(AccuracyModel, SampleSpreadGrowsWithVariation) {
+  const AccuracyModel model;
+  auto spread = [&](double sigma) {
+    util::Rng rng(3);
+    util::OnlineStats stats;
+    for (int i = 0; i < 400; ++i) {
+      stats.add(model.noisy_accuracy_sample(kVgg, sigma, 0, rng));
+    }
+    return stats.stddev();
+  };
+  EXPECT_LT(spread(0.02), spread(0.2));
+}
+
+TEST(AccuracyModel, SampleMeanMatchesNoisyAccuracy) {
+  const AccuracyModel model;
+  util::Rng rng(4);
+  util::OnlineStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    stats.add(model.noisy_accuracy_sample(kVgg, 0.1, 0, rng));
+  }
+  EXPECT_NEAR(stats.mean(), model.noisy_accuracy(kVgg, 0.1, 0), 0.01);
+}
+
+TEST(AccuracyModel, RejectsBadInputs) {
+  const AccuracyModel model;
+  EXPECT_THROW((void)model.clean_accuracy({}), std::invalid_argument);
+  EXPECT_THROW((void)model.clean_accuracy({{0, 3}}), std::invalid_argument);
+  EXPECT_THROW((void)model.noisy_accuracy(kVgg, -0.1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcda::surrogate

@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "lcda/tensor/ops.h"
+#include "lcda/tensor/tensor.h"
+#include "lcda/util/rng.h"
+
+namespace lcda::tensor {
+namespace {
+
+using util::Rng;
+
+Tensor random_tensor(std::vector<int> shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data()) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+// ---------------------------------------------------------------- Tensor
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.shape_str(), "[2, 3, 4]");
+  for (float x : t.data()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Tensor, RejectsBadShapes) {
+  EXPECT_THROW(Tensor({0, 2}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1}), std::invalid_argument);
+  EXPECT_THROW(Tensor({2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, At2dAnd4dIndexing) {
+  Tensor m({2, 3});
+  m.at(1, 2) = 5.0f;
+  EXPECT_EQ(m[5], 5.0f);
+  Tensor t({2, 3, 4, 4});
+  t.at(1, 2, 3, 3) = 7.0f;
+  EXPECT_EQ(t[t.size() - 1], 7.0f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t({2, 6});
+  t[7] = 3.0f;
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r[7], 3.0f);
+  EXPECT_THROW((void)t.reshaped({5}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({3}), b({3});
+  a.fill(2.0f);
+  b.fill(3.0f);
+  a += b;
+  EXPECT_EQ(a[0], 5.0f);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a[2], 4.0f);
+  Tensor c({4});
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({2, 2}, {1.0f, -2.0f, 3.0f, -4.0f});
+  EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(30.0), 1e-6);
+  EXPECT_EQ(t.max_abs(), 4.0f);
+}
+
+TEST(Tensor, HeNormalStddev) {
+  Rng rng(5);
+  const Tensor t = Tensor::he_normal({64, 64}, 128, rng);
+  double sum = 0.0, sq = 0.0;
+  for (float x : t.data()) {
+    sum += x;
+    sq += static_cast<double>(x) * x;
+  }
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sq / n), std::sqrt(2.0 / 128), 0.01);
+}
+
+// ------------------------------------------------------------------ GEMM
+
+void naive_gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += a.at(i, kk) * b.at(kk, j);
+      c.at(i, j) = acc;
+    }
+  }
+}
+
+class GemmSizes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  const Tensor a = random_tensor({m, k}, rng);
+  const Tensor b = random_tensor({k, n}, rng);
+  Tensor c({m, n}), ref({m, n});
+  gemm(a, b, c);
+  naive_gemm(a, b, ref);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], ref[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 32, 8), std::make_tuple(9, 1, 9)));
+
+TEST(Gemm, TransposedVariantsAgree) {
+  Rng rng(77);
+  const Tensor a = random_tensor({6, 4}, rng);   // used as A^T: (4,6)
+  const Tensor b = random_tensor({6, 5}, rng);
+  Tensor c1({4, 5});
+  gemm_at_b(a, b, c1);
+  // Reference: transpose A explicitly.
+  Tensor at({4, 6});
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 4; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor ref({4, 5});
+  naive_gemm(at, b, ref);
+  for (std::size_t i = 0; i < c1.size(); ++i) ASSERT_NEAR(c1[i], ref[i], 1e-4);
+}
+
+TEST(Gemm, ABTransposedAgrees) {
+  Rng rng(78);
+  const Tensor a = random_tensor({3, 7}, rng);
+  const Tensor b = random_tensor({5, 7}, rng);  // used as B^T: (7,5)
+  Tensor c({3, 5});
+  gemm_a_bt(a, b, c);
+  Tensor bt({7, 5});
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 7; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor ref({3, 5});
+  naive_gemm(a, bt, ref);
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_NEAR(c[i], ref[i], 1e-4);
+}
+
+TEST(Gemm, RejectsMismatchedShapes) {
+  Tensor a({2, 3}), b({4, 5}), c({2, 5});
+  EXPECT_THROW(gemm(a, b, c), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ Conv
+
+/// Direct convolution reference (stride 1, square kernel, zero padding).
+Tensor naive_conv(const Tensor& x, const Tensor& w, const Tensor& bias,
+                  const ConvGeom& g) {
+  const int n = x.dim(0), cin = x.dim(1);
+  const int cout = w.dim(0), k = g.kernel;
+  const int oh = g.out_h(), ow = g.out_w();
+  Tensor y({n, cout, oh, ow});
+  for (int i = 0; i < n; ++i) {
+    for (int co = 0; co < cout; ++co) {
+      for (int yy = 0; yy < oh; ++yy) {
+        for (int xx = 0; xx < ow; ++xx) {
+          float acc = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(co)];
+          for (int ci = 0; ci < cin; ++ci) {
+            for (int ky = 0; ky < k; ++ky) {
+              for (int kx = 0; kx < k; ++kx) {
+                const int iy = yy * g.stride + ky - g.pad;
+                const int ix = xx * g.stride + kx - g.pad;
+                if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) continue;
+                acc += x.at(i, ci, iy, ix) * w.at(co, ci, ky, kx);
+              }
+            }
+          }
+          y.at(i, co, yy, xx) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+class ConvForward
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ConvForward, MatchesNaive) {
+  const auto [cin, cout, kernel, size] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(cin * 1000 + cout * 100 + kernel * 10 + size));
+  const ConvGeom g{size, size, kernel, 1, kernel / 2};
+  const Tensor x = random_tensor({2, cin, size, size}, rng);
+  const Tensor w = random_tensor({cout, cin, kernel, kernel}, rng);
+  const Tensor bias = random_tensor({cout}, rng);
+  Tensor y({2, cout, g.out_h(), g.out_w()});
+  std::vector<float> scratch;
+  conv2d_forward(x, w, bias, g, y, scratch);
+  const Tensor ref = naive_conv(x, w, bias, g);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], ref[i], 1e-4) << "at flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvForward,
+    ::testing::Values(std::make_tuple(1, 1, 3, 6), std::make_tuple(3, 8, 3, 8),
+                      std::make_tuple(2, 4, 5, 8), std::make_tuple(3, 2, 7, 8),
+                      std::make_tuple(4, 4, 1, 5)));
+
+TEST(ConvBackward, NumericalGradientCheck) {
+  Rng rng(99);
+  const ConvGeom g{5, 5, 3, 1, 1};
+  Tensor x = random_tensor({1, 2, 5, 5}, rng);
+  Tensor w = random_tensor({3, 2, 3, 3}, rng);
+  Tensor bias = random_tensor({3}, rng);
+  std::vector<float> scratch;
+
+  // Loss = sum(y * m) for a fixed random mask m => dy = m.
+  const Tensor mask = random_tensor({1, 3, 5, 5}, rng);
+  auto loss = [&](const Tensor& xx, const Tensor& ww, const Tensor& bb) {
+    Tensor y({1, 3, g.out_h(), g.out_w()});
+    conv2d_forward(xx, ww, bb, g, y, scratch);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) s += y[i] * mask[i];
+    return s;
+  };
+
+  Tensor dx({1, 2, 5, 5}), dw({3, 2, 3, 3}), dbias({3});
+  conv2d_backward(x, w, g, mask, &dx, &dw, &dbias, scratch);
+
+  const float eps = 1e-3f;
+  // Spot-check several coordinates of each gradient.
+  for (std::size_t idx : {0u, 7u, 23u, 49u}) {
+    Tensor xp = x;
+    xp[idx] += eps;
+    Tensor xm = x;
+    xm[idx] -= eps;
+    const double num = (loss(xp, w, bias) - loss(xm, w, bias)) / (2 * eps);
+    EXPECT_NEAR(dx[idx], num, 2e-2) << "dx[" << idx << "]";
+  }
+  for (std::size_t idx : {0u, 11u, 35u, 53u}) {
+    Tensor wp = w;
+    wp[idx] += eps;
+    Tensor wm = w;
+    wm[idx] -= eps;
+    const double num = (loss(x, wp, bias) - loss(x, wm, bias)) / (2 * eps);
+    EXPECT_NEAR(dw[idx], num, 2e-2) << "dw[" << idx << "]";
+  }
+  for (std::size_t idx : {0u, 2u}) {
+    Tensor bp = bias;
+    bp[idx] += eps;
+    Tensor bm = bias;
+    bm[idx] -= eps;
+    const double num = (loss(x, w, bp) - loss(x, w, bm)) / (2 * eps);
+    EXPECT_NEAR(dbias[idx], num, 2e-2) << "dbias[" << idx << "]";
+  }
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), c> == <x, col2im(c)> — the defining adjoint property that
+  // makes the conv backward pass correct.
+  Rng rng(123);
+  const ConvGeom g{6, 6, 3, 1, 1};
+  const int channels = 2;
+  const Tensor x = random_tensor({channels, 6, 6}, rng);
+  const std::size_t col_elems =
+      static_cast<std::size_t>(channels) * 9 * g.out_h() * g.out_w();
+  std::vector<float> cols(col_elems);
+  im2col(x.raw(), channels, g, cols.data());
+
+  Tensor c({static_cast<int>(col_elems)});
+  for (auto& v : c.data()) v = static_cast<float>(rng.uniform(-1, 1));
+  Tensor back({channels, 6, 6});
+  back.fill(0.0f);
+  col2im(c.raw(), channels, g, back.raw());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_elems; ++i) lhs += cols[i] * c[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+// ------------------------------------------------------------------ Pool
+
+TEST(MaxPool, ForwardPicksMax) {
+  Tensor x({1, 1, 2, 2}, {1.0f, 5.0f, 3.0f, 2.0f});
+  Tensor y({1, 1, 1, 1});
+  std::vector<int> argmax;
+  maxpool2x2_forward(x, y, argmax);
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(argmax[0], 1);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  Tensor x({1, 1, 2, 2}, {1.0f, 5.0f, 3.0f, 2.0f});
+  Tensor y({1, 1, 1, 1});
+  std::vector<int> argmax;
+  maxpool2x2_forward(x, y, argmax);
+  Tensor dy({1, 1, 1, 1}, {2.5f});
+  Tensor dx({1, 1, 2, 2});
+  maxpool2x2_backward(dy, argmax, dx);
+  EXPECT_EQ(dx[1], 2.5f);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[2], 0.0f);
+}
+
+TEST(MaxPool, HalvesSpatialDims) {
+  Rng rng(7);
+  const Tensor x = random_tensor({2, 3, 8, 8}, rng);
+  Tensor y({2, 3, 4, 4});
+  std::vector<int> argmax;
+  maxpool2x2_forward(x, y, argmax);
+  // Every output must equal the max of its 2x2 window.
+  for (int n = 0; n < 2; ++n) {
+    for (int c = 0; c < 3; ++c) {
+      for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+          float mx = -1e9f;
+          for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+              mx = std::max(mx, x.at(n, c, i * 2 + dy, j * 2 + dx));
+            }
+          }
+          ASSERT_EQ(y.at(n, c, i, j), mx);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- ReLU / softmax
+
+TEST(Relu, ForwardAndBackward) {
+  Tensor x({4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  Tensor y({4});
+  relu_forward(x, y);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  Tensor dy({4}, {1.0f, 1.0f, 1.0f, 1.0f});
+  Tensor dx({4});
+  relu_backward(x, dy, dx);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[2], 1.0f);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(11);
+  const Tensor logits = random_tensor({5, 10}, rng);
+  Tensor probs({5, 10});
+  softmax_rows(logits, probs);
+  for (int i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 10; ++j) {
+      const float p = probs.at(i, j);
+      ASSERT_GE(p, 0.0f);
+      s += p;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  Tensor logits({1, 3}, {1000.0f, 1001.0f, 999.0f});
+  Tensor probs({1, 3});
+  softmax_rows(logits, probs);
+  EXPECT_FALSE(std::isnan(probs[0]));
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(CrossEntropy, LossAndGradient) {
+  Tensor probs({2, 3}, {0.7f, 0.2f, 0.1f, 0.1f, 0.1f, 0.8f});
+  const std::vector<int> labels = {0, 2};
+  Tensor dlogits({2, 3});
+  const double loss = cross_entropy_loss(probs, labels, dlogits);
+  EXPECT_NEAR(loss, -(std::log(0.7) + std::log(0.8)) / 2.0, 1e-6);
+  // dlogits = (p - onehot) / N
+  EXPECT_NEAR(dlogits.at(0, 0), (0.7 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(dlogits.at(0, 1), 0.2 / 2.0, 1e-6);
+  EXPECT_NEAR(dlogits.at(1, 2), (0.8 - 1.0) / 2.0, 1e-6);
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  Tensor probs({1, 3}, {0.3f, 0.3f, 0.4f});
+  Tensor dlogits({1, 3});
+  const std::vector<int> bad = {3};
+  EXPECT_THROW((void)cross_entropy_loss(probs, bad, dlogits), std::invalid_argument);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  Tensor t({2, 3}, {0.1f, 0.9f, 0.0f, 0.5f, 0.2f, 0.6f});
+  const auto am = argmax_rows(t);
+  EXPECT_EQ(am[0], 1);
+  EXPECT_EQ(am[1], 2);
+}
+
+// ----------------------------------------------------------------- Dense
+
+TEST(Dense, ForwardWithBias) {
+  Tensor x({1, 2}, {1.0f, 2.0f});
+  Tensor w({2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+  Tensor b({2}, {0.5f, -0.5f});
+  Tensor y({1, 2});
+  dense_forward(x, w, b, y);
+  EXPECT_EQ(y[0], 1.5f);
+  EXPECT_EQ(y[1], 1.5f);
+}
+
+TEST(Dense, BackwardGradientCheck) {
+  Rng rng(31);
+  Tensor x = random_tensor({3, 4}, rng);
+  Tensor w = random_tensor({4, 5}, rng);
+  Tensor b = random_tensor({5}, rng);
+  const Tensor mask = random_tensor({3, 5}, rng);
+
+  auto loss = [&](const Tensor& xx, const Tensor& ww, const Tensor& bb) {
+    Tensor y({3, 5});
+    dense_forward(xx, ww, bb, y);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) s += y[i] * mask[i];
+    return s;
+  };
+
+  Tensor dx({3, 4}), dw({4, 5}), db({5});
+  dense_backward(x, w, mask, &dx, &dw, &db);
+
+  const float eps = 1e-3f;
+  for (std::size_t idx : {0u, 5u, 11u}) {
+    Tensor xp = x;
+    xp[idx] += eps;
+    Tensor xm = x;
+    xm[idx] -= eps;
+    EXPECT_NEAR(dx[idx], (loss(xp, w, b) - loss(xm, w, b)) / (2 * eps), 2e-2);
+  }
+  for (std::size_t idx : {0u, 9u, 19u}) {
+    Tensor wp = w;
+    wp[idx] += eps;
+    Tensor wm = w;
+    wm[idx] -= eps;
+    EXPECT_NEAR(dw[idx], (loss(x, wp, b) - loss(x, wm, b)) / (2 * eps), 2e-2);
+  }
+}
+
+}  // namespace
+}  // namespace lcda::tensor
