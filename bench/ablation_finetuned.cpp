@@ -7,30 +7,50 @@
 // Expectation: LCDA-finetuned closes (most of) the gap to NACIM that plain
 // LCDA shows in Fig. 4, at LCDA's 20-episode budget.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "lcda/core/experiment.h"
 #include "lcda/core/pareto.h"
 #include "lcda/util/stats.h"
+#include "lcda/util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace lcda;
   const int seeds = argc > 1 ? std::atoi(argv[1]) : 5;
+  if (seeds <= 0) {
+    std::fprintf(stderr, "usage: %s [seeds >= 1]\n", argv[0]);
+    return 1;
+  }
+  const int parallelism = core::env_parallelism();
 
   std::printf("# Fine-tuned-LLM ablation on the latency objective "
-              "(reward_al, %d seeds)\n", seeds);
+              "(reward_al, %d seeds, parallelism %d)\n", seeds, parallelism);
   std::printf("%-5s %12s %14s %12s | %14s %18s %14s\n", "seed", "LCDA best",
               "LCDA-FT best", "NACIM best", "LCDA min-lat", "LCDA-FT min-lat",
               "NACIM min-lat");
 
+  // Fan the seeds out; each seed's three runs are independent of worker
+  // scheduling, and the table below prints them in seed order.
+  struct SeedRuns {
+    core::RunResult lcda, ft, nacim;
+  };
+  std::vector<SeedRuns> runs(static_cast<std::size_t>(seeds));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (parallelism > 1) pool = std::make_unique<util::ThreadPool>(parallelism);
+  util::parallel_for_each_index(
+      pool.get(), runs.size(), [&](std::size_t s) {
+        core::ExperimentConfig cfg;
+        cfg.objective = llm::Objective::kLatency;
+        cfg.seed = static_cast<std::uint64_t>(s) + 1;
+        runs[s].lcda = core::run_strategy(core::Strategy::kLcda, 20, cfg);
+        runs[s].ft = core::run_strategy(core::Strategy::kLcdaFinetuned, 20, cfg);
+        runs[s].nacim = core::run_strategy(core::Strategy::kNacimRl, 500, cfg);
+      });
+
   util::OnlineStats lcda_best, ft_best, nacim_best;
   for (int s = 0; s < seeds; ++s) {
-    core::ExperimentConfig cfg;
-    cfg.objective = llm::Objective::kLatency;
-    cfg.seed = static_cast<std::uint64_t>(s) + 1;
-    const auto lcda = core::run_strategy(core::Strategy::kLcda, 20, cfg);
-    const auto ft = core::run_strategy(core::Strategy::kLcdaFinetuned, 20, cfg);
-    const auto nacim = core::run_strategy(core::Strategy::kNacimRl, 500, cfg);
-
+    const auto& [lcda, ft, nacim] = runs[static_cast<std::size_t>(s)];
     auto min_lat = [&](const core::RunResult& run) {
       double m = 1e18;
       for (const auto& ep : run.episodes) {

@@ -1,0 +1,68 @@
+// Scaling study of the batched parallel evaluation engine: wall-clock of
+// run_aggregate (8 seeds x NACIM-length runs) at increasing parallelism,
+// with a bit-identity check against the sequential baseline. This is the
+// acceptance harness for the engine refactor: speedup must come with
+// byte-for-byte identical science.
+//
+// Usage: bench_engine_scaling [seeds] [episodes]
+//   LCDA_PARALLELISM caps the sweep's largest setting (0 = all hardware
+//   threads, the default).
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "lcda/core/experiment.h"
+#include "lcda/core/stats_runner.h"
+#include "lcda/util/thread_pool.h"
+
+int main(int argc, char** argv) {
+  using namespace lcda;
+  using clock = std::chrono::steady_clock;
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int episodes = argc > 2 ? std::atoi(argv[2]) : 300;
+  const int max_par = core::env_parallelism(/*fallback=*/0);
+
+  core::ExperimentConfig cfg;
+  cfg.seed = 1;
+
+  auto timed_aggregate = [&](int parallelism) {
+    core::ExperimentConfig run_cfg = cfg;
+    run_cfg.parallelism = parallelism;
+    const auto t0 = clock::now();
+    const auto agg = core::run_aggregate(core::Strategy::kNacimRl, episodes,
+                                         seeds, run_cfg,
+                                         std::numeric_limits<double>::quiet_NaN());
+    const auto t1 = clock::now();
+    const double ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /
+        1000.0;
+    return std::pair<double, core::AggregateResult>(ms, agg);
+  };
+
+  std::printf("# Engine scaling: run_aggregate(NACIM, %d episodes, %d seeds)\n",
+              episodes, seeds);
+  std::printf("%-12s %12s %10s %14s %12s\n", "parallelism", "wall(ms)",
+              "speedup", "final best", "identical");
+
+  const auto [base_ms, base_agg] = timed_aggregate(1);
+  std::printf("%-12d %12.1f %9.2fx %14.4f %12s\n", 1, base_ms, 1.0,
+              base_agg.final_best.mean(), "baseline");
+
+  for (int par = 2; par <= max_par; par *= 2) {
+    const auto [ms, agg] = timed_aggregate(par);
+    bool identical = agg.final_best.mean() == base_agg.final_best.mean() &&
+                     agg.final_best.min() == base_agg.final_best.min() &&
+                     agg.final_best.max() == base_agg.final_best.max();
+    for (std::size_t e = 0; identical && e < agg.running_best.size(); ++e) {
+      identical = agg.running_best[e].mean() == base_agg.running_best[e].mean();
+    }
+    std::printf("%-12d %12.1f %9.2fx %14.4f %12s\n", par, ms, base_ms / ms,
+                agg.final_best.mean(), identical ? "yes" : "NO");
+    if (!identical) {
+      std::printf("\nFATAL: parallel trace diverged from sequential trace\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   core::ExperimentConfig cfg;
   cfg.objective = llm::Objective::kEnergy;
   cfg.seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+  cfg.parallelism = core::env_parallelism();
 
   const core::RunResult lcda =
       core::run_strategy(core::Strategy::kLcda, cfg.lcda_episodes, cfg);

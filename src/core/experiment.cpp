@@ -1,9 +1,11 @@
 #include "lcda/core/experiment.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "lcda/util/csv.h"
+#include "lcda/util/thread_pool.h"
 
 namespace lcda::core {
 
@@ -19,6 +21,18 @@ std::string_view strategy_name(Strategy s) {
     case Strategy::kRandom: return "Random";
   }
   return "?";
+}
+
+int env_parallelism(int fallback) {
+  constexpr long kMaxParallelism = 4096;
+  const char* value = std::getenv("LCDA_PARALLELISM");
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0 || parsed > kMaxParallelism) {
+    return fallback;
+  }
+  return util::ThreadPool::resolve_parallelism(static_cast<int>(parsed));
 }
 
 std::unique_ptr<search::Optimizer> make_optimizer(Strategy strategy,
@@ -62,6 +76,9 @@ RunResult run_strategy(Strategy strategy, int episodes,
   RewardFunction reward(config.objective);
   CodesignLoop::Options opts;
   opts.episodes = episodes;
+  opts.parallelism = config.parallelism;
+  opts.batch_size = config.batch_size;
+  opts.cache_evaluations = config.cache_evaluations;
   CodesignLoop loop(*optimizer, evaluator, reward, opts);
   util::Rng rng(util::hash_combine(config.seed,
                                    static_cast<std::uint64_t>(strategy) + 101));

@@ -25,6 +25,15 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   search::SearchSpace::Options space;
   SurrogateEvaluator::Options evaluator;
+
+  /// Evaluation-engine knobs. `parallelism` fans out both the episode
+  /// batches inside one run and the seeds of run_aggregate/speedup_study
+  /// (1 = sequential, 0 = one worker per hardware thread); results are
+  /// bit-identical for every setting. `batch_size` caps the loop's
+  /// per-round proposal batch (0 = the optimizer's natural batch).
+  int parallelism = 1;
+  std::size_t batch_size = 0;
+  bool cache_evaluations = true;
 };
 
 /// Which optimization strategy drives a run.
@@ -46,6 +55,11 @@ enum class Strategy {
 };
 
 [[nodiscard]] std::string_view strategy_name(Strategy s);
+
+/// Parallelism knob for bench/example binaries: the LCDA_PARALLELISM
+/// environment variable ("0" = auto = one worker per hardware thread),
+/// falling back to `fallback` when unset or unparsable.
+[[nodiscard]] int env_parallelism(int fallback = 1);
 
 /// Builds the optimizer for a strategy over the config's space. LCDA
 /// variants are wired to a fresh SimulatedGpt4 seeded from `config.seed`.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -26,7 +27,16 @@ struct RunResult {
   std::vector<EpisodeRecord> episodes;
   int best_episode = -1;
 
+  /// Evaluation-cache traffic: hits are episodes whose design was already
+  /// evaluated (earlier episode or same batch) and reused its Evaluation.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+
+  /// Best episode, or a sentinel record (episode == -1, reward == -inf)
+  /// when the run recorded no episodes.
   [[nodiscard]] const EpisodeRecord& best() const;
+
+  /// Reward of best(); -inf when the run recorded no episodes.
   [[nodiscard]] double best_reward() const;
 
   /// Running maximum of the reward (what Fig. 3 projects).
@@ -38,14 +48,42 @@ struct RunResult {
 
 /// Algorithm 2: LCDA(Model, Choices, EP, f).
 ///
-/// Drives `optimizer` for `episodes` episodes: propose -> generate ->
-/// evaluate DNN performance and hardware cost -> combine via the reward
-/// function -> feed the observation back and record it.
+/// Drives `optimizer` for `episodes` episodes in propose -> evaluate ->
+/// feedback rounds. Each round asks the optimizer for a batch of proposals
+/// (see Optimizer::propose_batch), fans their evaluations out over a thread
+/// pool, and feeds the observations back in proposal order.
+///
+/// Determinism: identical results for every `parallelism` setting. All
+/// random streams (proposals, per-episode evaluation RNGs) are drawn on the
+/// driving thread in episode order before any evaluation starts, and cache
+/// decisions are made at the same point, so worker scheduling can never
+/// reorder a draw. `evaluator.evaluate` must tolerate concurrent calls with
+/// distinct RNGs (both shipped evaluators do: they only touch local state).
 class CodesignLoop {
  public:
   struct Options {
     int episodes = 20;  ///< the paper's EP
+
+    /// Worker threads for evaluations. 1 = sequential (no pool); 0 = one
+    /// per hardware thread. Does not change results, only wall-clock.
+    int parallelism = 1;
+
+    /// Proposals per round. 0 = auto: the optimizer's preferred_batch(),
+    /// falling back to scalar rounds for optimizers with no preference
+    /// (never to `parallelism` — batch composition must stay independent
+    /// of the thread count or traces would diverge). Explicit values are
+    /// still capped by the optimizer's preference, so a strictly
+    /// sequential optimizer (LlmOptimizer) always runs scalar.
+    std::size_t batch_size = 0;
+
+    /// Reuse the Evaluation of a previously seen design (keyed on
+    /// Design::hash) instead of re-evaluating. Population-based searches
+    /// revisit designs constantly; hits surface in RunResult::cache_hits.
+    bool cache_evaluations = true;
+
     /// Called after each episode (progress reporting in benches/examples).
+    /// Invoked on the driving thread, in episode order, after the episode's
+    /// batch has been evaluated.
     std::function<void(const EpisodeRecord&)> on_episode;
   };
 
@@ -56,6 +94,8 @@ class CodesignLoop {
   [[nodiscard]] RunResult run(util::Rng& rng);
 
  private:
+  [[nodiscard]] std::size_t effective_batch(std::size_t remaining) const;
+
   search::Optimizer* optimizer_;
   PerformanceEvaluator* evaluator_;
   RewardFunction reward_;

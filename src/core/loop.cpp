@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "lcda/util/thread_pool.h"
 
 namespace lcda::core {
 
 const EpisodeRecord& RunResult::best() const {
+  static const EpisodeRecord kEmpty = [] {
+    EpisodeRecord ep;
+    ep.episode = -1;
+    ep.reward = -std::numeric_limits<double>::infinity();
+    return ep;
+  }();
   if (best_episode < 0 || best_episode >= static_cast<int>(episodes.size())) {
-    throw std::logic_error("RunResult::best: no episodes recorded");
+    return kEmpty;
   }
   return episodes[static_cast<std::size_t>(best_episode)];
 }
@@ -43,43 +53,126 @@ CodesignLoop::CodesignLoop(search::Optimizer& optimizer,
   if (opts_.episodes <= 0) throw std::invalid_argument("CodesignLoop: episodes");
 }
 
+std::size_t CodesignLoop::effective_batch(std::size_t remaining) const {
+  // The batch composition must never depend on `parallelism`, or parallel
+  // and sequential runs would fork their evaluation RNGs at different
+  // points of the proposal stream and the traces would diverge.
+  const std::size_t pref = optimizer_->preferred_batch();
+  std::size_t batch;
+  if (opts_.batch_size > 0) {
+    batch = pref > 0 ? std::min(opts_.batch_size, pref) : opts_.batch_size;
+  } else {
+    batch = pref > 0 ? pref : 1;
+  }
+  return std::min(std::max<std::size_t>(batch, 1), remaining);
+}
+
 RunResult CodesignLoop::run(util::Rng& rng) {
   RunResult result;
   result.episodes.reserve(static_cast<std::size_t>(opts_.episodes));
-  for (int ep = 0; ep < opts_.episodes; ++ep) {
-    // des_i = parse(LLM(prompt)) / controller sample / ...
-    const search::Design design = optimizer_->propose(rng);
 
-    // acc_i, hw_i = evaluators; perf_i = f(acc_i, hw_i).
-    util::Rng eval_rng = rng.fork();
-    const Evaluation ev = evaluator_->evaluate(design, eval_rng);
-    const double reward = reward_(ev.accuracy, ev.cost);
+  const int parallelism = util::ThreadPool::resolve_parallelism(opts_.parallelism);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (parallelism > 1) pool = std::make_unique<util::ThreadPool>(parallelism);
 
-    EpisodeRecord record;
-    record.episode = ep;
-    record.design = design;
-    record.accuracy = ev.accuracy;
-    record.energy_pj = ev.cost.energy_total_pj;
-    record.latency_ns = ev.cost.latency_ns;
-    record.area_mm2 = ev.cost.area_total_mm2;
-    record.reward = reward;
-    record.valid = ev.cost.valid;
+  // Content-addressed evaluation cache: Design::hash -> Evaluation of the
+  // first episode that proposed it.
+  std::unordered_map<std::uint64_t, Evaluation> cache;
 
-    // Add des_i and perf_i to l_des / l_perf.
-    search::Observation obs;
-    obs.design = design;
-    obs.reward = reward;
-    obs.accuracy = ev.accuracy;
-    obs.energy_pj = ev.cost.energy_total_pj;
-    obs.latency_ns = ev.cost.latency_ns;
-    obs.valid = ev.cost.valid;
-    optimizer_->feedback(obs);
+  int ep = 0;
+  while (ep < opts_.episodes) {
+    const std::size_t batch =
+        effective_batch(static_cast<std::size_t>(opts_.episodes - ep));
 
-    if (result.best_episode < 0 || reward > result.best_reward()) {
-      result.best_episode = ep;
+    // des_i = parse(LLM(prompt)) / controller sample / breed / ...
+    std::vector<search::Design> designs = optimizer_->propose_batch(batch, rng);
+    if (designs.size() != batch) {
+      throw std::logic_error("CodesignLoop: propose_batch returned " +
+                             std::to_string(designs.size()) + " designs, want " +
+                             std::to_string(batch));
     }
-    if (opts_.on_episode) opts_.on_episode(record);
-    result.episodes.push_back(std::move(record));
+
+    // Plan the round on the driving thread, in episode order: fork one eval
+    // RNG per episode (hit or miss, so the stream layout is independent of
+    // cache contents), resolve cache hits and in-batch duplicates, and
+    // collect the unique misses as jobs.
+    struct Job {
+      std::size_t slot;
+      util::Rng rng;
+    };
+    std::vector<Evaluation> evals(batch);
+    std::vector<std::ptrdiff_t> alias(batch, -1);  ///< >= 0: copy that slot
+    std::vector<bool> planned(batch, false);
+    std::vector<Job> jobs;
+    std::unordered_map<std::uint64_t, std::size_t> first_in_batch;
+    for (std::size_t i = 0; i < batch; ++i) {
+      util::Rng eval_rng = rng.fork();
+      if (opts_.cache_evaluations) {
+        const std::uint64_t h = designs[i].hash();
+        if (auto hit = cache.find(h); hit != cache.end()) {
+          evals[i] = hit->second;
+          planned[i] = true;
+          ++result.cache_hits;
+          continue;
+        }
+        if (auto prev = first_in_batch.find(h); prev != first_in_batch.end()) {
+          alias[i] = static_cast<std::ptrdiff_t>(prev->second);
+          planned[i] = true;
+          ++result.cache_hits;
+          continue;
+        }
+        first_in_batch.emplace(h, i);
+      }
+      ++result.cache_misses;
+      jobs.push_back(Job{i, eval_rng});
+    }
+
+    // acc_i, hw_i = evaluators, fanned out over the pool.
+    util::parallel_for_each_index(
+        pool.get(), jobs.size(), [&](std::size_t j) {
+          util::Rng job_rng = jobs[j].rng;
+          evals[jobs[j].slot] = evaluator_->evaluate(designs[jobs[j].slot], job_rng);
+        });
+
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (alias[i] >= 0) evals[i] = evals[static_cast<std::size_t>(alias[i])];
+      if (opts_.cache_evaluations && !planned[i]) {
+        cache.emplace(designs[i].hash(), evals[i]);
+      }
+    }
+
+    // perf_i = f(acc_i, hw_i); add des_i and perf_i to l_des / l_perf.
+    std::vector<search::Observation> observations(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const Evaluation& ev = evals[i];
+      const double reward = reward_(ev.accuracy, ev.cost);
+
+      EpisodeRecord record;
+      record.episode = ep + static_cast<int>(i);
+      record.design = designs[i];
+      record.accuracy = ev.accuracy;
+      record.energy_pj = ev.cost.energy_total_pj;
+      record.latency_ns = ev.cost.latency_ns;
+      record.area_mm2 = ev.cost.area_total_mm2;
+      record.reward = reward;
+      record.valid = ev.cost.valid;
+
+      search::Observation& obs = observations[i];
+      obs.design = designs[i];
+      obs.reward = reward;
+      obs.accuracy = ev.accuracy;
+      obs.energy_pj = ev.cost.energy_total_pj;
+      obs.latency_ns = ev.cost.latency_ns;
+      obs.valid = ev.cost.valid;
+
+      if (result.best_episode < 0 || reward > result.best_reward()) {
+        result.best_episode = record.episode;
+      }
+      if (opts_.on_episode) opts_.on_episode(record);
+      result.episodes.push_back(std::move(record));
+    }
+    optimizer_->feedback_batch(observations);
+    ep += static_cast<int>(batch);
   }
   return result;
 }

@@ -1,9 +1,35 @@
 #include "lcda/core/stats_runner.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "lcda/util/thread_pool.h"
+
 namespace lcda::core {
+
+namespace {
+
+/// Per-seed config: the seed stream is derived by key (order-independent),
+/// and the worker budget is split between seed-level fan-out and the inner
+/// loop — seeds get the pool, and only the parallelism the fan-out cannot
+/// use (seeds < workers) is passed down, so the machine is never
+/// oversubscribed. Inner parallelism does not affect traces.
+ExperimentConfig seed_config(const ExperimentConfig& config, int s, int seeds) {
+  ExperimentConfig cfg = config;
+  cfg.seed = util::derive_seed(config.seed, static_cast<std::uint64_t>(s));
+  const int par = util::ThreadPool::resolve_parallelism(config.parallelism);
+  cfg.parallelism = std::max(1, par / std::max(seeds, 1));
+  return cfg;
+}
+
+std::unique_ptr<util::ThreadPool> make_pool(const ExperimentConfig& config) {
+  const int par = util::ThreadPool::resolve_parallelism(config.parallelism);
+  return par > 1 ? std::make_unique<util::ThreadPool>(par) : nullptr;
+}
+
+}  // namespace
 
 AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
                               const ExperimentConfig& config, double threshold) {
@@ -16,10 +42,18 @@ AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
   agg.seeds = seeds;
   agg.running_best.resize(static_cast<std::size_t>(episodes));
 
-  for (int s = 0; s < seeds; ++s) {
-    ExperimentConfig cfg = config;
-    cfg.seed = util::hash_combine(config.seed, static_cast<std::uint64_t>(s) + 1);
-    const RunResult run = run_strategy(strategy, episodes, cfg);
+  // Fan the seeds out over the pool; every run's result is independent of
+  // worker scheduling, and the fold below walks them in seed order, so the
+  // aggregate is bit-identical to a sequential run.
+  std::vector<RunResult> runs(static_cast<std::size_t>(seeds));
+  const auto pool = make_pool(config);
+  util::parallel_for_each_index(
+      pool.get(), static_cast<std::size_t>(seeds), [&](std::size_t s) {
+        runs[s] = run_strategy(strategy, episodes,
+                               seed_config(config, static_cast<int>(s), seeds));
+      });
+
+  for (const RunResult& run : runs) {
     const auto rmax = run.reward_running_max();
     for (int e = 0; e < episodes; ++e) {
       agg.running_best[static_cast<std::size_t>(e)].add(
@@ -40,13 +74,13 @@ AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
 std::vector<SpeedupReport> speedup_study(const ExperimentConfig& config,
                                          int seeds, double threshold_fraction) {
   if (seeds <= 0) throw std::invalid_argument("speedup_study: seeds");
-  std::vector<SpeedupReport> out;
-  out.reserve(static_cast<std::size_t>(seeds));
-  for (int s = 0; s < seeds; ++s) {
-    ExperimentConfig cfg = config;
-    cfg.seed = util::hash_combine(config.seed, static_cast<std::uint64_t>(s) + 1);
-    out.push_back(measure_speedup(cfg, threshold_fraction));
-  }
+  std::vector<SpeedupReport> out(static_cast<std::size_t>(seeds));
+  const auto pool = make_pool(config);
+  util::parallel_for_each_index(
+      pool.get(), static_cast<std::size_t>(seeds), [&](std::size_t s) {
+        out[s] = measure_speedup(seed_config(config, static_cast<int>(s), seeds),
+                                 threshold_fraction);
+      });
   return out;
 }
 

@@ -34,6 +34,45 @@ Design AnnealingOptimizer::propose(util::Rng& rng) {
   return space_.decode(neighbour);
 }
 
+std::vector<Design> AnnealingOptimizer::propose_batch(std::size_t n,
+                                                      util::Rng& rng) {
+  if (n == 1) return {propose(rng)};
+  if (!accept_rng_seeded_) {
+    accept_rng_ = rng.fork();
+    accept_rng_seeded_ = true;
+  }
+  pending_genes_.clear();
+  std::vector<Design> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (current_genes_.empty()) {
+      out.push_back(space_.sample(rng));
+      continue;
+    }
+    std::vector<int> neighbour = current_genes_;
+    for (int m = 0; m < opts_.mutations_per_step; ++m) {
+      const std::size_t g = rng.index(neighbour.size());
+      neighbour[g] = static_cast<int>(rng.index(space_.cardinality(g)));
+    }
+    out.push_back(space_.decode(neighbour));
+  }
+  return out;
+}
+
+void AnnealingOptimizer::feedback_batch(std::span<const Observation> batch) {
+  if (batch.size() == 1) {
+    feedback(batch.front());
+    return;
+  }
+  // One Metropolis step on the batch's best candidate, one cooling step.
+  const Observation* best = nullptr;
+  for (const Observation& obs : batch) {
+    if (!space_.contains(obs.design)) continue;
+    if (!best || obs.reward > best->reward) best = &obs;
+  }
+  if (best) feedback(*best);
+}
+
 void AnnealingOptimizer::feedback(const Observation& obs) {
   std::vector<int> genes;
   if (!pending_genes_.empty() && space_.decode(pending_genes_) == obs.design) {

@@ -29,6 +29,12 @@ Design GeneticOptimizer::propose(util::Rng& rng) {
     return d;
   }
   // Breed: tournament-select parents, uniform crossover, mutate.
+  std::vector<int> child = breed(rng);
+  pending_genes_ = child;
+  return space_.decode(child);
+}
+
+std::vector<int> GeneticOptimizer::breed(util::Rng& rng) const {
   const Scored& a = tournament_pick(rng);
   const Scored& b = tournament_pick(rng);
   std::vector<int> child = a.genes;
@@ -42,11 +48,43 @@ Design GeneticOptimizer::propose(util::Rng& rng) {
       child[g] = static_cast<int>(rng.index(space_.cardinality(g)));
     }
   }
-  pending_genes_ = child;
-  return space_.decode(child);
+  return child;
+}
+
+std::vector<Design> GeneticOptimizer::propose_batch(std::size_t n,
+                                                    util::Rng& rng) {
+  if (n == 1) return {propose(rng)};
+  pending_genes_.clear();
+  std::vector<Design> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scored_.size() + out.size() < opts_.population ||
+        scored_.size() < 2) {
+      out.push_back(space_.sample(rng));
+    } else {
+      out.push_back(space_.decode(breed(rng)));
+    }
+  }
+  return out;
+}
+
+void GeneticOptimizer::feedback_batch(std::span<const Observation> batch) {
+  if (batch.size() == 1) {
+    feedback(batch.front());
+    return;
+  }
+  // One generation lands at once; cull a single time afterwards so the
+  // elite is chosen against the whole generation, not a rolling window.
+  for (const Observation& obs : batch) add_scored(obs);
+  maybe_cull();
 }
 
 void GeneticOptimizer::feedback(const Observation& obs) {
+  add_scored(obs);
+  maybe_cull();
+}
+
+void GeneticOptimizer::add_scored(const Observation& obs) {
   Scored s;
   if (!pending_genes_.empty() && space_.decode(pending_genes_) == obs.design) {
     s.genes = pending_genes_;
@@ -57,7 +95,9 @@ void GeneticOptimizer::feedback(const Observation& obs) {
   pending_genes_.clear();
   s.fitness = obs.reward;
   scored_.push_back(std::move(s));
+}
 
+void GeneticOptimizer::maybe_cull() {
   // Cull: keep the elite plus the freshest entries within 2x population.
   if (scored_.size() > opts_.population * 2) {
     std::vector<Scored> next(scored_.begin(), scored_.end());

@@ -25,6 +25,19 @@ class AnnealingOptimizer final : public Optimizer {
 
   [[nodiscard]] Design propose(util::Rng& rng) override;
   void feedback(const Observation& obs) override;
+
+  /// Speculative batch: n independent neighbours of the current state are
+  /// proposed at once; feedback_batch applies one Metropolis step on the
+  /// best of them and cools once, so a batch costs one "move" of the
+  /// schedule while exploring n candidates. A batch of 1 is exactly one
+  /// scalar step. The trajectory itself stays sequential by default (no
+  /// batch preference resolves to scalar rounds); batches happen only
+  /// when the caller sets an explicit batch_size.
+  [[nodiscard]] std::vector<Design> propose_batch(std::size_t n,
+                                                  util::Rng& rng) override;
+  void feedback_batch(std::span<const Observation> batch) override;
+  [[nodiscard]] std::size_t preferred_batch() const override { return 0; }
+
   [[nodiscard]] std::string name() const override { return "Annealing"; }
 
   [[nodiscard]] double temperature() const { return temperature_; }

@@ -28,6 +28,17 @@ class GeneticOptimizer final : public Optimizer {
 
   [[nodiscard]] Design propose(util::Rng& rng) override;
   void feedback(const Observation& obs) override;
+
+  /// Generational batch: n children bred from a snapshot of the current
+  /// pool (the seeding phase fills with random designs first). The natural
+  /// batch is one population.
+  [[nodiscard]] std::vector<Design> propose_batch(std::size_t n,
+                                                  util::Rng& rng) override;
+  void feedback_batch(std::span<const Observation> batch) override;
+  [[nodiscard]] std::size_t preferred_batch() const override {
+    return opts_.population;
+  }
+
   [[nodiscard]] std::string name() const override { return "Genetic"; }
 
   [[nodiscard]] std::size_t population_size() const { return scored_.size(); }
@@ -39,6 +50,9 @@ class GeneticOptimizer final : public Optimizer {
   };
 
   [[nodiscard]] const Scored& tournament_pick(util::Rng& rng) const;
+  [[nodiscard]] std::vector<int> breed(util::Rng& rng) const;
+  void add_scored(const Observation& obs);
+  void maybe_cull();
 
   SearchSpace space_;
   Options opts_;

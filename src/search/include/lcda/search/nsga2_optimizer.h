@@ -48,6 +48,17 @@ class Nsga2Optimizer final : public Optimizer {
 
   [[nodiscard]] Design propose(util::Rng& rng) override;
   void feedback(const Observation& obs) override;
+
+  /// Generational batch: the non-dominated sort and crowding distances are
+  /// computed once per batch instead of once per proposal, and the
+  /// environmental selection runs once after the whole generation lands.
+  [[nodiscard]] std::vector<Design> propose_batch(std::size_t n,
+                                                  util::Rng& rng) override;
+  void feedback_batch(std::span<const Observation> batch) override;
+  [[nodiscard]] std::size_t preferred_batch() const override {
+    return opts_.population;
+  }
+
   [[nodiscard]] std::string name() const override { return "NSGA-II"; }
 
   /// The current non-dominated set of evaluated designs.
@@ -62,9 +73,13 @@ class Nsga2Optimizer final : public Optimizer {
   };
 
   void environmental_selection();
+  void add_individual(const Observation& obs);
   [[nodiscard]] const Individual& tournament(util::Rng& rng,
                                              const std::vector<int>& ranks,
                                              const std::vector<double>& crowd) const;
+  [[nodiscard]] std::vector<int> breed(util::Rng& rng,
+                                       const std::vector<int>& ranks,
+                                       const std::vector<double>& crowd) const;
 
   SearchSpace space_;
   Options opts_;

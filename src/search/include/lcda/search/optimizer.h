@@ -1,6 +1,8 @@
 #pragma once
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "lcda/search/design.h"
 #include "lcda/util/rng.h"
@@ -34,6 +36,33 @@ class Optimizer {
 
   /// Result of evaluating the most recent (or any past) proposal.
   virtual void feedback(const Observation& obs) = 0;
+
+  /// --- Batch contract (the parallel engine's entry points) -------------
+  ///
+  /// propose_batch(n) returns exactly n candidates produced without any
+  /// feedback in between; feedback_batch delivers their observations in
+  /// proposal order. The defaults delegate to the scalar methods, so a
+  /// strictly sequential optimizer (e.g. llm::LlmOptimizer, whose every
+  /// prompt embeds the full history) keeps its semantics unchanged.
+  /// Overrides may implement genuinely generational behaviour, but a
+  /// batch of size 1 must always be equivalent to one scalar round trip.
+
+  [[nodiscard]] virtual std::vector<Design> propose_batch(std::size_t n,
+                                                          util::Rng& rng) {
+    std::vector<Design> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(propose(rng));
+    return out;
+  }
+
+  virtual void feedback_batch(std::span<const Observation> batch) {
+    for (const Observation& obs : batch) feedback(obs);
+  }
+
+  /// Largest batch this optimizer naturally digests per round: 1 for
+  /// strictly sequential strategies, the population size for generational
+  /// ones, 0 for "no preference" (any batch size is as good as any other).
+  [[nodiscard]] virtual std::size_t preferred_batch() const { return 1; }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -16,6 +16,14 @@ class RandomOptimizer final : public Optimizer {
 
   [[nodiscard]] Design propose(util::Rng& rng) override;
   void feedback(const Observation& obs) override;
+
+  /// Samples are independent, so a batch of n draws the exact same designs
+  /// as n scalar propose/feedback round trips: duplicate avoidance counts
+  /// the batch's own members as seen.
+  [[nodiscard]] std::vector<Design> propose_batch(std::size_t n,
+                                                  util::Rng& rng) override;
+  [[nodiscard]] std::size_t preferred_batch() const override { return 0; }
+
   [[nodiscard]] std::string name() const override { return "Random"; }
 
  private:

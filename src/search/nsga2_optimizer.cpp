@@ -99,18 +99,9 @@ const Nsga2Optimizer::Individual& Nsga2Optimizer::tournament(
   return archive_[crowd[a] >= crowd[b] ? a : b];
 }
 
-Design Nsga2Optimizer::propose(util::Rng& rng) {
-  if (archive_.size() < opts_.population) {
-    const Design d = space_.sample(rng);
-    pending_genes_ = space_.encode(d);
-    return d;
-  }
-  std::vector<MoPoint> pts;
-  pts.reserve(archive_.size());
-  for (const auto& ind : archive_) pts.push_back(ind.objectives);
-  const auto ranks = non_dominated_sort(pts);
-  const auto crowd = crowding_distance(pts, ranks);
-
+std::vector<int> Nsga2Optimizer::breed(util::Rng& rng,
+                                       const std::vector<int>& ranks,
+                                       const std::vector<double>& crowd) const {
   const Individual& a = tournament(rng, ranks, crowd);
   const Individual& b = tournament(rng, ranks, crowd);
   std::vector<int> child = a.genes;
@@ -124,11 +115,67 @@ Design Nsga2Optimizer::propose(util::Rng& rng) {
       child[g] = static_cast<int>(rng.index(space_.cardinality(g)));
     }
   }
+  return child;
+}
+
+Design Nsga2Optimizer::propose(util::Rng& rng) {
+  if (archive_.size() < opts_.population) {
+    const Design d = space_.sample(rng);
+    pending_genes_ = space_.encode(d);
+    return d;
+  }
+  std::vector<MoPoint> pts;
+  pts.reserve(archive_.size());
+  for (const auto& ind : archive_) pts.push_back(ind.objectives);
+  const auto ranks = non_dominated_sort(pts);
+  const auto crowd = crowding_distance(pts, ranks);
+
+  std::vector<int> child = breed(rng, ranks, crowd);
   pending_genes_ = child;
   return space_.decode(child);
 }
 
+std::vector<Design> Nsga2Optimizer::propose_batch(std::size_t n, util::Rng& rng) {
+  if (n == 1) return {propose(rng)};
+  pending_genes_.clear();
+  std::vector<Design> out;
+  out.reserve(n);
+
+  // Sort the archive once for the whole generation.
+  std::vector<int> ranks;
+  std::vector<double> crowd;
+  if (archive_.size() >= 2) {
+    std::vector<MoPoint> pts;
+    pts.reserve(archive_.size());
+    for (const auto& ind : archive_) pts.push_back(ind.objectives);
+    ranks = non_dominated_sort(pts);
+    crowd = crowding_distance(pts, ranks);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (archive_.size() + out.size() < opts_.population || archive_.size() < 2) {
+      out.push_back(space_.sample(rng));
+    } else {
+      out.push_back(space_.decode(breed(rng, ranks, crowd)));
+    }
+  }
+  return out;
+}
+
 void Nsga2Optimizer::feedback(const Observation& obs) {
+  add_individual(obs);
+  if (archive_.size() > 2 * opts_.population) environmental_selection();
+}
+
+void Nsga2Optimizer::feedback_batch(std::span<const Observation> batch) {
+  if (batch.size() == 1) {
+    feedback(batch.front());
+    return;
+  }
+  for (const Observation& obs : batch) add_individual(obs);
+  if (archive_.size() > 2 * opts_.population) environmental_selection();
+}
+
+void Nsga2Optimizer::add_individual(const Observation& obs) {
   Individual ind;
   if (!pending_genes_.empty() && space_.decode(pending_genes_) == obs.design) {
     ind.genes = pending_genes_;
@@ -146,7 +193,6 @@ void Nsga2Optimizer::feedback(const Observation& obs) {
     ind.objectives.neg_cost = -std::numeric_limits<double>::max();
   }
   archive_.push_back(std::move(ind));
-  if (archive_.size() > 2 * opts_.population) environmental_selection();
 }
 
 void Nsga2Optimizer::environmental_selection() {

@@ -19,6 +19,28 @@ Design RandomOptimizer::propose(util::Rng& rng) {
   return d;
 }
 
+std::vector<Design> RandomOptimizer::propose_batch(std::size_t n,
+                                                   util::Rng& rng) {
+  std::vector<Design> out;
+  out.reserve(n);
+  std::unordered_set<std::uint64_t> batch_seen;
+  for (std::size_t i = 0; i < n; ++i) {
+    Design d = space_.sample(rng);
+    if (avoid_duplicates_) {
+      auto is_dup = [&](const Design& cand) {
+        const std::uint64_t h = cand.hash();
+        return seen_.contains(h) || batch_seen.contains(h);
+      };
+      for (int attempt = 0; attempt < max_retries_ && is_dup(d); ++attempt) {
+        d = space_.sample(rng);
+      }
+      batch_seen.insert(d.hash());
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
 void RandomOptimizer::feedback(const Observation& obs) {
   seen_.insert(obs.design.hash());
 }

@@ -89,6 +89,12 @@ std::uint64_t hash_mix(std::uint64_t key);
 /// Combines two hashes.
 std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
 
+/// Seed of the `index`-th derived RNG stream of `base`. Unlike Rng::fork()
+/// this consumes no generator state, so streams can be handed out in any
+/// order (worker threads, shards) and stay bit-identical to a sequential
+/// hand-out — the parallel engine's seed-derivation scheme.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
 /// Hash of a list of integers (order-sensitive).
 std::uint64_t hash_ints(std::span<const int> values, std::uint64_t seed = 0);
 

@@ -22,6 +22,10 @@ std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
   return hash_mix(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  return hash_combine(base, index + 1);
+}
+
 std::uint64_t hash_ints(std::span<const int> values, std::uint64_t seed) {
   std::uint64_t h = hash_mix(seed + 0x51ed2701u);
   for (int v : values) {

@@ -1,0 +1,107 @@
+#include "lcda/util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace lcda::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(job));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      job();
+    } catch (...) {
+      std::unique_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock lock(mutex_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  // The calling thread drains the same counter as the workers, so a busy
+  // pool can never deadlock a nested-free caller. Only size()-1 drain
+  // tasks are submitted: driver + workers == size(), keeping the
+  // concurrency at exactly the configured parallelism.
+  auto drain = [next, n, &body] {
+    for (std::size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+      body(i);
+    }
+  };
+  const std::size_t tasks =
+      std::min(n, static_cast<std::size_t>(size() > 0 ? size() - 1 : 0));
+  for (std::size_t t = 0; t < tasks; ++t) submit(drain);
+  try {
+    drain();
+  } catch (...) {
+    wait_idle();  // let workers finish before unwinding `body`
+    throw;
+  }
+  wait_idle();
+}
+
+int ThreadPool::resolve_parallelism(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for_each_index(ThreadPool* pool, std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool->parallel_for(n, body);
+}
+
+}  // namespace lcda::util

@@ -1,0 +1,390 @@
+// Tests of the batched parallel evaluation engine: the thread pool, the
+// seed-derivation scheme, the optimizer batch contract, the evaluation
+// cache, and the bit-for-bit determinism guarantee (same seed => same
+// trace, for every parallelism setting).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "lcda/core/experiment.h"
+#include "lcda/core/loop.h"
+#include "lcda/core/stats_runner.h"
+#include "lcda/llm/llm_optimizer.h"
+#include "lcda/llm/simulated_gpt4.h"
+#include "lcda/search/genetic_optimizer.h"
+#include "lcda/search/nsga2_optimizer.h"
+#include "lcda/search/random_optimizer.h"
+#include "lcda/util/rng.h"
+#include "lcda/util/thread_pool.h"
+
+namespace lcda {
+namespace {
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(counts.size(), [&](std::size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdleRunsAllJobs) {
+  util::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { ++done; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   if (i == 13) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ResolveParallelism) {
+  EXPECT_EQ(util::ThreadPool::resolve_parallelism(3), 3);
+  EXPECT_EQ(util::ThreadPool::resolve_parallelism(1), 1);
+  EXPECT_GE(util::ThreadPool::resolve_parallelism(0), 1);  // auto
+}
+
+TEST(ThreadPool, NullPoolHelperRunsInline) {
+  std::vector<int> counts(10, 0);
+  util::parallel_for_each_index(nullptr, counts.size(),
+                                [&](std::size_t i) { ++counts[i]; });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+// ------------------------------------------------------- seed derivation
+
+TEST(DeriveSeed, OrderIndependentAndDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    seeds.insert(util::derive_seed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 100u) << "streams must be distinct";
+  // Same (base, index) in any order gives the same seed.
+  EXPECT_EQ(util::derive_seed(42, 7), util::derive_seed(42, 7));
+  EXPECT_NE(util::derive_seed(42, 7), util::derive_seed(43, 7));
+  // Derived streams behave like independent Rngs.
+  util::Rng a(util::derive_seed(1, 0)), b(util::derive_seed(1, 1));
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ------------------------------------------------- optimizer batch contract
+
+TEST(BatchContract, DefaultsDelegateToScalar) {
+  // Two identically seeded LLM optimizers: one driven through the scalar
+  // API, one through the (inherited default) batch API. Streams must match.
+  core::ExperimentConfig cfg;
+  cfg.seed = 5;
+  auto scalar = core::make_optimizer(core::Strategy::kLcda, cfg);
+  auto batched = core::make_optimizer(core::Strategy::kLcda, cfg);
+  ASSERT_EQ(scalar->preferred_batch(), 1u);
+
+  util::Rng r1(9), r2(9);
+  for (int round = 0; round < 4; ++round) {
+    const search::Design ds = scalar->propose(r1);
+    const std::vector<search::Design> db = batched->propose_batch(1, r2);
+    ASSERT_EQ(db.size(), 1u);
+    EXPECT_EQ(ds, db[0]);
+
+    search::Observation obs;
+    obs.design = ds;
+    obs.reward = 0.1 * round;
+    obs.accuracy = 0.5;
+    obs.valid = true;
+    scalar->feedback(obs);
+    batched->feedback_batch(std::span<const search::Observation>(&obs, 1));
+  }
+}
+
+TEST(BatchContract, GeneticBatchIsGenerational) {
+  search::GeneticOptimizer::Options gopts;
+  gopts.population = 8;
+  search::GeneticOptimizer ga{search::SearchSpace{}, gopts};
+  EXPECT_EQ(ga.preferred_batch(), 8u);
+
+  util::Rng rng(3);
+  const auto seedlings = ga.propose_batch(8, rng);
+  ASSERT_EQ(seedlings.size(), 8u);
+  std::vector<search::Observation> obs(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    obs[i].design = seedlings[i];
+    obs[i].reward = 0.01 * static_cast<double>(i);
+    obs[i].valid = true;
+  }
+  ga.feedback_batch(obs);
+  EXPECT_EQ(ga.population_size(), 8u);
+
+  // Next generation breeds from the filled pool.
+  const auto children = ga.propose_batch(8, rng);
+  EXPECT_EQ(children.size(), 8u);
+}
+
+TEST(BatchContract, Nsga2BatchSortsOncePerGeneration) {
+  search::Nsga2Optimizer::Options nopts;
+  nopts.population = 8;
+  search::Nsga2Optimizer nsga{search::SearchSpace{}, nopts};
+  EXPECT_EQ(nsga.preferred_batch(), 8u);
+
+  util::Rng rng(4);
+  for (int gen = 0; gen < 3; ++gen) {
+    const auto designs = nsga.propose_batch(8, rng);
+    ASSERT_EQ(designs.size(), 8u);
+    std::vector<search::Observation> obs(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      obs[i].design = designs[i];
+      obs[i].accuracy = 0.5 + 0.01 * static_cast<double>(i);
+      obs[i].energy_pj = 1e7;
+      obs[i].reward = obs[i].accuracy;
+      obs[i].valid = true;
+    }
+    nsga.feedback_batch(obs);
+  }
+  EXPECT_LE(nsga.archive_size(), 2u * 8u);
+  EXPECT_GE(nsga.archive_size(), 8u);
+}
+
+TEST(BatchContract, RandomBatchMatchesScalarStream) {
+  search::RandomOptimizer scalar{search::SearchSpace{}};
+  search::RandomOptimizer batched{search::SearchSpace{}};
+  util::Rng r1(11), r2(11);
+  std::vector<search::Design> via_scalar;
+  for (int i = 0; i < 12; ++i) {
+    search::Design d = scalar.propose(r1);
+    search::Observation obs;
+    obs.design = d;
+    scalar.feedback(obs);
+    via_scalar.push_back(std::move(d));
+  }
+  const auto via_batch = batched.propose_batch(12, r2);
+  ASSERT_EQ(via_batch.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(via_scalar[static_cast<std::size_t>(i)],
+              via_batch[static_cast<std::size_t>(i)]);
+  }
+}
+
+// -------------------------------------------------- engine determinism
+
+void expect_identical_traces(const core::RunResult& a, const core::RunResult& b) {
+  ASSERT_EQ(a.episodes.size(), b.episodes.size());
+  EXPECT_EQ(a.best_episode, b.best_episode);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  for (std::size_t i = 0; i < a.episodes.size(); ++i) {
+    EXPECT_EQ(a.episodes[i].design, b.episodes[i].design) << "episode " << i;
+    // Bit-for-bit: no tolerance.
+    EXPECT_EQ(a.episodes[i].reward, b.episodes[i].reward) << "episode " << i;
+    EXPECT_EQ(a.episodes[i].accuracy, b.episodes[i].accuracy) << "episode " << i;
+    EXPECT_EQ(a.episodes[i].energy_pj, b.episodes[i].energy_pj) << "episode " << i;
+  }
+}
+
+TEST(EngineDeterminism, ParallelTraceIsBitIdenticalToSequential) {
+  for (const auto strategy :
+       {core::Strategy::kLcda, core::Strategy::kNacimRl, core::Strategy::kRandom,
+        core::Strategy::kGenetic, core::Strategy::kNsga2,
+        core::Strategy::kAnnealing}) {
+    core::ExperimentConfig sequential;
+    sequential.seed = 77;
+    sequential.parallelism = 1;
+    core::ExperimentConfig parallel = sequential;
+    parallel.parallelism = 4;
+    const core::RunResult a = core::run_strategy(strategy, 30, sequential);
+    const core::RunResult b = core::run_strategy(strategy, 30, parallel);
+    SCOPED_TRACE(std::string(core::strategy_name(strategy)));
+    expect_identical_traces(a, b);
+  }
+}
+
+TEST(EngineDeterminism, ExplicitBatchingIsParallelismIndependent) {
+  core::ExperimentConfig sequential;
+  sequential.seed = 31;
+  sequential.batch_size = 6;
+  sequential.parallelism = 1;
+  core::ExperimentConfig parallel = sequential;
+  parallel.parallelism = 3;
+  for (const auto strategy : {core::Strategy::kRandom, core::Strategy::kAnnealing}) {
+    const core::RunResult a = core::run_strategy(strategy, 24, sequential);
+    const core::RunResult b = core::run_strategy(strategy, 24, parallel);
+    SCOPED_TRACE(std::string(core::strategy_name(strategy)));
+    expect_identical_traces(a, b);
+  }
+}
+
+TEST(EngineDeterminism, LlmOptimizerStaysScalarUnderForcedBatch) {
+  // preferred_batch() == 1 caps any requested batch, so LCDA's history
+  // semantics survive aggressive engine settings.
+  core::ExperimentConfig scalar_cfg;
+  scalar_cfg.seed = 19;
+  core::ExperimentConfig forced = scalar_cfg;
+  forced.parallelism = 4;
+  forced.batch_size = 8;
+  const core::RunResult a = core::run_strategy(core::Strategy::kLcda, 12, scalar_cfg);
+  const core::RunResult b = core::run_strategy(core::Strategy::kLcda, 12, forced);
+  expect_identical_traces(a, b);
+}
+
+TEST(EngineDeterminism, AggregateParallelMatchesSequential) {
+  core::ExperimentConfig sequential;
+  sequential.seed = 3;
+  sequential.parallelism = 1;
+  core::ExperimentConfig parallel = sequential;
+  parallel.parallelism = 8;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto a = core::run_aggregate(core::Strategy::kRandom, 12, 8, sequential, nan);
+  const auto b = core::run_aggregate(core::Strategy::kRandom, 12, 8, parallel, nan);
+  ASSERT_EQ(a.running_best.size(), b.running_best.size());
+  for (std::size_t e = 0; e < a.running_best.size(); ++e) {
+    EXPECT_EQ(a.running_best[e].mean(), b.running_best[e].mean());
+    EXPECT_EQ(a.running_best[e].stddev(), b.running_best[e].stddev());
+  }
+  EXPECT_EQ(a.final_best.mean(), b.final_best.mean());
+  EXPECT_EQ(a.final_best.min(), b.final_best.min());
+  EXPECT_EQ(a.final_best.max(), b.final_best.max());
+}
+
+TEST(EngineDeterminism, AggregateHandsLeftoverParallelismToInnerRuns) {
+  // With fewer seeds than workers the spare parallelism flows into the
+  // inner loops; it must not change the aggregate.
+  core::ExperimentConfig sequential;
+  sequential.seed = 6;
+  sequential.parallelism = 1;
+  core::ExperimentConfig parallel = sequential;
+  parallel.parallelism = 8;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto a = core::run_aggregate(core::Strategy::kGenetic, 48, 2, sequential, nan);
+  const auto b = core::run_aggregate(core::Strategy::kGenetic, 48, 2, parallel, nan);
+  for (std::size_t e = 0; e < a.running_best.size(); ++e) {
+    EXPECT_EQ(a.running_best[e].mean(), b.running_best[e].mean());
+  }
+  EXPECT_EQ(a.final_best.mean(), b.final_best.mean());
+}
+
+TEST(EngineDeterminism, SpeedupStudyParallelMatchesSequential) {
+  core::ExperimentConfig sequential;
+  sequential.seed = 8;
+  sequential.lcda_episodes = 8;
+  sequential.nacim_episodes = 60;
+  sequential.parallelism = 1;
+  core::ExperimentConfig parallel = sequential;
+  parallel.parallelism = 4;
+  const auto a = core::speedup_study(sequential, 4);
+  const auto b = core::speedup_study(parallel, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].lcda_best, b[s].lcda_best);
+    EXPECT_EQ(a[s].nacim_best, b[s].nacim_best);
+    EXPECT_EQ(a[s].lcda_episodes, b[s].lcda_episodes);
+    EXPECT_EQ(a[s].nacim_episodes, b[s].nacim_episodes);
+  }
+}
+
+// ------------------------------------------------------ evaluation cache
+
+class FixedOptimizer final : public search::Optimizer {
+ public:
+  explicit FixedOptimizer(search::Design design) : design_(std::move(design)) {}
+  search::Design propose(util::Rng&) override { return design_; }
+  void feedback(const search::Observation&) override {}
+  std::string name() const override { return "Fixed"; }
+
+ private:
+  search::Design design_;
+};
+
+search::Design fixed_design() {
+  search::Design d;
+  d.rollout = {{32, 3}, {32, 3}, {64, 3}, {64, 3}, {128, 3}, {128, 3}};
+  return d;
+}
+
+TEST(EvalCache, HitsReturnIdenticalEvaluations) {
+  FixedOptimizer opt(fixed_design());
+  core::SurrogateEvaluator eval;
+  core::CodesignLoop::Options lopts;
+  lopts.episodes = 10;
+  lopts.cache_evaluations = true;
+  core::CodesignLoop loop(opt, eval, core::RewardFunction(llm::Objective::kEnergy),
+                          lopts);
+  util::Rng rng(55);
+  const core::RunResult run = loop.run(rng);
+  EXPECT_EQ(run.cache_misses, 1);
+  EXPECT_EQ(run.cache_hits, 9);
+  for (const auto& ep : run.episodes) {
+    EXPECT_EQ(ep.accuracy, run.episodes[0].accuracy);
+    EXPECT_EQ(ep.reward, run.episodes[0].reward);
+  }
+}
+
+TEST(EvalCache, DisabledCacheReEvaluatesWithFreshNoise) {
+  FixedOptimizer opt(fixed_design());
+  core::SurrogateEvaluator eval;
+  core::CodesignLoop::Options lopts;
+  lopts.episodes = 6;
+  lopts.cache_evaluations = false;
+  core::CodesignLoop loop(opt, eval, core::RewardFunction(llm::Objective::kEnergy),
+                          lopts);
+  util::Rng rng(55);
+  const core::RunResult run = loop.run(rng);
+  EXPECT_EQ(run.cache_misses, 6);
+  EXPECT_EQ(run.cache_hits, 0);
+  // Monte-Carlo accuracy differs across episodes when re-evaluated.
+  bool any_differs = false;
+  for (const auto& ep : run.episodes) {
+    if (ep.accuracy != run.episodes[0].accuracy) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(EvalCache, InBatchDuplicatesHitWithoutRacing) {
+  FixedOptimizer opt(fixed_design());
+  core::SurrogateEvaluator eval;
+  core::CodesignLoop::Options lopts;
+  lopts.episodes = 12;
+  lopts.batch_size = 4;
+  lopts.parallelism = 4;
+  core::CodesignLoop loop(opt, eval, core::RewardFunction(llm::Objective::kEnergy),
+                          lopts);
+  util::Rng rng(56);
+  const core::RunResult run = loop.run(rng);
+  EXPECT_EQ(run.cache_misses, 1);
+  EXPECT_EQ(run.cache_hits, 11);
+  for (const auto& ep : run.episodes) {
+    EXPECT_EQ(ep.accuracy, run.episodes[0].accuracy);
+  }
+}
+
+// ------------------------------------------------------- RunResult guards
+
+TEST(RunResult, EmptyRunYieldsSentinelBest) {
+  core::RunResult empty;
+  EXPECT_NO_THROW((void)empty.best());
+  EXPECT_EQ(empty.best().episode, -1);
+  EXPECT_EQ(empty.best_reward(), -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(empty.reward_running_max().empty());
+  EXPECT_EQ(empty.episodes_to_reach(0.0), -1);
+}
+
+TEST(RunResult, OutOfRangeBestEpisodeYieldsSentinel) {
+  core::RunResult run;
+  core::EpisodeRecord ep;
+  ep.reward = 0.5;
+  run.episodes.push_back(ep);
+  run.best_episode = 7;  // corrupted index must not be UB
+  EXPECT_EQ(run.best().episode, -1);
+}
+
+}  // namespace
+}  // namespace lcda
