@@ -6,23 +6,29 @@
 //
 // Expectation: LCDA-finetuned closes (most of) the gap to NACIM that plain
 // LCDA shows in Fig. 4, at LCDA's 20-episode budget.
+// A thin driver over the "finetuned" scenario (the paper-latency config
+// whose default strategy is LCDA-finetuned): the same study is
+// `lcda_run --scenario=finetuned --strategy=lcda,finetuned,nacim --seeds=N`.
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "lcda/core/experiment.h"
+#include "lcda/core/scenario.h"
+#include "lcda/core/report.h"
 #include "lcda/core/pareto.h"
 #include "lcda/util/stats.h"
 #include "lcda/util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace lcda;
-  const int seeds = argc > 1 ? std::atoi(argv[1]) : 5;
+  const auto args = core::positional_args(argc, argv);
+  const int seeds = !args.empty() ? std::atoi(args[0].c_str()) : 5;
   if (seeds <= 0) {
     std::fprintf(stderr, "usage: %s [seeds >= 1]\n", argv[0]);
     return 1;
   }
   const int parallelism = core::env_parallelism();
+  const core::Scenario scenario = core::scenario_by_name("finetuned");
 
   std::printf("# Fine-tuned-LLM ablation on the latency objective "
               "(reward_al, %d seeds, parallelism %d)\n", seeds, parallelism);
@@ -40,12 +46,14 @@ int main(int argc, char** argv) {
   if (parallelism > 1) pool = std::make_unique<util::ThreadPool>(parallelism);
   util::parallel_for_each_index(
       pool.get(), runs.size(), [&](std::size_t s) {
-        core::ExperimentConfig cfg;
-        cfg.objective = llm::Objective::kLatency;
+        core::ExperimentConfig cfg = scenario.config;
         cfg.seed = static_cast<std::uint64_t>(s) + 1;
-        runs[s].lcda = core::run_strategy(core::Strategy::kLcda, 20, cfg);
-        runs[s].ft = core::run_strategy(core::Strategy::kLcdaFinetuned, 20, cfg);
-        runs[s].nacim = core::run_strategy(core::Strategy::kNacimRl, 500, cfg);
+        runs[s].lcda = core::run_strategy(core::Strategy::kLcda,
+                                          cfg.lcda_episodes, cfg);
+        runs[s].ft = core::run_strategy(scenario.default_strategy,
+                                        cfg.lcda_episodes, cfg);
+        runs[s].nacim = core::run_strategy(core::Strategy::kNacimRl,
+                                           cfg.nacim_episodes, cfg);
       });
 
   util::OnlineStats lcda_best, ft_best, nacim_best;

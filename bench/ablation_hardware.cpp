@@ -4,18 +4,22 @@
 //     must discover);
 //  2. optimizer ablation — LCDA vs NACIM-RL vs Genetic vs Random at equal
 //     episode budgets (20 and 100) on the energy objective.
+// A thin driver over the "paper-energy" scenario: the sweep reads its
+// backbone and accuracy calibration from the scenario config, and the
+// strategy ablation runs each strategy through the scenario's engine.
 #include <cstdio>
 
 #include "lcda/cim/cost_model.h"
-#include "lcda/core/experiment.h"
+#include "lcda/core/scenario.h"
 #include "lcda/surrogate/accuracy_model.h"
 
 int main() {
   using namespace lcda;
+  const core::ExperimentConfig base = core::scenario_by_name("paper-energy").config;
   const std::vector<nn::ConvSpec> rollout = {{32, 3}, {32, 3}, {64, 3},
                                              {64, 3}, {128, 3}, {128, 3}};
-  const nn::BackboneOptions bopts;
-  const surrogate::AccuracyModel accuracy;
+  const nn::BackboneOptions& bopts = base.evaluator.backbone;
+  const surrogate::AccuracyModel accuracy(base.evaluator.accuracy);
 
   std::printf("# Ablation 1: one-knob-at-a-time hardware sweeps "
               "(baseline RRAM b2 adc6 xbar128 mux8)\n");
@@ -65,7 +69,7 @@ int main() {
                            core::Strategy::kRandom, core::Strategy::kLcdaNaive}) {
     double best20 = 0.0, best100 = 0.0;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-      core::ExperimentConfig cfg;
+      core::ExperimentConfig cfg = base;
       cfg.seed = seed;
       const core::RunResult run = core::run_strategy(s, 100, cfg);
       best100 += run.best_reward() / 3.0;

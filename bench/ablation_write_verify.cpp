@@ -6,9 +6,14 @@
 // Expected shape (SWIM's claim): accuracy rises steeply for small verified
 // fractions and saturates — verifying ~10-25% of weights captures most of
 // the benefit at a small multiple of the single-pulse programming cost.
+// Dataset, backbone and hardware cost options come from the
+// "trained-small" scenario — the registry entry for the faithful training
+// pipeline at laptop scale — so this bench and `lcda_run
+// --scenario=trained-small` exercise the same reduced setting.
 #include <cstdio>
 
 #include "lcda/cim/cost_model.h"
+#include "lcda/core/scenario.h"
 #include "lcda/data/synthetic_cifar.h"
 #include "lcda/nn/model_builder.h"
 #include "lcda/nn/trainer.h"
@@ -20,20 +25,14 @@ int main(int argc, char** argv) {
   using namespace lcda;
   const int mc_samples = argc > 1 ? std::atoi(argv[1]) : 8;
 
-  data::SyntheticCifarOptions dopts;
-  dopts.image_size = 16;
-  dopts.num_classes = 6;
-  dopts.train_per_class = 40;
-  dopts.test_per_class = 16;
-  dopts.seed = 11;
-  const data::TrainTest data = data::make_synthetic_cifar(dopts);
+  const core::TrainedEvaluator::Options topts_scenario =
+      core::scenario_by_name("trained-small").config.trained;
+  const data::TrainTest data = data::make_synthetic_cifar(topts_scenario.dataset);
 
   const std::vector<nn::ConvSpec> rollout = {{16, 3}, {24, 3}, {32, 3}, {48, 3}};
-  nn::BackboneOptions bopts;
-  bopts.input_size = 16;
-  bopts.num_classes = 6;
-  bopts.hidden = 64;
-  bopts.pool_after = {0, 2};
+  nn::BackboneOptions bopts = topts_scenario.backbone;
+  bopts.input_size = topts_scenario.dataset.image_size;
+  bopts.num_classes = topts_scenario.dataset.num_classes;
 
   cim::HardwareConfig hw;  // RRAM b2: a deliberately noisy operating point
   const cim::CostEvaluator cost_eval(hw);

@@ -6,24 +6,29 @@
 //
 // Usage: bench_engine_scaling [seeds] [episodes]
 //   LCDA_PARALLELISM caps the sweep's largest setting (0 = all hardware
-//   threads, the default).
+//   threads, the default). `--json=` (or LCDA_BENCH_JSON) archives the
+//   sweep — wall-clocks plus aggregate cache_hits/cache_misses — as JSON.
+//
+// A thin driver over the "paper-energy" scenario.
 #include <chrono>
 #include <cstdio>
 #include <limits>
 #include <vector>
 
-#include "lcda/core/experiment.h"
+#include "lcda/core/report.h"
+#include "lcda/core/scenario.h"
 #include "lcda/core/stats_runner.h"
 #include "lcda/util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace lcda;
   using clock = std::chrono::steady_clock;
-  const int seeds = argc > 1 ? std::atoi(argv[1]) : 8;
-  const int episodes = argc > 2 ? std::atoi(argv[2]) : 300;
+  const auto args = core::positional_args(argc, argv);
+  const int seeds = args.size() > 0 ? std::atoi(args[0].c_str()) : 8;
+  const int episodes = args.size() > 1 ? std::atoi(args[1].c_str()) : 300;
   const int max_par = core::env_parallelism(/*fallback=*/0);
 
-  core::ExperimentConfig cfg;
+  core::ExperimentConfig cfg = core::scenario_by_name("paper-energy").config;
   cfg.seed = 1;
 
   auto timed_aggregate = [&](int parallelism) {
@@ -49,6 +54,20 @@ int main(int argc, char** argv) {
   std::printf("%-12d %12.1f %9.2fx %14.4f %12s\n", 1, base_ms, 1.0,
               base_agg.final_best.mean(), "baseline");
 
+  util::Json sweep = util::Json::array();
+  const auto sweep_row = [](int parallelism, double ms,
+                            const core::AggregateResult& agg) {
+    util::Json row = util::Json::object();
+    row["parallelism"] = parallelism;
+    row["wall_ms"] = ms;
+    row["final_best_mean"] = agg.final_best.mean();
+    row["cache_hits"] = static_cast<long long>(agg.cache_hits);
+    row["cache_misses"] = static_cast<long long>(agg.cache_misses);
+    row["persistent_hits"] = static_cast<long long>(agg.persistent_hits);
+    return row;
+  };
+  sweep.push_back(sweep_row(1, base_ms, base_agg));
+
   for (int par = 2; par <= max_par; par *= 2) {
     const auto [ms, agg] = timed_aggregate(par);
     bool identical = agg.final_best.mean() == base_agg.final_best.mean() &&
@@ -63,6 +82,17 @@ int main(int argc, char** argv) {
       std::printf("\nFATAL: parallel trace diverged from sequential trace\n");
       return 1;
     }
+    sweep.push_back(sweep_row(par, ms, agg));
+  }
+
+  if (const std::string json_path = core::json_output_path(argc, argv);
+      !json_path.empty()) {
+    util::Json doc = util::Json::object();
+    doc["experiment"] = "engine_scaling";
+    doc["seeds"] = seeds;
+    doc["episodes"] = episodes;
+    doc["sweep"] = sweep;
+    core::write_json_file(doc, json_path);
   }
   return 0;
 }

@@ -8,25 +8,39 @@
 //  * LCDA spans a spectrum of energies, all with reasonably high accuracy.
 //
 // Output: one CSV row per candidate (the figure's scatter points), then the
-// Pareto fronts and a summary validating the claims.
+// Pareto fronts and a summary validating the claims. `--json=PATH` (or
+// LCDA_BENCH_JSON) additionally archives both runs — traces plus
+// cache_hits/cache_misses/persistent_hits — as JSON.
+//
+// A thin driver over the "paper-energy" scenario: the same study is
+// `lcda_run --scenario=paper-energy --strategy=lcda,nacim`.
 #include <cstdio>
 #include <iostream>
 
-#include "lcda/core/experiment.h"
+#include "lcda/core/report.h"
+#include "lcda/core/scenario.h"
 #include "lcda/core/pareto.h"
 #include "lcda/util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace lcda;
-  core::ExperimentConfig cfg;
-  cfg.objective = llm::Objective::kEnergy;
-  cfg.seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+  const auto args = core::positional_args(argc, argv);
+  core::ExperimentConfig cfg = core::scenario_by_name("paper-energy").config;
+  cfg.seed = !args.empty() ? static_cast<std::uint64_t>(std::atoll(args[0].c_str())) : 1;
   cfg.parallelism = core::env_parallelism();
 
   const core::RunResult lcda =
       core::run_strategy(core::Strategy::kLcda, cfg.lcda_episodes, cfg);
   const core::RunResult nacim =
       core::run_strategy(core::Strategy::kNacimRl, cfg.nacim_episodes, cfg);
+
+  if (const std::string json_path = core::json_output_path(argc, argv);
+      !json_path.empty()) {
+    core::write_json_file(
+        core::experiment_to_json("fig2_accuracy_energy", cfg.seed,
+                                 {{"LCDA", &lcda}, {"NACIM", &nacim}}),
+        json_path);
+  }
 
   std::printf("# Figure 2: accuracy-energy trade-offs (energy pJ on X, "
               "accuracy %% on Y)\n");

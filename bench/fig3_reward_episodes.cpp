@@ -4,19 +4,24 @@
 //       best-of-first-20 (the paper performs only 20 LCDA episodes and
 //       projects its maximum forward).
 //
-// Output: CSV series for both panels plus a cold-start summary.
+// Output: CSV series for both panels plus a cold-start summary. `--json=`
+// (or LCDA_BENCH_JSON) archives both runs with cache counters as JSON.
+//
+// A thin driver over the "paper-energy" scenario: the same study is
+// `lcda_run --scenario=paper-energy --strategy=lcda,nacim`.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 
-#include "lcda/core/experiment.h"
+#include "lcda/core/report.h"
+#include "lcda/core/scenario.h"
 #include "lcda/util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace lcda;
-  core::ExperimentConfig cfg;
-  cfg.objective = llm::Objective::kEnergy;
-  cfg.seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+  const auto args = core::positional_args(argc, argv);
+  core::ExperimentConfig cfg = core::scenario_by_name("paper-energy").config;
+  cfg.seed = !args.empty() ? static_cast<std::uint64_t>(std::atoll(args[0].c_str())) : 1;
   cfg.parallelism = core::env_parallelism();
 
   const core::RunResult lcda =
@@ -24,6 +29,14 @@ int main(int argc, char** argv) {
   const core::RunResult nacim =
       core::run_strategy(core::Strategy::kNacimRl, cfg.nacim_episodes, cfg);
   const double lcda_projected = lcda.best_reward();
+
+  if (const std::string json_path = core::json_output_path(argc, argv);
+      !json_path.empty()) {
+    core::write_json_file(
+        core::experiment_to_json("fig3_reward_episodes", cfg.seed,
+                                 {{"LCDA", &lcda}, {"NACIM", &nacim}}),
+        json_path);
+  }
 
   std::printf("# Figure 3(a): rewards in early episodes (0..19)\n");
   util::CsvWriter csv_a(std::cout);

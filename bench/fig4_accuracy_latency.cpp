@@ -6,24 +6,36 @@
 //    outlier) — GPT-4's generic kernel-size priors ("smaller kernel =
 //    faster", "larger kernel = more accurate") do not hold on CiM hardware;
 //  * LCDA struggles to reach sufficiently low latencies.
+// A thin driver over the "paper-latency" scenario: the same study is
+// `lcda_run --scenario=paper-latency --strategy=lcda,nacim`. `--json=`
+// (or LCDA_BENCH_JSON) archives both runs with cache counters as JSON.
 #include <cstdio>
 #include <iostream>
 
-#include "lcda/core/experiment.h"
+#include "lcda/core/report.h"
+#include "lcda/core/scenario.h"
 #include "lcda/core/pareto.h"
 #include "lcda/util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace lcda;
-  core::ExperimentConfig cfg;
-  cfg.objective = llm::Objective::kLatency;
-  cfg.seed = argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+  const auto args = core::positional_args(argc, argv);
+  core::ExperimentConfig cfg = core::scenario_by_name("paper-latency").config;
+  cfg.seed = !args.empty() ? static_cast<std::uint64_t>(std::atoll(args[0].c_str())) : 1;
   cfg.parallelism = core::env_parallelism();
 
   const core::RunResult lcda =
       core::run_strategy(core::Strategy::kLcda, cfg.lcda_episodes, cfg);
   const core::RunResult nacim =
       core::run_strategy(core::Strategy::kNacimRl, cfg.nacim_episodes, cfg);
+
+  if (const std::string json_path = core::json_output_path(argc, argv);
+      !json_path.empty()) {
+    core::write_json_file(
+        core::experiment_to_json("fig4_accuracy_latency", cfg.seed,
+                                 {{"LCDA", &lcda}, {"NACIM", &nacim}}),
+        json_path);
+  }
 
   std::printf("# Figure 4: accuracy-latency trade-offs (latency ns on X, "
               "accuracy %% on Y)\n");

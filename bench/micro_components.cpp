@@ -4,7 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "lcda/cim/cost_model.h"
-#include "lcda/core/evaluator.h"
+#include "lcda/core/scenario.h"
 #include "lcda/llm/parser.h"
 #include "lcda/llm/prompt.h"
 #include "lcda/llm/simulated_gpt4.h"
@@ -20,9 +20,17 @@ using namespace lcda;
 const std::vector<nn::ConvSpec> kRollout = {{32, 3}, {32, 3}, {64, 3},
                                             {64, 3}, {128, 3}, {128, 3}};
 
+// Every harness below reads its options from the paper-energy scenario, so
+// the microbenchmarks measure exactly what the scenario-driven engine runs.
+const core::ExperimentConfig& paper_config() {
+  static const core::ExperimentConfig cfg =
+      core::scenario_by_name("paper-energy").config;
+  return cfg;
+}
+
 void BM_CostEvaluator(benchmark::State& state) {
-  const cim::CostEvaluator eval{cim::HardwareConfig{}};
-  const nn::BackboneOptions bopts;
+  const cim::CostEvaluator eval{cim::HardwareConfig{}, paper_config().evaluator.cost};
+  const nn::BackboneOptions bopts = paper_config().evaluator.backbone;
   for (auto _ : state) {
     benchmark::DoNotOptimize(eval.evaluate(kRollout, bopts));
   }
@@ -30,7 +38,7 @@ void BM_CostEvaluator(benchmark::State& state) {
 BENCHMARK(BM_CostEvaluator);
 
 void BM_SurrogateAccuracy(benchmark::State& state) {
-  const surrogate::AccuracyModel model;
+  const surrogate::AccuracyModel model(paper_config().evaluator.accuracy);
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.noisy_accuracy(kRollout, 0.1, 1));
   }
@@ -38,7 +46,7 @@ void BM_SurrogateAccuracy(benchmark::State& state) {
 BENCHMARK(BM_SurrogateAccuracy);
 
 void BM_FullSurrogateEvaluation(benchmark::State& state) {
-  core::SurrogateEvaluator eval;
+  core::SurrogateEvaluator eval(paper_config().evaluator);
   search::Design d;
   d.rollout = kRollout;
   util::Rng rng(1);
@@ -49,7 +57,7 @@ void BM_FullSurrogateEvaluation(benchmark::State& state) {
 BENCHMARK(BM_FullSurrogateEvaluation);
 
 void BM_PromptBuild(benchmark::State& state) {
-  llm::PromptBuilder builder{search::SearchSpace{}, {}};
+  llm::PromptBuilder builder{search::SearchSpace{paper_config().space}, {}};
   std::vector<llm::HistoryEntry> history(static_cast<std::size_t>(state.range(0)));
   for (auto& h : history) {
     h.design.rollout = kRollout;
@@ -62,7 +70,7 @@ void BM_PromptBuild(benchmark::State& state) {
 BENCHMARK(BM_PromptBuild)->Arg(0)->Arg(20)->Arg(64);
 
 void BM_ResponseParse(benchmark::State& state) {
-  const search::SearchSpace space;
+  const search::SearchSpace space(paper_config().space);
   const std::string response =
       "Based on the results, I suggest:\n"
       "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]\n"
@@ -75,7 +83,7 @@ BENCHMARK(BM_ResponseParse);
 
 void BM_SimulatedGpt4Turn(benchmark::State& state) {
   llm::SimulatedGpt4 gpt;
-  llm::PromptBuilder builder{search::SearchSpace{}, {}};
+  llm::PromptBuilder builder{search::SearchSpace{paper_config().space}, {}};
   std::vector<llm::HistoryEntry> history(20);
   for (auto& h : history) {
     h.design.rollout = kRollout;
@@ -89,7 +97,7 @@ void BM_SimulatedGpt4Turn(benchmark::State& state) {
 BENCHMARK(BM_SimulatedGpt4Turn);
 
 void BM_RlProposeFeedback(benchmark::State& state) {
-  search::RlOptimizer rl{search::SearchSpace{}};
+  search::RlOptimizer rl{search::SearchSpace{paper_config().space}};
   util::Rng rng(2);
   for (auto _ : state) {
     const search::Design d = rl.propose(rng);
@@ -102,7 +110,7 @@ void BM_RlProposeFeedback(benchmark::State& state) {
 BENCHMARK(BM_RlProposeFeedback);
 
 void BM_MonteCarloSurrogate(benchmark::State& state) {
-  const surrogate::AccuracyModel model;
+  const surrogate::AccuracyModel model(paper_config().evaluator.accuracy);
   util::Rng rng(3);
   const int samples = static_cast<int>(state.range(0));
   for (auto _ : state) {

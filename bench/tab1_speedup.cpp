@@ -12,22 +12,26 @@
 //
 // Seeds fan out over LCDA_PARALLELISM worker threads (0 = all hardware
 // threads); the table is bit-identical for every setting.
+// A thin driver over the "paper-energy" scenario.
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "lcda/core/experiment.h"
+#include "lcda/core/report.h"
+#include "lcda/core/scenario.h"
 #include "lcda/util/stats.h"
 #include "lcda/util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace lcda;
-  const int seeds = argc > 1 ? std::atoi(argv[1]) : 5;
+  const auto args = core::positional_args(argc, argv);
+  const int seeds = !args.empty() ? std::atoi(args[0].c_str()) : 5;
   if (seeds <= 0) {
     std::fprintf(stderr, "usage: %s [seeds >= 1]\n", argv[0]);
     return 1;
   }
   const int parallelism = core::env_parallelism();
+  const core::ExperimentConfig base = core::scenario_by_name("paper-energy").config;
 
   // Seeds 1..N directly (the historical table seeding), fanned out over
   // the pool; the table below prints them in seed order.
@@ -36,7 +40,7 @@ int main(int argc, char** argv) {
   if (parallelism > 1) pool = std::make_unique<util::ThreadPool>(parallelism);
   util::parallel_for_each_index(
       pool.get(), reports.size(), [&](std::size_t s) {
-        core::ExperimentConfig cfg;
+        core::ExperimentConfig cfg = base;
         cfg.seed = static_cast<std::uint64_t>(s) + 1;
         reports[s] = core::measure_speedup(cfg, 0.95);
       });

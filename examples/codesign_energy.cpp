@@ -2,20 +2,26 @@
 // Sec. IV-A): LCDA's simulated-GPT-4 optimizer versus the NACIM
 // reinforcement-learning baseline, on identical evaluators.
 //
-// Usage: ./build/examples/codesign_energy [lcda_episodes] [nacim_episodes] [seed]
+// Usage: ./build/example_codesign_energy [lcda_episodes] [nacim_episodes] [seed]
+//
+// Runs the "paper-energy" scenario from the registry (equivalently:
+// `lcda_run --scenario=paper-energy --strategy=lcda,nacim`). The
+// LCDA_PARALLELISM environment variable sets the evaluation-engine worker
+// count (0 = one per hardware thread); episode traces are bit-identical
+// for every setting.
 #include <cstdio>
 #include <cstdlib>
 
-#include "lcda/core/experiment.h"
+#include "lcda/core/scenario.h"
 #include "lcda/core/pareto.h"
 
 int main(int argc, char** argv) {
   using namespace lcda;
-  core::ExperimentConfig cfg;
-  cfg.objective = llm::Objective::kEnergy;
+  core::ExperimentConfig cfg = core::scenario_by_name("paper-energy").config;
   cfg.lcda_episodes = argc > 1 ? std::atoi(argv[1]) : 20;
   cfg.nacim_episodes = argc > 2 ? std::atoi(argv[2]) : 500;
   cfg.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+  cfg.parallelism = core::env_parallelism();
 
   std::printf("== LCDA (LLM-driven, %d episodes) ==\n", cfg.lcda_episodes);
   const core::RunResult lcda =

@@ -3,20 +3,26 @@
 // smaller kernels always mean lower latency and larger kernels always mean
 // higher accuracy, neither of which holds on variation-prone CiM hardware.
 //
-// Usage: ./build/examples/codesign_latency [lcda_episodes] [nacim_episodes] [seed]
+// Usage: ./build/example_codesign_latency [lcda_episodes] [nacim_episodes] [seed]
+//
+// Runs the "paper-latency" scenario from the registry (equivalently:
+// `lcda_run --scenario=paper-latency --strategy=lcda,nacim`). The
+// LCDA_PARALLELISM environment variable sets the evaluation-engine worker
+// count (0 = one per hardware thread); episode traces are bit-identical
+// for every setting.
 #include <cstdio>
 #include <cstdlib>
 
-#include "lcda/core/experiment.h"
+#include "lcda/core/scenario.h"
 #include "lcda/core/pareto.h"
 
 int main(int argc, char** argv) {
   using namespace lcda;
-  core::ExperimentConfig cfg;
-  cfg.objective = llm::Objective::kLatency;
+  core::ExperimentConfig cfg = core::scenario_by_name("paper-latency").config;
   cfg.lcda_episodes = argc > 1 ? std::atoi(argv[1]) : 20;
   cfg.nacim_episodes = argc > 2 ? std::atoi(argv[2]) : 500;
   cfg.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+  cfg.parallelism = core::env_parallelism();
 
   const core::RunResult lcda =
       core::run_strategy(core::Strategy::kLcda, cfg.lcda_episodes, cfg);

@@ -3,13 +3,18 @@
 // relative to the previous design — "transparency that breaks the black box
 // nature of RL-based NAS".
 //
-// Usage: ./build/examples/explain_search [episodes] [seed]
+// Usage: ./build/example_explain_search [episodes] [seed]
+//
+// Search space, evaluator and reward come from the "paper-energy" scenario
+// in the registry. LCDA_PARALLELISM sets the evaluation-engine worker
+// count (0 = one per hardware thread) — the LLM proposes sequentially, but
+// evaluations inside a batch still fan out; traces are bit-identical for
+// every setting.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 
-#include "lcda/core/evaluator.h"
-#include "lcda/core/loop.h"
+#include "lcda/core/scenario.h"
 #include "lcda/llm/explain.h"
 #include "lcda/llm/llm_optimizer.h"
 #include "lcda/llm/simulated_gpt4.h"
@@ -20,16 +25,18 @@ int main(int argc, char** argv) {
   const int episodes = argc > 1 ? std::atoi(argv[1]) : 6;
   const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 3;
 
-  const search::SearchSpace space;
+  const core::ExperimentConfig cfg = core::scenario_by_name("paper-energy").config;
+  const search::SearchSpace space(cfg.space);
   llm::SimulatedGpt4::Options gopts;
   gopts.seed = seed;
   auto client = std::make_shared<llm::SimulatedGpt4>(gopts);
   llm::LlmOptimizer optimizer(space, client);
-  core::SurrogateEvaluator evaluator;
-  core::RewardFunction reward(llm::Objective::kEnergy);
+  core::SurrogateEvaluator evaluator(cfg.evaluator);
+  const core::RewardFunction reward = core::make_reward(cfg);
 
   core::CodesignLoop::Options lopts;
   lopts.episodes = episodes;
+  lopts.parallelism = core::env_parallelism();
   core::CodesignLoop loop(optimizer, evaluator, reward, lopts);
   util::Rng rng(seed);
   const core::RunResult run = loop.run(rng);

@@ -2,26 +2,41 @@
 // space for a fixed DNN topology and print the resulting chip costs — a
 // handy way to see the tradeoffs the co-design loop navigates.
 //
-// Usage: ./build/examples/hardware_explorer
+// Usage: ./build/example_hardware_explorer [scenario]
+//
+// The hardware choices, backbone and accuracy calibration come from a
+// registry scenario (default "paper-energy"). LCDA_PARALLELISM fans the
+// sweep out over worker threads (0 = one per hardware thread); rows print
+// in the same deterministic order for every setting.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "lcda/cim/cost_model.h"
-#include "lcda/nn/model_builder.h"
+#include "lcda/core/scenario.h"
 #include "lcda/surrogate/accuracy_model.h"
+#include "lcda/util/thread_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcda;
+  const core::Scenario scenario =
+      core::scenario_by_name(argc > 1 ? argv[1] : "paper-energy");
+  const core::ExperimentConfig& cfg = scenario.config;
   const std::vector<nn::ConvSpec> rollout = {{32, 3}, {32, 3}, {64, 3},
                                              {64, 3}, {128, 3}, {128, 3}};
-  const nn::BackboneOptions bopts;
-  const surrogate::AccuracyModel accuracy;
-  const cim::HardwareChoices choices;
+  const nn::BackboneOptions& bopts = cfg.evaluator.backbone;
+  const surrogate::AccuracyModel accuracy(cfg.evaluator.accuracy);
+  const cim::HardwareChoices& choices = cfg.space.hw;
 
+  std::printf("scenario: %s\n", scenario.name.c_str());
   std::printf("topology: [[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]] "
               "(CIFAR backbone)\n\n");
   std::printf("%-28s %10s %10s %9s %8s %7s %6s\n", "hardware", "energy(pJ)",
               "lat(ns)", "area(mm2)", "leak(mW)", "acc", "valid");
 
+  // Enumerate the grid first, then fan the (independent) cost evaluations
+  // out over the pool and print in grid order.
+  std::vector<cim::HardwareConfig> grid;
   for (cim::DeviceType device : choices.devices) {
     for (int bits : choices.bits_per_cell) {
       for (int adc : choices.adc_bits) {
@@ -33,19 +48,35 @@ int main() {
             hw.adc_bits = adc;
             hw.xbar_size = xbar;
             hw.col_mux = mux;
-            if (!hw.validate().empty()) continue;
-            const cim::CostEvaluator eval(hw);
-            const cim::CostReport rep = eval.evaluate(rollout, bopts);
-            const double acc = accuracy.noisy_accuracy(
-                rollout, rep.weight_sigma, rep.max_adc_deficit_bits);
-            std::printf("%-28s %10.3g %10.3g %9.1f %8.1f %7.3f %6s\n",
-                        hw.describe().c_str(), rep.energy_total_pj,
-                        rep.latency_ns, rep.area_total_mm2, rep.leakage_mw,
-                        acc, rep.valid ? "yes" : "NO");
+            hw.area_budget_mm2 = cfg.space.area_budget_mm2;
+            if (hw.validate().empty()) grid.push_back(hw);
           }
         }
       }
     }
+  }
+
+  struct Row {
+    cim::CostReport report;
+    double accuracy = 0.0;
+  };
+  std::vector<Row> rows(grid.size());
+  const int parallelism = core::env_parallelism();
+  std::unique_ptr<util::ThreadPool> pool;
+  if (parallelism > 1) pool = std::make_unique<util::ThreadPool>(parallelism);
+  util::parallel_for_each_index(pool.get(), grid.size(), [&](std::size_t i) {
+    const cim::CostEvaluator eval(grid[i], cfg.evaluator.cost);
+    rows[i].report = eval.evaluate(rollout, bopts);
+    rows[i].accuracy = accuracy.noisy_accuracy(
+        rollout, rows[i].report.weight_sigma, rows[i].report.max_adc_deficit_bits);
+  });
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const cim::CostReport& rep = rows[i].report;
+    std::printf("%-28s %10.3g %10.3g %9.1f %8.1f %7.3f %6s\n",
+                grid[i].describe().c_str(), rep.energy_total_pj, rep.latency_ns,
+                rep.area_total_mm2, rep.leakage_mw, rows[i].accuracy,
+                rep.valid ? "yes" : "NO");
   }
   return 0;
 }

@@ -6,15 +6,20 @@
 //                                NeuroSim-style chip costs
 //   * core::RewardFunction — the paper's Eq. (1) accuracy-energy reward
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
+//
+// Evaluator options come from the "paper-energy" scenario in the registry.
+// LCDA_PARALLELISM (the evaluation-engine worker knob used by the
+// loop-driving examples and benches) has nothing to fan out here — this
+// example evaluates a single candidate on the calling thread.
 #include <cstdio>
 
-#include "lcda/core/evaluator.h"
-#include "lcda/core/reward.h"
+#include "lcda/core/scenario.h"
 #include "lcda/search/design.h"
 
 int main() {
   using namespace lcda;
+  const core::ExperimentConfig cfg = core::scenario_by_name("paper-energy").config;
 
   // The paper's running example rollout: six conv layers as
   // [[out_channels, kernel], ...], VGG-style progression, all 3x3.
@@ -33,7 +38,7 @@ int main() {
 
   // Evaluate: Monte-Carlo accuracy under this hardware's device variation
   // plus the full circuit-level cost report.
-  core::SurrogateEvaluator evaluator;
+  core::SurrogateEvaluator evaluator(cfg.evaluator);
   util::Rng rng(/*seed=*/42);
   const core::Evaluation ev = evaluator.evaluate(design, rng);
 

@@ -3,11 +3,18 @@
 // on the synthetic CIFAR-10 stand-in, then Monte-Carlo evaluate it under
 // the hardware's device-variation model.
 //
-// Usage: ./build/examples/train_with_noise [epochs] [mc_samples] [seed]
+// Usage: ./build/example_train_with_noise [epochs] [mc_samples] [seed]
+//
+// Dataset and backbone geometry come from the "trained-small" scenario in
+// the registry (the reduced setting the TrainedEvaluator runs there).
+// LCDA_PARALLELISM (the evaluation-engine worker knob of the loop-driving
+// examples and benches) has nothing to fan out here — this example trains
+// one candidate on the calling thread.
 #include <cstdio>
 #include <cstdlib>
 
 #include "lcda/cim/cost_model.h"
+#include "lcda/core/scenario.h"
 #include "lcda/data/synthetic_cifar.h"
 #include "lcda/nn/model_builder.h"
 #include "lcda/nn/trainer.h"
@@ -20,11 +27,13 @@ int main(int argc, char** argv) {
   const int mc_samples = argc > 2 ? std::atoi(argv[2]) : 10;
   const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
 
-  // Reduced-scale dataset (full CIFAR geometry is 3x32x32 / 10 classes; we
-  // shrink to keep this example to seconds on one core).
-  data::SyntheticCifarOptions dopts;
-  dopts.image_size = 16;
-  dopts.num_classes = 6;
+  // Reduced-scale dataset from the trained-small scenario (full CIFAR
+  // geometry is 3x32x32 / 10 classes; the scenario shrinks to keep the
+  // trained pipeline to seconds on one core), at this example's
+  // historical sample counts.
+  const core::TrainedEvaluator::Options scenario_opts =
+      core::scenario_by_name("trained-small").config.trained;
+  data::SyntheticCifarOptions dopts = scenario_opts.dataset;
   dopts.train_per_class = 24;
   dopts.test_per_class = 12;
   dopts.seed = seed;
@@ -35,11 +44,9 @@ int main(int argc, char** argv) {
 
   // Candidate topology (4 conv stages here; the paper backbone has 6).
   const std::vector<nn::ConvSpec> rollout = {{16, 3}, {24, 3}, {32, 3}, {48, 3}};
-  nn::BackboneOptions bopts;
+  nn::BackboneOptions bopts = scenario_opts.backbone;
   bopts.input_size = dopts.image_size;
   bopts.num_classes = dopts.num_classes;
-  bopts.hidden = 64;
-  bopts.pool_after = {0, 2};  // 16 -> 8 -> 4
 
   // Hardware instance decides the variation level the training must absorb.
   cim::HardwareConfig hw;

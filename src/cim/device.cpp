@@ -14,6 +14,14 @@ std::string_view device_name(DeviceType t) {
   return "?";
 }
 
+DeviceType device_from_name(std::string_view name) {
+  if (name == "RRAM") return DeviceType::kRram;
+  if (name == "FeFET") return DeviceType::kFefet;
+  if (name == "SRAM") return DeviceType::kSram;
+  throw std::invalid_argument("device_from_name: unknown device \"" +
+                              std::string(name) + "\"");
+}
+
 DeviceModel device_model(DeviceType t) {
   DeviceModel m;
   m.type = t;

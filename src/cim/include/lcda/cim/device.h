@@ -12,6 +12,10 @@ enum class DeviceType { kRram, kFefet, kSram };
 
 [[nodiscard]] std::string_view device_name(DeviceType t);
 
+/// Inverse of device_name ("RRAM" / "FeFET" / "SRAM"); throws
+/// std::invalid_argument on anything else. Used by scenario deserialization.
+[[nodiscard]] DeviceType device_from_name(std::string_view name);
+
 /// Electrical and statistical parameters of one synaptic cell.
 ///
 /// The numbers are representative published values at a 32 nm logic node

@@ -1,0 +1,193 @@
+#include "lcda/core/eval_cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lcda::core {
+
+namespace {
+
+constexpr std::string_view kFormat = "lcda-eval-cache-v1";
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parse_hex64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (ec != std::errc() || ptr != s.data() + s.size() || s.empty()) {
+    throw std::runtime_error("PersistentEvalCache: bad hex id \"" + s + "\"");
+  }
+  return v;
+}
+
+}  // namespace
+
+util::Json evaluation_to_json(const Evaluation& ev) {
+  util::Json j = util::Json::object();
+  j["accuracy"] = ev.accuracy;
+  j["accuracy_stddev"] = ev.accuracy_stddev;
+
+  util::Json c = util::Json::object();
+  c["valid"] = ev.cost.valid;
+  if (!ev.cost.invalid_reason.empty()) c["invalid_reason"] = ev.cost.invalid_reason;
+  c["area_arrays_mm2"] = ev.cost.area_arrays_mm2;
+  c["area_buffer_mm2"] = ev.cost.area_buffer_mm2;
+  c["area_digital_mm2"] = ev.cost.area_digital_mm2;
+  c["area_noc_mm2"] = ev.cost.area_noc_mm2;
+  c["area_total_mm2"] = ev.cost.area_total_mm2;
+  c["energy_adc_pj"] = ev.cost.energy_adc_pj;
+  c["energy_xbar_pj"] = ev.cost.energy_xbar_pj;
+  c["energy_dac_pj"] = ev.cost.energy_dac_pj;
+  c["energy_digital_pj"] = ev.cost.energy_digital_pj;
+  c["energy_buffer_pj"] = ev.cost.energy_buffer_pj;
+  c["energy_noc_pj"] = ev.cost.energy_noc_pj;
+  c["energy_total_pj"] = ev.cost.energy_total_pj;
+  c["latency_ns"] = ev.cost.latency_ns;
+  c["leakage_mw"] = ev.cost.leakage_mw;
+  c["total_weights"] = ev.cost.total_weights;
+  c["total_cells"] = ev.cost.total_cells;
+  c["programming_energy_pj"] = ev.cost.programming_energy_pj;
+  c["weight_sigma"] = ev.cost.weight_sigma;
+  c["max_adc_deficit_bits"] = ev.cost.max_adc_deficit_bits;
+  j["cost"] = c;
+  return j;
+}
+
+Evaluation evaluation_from_json(const util::Json& j) {
+  Evaluation ev;
+  ev.accuracy = j.at("accuracy").as_double();
+  ev.accuracy_stddev = j.at("accuracy_stddev").as_double();
+  const util::Json& c = j.at("cost");
+  ev.cost.valid = c.at("valid").as_bool();
+  if (c.contains("invalid_reason")) {
+    ev.cost.invalid_reason = c.at("invalid_reason").as_string();
+  }
+  ev.cost.area_arrays_mm2 = c.at("area_arrays_mm2").as_double();
+  ev.cost.area_buffer_mm2 = c.at("area_buffer_mm2").as_double();
+  ev.cost.area_digital_mm2 = c.at("area_digital_mm2").as_double();
+  ev.cost.area_noc_mm2 = c.at("area_noc_mm2").as_double();
+  ev.cost.area_total_mm2 = c.at("area_total_mm2").as_double();
+  ev.cost.energy_adc_pj = c.at("energy_adc_pj").as_double();
+  ev.cost.energy_xbar_pj = c.at("energy_xbar_pj").as_double();
+  ev.cost.energy_dac_pj = c.at("energy_dac_pj").as_double();
+  ev.cost.energy_digital_pj = c.at("energy_digital_pj").as_double();
+  ev.cost.energy_buffer_pj = c.at("energy_buffer_pj").as_double();
+  ev.cost.energy_noc_pj = c.at("energy_noc_pj").as_double();
+  ev.cost.energy_total_pj = c.at("energy_total_pj").as_double();
+  ev.cost.latency_ns = c.at("latency_ns").as_double();
+  ev.cost.leakage_mw = c.at("leakage_mw").as_double();
+  ev.cost.total_weights = c.at("total_weights").as_int();
+  ev.cost.total_cells = c.at("total_cells").as_int();
+  ev.cost.programming_energy_pj = c.at("programming_energy_pj").as_double();
+  ev.cost.weight_sigma = c.at("weight_sigma").as_double();
+  ev.cost.max_adc_deficit_bits =
+      static_cast<int>(c.at("max_adc_deficit_bits").as_int());
+  return ev;
+}
+
+PersistentEvalCache::PersistentEvalCache(std::string directory,
+                                         std::uint64_t fingerprint)
+    : directory_(std::move(directory)), fingerprint_(fingerprint) {
+  if (directory_.empty()) {
+    throw std::invalid_argument("PersistentEvalCache: empty directory");
+  }
+  path_ = directory_ + "/" + hex64(fingerprint_) + ".json";
+
+  std::ifstream in(path_);
+  if (!in) return;  // no cache yet
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  util::Json doc;
+  try {
+    doc = util::Json::parse(buffer.str());
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("PersistentEvalCache: corrupt cache file " +
+                             path_ + ": " + e.what());
+  }
+  if (!doc.contains("format") || doc.at("format").as_string() != kFormat) {
+    throw std::runtime_error("PersistentEvalCache: " + path_ +
+                             " is not a " + std::string(kFormat) + " file");
+  }
+  if (parse_hex64(doc.at("fingerprint").as_string()) != fingerprint_) {
+    throw std::runtime_error("PersistentEvalCache: fingerprint mismatch in " +
+                             path_ + " (file moved between studies?)");
+  }
+  for (const util::Json& entry : doc.at("entries").elements()) {
+    entries_.emplace(parse_hex64(entry.at("design").as_string()),
+                     evaluation_from_json(entry.at("evaluation")));
+  }
+}
+
+std::optional<Evaluation> PersistentEvalCache::lookup(
+    std::uint64_t design_hash) const {
+  const auto it = entries_.find(design_hash);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PersistentEvalCache::insert(std::uint64_t design_hash,
+                                 const Evaluation& ev) {
+  if (entries_.emplace(design_hash, ev).second) dirty_ = true;
+}
+
+void PersistentEvalCache::save() {
+  if (!dirty_) return;
+
+  // Stable files: entries sorted by design hash regardless of insertion
+  // or rehash order.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [hash, ev] : entries_) keys.push_back(hash);
+  std::sort(keys.begin(), keys.end());
+
+  util::Json doc = util::Json::object();
+  doc["format"] = kFormat;
+  doc["fingerprint"] = hex64(fingerprint_);
+  util::Json arr = util::Json::array();
+  for (std::uint64_t key : keys) {
+    util::Json entry = util::Json::object();
+    entry["design"] = hex64(key);
+    entry["evaluation"] = evaluation_to_json(entries_.at(key));
+    arr.push_back(entry);
+  }
+  doc["entries"] = arr;
+
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  // Unique temp name per process AND per save: concurrent saves of the
+  // same study (other processes, or threads in this one) must never
+  // interleave writes into one temp file (rename publishes atomically).
+  static std::atomic<unsigned long> save_counter{0};
+  const std::string tmp = path_ + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(save_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("PersistentEvalCache: cannot write " + tmp);
+    out << doc.dump(1) << '\n';
+    if (!out.flush()) {
+      throw std::runtime_error("PersistentEvalCache: write failed for " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    throw std::runtime_error("PersistentEvalCache: rename to " + path_ +
+                             " failed: " + ec.message());
+  }
+  dirty_ = false;
+}
+
+}  // namespace lcda::core

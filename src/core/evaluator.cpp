@@ -6,6 +6,7 @@
 #include "lcda/nn/trainer.h"
 #include "lcda/noise/monte_carlo.h"
 #include "lcda/noise/variation.h"
+#include "lcda/noise/write_verify.h"
 #include "lcda/util/stats.h"
 
 namespace lcda::core {
@@ -21,10 +22,23 @@ Evaluation SurrogateEvaluator::evaluate(const search::Design& design,
   const cim::CostEvaluator cost_eval(design.hw, opts_.cost);
   ev.cost = cost_eval.evaluate(design.rollout, opts_.backbone);
 
+  // Scenarios with selective write-verify deploy at a reduced effective
+  // sigma and pay for it in one-time programming energy (the verified
+  // fraction needs iterative write pulses instead of one); the gate keeps
+  // the paper setting (fraction 0) bit-identical.
+  double sigma = ev.cost.weight_sigma;
+  if (opts_.write_verify_fraction > 0.0) {
+    sigma *= noise::effective_sigma_scale(opts_.write_verify_fraction,
+                                          opts_.write_verify_sigma_scale);
+    ev.cost.programming_energy_pj *=
+        (1.0 - opts_.write_verify_fraction) +
+        opts_.write_verify_fraction * opts_.write_verify_pulses;
+  }
+
   util::OnlineStats stats;
   for (int i = 0; i < opts_.monte_carlo_samples; ++i) {
     util::Rng sample_rng = rng.fork();
-    stats.add(accuracy_.noisy_accuracy_sample(design.rollout, ev.cost.weight_sigma,
+    stats.add(accuracy_.noisy_accuracy_sample(design.rollout, sigma,
                                               ev.cost.max_adc_deficit_bits,
                                               sample_rng));
   }

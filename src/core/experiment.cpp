@@ -4,10 +4,28 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "lcda/core/eval_cache.h"
+#include "lcda/core/scenario.h"
 #include "lcda/util/csv.h"
+#include "lcda/util/strings.h"
 #include "lcda/util/thread_pool.h"
 
 namespace lcda::core {
+
+std::string_view evaluator_kind_name(EvaluatorKind k) {
+  switch (k) {
+    case EvaluatorKind::kSurrogate: return "surrogate";
+    case EvaluatorKind::kTrained: return "trained";
+  }
+  return "?";
+}
+
+EvaluatorKind evaluator_kind_from_name(std::string_view name) {
+  if (name == "surrogate") return EvaluatorKind::kSurrogate;
+  if (name == "trained") return EvaluatorKind::kTrained;
+  throw std::invalid_argument("evaluator_kind_from_name: unknown kind \"" +
+                              std::string(name) + "\"");
+}
 
 std::string_view strategy_name(Strategy s) {
   switch (s) {
@@ -23,14 +41,41 @@ std::string_view strategy_name(Strategy s) {
   return "?";
 }
 
+const std::vector<Strategy>& all_strategies() {
+  static const std::vector<Strategy> kAll = {
+      Strategy::kLcda,      Strategy::kLcdaNaive, Strategy::kLcdaFinetuned,
+      Strategy::kNacimRl,   Strategy::kGenetic,   Strategy::kNsga2,
+      Strategy::kAnnealing, Strategy::kRandom,
+  };
+  return kAll;
+}
+
+Strategy strategy_from_name(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  for (Strategy s : all_strategies()) {
+    if (lower == util::to_lower(strategy_name(s))) return s;
+  }
+  // CLI spellings.
+  if (lower == "naive") return Strategy::kLcdaNaive;
+  if (lower == "finetuned" || lower == "lcda-ft") return Strategy::kLcdaFinetuned;
+  if (lower == "nacim-rl" || lower == "rl") return Strategy::kNacimRl;
+  if (lower == "nsga2") return Strategy::kNsga2;
+  throw std::invalid_argument("strategy_from_name: unknown strategy \"" +
+                              std::string(name) + "\"");
+}
+
 int env_parallelism(int fallback) {
   constexpr long kMaxParallelism = 4096;
+  // The fallback goes through resolve_parallelism too, so a fallback of 0
+  // means "all hardware threads" exactly like an explicit "0" in the env.
   const char* value = std::getenv("LCDA_PARALLELISM");
-  if (value == nullptr || *value == '\0') return fallback;
+  if (value == nullptr || *value == '\0') {
+    return util::ThreadPool::resolve_parallelism(fallback);
+  }
   char* end = nullptr;
   const long parsed = std::strtol(value, &end, 10);
   if (end == value || *end != '\0' || parsed < 0 || parsed > kMaxParallelism) {
-    return fallback;
+    return util::ThreadPool::resolve_parallelism(fallback);
   }
   return util::ThreadPool::resolve_parallelism(static_cast<int>(parsed));
 }
@@ -69,20 +114,61 @@ std::unique_ptr<search::Optimizer> make_optimizer(Strategy strategy,
   throw std::invalid_argument("make_optimizer: unknown strategy");
 }
 
+std::unique_ptr<PerformanceEvaluator> make_evaluator(
+    const ExperimentConfig& config) {
+  switch (config.evaluator_kind) {
+    case EvaluatorKind::kSurrogate:
+      return std::make_unique<SurrogateEvaluator>(config.evaluator);
+    case EvaluatorKind::kTrained:
+      return std::make_unique<TrainedEvaluator>(config.trained);
+  }
+  throw std::invalid_argument("make_evaluator: unknown evaluator kind");
+}
+
+RewardFunction make_reward(const ExperimentConfig& config) {
+  if (config.combined_reward) {
+    return RewardFunction::combined(config.energy_weight, config.latency_weight,
+                                    config.objective);
+  }
+  return RewardFunction(config.objective);
+}
+
+int default_episodes(Strategy strategy, const ExperimentConfig& config) {
+  switch (strategy) {
+    case Strategy::kLcda:
+    case Strategy::kLcdaNaive:
+    case Strategy::kLcdaFinetuned:
+      return config.lcda_episodes;
+    default:
+      return config.nacim_episodes;
+  }
+}
+
 RunResult run_strategy(Strategy strategy, int episodes,
                        const ExperimentConfig& config) {
   auto optimizer = make_optimizer(strategy, config);
-  SurrogateEvaluator evaluator(config.evaluator);
-  RewardFunction reward(config.objective);
+  auto evaluator = make_evaluator(config);
+  RewardFunction reward = make_reward(config);
   CodesignLoop::Options opts;
   opts.episodes = episodes;
   opts.parallelism = config.parallelism;
   opts.batch_size = config.batch_size;
   opts.cache_evaluations = config.cache_evaluations;
-  CodesignLoop loop(*optimizer, evaluator, reward, opts);
+
+  std::unique_ptr<PersistentEvalCache> pcache;
+  if (!config.persistent_cache_dir.empty()) {
+    pcache = std::make_unique<PersistentEvalCache>(
+        config.persistent_cache_dir,
+        study_fingerprint(config, strategy, episodes));
+    opts.persistent_cache = pcache.get();
+  }
+
+  CodesignLoop loop(*optimizer, *evaluator, reward, opts);
   util::Rng rng(util::hash_combine(config.seed,
                                    static_cast<std::uint64_t>(strategy) + 101));
-  return loop.run(rng);
+  RunResult result = loop.run(rng);
+  if (pcache) pcache->save();
+  return result;
 }
 
 SpeedupReport measure_speedup(const ExperimentConfig& config,

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "lcda/core/evaluator.h"
+#include "lcda/util/json_lite.h"
+
+namespace lcda::core {
+
+/// JSON round-trip of an Evaluation's scalar payload: accuracy, spread and
+/// every flat CostReport field the co-design loop and rewards consume.
+/// Per-layer breakdowns and the mapping are deliberately NOT persisted —
+/// nothing downstream of the loop reads them, and dropping them keeps cache
+/// files compact. Doubles survive bit-for-bit (shortest-round-trip JSON
+/// numbers), which is what keeps warm reruns trace-identical to cold ones.
+[[nodiscard]] util::Json evaluation_to_json(const Evaluation& ev);
+[[nodiscard]] Evaluation evaluation_from_json(const util::Json& j);
+
+/// On-disk evaluation cache for one study: a JSON file under `directory`
+/// named by the study fingerprint (scenario.h: study_fingerprint), mapping
+/// Design::hash to the Evaluation of the first episode that produced it.
+///
+/// The fingerprint covers everything that shapes the evaluation stream
+/// (space, evaluator, reward, seed, batch size, strategy), so a lookup hit
+/// always returns the byte-identical Evaluation a cold run would have
+/// computed — repeated studies skip the work without changing a trace.
+///
+/// Not thread-safe: the CodesignLoop consults it only from the driving
+/// thread, and each loop owns its own instance (distinct seeds/strategies
+/// map to distinct files, so parallel seed fan-out never shares one).
+class PersistentEvalCache {
+ public:
+  /// Loads `directory`/<fingerprint hex>.json when it exists; a missing
+  /// file starts empty. Throws std::runtime_error on a corrupt file or a
+  /// fingerprint mismatch (a file renamed across studies).
+  PersistentEvalCache(std::string directory, std::uint64_t fingerprint);
+
+  [[nodiscard]] std::optional<Evaluation> lookup(std::uint64_t design_hash) const;
+  void insert(std::uint64_t design_hash, const Evaluation& ev);
+
+  /// Writes the cache file if any insert happened since load/save
+  /// (write-to-temp + rename; creates the directory). Throws
+  /// std::runtime_error on I/O failure.
+  void save();
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  std::string directory_;
+  std::string path_;
+  std::uint64_t fingerprint_ = 0;
+  bool dirty_ = false;
+  std::unordered_map<std::uint64_t, Evaluation> entries_;
+};
+
+}  // namespace lcda::core

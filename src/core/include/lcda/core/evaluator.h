@@ -40,6 +40,19 @@ class SurrogateEvaluator final : public PerformanceEvaluator {
     cim::CostModelOptions cost;
     nn::BackboneOptions backbone;
     int monte_carlo_samples = 16;
+
+    /// SWIM-style selective write-verify at deployment: the fraction of
+    /// weights programmed with iterative verification (at
+    /// write_verify_sigma_scale times the raw device sigma), shrinking the
+    /// effective weight error the accuracy model sees
+    /// (noise::effective_sigma_scale). The accuracy benefit is not free:
+    /// each verified device costs write_verify_pulses write pulses instead
+    /// of one, and the cost report's one-time programming energy is scaled
+    /// accordingly. 0 = plain single-pulse programming, the paper's
+    /// setting.
+    double write_verify_fraction = 0.0;
+    double write_verify_sigma_scale = 0.1;
+    double write_verify_pulses = 8.0;
   };
 
   SurrogateEvaluator() : SurrogateEvaluator(Options{}) {}

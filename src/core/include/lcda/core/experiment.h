@@ -15,16 +15,39 @@
 
 namespace lcda::core {
 
-/// Shared configuration of the paper's experiments (Sec. IV): the NACIM
-/// search space, the surrogate evaluator, the reward for one objective,
-/// and the standard episode counts (LCDA 20, NACIM 500).
+/// Which performance evaluator a configuration runs: the calibrated
+/// surrogate (seconds per 500-episode run) or the faithful train-then-
+/// Monte-Carlo pipeline (seconds-to-minutes per candidate).
+enum class EvaluatorKind { kSurrogate, kTrained };
+
+[[nodiscard]] std::string_view evaluator_kind_name(EvaluatorKind k);
+[[nodiscard]] EvaluatorKind evaluator_kind_from_name(std::string_view name);
+
+/// Complete, serializable definition of one experiment: search space,
+/// evaluator, objective/reward, episode budgets and engine knobs. The
+/// defaults are the paper's setting (Sec. IV: NACIM space, surrogate
+/// evaluator, LCDA 20 / NACIM 500 episodes). Round-trips through
+/// util::json_lite via config_to_json / config_from_json (scenario.h).
 struct ExperimentConfig {
   llm::Objective objective = llm::Objective::kEnergy;
+
+  /// Combined accuracy/energy/latency reward (RewardFunction::combined)
+  /// instead of the paper's single-objective Eq. (1)/(2). `objective`
+  /// still selects the metric surfaced in LLM prompts and Pareto plots.
+  bool combined_reward = false;
+  double energy_weight = 1.0;
+  double latency_weight = 1.0;
+
   int lcda_episodes = 20;
   int nacim_episodes = 500;
   std::uint64_t seed = 1;
   search::SearchSpace::Options space;
+
+  /// Evaluator choice plus the options of both kinds (only the selected
+  /// kind's options are consulted at run time).
+  EvaluatorKind evaluator_kind = EvaluatorKind::kSurrogate;
   SurrogateEvaluator::Options evaluator;
+  TrainedEvaluator::Options trained;
 
   /// Evaluation-engine knobs. `parallelism` fans out both the episode
   /// batches inside one run and the seeds of run_aggregate/speedup_study
@@ -34,6 +57,13 @@ struct ExperimentConfig {
   int parallelism = 1;
   std::size_t batch_size = 0;
   bool cache_evaluations = true;
+
+  /// Directory of the on-disk evaluation cache ("" = disabled). Entries
+  /// are keyed by (study fingerprint, Design::hash), where the study
+  /// fingerprint covers everything that shapes the evaluation stream
+  /// (scenario.h: study_fingerprint), so repeated runs of the same study
+  /// skip re-evaluation while traces stay bit-identical to a cold run.
+  std::string persistent_cache_dir;
 };
 
 /// Which optimization strategy drives a run.
@@ -56,6 +86,14 @@ enum class Strategy {
 
 [[nodiscard]] std::string_view strategy_name(Strategy s);
 
+/// Parses a strategy from either its display name ("LCDA-naive", "NSGA-II")
+/// or the CLI spelling ("naive", "nsga2"), case-insensitively; throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] Strategy strategy_from_name(std::string_view name);
+
+/// Every strategy, in enum order (CLI listings, sweeps).
+[[nodiscard]] const std::vector<Strategy>& all_strategies();
+
 /// Parallelism knob for bench/example binaries: the LCDA_PARALLELISM
 /// environment variable ("0" = auto = one worker per hardware thread),
 /// falling back to `fallback` when unset or unparsable.
@@ -65,6 +103,18 @@ enum class Strategy {
 /// variants are wired to a fresh SimulatedGpt4 seeded from `config.seed`.
 [[nodiscard]] std::unique_ptr<search::Optimizer> make_optimizer(
     Strategy strategy, const ExperimentConfig& config);
+
+/// Builds the evaluator the config selects (surrogate or trained).
+[[nodiscard]] std::unique_ptr<PerformanceEvaluator> make_evaluator(
+    const ExperimentConfig& config);
+
+/// Builds the reward function the config selects (single or combined).
+[[nodiscard]] RewardFunction make_reward(const ExperimentConfig& config);
+
+/// Default episode budget of a strategy under this config: the LCDA budget
+/// for LLM-driven strategies, the NACIM budget for everything else.
+[[nodiscard]] int default_episodes(Strategy strategy,
+                                   const ExperimentConfig& config);
 
 /// Runs one strategy for `episodes` episodes and returns the trace.
 [[nodiscard]] RunResult run_strategy(Strategy strategy, int episodes,

@@ -10,6 +10,8 @@
 
 namespace lcda::core {
 
+class PersistentEvalCache;
+
 /// One completed episode of the co-design loop.
 struct EpisodeRecord {
   int episode = 0;
@@ -28,9 +30,12 @@ struct RunResult {
   int best_episode = -1;
 
   /// Evaluation-cache traffic: hits are episodes whose design was already
-  /// evaluated (earlier episode or same batch) and reused its Evaluation.
+  /// evaluated (earlier episode or same batch) and reused its Evaluation;
+  /// persistent_hits are episodes served from the on-disk cache of a
+  /// previous process run (counted separately from both hits and misses).
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  std::int64_t persistent_hits = 0;
 
   /// Best episode, or a sentinel record (episode == -1, reward == -inf)
   /// when the run recorded no episodes.
@@ -80,6 +85,12 @@ class CodesignLoop {
     /// Design::hash) instead of re-evaluating. Population-based searches
     /// revisit designs constantly; hits surface in RunResult::cache_hits.
     bool cache_evaluations = true;
+
+    /// Optional on-disk cache consulted after the in-memory one (only when
+    /// cache_evaluations is on) and filled with every fresh evaluation.
+    /// Not owned; the owner saves it after the run. The loop touches it
+    /// only from the driving thread.
+    PersistentEvalCache* persistent_cache = nullptr;
 
     /// Called after each episode (progress reporting in benches/examples).
     /// Invoked on the driving thread, in episode order, after the episode's

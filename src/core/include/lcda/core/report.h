@@ -25,4 +25,18 @@ struct LabelledRun {
                                             std::uint64_t seed,
                                             const std::vector<LabelledRun>& runs);
 
+/// Writes a pretty-printed JSON document to `path` (throws on I/O failure).
+void write_json_file(const util::Json& j, const std::string& path);
+
+/// The JSON output path of a bench/CLI invocation: the first `--json=PATH`
+/// argument, else the LCDA_BENCH_JSON environment variable, else "" (no
+/// JSON output). Lets every bench_* binary archive its runs — including
+/// cache_hits / cache_misses / persistent_hits — with one call.
+[[nodiscard]] std::string json_output_path(int argc, char** argv);
+
+/// Non-flag command-line arguments in order (everything not starting with
+/// "--"), so benches keep their positional seed/count arguments alongside
+/// `--json=`.
+[[nodiscard]] std::vector<std::string> positional_args(int argc, char** argv);
+
 }  // namespace lcda::core

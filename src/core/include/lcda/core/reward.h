@@ -20,21 +20,37 @@ inline constexpr double kInvalidReward = -1.0;
 
 /// Reward function f(acc, hw) of Algorithm 2, dispatching on the objective.
 /// Invalid cost reports yield kInvalidReward.
+///
+/// Two modes:
+///  * single-objective (the paper's): Eq. (1) on energy or Eq. (2) on
+///    latency, selected by the llm::Objective;
+///  * combined (scenario extension): accuracy is traded against BOTH
+///    hardware metrics at once — accuracy - we*sqrt(E/8e7) + wl*FPS/1600 —
+///    the scalarization the multi-objective scenarios optimize.
 class RewardFunction {
  public:
   explicit RewardFunction(llm::Objective objective) : objective_(objective) {}
+
+  /// Combined accuracy/energy/latency reward. `objective` only names the
+  /// metric surfaced to the LLM prompt; both weights enter the scalar.
+  static RewardFunction combined(double energy_weight, double latency_weight,
+                                 llm::Objective objective = llm::Objective::kEnergy);
 
   [[nodiscard]] double operator()(double accuracy,
                                   const cim::CostReport& cost) const;
 
   [[nodiscard]] llm::Objective objective() const { return objective_; }
+  [[nodiscard]] bool is_combined() const { return combined_; }
 
   /// The hardware metric value this reward reads from a report
-  /// (energy in pJ or latency in ns).
+  /// (energy in pJ or latency in ns; the objective's metric when combined).
   [[nodiscard]] double hw_metric(const cim::CostReport& cost) const;
 
  private:
   llm::Objective objective_;
+  bool combined_ = false;
+  double energy_weight_ = 1.0;
+  double latency_weight_ = 1.0;
 };
 
 }  // namespace lcda::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lcda/core/experiment.h"
+#include "lcda/util/json_lite.h"
+
+namespace lcda::core {
+
+/// A named, self-describing experiment definition: everything a study needs
+/// — search space, evaluator, objective/reward, noise/write-verify setting,
+/// episode budgets — bundled as data. Scenarios make every bench, example
+/// and CLI sweep a thin driver: `lcda_run --scenario=X --strategy=Y`
+/// reproduces any figure without writing a new binary.
+struct Scenario {
+  std::string name;     ///< registry key, e.g. "paper-energy"
+  std::string summary;  ///< one line: what this scenario stresses
+  /// Strategy a bare `lcda_run --scenario=X` runs; benches override it.
+  Strategy default_strategy = Strategy::kLcda;
+  ExperimentConfig config;
+};
+
+// ----------------------------------------------------------- serialization
+//
+// ExperimentConfig and Scenario round-trip through util::json_lite. Saving
+// omits fields that still hold their default value (pass include_defaults
+// to dump everything); loading starts from defaults, applies what is
+// present, and REJECTS unknown keys with std::invalid_argument naming the
+// offending key — a typo in a scenario file fails loudly, not silently.
+
+[[nodiscard]] util::Json config_to_json(const ExperimentConfig& config,
+                                        bool include_defaults = false);
+[[nodiscard]] ExperimentConfig config_from_json(const util::Json& j);
+
+[[nodiscard]] util::Json scenario_to_json(const Scenario& scenario,
+                                          bool include_defaults = false);
+[[nodiscard]] Scenario scenario_from_json(const util::Json& j);
+
+/// Scenario file I/O (the scenario_to_json document, pretty-printed).
+[[nodiscard]] Scenario load_scenario(const std::string& path);
+void save_scenario(const Scenario& scenario, const std::string& path);
+
+/// Applies one "dotted.path=value" override to a config, e.g.
+/// "space.conv_layers=4", "objective=latency",
+/// "space.channel_choices=[16,32,64]". The value is parsed as JSON when it
+/// looks like it (numbers, bools, arrays), else taken as a string. Unknown
+/// paths throw std::invalid_argument.
+void apply_override(ExperimentConfig& config, std::string_view key_value);
+
+// ----------------------------------------------------------------- registry
+//
+// Process-wide scenario registry, pre-seeded with the paper's studies and
+// the extended catalog (see scenario.cpp / README "Scenario catalog").
+// Thread-safe; registration of a duplicate name throws.
+
+void register_scenario(Scenario scenario);
+[[nodiscard]] Scenario scenario_by_name(std::string_view name);
+[[nodiscard]] std::vector<std::string> list_scenarios();
+
+/// Fingerprint of everything that determines a study's evaluation stream:
+/// the config minus the engine knobs that provably cannot change a trace
+/// (parallelism, in-memory/persistent cache settings), combined with the
+/// strategy and the actual episode count. Episodes are part of the key
+/// because batched optimizers truncate their final batch at the budget,
+/// which shifts RNG consumption — streams are NOT prefix-stable across
+/// budgets. Keys the persistent evaluation cache.
+[[nodiscard]] std::uint64_t study_fingerprint(const ExperimentConfig& config,
+                                              Strategy strategy, int episodes);
+
+}  // namespace lcda::core

@@ -26,6 +26,11 @@ struct AggregateResult {
   util::OnlineStats episodes_to_threshold;
   int reached = 0;
 
+  /// Evaluation-cache traffic summed over all seeds (see RunResult).
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t persistent_hits = 0;
+
   [[nodiscard]] double mean_running_best(int episode) const {
     return running_best[static_cast<std::size_t>(episode)].mean();
   }

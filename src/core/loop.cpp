@@ -1,5 +1,7 @@
 #include "lcda/core/loop.h"
 
+#include "lcda/core/eval_cache.h"
+
 #include <algorithm>
 #include <limits>
 #include <memory>
@@ -121,6 +123,15 @@ RunResult CodesignLoop::run(util::Rng& rng) {
           ++result.cache_hits;
           continue;
         }
+        if (opts_.persistent_cache) {
+          if (auto disk = opts_.persistent_cache->lookup(h)) {
+            evals[i] = *disk;
+            cache.emplace(h, *disk);
+            planned[i] = true;
+            ++result.persistent_hits;
+            continue;
+          }
+        }
         first_in_batch.emplace(h, i);
       }
       ++result.cache_misses;
@@ -138,6 +149,9 @@ RunResult CodesignLoop::run(util::Rng& rng) {
       if (alias[i] >= 0) evals[i] = evals[static_cast<std::size_t>(alias[i])];
       if (opts_.cache_evaluations && !planned[i]) {
         cache.emplace(designs[i].hash(), evals[i]);
+        if (opts_.persistent_cache) {
+          opts_.persistent_cache->insert(designs[i].hash(), evals[i]);
+        }
       }
     }
 

@@ -1,6 +1,10 @@
 #include "lcda/core/report.h"
 
+#include <cstdlib>
+#include <fstream>
 #include <stdexcept>
+
+#include "lcda/util/strings.h"
 
 namespace lcda::core {
 
@@ -46,6 +50,9 @@ util::Json run_to_json(const RunResult& run, std::string_view label) {
     j["best_episode"] = run.best_episode;
     j["best_reward"] = run.best_reward();
   }
+  j["cache_hits"] = static_cast<long long>(run.cache_hits);
+  j["cache_misses"] = static_cast<long long>(run.cache_misses);
+  j["persistent_hits"] = static_cast<long long>(run.persistent_hits);
   util::Json eps = util::Json::array();
   for (const auto& ep : run.episodes) eps.push_back(episode_to_json(ep));
   j["trace"] = eps;
@@ -64,6 +71,32 @@ util::Json experiment_to_json(std::string_view name, std::uint64_t seed,
   }
   j["runs"] = arr;
   return j;
+}
+
+void write_json_file(const util::Json& j, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_json_file: cannot write " + path);
+  out << j.dump(2) << '\n';
+  if (!out.flush()) throw std::runtime_error("write_json_file: write failed");
+}
+
+std::string json_output_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (util::starts_with(arg, "--json=")) {
+      return std::string(arg.substr(std::string_view("--json=").size()));
+    }
+  }
+  const char* env = std::getenv("LCDA_BENCH_JSON");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+std::vector<std::string> positional_args(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    if (!util::starts_with(argv[i], "--")) out.emplace_back(argv[i]);
+  }
+  return out;
 }
 
 }  // namespace lcda::core

@@ -16,9 +16,29 @@ double reward_accuracy_latency(double accuracy, double latency_ns) {
   return accuracy + fps / 1600.0;
 }
 
+RewardFunction RewardFunction::combined(double energy_weight,
+                                        double latency_weight,
+                                        llm::Objective objective) {
+  if (energy_weight < 0.0 || latency_weight < 0.0) {
+    throw std::invalid_argument("RewardFunction::combined: negative weight");
+  }
+  RewardFunction f(objective);
+  f.combined_ = true;
+  f.energy_weight_ = energy_weight;
+  f.latency_weight_ = latency_weight;
+  return f;
+}
+
 double RewardFunction::operator()(double accuracy,
                                   const cim::CostReport& cost) const {
   if (!cost.valid) return kInvalidReward;
+  if (combined_) {
+    // Accuracy vs both hardware metrics, on the paper's normalization
+    // scales: the energy term of Eq. (1) plus the FPS term of Eq. (2).
+    return accuracy -
+           energy_weight_ * std::sqrt(cost.energy_total_pj / 8e7) +
+           latency_weight_ * (1e9 / cost.latency_ns) / 1600.0;
+  }
   switch (objective_) {
     case llm::Objective::kEnergy:
       return reward_accuracy_energy(accuracy, cost.energy_total_pj);

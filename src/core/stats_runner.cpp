@@ -60,6 +60,9 @@ AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
           rmax[static_cast<std::size_t>(e)]);
     }
     agg.final_best.add(run.best_reward());
+    agg.cache_hits += run.cache_hits;
+    agg.cache_misses += run.cache_misses;
+    agg.persistent_hits += run.persistent_hits;
     if (!std::isnan(threshold)) {
       const int hit = run.episodes_to_reach(threshold);
       if (hit >= 0) {

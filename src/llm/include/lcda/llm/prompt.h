@@ -14,6 +14,10 @@ enum class Objective { kEnergy, kLatency };
 
 [[nodiscard]] std::string_view objective_name(Objective o);
 
+/// Inverse of objective_name ("energy" / "latency"); throws
+/// std::invalid_argument on anything else. Used by scenario deserialization.
+[[nodiscard]] Objective objective_from_name(std::string_view name);
+
 /// One explored (design, normalized performance) pair — the paper's
 /// (l_des, l_perf) lists fed back into every prompt.
 struct HistoryEntry {
@@ -62,6 +66,11 @@ class PromptBuilder {
   [[nodiscard]] const search::SearchSpace& space() const { return space_; }
 
  private:
+  /// A legal example rollout for the response-format instruction, matching
+  /// the space's layer count and choice lists (the published VGG-style
+  /// progression, snapped to the space): "[[32,3],[32,3],[64,3],...]".
+  [[nodiscard]] std::string example_rollout() const;
+
   search::SearchSpace space_;
   Options opts_;
 };

@@ -1,6 +1,7 @@
 #include "lcda/llm/prompt.h"
 
 #include <sstream>
+#include <stdexcept>
 
 namespace lcda::llm {
 
@@ -21,8 +22,26 @@ std::string_view objective_name(Objective o) {
   return "?";
 }
 
+Objective objective_from_name(std::string_view name) {
+  if (name == "energy") return Objective::kEnergy;
+  if (name == "latency") return Objective::kLatency;
+  throw std::invalid_argument("objective_from_name: unknown objective \"" +
+                              std::string(name) + "\"");
+}
+
 PromptBuilder::PromptBuilder(search::SearchSpace space, Options opts)
     : space_(std::move(space)), opts_(opts) {}
+
+std::string PromptBuilder::example_rollout() const {
+  // Progressive widening from 32, doubling every two layers, all 3x3 —
+  // snapped onto the space so the example only shows legal values (an LLM
+  // imitates its example; an 8-layer space must not show a 6-pair one).
+  search::Design example;
+  for (int i = 0; i < space_.conv_layers(); ++i) {
+    example.rollout.push_back({32 << (i / 2), 3});
+  }
+  return space_.snap(example).rollout_text();
+}
 
 std::string PromptBuilder::hardware_text(const cim::HardwareConfig& hw) {
   std::ostringstream os;
@@ -76,24 +95,25 @@ ChatRequest PromptBuilder::build(const std::vector<HistoryEntry>& history) const
     os << ". If the hardware is invalid (e.g., too large in area), the "
           "performance I give you will be -1. After you give me a rollout "
           "list, I will give you the model's performance I calculated.\n";
-    os << "Your response should be the rollout list consisting of 6 number "
-          "pairs (e.g. [[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]) "
-          "followed on the next line by the hardware configuration "
+    os << "Your response should be the rollout list consisting of "
+       << space_.conv_layers() << " number pairs (e.g. " << example_rollout()
+       << ") followed on the next line by the hardware configuration "
           "hardware=[device,bits_per_cell,adc_bits,xbar_size,col_mux] "
           "(e.g. hardware=[RRAM,2,6,128,8]).\n";
   } else {
     // LCDA-naive: same decision problem with all domain context removed.
-    os << "I am running a black-box optimization. Select one list of 6 "
-          "number pairs and one list of settings to maximize a score I will "
+    os << "I am running a black-box optimization. Select one list of "
+       << space_.conv_layers()
+       << " number pairs and one list of settings to maximize a score I will "
           "compute.\n";
     os << "The available numbers for each pair are: " << space_.choices_text()
        << "\n";
     os << "If the settings are invalid the score will be -1. After you give "
           "me a list, I will tell you the score.\n";
-    os << "Your response should be the list of 6 number pairs (e.g. "
-          "[[32,3],[32,3],[64,3],[64,3],[128,3],[128,3]]) followed on the "
-          "next line by hardware=[device,bits_per_cell,adc_bits,xbar_size,"
-          "col_mux] (e.g. hardware=[RRAM,2,6,128,8]).\n";
+    os << "Your response should be the list of " << space_.conv_layers()
+       << " number pairs (e.g. " << example_rollout()
+       << ") followed on the next line by hardware=[device,bits_per_cell,"
+          "adc_bits,xbar_size,col_mux] (e.g. hardware=[RRAM,2,6,128,8]).\n";
   }
 
   if (!history.empty()) {

@@ -113,14 +113,16 @@ PromptFacts read_prompt(std::string_view text) {
   facts.xbar_choices = braced_ints_after(text, "xbar_size in");
   facts.mux_choices = braced_ints_after(text, "col_mux in");
 
-  // "...rollout list consisting of N number pairs"
-  const std::size_t npos_marker = text.find("consisting of ");
-  if (npos_marker != std::string_view::npos) {
-    const auto ints = util::extract_ints(
-        text.substr(npos_marker, text.find("number pairs", npos_marker) -
-                                     npos_marker));
-    if (!ints.empty() && ints[0] > 0 && ints[0] <= 32) {
-      facts.conv_layers = static_cast<int>(ints[0]);
+  // "...rollout list consisting of N number pairs" (expert prompt) or
+  // "...list of N number pairs" (naive prompt): the integer directly
+  // preceding the "number pairs" marker.
+  const std::size_t pairs_marker = text.find(" number pairs");
+  if (pairs_marker != std::string_view::npos) {
+    const std::size_t window = std::min<std::size_t>(pairs_marker, 24);
+    const auto ints =
+        util::extract_ints(text.substr(pairs_marker - window, window));
+    if (!ints.empty() && ints.back() > 0 && ints.back() <= 32) {
+      facts.conv_layers = static_cast<int>(ints.back());
     }
   }
 

@@ -68,4 +68,13 @@ class SelectiveWriteVerify {
 [[nodiscard]] float verify_threshold(std::span<const float> weights,
                                      double fraction);
 
+/// Population-level sigma scale of selective write-verify: a `fraction` of
+/// weights programmed at `verified_sigma_scale` * sigma and the rest at the
+/// raw sigma compose (as a variance mixture across the weight population)
+/// to sqrt((1 - f) + f * s^2) times the raw sigma. This is the analytical
+/// reduction the surrogate evaluator applies when a scenario enables
+/// write-verify; fraction 0 returns exactly 1.0.
+[[nodiscard]] double effective_sigma_scale(double fraction,
+                                           double verified_sigma_scale);
+
 }  // namespace lcda::noise

@@ -82,4 +82,16 @@ SelectiveWriteVerify::ProgrammingCost SelectiveWriteVerify::programming_cost(
   return cost;
 }
 
+double effective_sigma_scale(double fraction, double verified_sigma_scale) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("effective_sigma_scale: fraction not in [0,1]");
+  }
+  if (verified_sigma_scale < 0.0) {
+    throw std::invalid_argument("effective_sigma_scale: negative sigma scale");
+  }
+  if (fraction == 0.0) return 1.0;
+  return std::sqrt((1.0 - fraction) +
+                   fraction * verified_sigma_scale * verified_sigma_scale);
+}
+
 }  // namespace lcda::noise

@@ -19,6 +19,12 @@ class SearchSpace {
     std::vector<int> kernel_choices = {1, 3, 5, 7};
     cim::HardwareChoices hw;
     nn::BackboneOptions backbone;
+
+    /// Area budget stamped onto every design this space produces (decode,
+    /// sample, snap). Designs whose chip exceeds it are invalid and earn
+    /// the framework's -1 reward; scenarios tighten it to stress the
+    /// optimizers' validity handling.
+    double area_budget_mm2 = 75.0;
   };
 
   SearchSpace() : SearchSpace(Options{}) {}

@@ -100,6 +100,7 @@ Design SearchSpace::decode(const std::vector<int>& indices) const {
     }
   }
   Design design;
+  design.hw.area_budget_mm2 = opts_.area_budget_mm2;
   std::size_t cursor = 0;
   for (int layer = 0; layer < opts_.conv_layers; ++layer) {
     nn::ConvSpec spec;
@@ -127,6 +128,7 @@ bool SearchSpace::contains(const Design& design) const {
 
 Design SearchSpace::snap(const Design& design) const {
   Design out = design;
+  out.hw.area_budget_mm2 = opts_.area_budget_mm2;
   out.rollout.resize(static_cast<std::size_t>(opts_.conv_layers));
   for (auto& spec : out.rollout) {
     if (spec.channels <= 0) spec.channels = opts_.channel_choices.front();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,10 +10,14 @@
 
 namespace lcda::util {
 
-/// Minimal JSON value for serializing designs and experiment results.
+/// Minimal JSON value for serializing and loading designs, scenarios and
+/// experiment results.
 ///
-/// Write-oriented: builds a tree and renders it; no parser is provided (the
-/// project never consumes JSON). Keys are emitted in insertion order.
+/// Builds a tree and renders it (keys emitted in insertion order), and
+/// parses the same subset back: objects, arrays, strings, numbers, bools,
+/// null. Numbers render with shortest-round-trip formatting, so a
+/// dump/parse cycle reproduces every double bit-for-bit — the property the
+/// persistent evaluation cache and the scenario golden traces rely on.
 class Json {
  public:
   Json() : value_(nullptr) {}
@@ -30,17 +35,51 @@ class Json {
   static Json object();
   static Json array();
 
+  /// Parses a JSON document. Throws std::runtime_error with a position on
+  /// malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
   /// Object access; converts a null value into an object on first use.
   Json& operator[](const std::string& key);
 
   /// Array append; converts a null value into an array on first use.
   void push_back(Json v);
 
+  [[nodiscard]] bool is_null() const;
+  [[nodiscard]] bool is_bool() const;
+  [[nodiscard]] bool is_number() const;
+  [[nodiscard]] bool is_string() const;
   [[nodiscard]] bool is_object() const;
   [[nodiscard]] bool is_array() const;
 
+  /// Typed reads; throw std::logic_error when the value holds another type.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] long long as_int() const;  ///< throws if not integral
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Object lookup. contains() is false for non-objects; at() throws on a
+  /// missing key or non-object.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] const Json& at(const std::string& key) const;
+
+  /// Array element access; throws on non-arrays or out-of-range indices.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+
+  /// Number of object keys / array elements; 0 for scalars.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Object key/value pairs in insertion order (empty for non-objects) —
+  /// the iteration primitive for deserializers and unknown-key detection.
+  [[nodiscard]] std::vector<std::pair<std::string, Json>> items() const;
+
+  /// Array elements (empty for non-arrays).
+  [[nodiscard]] std::vector<Json> elements() const;
+
   /// Serializes; `indent` < 0 means compact single-line output.
   [[nodiscard]] std::string dump(int indent = -1) const;
+
+  [[nodiscard]] bool operator==(const Json& other) const;
 
  private:
   struct ObjectRep {

@@ -376,6 +376,66 @@ TEST(Json, InsertionOrderPreserved) {
   EXPECT_EQ(j.dump(), R"({"z":1,"a":2})");
 }
 
+TEST(JsonParse, ScalarsAndNesting) {
+  const Json j = Json::parse(
+      R"({"s":"hi","n":-2.5,"i":42,"b":true,"nil":null,"a":[1,[2,3],{"k":"v"}]})");
+  EXPECT_EQ(j.at("s").as_string(), "hi");
+  EXPECT_EQ(j.at("n").as_double(), -2.5);
+  EXPECT_EQ(j.at("i").as_int(), 42);
+  EXPECT_TRUE(j.at("b").as_bool());
+  EXPECT_TRUE(j.at("nil").is_null());
+  EXPECT_EQ(j.at("a").size(), 3u);
+  EXPECT_EQ(j.at("a").at(1).at(0).as_int(), 2);
+  EXPECT_EQ(j.at("a").at(2).at("k").as_string(), "v");
+}
+
+TEST(JsonParse, DumpParseRoundTripIsExactForDoubles) {
+  // Shortest-round-trip number formatting: every double survives a
+  // dump/parse cycle bit-for-bit — the persistent cache's guarantee.
+  for (double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300, -0.0625,
+                   123456789.123456789, 2.5e-17}) {
+    Json j = Json::array();
+    j.push_back(v);
+    const Json back = Json::parse(j.dump());
+    EXPECT_EQ(back.at(0).as_double(), v);
+  }
+}
+
+TEST(JsonParse, StringEscapesRoundTrip) {
+  Json j = Json::object();
+  j["k"] = std::string("a\"b\\c\nd\te\x01f");
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.at("k").as_string(), "a\"b\\c\nd\te\x01f");
+}
+
+TEST(JsonParse, EqualityFollowsStructure) {
+  const Json a = Json::parse(R"({"x":[1,2],"y":{"z":true}})");
+  const Json b = Json::parse(R"({ "x" : [1, 2], "y": {"z": true} })");
+  const Json c = Json::parse(R"({"x":[1,3],"y":{"z":true}})");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\":1} extra"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\":1,\"a\":2}"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("truthy"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("1.2.3"), std::runtime_error);
+}
+
+TEST(JsonParse, TypedAccessorsValidate) {
+  const Json j = Json::parse(R"({"d":1.5,"s":"x"})");
+  EXPECT_THROW((void)j.at("d").as_int(), std::logic_error);     // non-integral
+  EXPECT_THROW((void)j.at("s").as_double(), std::logic_error);  // wrong type
+  EXPECT_THROW((void)j.at("missing"), std::logic_error);
+  EXPECT_FALSE(j.contains("missing"));
+  EXPECT_TRUE(j.contains("d"));
+}
+
 // --------------------------------------------------------------- Logging
 
 TEST(Logging, LevelFilters) {

@@ -1,0 +1,274 @@
+// lcda_run — the scenario-driven experiment CLI.
+//
+// Every study in this repository is data: a named Scenario (search space,
+// evaluator, objective/reward, noise setting, episode budgets) pulled from
+// the registry or a JSON file, crossed with one or more strategies and
+// seeds. This binary can therefore reproduce any figure of the paper and
+// sweep any scenario x strategy grid without writing a new program.
+//
+//   lcda_run --list
+//   lcda_run --scenario=paper-energy --strategy=lcda --seeds=2
+//   lcda_run --scenario=paper-latency --strategy=lcda,nacim --json=out.json
+//   lcda_run --scenario=tight-area --set space.area_budget_mm2=15
+//   lcda_run --scenario-file=my_study.json --trace=trace.csv
+//
+// Flags:
+//   --list                 list registered scenarios and exit
+//   --print-config         dump the resolved scenario as JSON and exit
+//   --scenario=NAME        registry scenario (see --list)
+//   --scenario-file=PATH   load a scenario JSON file instead
+//   --strategy=A[,B...]    strategies to run (default: the scenario's);
+//                          "all" sweeps every strategy
+//   --episodes=N           override the per-strategy episode budget
+//   --seeds=N              seeds per strategy (base, base+1, ...; default 1)
+//   --seed=K               override the base seed
+//   --set key=value        dotted-path config override (repeatable), e.g.
+//                          --set space.conv_layers=4 --set objective=latency
+//   --cache-dir=PATH       enable the on-disk evaluation cache
+//   --parallelism=N        worker threads (default: LCDA_PARALLELISM, else 1;
+//                          0 = one per hardware thread); traces are
+//                          bit-identical for every setting
+//   --json=PATH            write the full experiment (runs + traces + cache
+//                          counters) as JSON
+//   --trace=PATH           write the episode traces as CSV ("-" = stdout;
+//                          human-readable output then moves to stderr so
+//                          stdout stays valid CSV) — the format CI diffs
+//                          against golden traces
+//   --quiet                suppress the per-episode listing
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lcda/core/report.h"
+#include "lcda/core/scenario.h"
+#include "lcda/util/strings.h"
+
+namespace {
+
+using namespace lcda;
+
+struct CliOptions {
+  bool list = false;
+  bool print_config = false;
+  bool quiet = false;
+  std::string scenario;
+  std::string scenario_file;
+  std::string strategies;
+  std::string cache_dir;
+  std::string json_path;
+  std::string trace_path;
+  std::vector<std::string> overrides;
+  int episodes = 0;  // 0 = scenario default
+  int seeds = 1;
+  long long seed = -1;          // -1 = scenario default
+  int parallelism = -1;         // -1 = environment default
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --scenario=NAME [--strategy=A,B] [--seeds=N] "
+               "[--episodes=N] [--seed=K] [--set key=value ...] "
+               "[--cache-dir=DIR] [--parallelism=N] [--json=PATH] "
+               "[--trace=PATH|-] [--quiet]\n"
+               "       %s --scenario-file=PATH [...]\n"
+               "       %s --list | --print-config --scenario=NAME\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+bool flag_value(std::string_view arg, std::string_view name, std::string& out) {
+  if (!util::starts_with(arg, name)) return false;
+  out = std::string(arg.substr(name.size()));
+  return true;
+}
+
+/// Strict numeric flag parsing: a typo or out-of-range value must fail
+/// loudly, not become 0 (which --parallelism would read as "use every
+/// hardware thread") or silently fall back to a default (which negative
+/// values would, via the unset sentinels).
+long long parse_number_flag(const std::string& value, const char* flag,
+                            long long min_value) {
+  const auto parsed = util::parse_int(value);
+  if (!parsed || *parsed < min_value) {
+    throw std::invalid_argument(std::string("bad value for ") + flag + ": \"" +
+                                value + "\" (want an integer >= " +
+                                std::to_string(min_value) + ")");
+  }
+  return *parsed;
+}
+
+std::vector<core::Strategy> resolve_strategies(const std::string& spec,
+                                               core::Strategy fallback) {
+  if (spec.empty()) return {fallback};
+  if (util::to_lower(spec) == "all") return core::all_strategies();
+  std::vector<core::Strategy> out;
+  for (const std::string& name : util::split(spec, ',')) {
+    out.push_back(core::strategy_from_name(util::trim(name)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      std::string value;
+      if (arg == "--list") cli.list = true;
+      else if (arg == "--print-config") cli.print_config = true;
+      else if (arg == "--quiet") cli.quiet = true;
+      else if (flag_value(arg, "--scenario=", cli.scenario)) {}
+      else if (flag_value(arg, "--scenario-file=", cli.scenario_file)) {}
+      else if (flag_value(arg, "--strategy=", cli.strategies)) {}
+      else if (flag_value(arg, "--cache-dir=", cli.cache_dir)) {}
+      else if (flag_value(arg, "--json=", cli.json_path)) {}
+      else if (flag_value(arg, "--trace=", cli.trace_path)) {}
+      else if (arg == "--set" && i + 1 < argc) cli.overrides.emplace_back(argv[++i]);
+      else if (flag_value(arg, "--set=", value)) cli.overrides.push_back(value);
+      else if (flag_value(arg, "--episodes=", value)) {
+        cli.episodes = static_cast<int>(parse_number_flag(value, "--episodes", 1));
+      } else if (flag_value(arg, "--seeds=", value)) {
+        cli.seeds = static_cast<int>(parse_number_flag(value, "--seeds", 1));
+      } else if (flag_value(arg, "--seed=", value)) {
+        cli.seed = parse_number_flag(value, "--seed", 0);
+      } else if (flag_value(arg, "--parallelism=", value)) {
+        cli.parallelism = static_cast<int>(parse_number_flag(value, "--parallelism", 0));
+      } else {
+        std::fprintf(stderr, "lcda_run: unknown argument \"%s\"\n",
+                     std::string(arg).c_str());
+        return usage(argv[0]);
+      }
+    }
+
+    // Tracing to stdout reserves it for CSV; narration moves to stderr.
+    std::FILE* const human = cli.trace_path == "-" ? stderr : stdout;
+
+    if (cli.list) {
+      std::fprintf(human, "%-16s %s\n", "scenario", "what it stresses");
+      for (const std::string& name : core::list_scenarios()) {
+        const core::Scenario s = core::scenario_by_name(name);
+        std::fprintf(human, "%-16s %s  [default strategy: %s]\n",
+                     s.name.c_str(), s.summary.c_str(),
+                     std::string(core::strategy_name(s.default_strategy)).c_str());
+      }
+      return 0;
+    }
+
+    if (cli.scenario.empty() == cli.scenario_file.empty()) {
+      std::fprintf(stderr,
+                   "lcda_run: exactly one of --scenario / --scenario-file "
+                   "is required\n");
+      return usage(argv[0]);
+    }
+    core::Scenario scenario = cli.scenario_file.empty()
+                                  ? core::scenario_by_name(cli.scenario)
+                                  : core::load_scenario(cli.scenario_file);
+
+    for (const std::string& kv : cli.overrides) {
+      core::apply_override(scenario.config, kv);
+    }
+    if (cli.seed >= 0) scenario.config.seed = static_cast<std::uint64_t>(cli.seed);
+    scenario.config.parallelism =
+        cli.parallelism >= 0 ? cli.parallelism : core::env_parallelism();
+    if (!cli.cache_dir.empty()) scenario.config.persistent_cache_dir = cli.cache_dir;
+
+    if (cli.print_config) {
+      std::printf("%s\n", core::scenario_to_json(scenario).dump(2).c_str());
+      return 0;
+    }
+    if (cli.seeds <= 0) {
+      std::fprintf(stderr, "lcda_run: --seeds must be >= 1\n");
+      return 2;
+    }
+
+    const std::vector<core::Strategy> strategies =
+        resolve_strategies(cli.strategies, scenario.default_strategy);
+
+    std::fprintf(human, "# scenario %s: %s\n", scenario.name.c_str(),
+                 scenario.summary.c_str());
+    std::fprintf(human, "# parallelism %d, base seed %llu\n",
+                 scenario.config.parallelism,
+                 static_cast<unsigned long long>(scenario.config.seed));
+
+    struct Completed {
+      std::string label;
+      core::RunResult run;
+    };
+    std::vector<Completed> completed;
+
+    for (core::Strategy strategy : strategies) {
+      const int episodes =
+          cli.episodes > 0 ? cli.episodes
+                           : core::default_episodes(strategy, scenario.config);
+      for (int s = 0; s < cli.seeds; ++s) {
+        core::ExperimentConfig config = scenario.config;
+        config.seed = scenario.config.seed + static_cast<std::uint64_t>(s);
+        const core::RunResult run =
+            core::run_strategy(strategy, episodes, config);
+
+        const std::string label = std::string(core::strategy_name(strategy)) +
+                                  "/seed" + std::to_string(config.seed);
+        std::fprintf(human, "\n== %s (%d episodes) ==\n", label.c_str(),
+                     episodes);
+        if (!cli.quiet) {
+          for (const auto& ep : run.episodes) {
+            std::fprintf(human,
+                         "  ep %3d  reward %+8.3f  acc %.3f  E %10.4g pJ  "
+                         "L %10.4g ns  %s%s\n",
+                         ep.episode, ep.reward, ep.accuracy, ep.energy_pj,
+                         ep.latency_ns, ep.design.rollout_text().c_str(),
+                         ep.valid ? "" : "  [invalid]");
+          }
+        }
+        std::fprintf(human, "best reward %+0.4f at episode %d (%s)\n",
+                     run.best_reward(), run.best_episode,
+                     run.best().design.describe().c_str());
+        std::fprintf(human,
+                     "cache: %lld hits, %lld misses, %lld persistent hits\n",
+                     static_cast<long long>(run.cache_hits),
+                     static_cast<long long>(run.cache_misses),
+                     static_cast<long long>(run.persistent_hits));
+        completed.push_back({label, run});
+      }
+    }
+
+    if (!cli.trace_path.empty()) {
+      std::ofstream file;
+      const bool to_stdout = cli.trace_path == "-";
+      if (!to_stdout) {
+        file.open(cli.trace_path, std::ios::trunc);
+        if (!file) {
+          std::fprintf(stderr, "lcda_run: cannot write %s\n",
+                       cli.trace_path.c_str());
+          return 1;
+        }
+      }
+      std::ostream& os = to_stdout ? std::cout : file;
+      for (const Completed& c : completed) {
+        core::write_run_csv(os, c.run, c.label);
+      }
+    }
+
+    if (!cli.json_path.empty()) {
+      std::vector<core::LabelledRun> labelled;
+      labelled.reserve(completed.size());
+      for (const Completed& c : completed) {
+        labelled.push_back({c.label, &c.run});
+      }
+      util::Json doc = core::experiment_to_json(scenario.name,
+                                                scenario.config.seed, labelled);
+      doc["scenario"] = core::scenario_to_json(scenario);
+      core::write_json_file(doc, cli.json_path);
+      std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lcda_run: %s\n", e.what());
+    return 1;
+  }
+}
