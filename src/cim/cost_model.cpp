@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
+#include <cstdio>
 
 #include "lcda/cim/noc.h"
 
 namespace lcda::cim {
 
-CostEvaluator::CostEvaluator(HardwareConfig hw, CostModelOptions opts)
-    : hw_(hw), opts_(opts), circuits_(make_circuits(hw)) {
+CostEvaluator::CostEvaluator(const HardwareConfig& hw, CostModelOptions opts)
+    : hw_(hw), opts_(opts), circuits_(make_circuits(hw)), noc_(make_noc()) {
   opts_.mapper.input_bits = hw.input_bits;
 }
 
@@ -76,7 +76,7 @@ CostReport CostEvaluator::evaluate(const std::vector<nn::LayerShape>& shapes) co
     // next layer's tiles. Tile count is estimated from this layer's arrays.
     const long long layer_tiles = std::max<long long>(
         1, (lm.total_arrays() + opts_.arrays_per_tile - 1) / opts_.arrays_per_tile);
-    const NocLayerCost noc = noc_layer_cost(make_noc(), bytes, layer_tiles);
+    const NocLayerCost noc = noc_layer_cost(noc_, bytes, layer_tiles);
 
     lc.energy_pj = e_adc + e_xbar + e_dac + e_sa + e_digital + e_buffer +
                    noc.energy_pj;
@@ -111,8 +111,7 @@ CostReport CostEvaluator::evaluate(const std::vector<nn::LayerShape>& shapes) co
   report.area_buffer_mm2 =
       tiles * opts_.buffer_kb_per_tile * circuits_.buffer.area_per_kb_mm2;
   report.area_digital_mm2 = tiles * circuits_.digital.area_per_tile_mm2;
-  const NocModel noc_model = make_noc();
-  report.area_noc_mm2 = tiles * noc_model.router_area_mm2;
+  report.area_noc_mm2 = tiles * noc_.router_area_mm2;
   report.area_total_mm2 = report.area_arrays_mm2 + report.area_buffer_mm2 +
                           report.area_digital_mm2 + report.area_noc_mm2;
 
@@ -120,7 +119,7 @@ CostReport CostEvaluator::evaluate(const std::vector<nn::LayerShape>& shapes) co
       arrays * circuits_.array_leakage_mw(hw_) +
       tiles * (opts_.buffer_kb_per_tile * circuits_.buffer.leakage_per_kb_mw +
                circuits_.digital.leakage_per_tile_mw +
-               noc_model.router_leakage_mw);
+               noc_.router_leakage_mw);
 
   // --- one-time programming cost --------------------------------------
   for (std::size_t i = 0; i < shapes.size(); ++i) {
@@ -135,10 +134,14 @@ CostReport CostEvaluator::evaluate(const std::vector<nn::LayerShape>& shapes) co
 
   if (report.area_total_mm2 > hw_.area_budget_mm2) {
     report.valid = false;
-    std::ostringstream os;
-    os << "chip area " << report.area_total_mm2 << " mm^2 exceeds budget "
-       << hw_.area_budget_mm2 << " mm^2";
-    report.invalid_reason = os.str();
+    // %g matches the ostream default formatting this string historically
+    // used (6 significant digits); snprintf keeps the invalid path — which
+    // tight-budget scenarios hit for most of the search space — free of
+    // ostringstream construction.
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "chip area %g mm^2 exceeds budget %g mm^2",
+                  report.area_total_mm2, hw_.area_budget_mm2);
+    report.invalid_reason = buf;
   } else {
     report.valid = true;
   }

@@ -6,6 +6,7 @@
 #include "lcda/cim/circuits.h"
 #include "lcda/cim/config.h"
 #include "lcda/cim/mapper.h"
+#include "lcda/cim/noc.h"
 #include "lcda/nn/model_builder.h"
 
 namespace lcda::cim {
@@ -91,7 +92,7 @@ struct CostModelOptions {
 /// back with valid = false, which the framework maps to reward -1.
 class CostEvaluator {
  public:
-  explicit CostEvaluator(HardwareConfig hw, CostModelOptions opts = {});
+  explicit CostEvaluator(const HardwareConfig& hw, CostModelOptions opts = {});
 
   [[nodiscard]] CostReport evaluate(const std::vector<nn::LayerShape>& shapes) const;
 
@@ -106,6 +107,7 @@ class CostEvaluator {
   HardwareConfig hw_;
   CostModelOptions opts_;
   CircuitLibrary circuits_;
+  NocModel noc_;
 };
 
 }  // namespace lcda::cim

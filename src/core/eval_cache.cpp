@@ -100,7 +100,14 @@ Evaluation evaluation_from_json(const util::Json& j) {
 
 PersistentEvalCache::PersistentEvalCache(std::string directory,
                                          std::uint64_t fingerprint)
-    : directory_(std::move(directory)), fingerprint_(fingerprint) {
+    : PersistentEvalCache(std::move(directory), fingerprint, Budget{}) {}
+
+PersistentEvalCache::PersistentEvalCache(std::string directory,
+                                         std::uint64_t fingerprint,
+                                         Budget budget)
+    : directory_(std::move(directory)),
+      fingerprint_(fingerprint),
+      budget_(budget) {
   if (directory_.empty()) {
     throw std::invalid_argument("PersistentEvalCache: empty directory");
   }
@@ -126,8 +133,24 @@ PersistentEvalCache::PersistentEvalCache(std::string directory,
                              path_ + " (file moved between studies?)");
   }
   for (const util::Json& entry : doc.at("entries").elements()) {
-    entries_.emplace(parse_hex64(entry.at("design").as_string()),
-                     evaluation_from_json(entry.at("evaluation")));
+    Entry e;
+    e.evaluation = evaluation_from_json(entry.at("evaluation"));
+    // Age survives round trips via a per-entry sequence number; files from
+    // before eviction existed carry none and age by file order.
+    e.seq = entry.contains("seq")
+                ? static_cast<std::uint64_t>(entry.at("seq").as_int())
+                : next_seq_;
+    next_seq_ = std::max(next_seq_, e.seq + 1);
+    entries_.emplace(parse_hex64(entry.at("design").as_string()), std::move(e));
+  }
+  // A budget tightened between runs trims the file on the next save, even
+  // when that run inserts nothing: over-budget contents mark the cache
+  // dirty here so save() cannot early-return past the eviction pass.
+  const std::size_t before = entries_.size();
+  evict_to_entry_budget();
+  if (entries_.size() != before) dirty_ = true;
+  if (budget_.max_bytes > 0 && buffer.str().size() > budget_.max_bytes) {
+    dirty_ = true;
   }
 }
 
@@ -135,35 +158,74 @@ std::optional<Evaluation> PersistentEvalCache::lookup(
     std::uint64_t design_hash) const {
   const auto it = entries_.find(design_hash);
   if (it == entries_.end()) return std::nullopt;
-  return it->second;
+  return it->second.evaluation;
 }
 
 void PersistentEvalCache::insert(std::uint64_t design_hash,
                                  const Evaluation& ev) {
-  if (entries_.emplace(design_hash, ev).second) dirty_ = true;
+  if (entries_.emplace(design_hash, Entry{ev, next_seq_}).second) {
+    ++next_seq_;
+    dirty_ = true;
+  }
+}
+
+void PersistentEvalCache::evict_oldest(std::size_t drop) {
+  drop = std::min(drop, entries_.size());
+  if (drop == 0) return;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_age;  // (seq, hash)
+  by_age.reserve(entries_.size());
+  for (const auto& [hash, entry] : entries_) by_age.emplace_back(entry.seq, hash);
+  std::sort(by_age.begin(), by_age.end());
+  for (std::size_t i = 0; i < drop; ++i) entries_.erase(by_age[i].second);
+  evictions_ += drop;
+}
+
+void PersistentEvalCache::evict_to_entry_budget() {
+  if (budget_.max_entries == 0 || entries_.size() <= budget_.max_entries) {
+    return;
+  }
+  evict_oldest(entries_.size() - budget_.max_entries);
 }
 
 void PersistentEvalCache::save() {
   if (!dirty_) return;
+  evict_to_entry_budget();
 
   // Stable files: entries sorted by design hash regardless of insertion
   // or rehash order.
-  std::vector<std::uint64_t> keys;
-  keys.reserve(entries_.size());
-  for (const auto& [hash, ev] : entries_) keys.push_back(hash);
-  std::sort(keys.begin(), keys.end());
+  auto serialize = [this] {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [hash, entry] : entries_) keys.push_back(hash);
+    std::sort(keys.begin(), keys.end());
 
-  util::Json doc = util::Json::object();
-  doc["format"] = kFormat;
-  doc["fingerprint"] = hex64(fingerprint_);
-  util::Json arr = util::Json::array();
-  for (std::uint64_t key : keys) {
-    util::Json entry = util::Json::object();
-    entry["design"] = hex64(key);
-    entry["evaluation"] = evaluation_to_json(entries_.at(key));
-    arr.push_back(entry);
+    util::Json doc = util::Json::object();
+    doc["format"] = kFormat;
+    doc["fingerprint"] = hex64(fingerprint_);
+    util::Json arr = util::Json::array();
+    for (std::uint64_t key : keys) {
+      const Entry& e = entries_.at(key);
+      util::Json entry = util::Json::object();
+      entry["design"] = hex64(key);
+      entry["seq"] = static_cast<long long>(e.seq);
+      entry["evaluation"] = evaluation_to_json(e.evaluation);
+      arr.push_back(entry);
+    }
+    doc["entries"] = arr;
+    return doc.dump(1) + '\n';
+  };
+
+  std::string body = serialize();
+  // Approximate byte budget: evict oldest-first, re-estimating from the
+  // measured bytes-per-entry, until the serialized file fits.
+  while (budget_.max_bytes > 0 && body.size() > budget_.max_bytes &&
+         !entries_.empty()) {
+    const std::size_t per_entry =
+        std::max<std::size_t>(1, body.size() / entries_.size());
+    const std::size_t over = body.size() - budget_.max_bytes;
+    evict_oldest(std::max<std::size_t>(1, (over + per_entry - 1) / per_entry));
+    body = serialize();
   }
-  doc["entries"] = arr;
 
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
@@ -177,7 +239,7 @@ void PersistentEvalCache::save() {
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) throw std::runtime_error("PersistentEvalCache: cannot write " + tmp);
-    out << doc.dump(1) << '\n';
+    out << body;
     if (!out.flush()) {
       throw std::runtime_error("PersistentEvalCache: write failed for " + tmp);
     }

@@ -1,5 +1,6 @@
 #include "lcda/core/evaluator.h"
 
+#include <bit>
 #include <cmath>
 
 #include "lcda/nn/quantize.h"
@@ -7,20 +8,80 @@
 #include "lcda/noise/monte_carlo.h"
 #include "lcda/noise/variation.h"
 #include "lcda/noise/write_verify.h"
+#include "lcda/util/rng.h"
 #include "lcda/util/stats.h"
 
 namespace lcda::core {
+
+namespace {
+
+/// Safety valve for the evaluator memos: plenty for any real search space
+/// (the NACIM hardware axis has < 200 combos; a 500-episode run sees a few
+/// hundred rollouts), but a bound so a server-scale run can never grow the
+/// maps without limit. On overflow the map is simply reset — correctness
+/// does not depend on memo contents.
+constexpr std::size_t kMemoCap = 1 << 16;
+
+/// Content hash of every HardwareConfig field (unlike Design::hash, which
+/// covers only the searched knobs — the memo must also distinguish fixed
+/// fields like input_bits and the area budget).
+std::uint64_t hardware_key(const cim::HardwareConfig& hw) {
+  const int ints[] = {static_cast<int>(hw.device), hw.bits_per_cell,
+                      hw.weight_bits, hw.input_bits, hw.adc_bits,
+                      hw.xbar_size,   hw.col_mux};
+  return util::hash_combine(util::hash_ints(ints, 0xc057ULL),
+                            std::bit_cast<std::uint64_t>(hw.area_budget_mm2));
+}
+
+}  // namespace
 
 // ------------------------------------------------------ SurrogateEvaluator
 
 SurrogateEvaluator::SurrogateEvaluator(Options opts)
     : opts_(opts), accuracy_(opts.accuracy) {}
 
+std::shared_ptr<const cim::CostEvaluator> SurrogateEvaluator::cost_evaluator_for(
+    const cim::HardwareConfig& hw) {
+  const std::uint64_t key = hardware_key(hw);
+  {
+    std::lock_guard lock(memo_mutex_);
+    if (auto it = cost_memo_.find(key); it != cost_memo_.end()) {
+      return it->second;
+    }
+  }
+  // Build outside the lock: make_circuits is the expensive part, and a
+  // concurrent duplicate build is harmless (first insert wins, both values
+  // are identical by construction).
+  auto built = std::make_shared<const cim::CostEvaluator>(hw, opts_.cost);
+  std::lock_guard lock(memo_mutex_);
+  if (cost_memo_.size() >= kMemoCap) cost_memo_.clear();
+  return cost_memo_.emplace(key, std::move(built)).first->second;
+}
+
+std::shared_ptr<const std::vector<nn::LayerShape>> SurrogateEvaluator::shapes_for(
+    const std::vector<nn::ConvSpec>& rollout) {
+  const std::uint64_t key = nn::rollout_hash(rollout, 0x5ca1ab1eULL);
+  {
+    std::lock_guard lock(memo_mutex_);
+    if (auto it = shapes_memo_.find(key); it != shapes_memo_.end()) {
+      return it->second;
+    }
+  }
+  auto built = std::make_shared<const std::vector<nn::LayerShape>>(
+      nn::backbone_shapes(rollout, opts_.backbone));
+  std::lock_guard lock(memo_mutex_);
+  if (shapes_memo_.size() >= kMemoCap) shapes_memo_.clear();
+  return shapes_memo_.emplace(key, std::move(built)).first->second;
+}
+
 Evaluation SurrogateEvaluator::evaluate(const search::Design& design,
                                         util::Rng& rng) {
   Evaluation ev;
-  const cim::CostEvaluator cost_eval(design.hw, opts_.cost);
-  ev.cost = cost_eval.evaluate(design.rollout, opts_.backbone);
+  const std::shared_ptr<const cim::CostEvaluator> cost_eval =
+      cost_evaluator_for(design.hw);
+  const std::shared_ptr<const std::vector<nn::LayerShape>> shapes =
+      shapes_for(design.rollout);
+  ev.cost = cost_eval->evaluate(*shapes);
 
   // Scenarios with selective write-verify deploy at a reduced effective
   // sigma and pay for it in one-time programming energy (the verified
@@ -35,12 +96,17 @@ Evaluation SurrogateEvaluator::evaluate(const search::Design& design,
         opts_.write_verify_fraction * opts_.write_verify_pulses;
   }
 
+  // The deterministic part of the accuracy model (clean accuracy, mean
+  // under variation, chip-to-chip spread) is folded once; the Monte-Carlo
+  // loop is then one fork + one normal draw + clamp per sample. The fork
+  // per sample is load-bearing: it keeps the RNG stream layout — and hence
+  // every trace — bit-identical to the historical per-sample evaluation.
+  const surrogate::AccuracyModel::SampleParams params = accuracy_.precompute(
+      design.rollout, sigma, ev.cost.max_adc_deficit_bits);
   util::OnlineStats stats;
   for (int i = 0; i < opts_.monte_carlo_samples; ++i) {
     util::Rng sample_rng = rng.fork();
-    stats.add(accuracy_.noisy_accuracy_sample(design.rollout, sigma,
-                                              ev.cost.max_adc_deficit_bits,
-                                              sample_rng));
+    stats.add(accuracy_.sample(params, sample_rng));
   }
   ev.accuracy = stats.mean();
   ev.accuracy_stddev = stats.stddev();

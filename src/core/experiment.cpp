@@ -153,13 +153,16 @@ RunResult run_strategy(Strategy strategy, int episodes,
   opts.episodes = episodes;
   opts.parallelism = config.parallelism;
   opts.batch_size = config.batch_size;
+  opts.pipeline_depth = config.pipeline_depth;
   opts.cache_evaluations = config.cache_evaluations;
 
   std::unique_ptr<PersistentEvalCache> pcache;
   if (!config.persistent_cache_dir.empty()) {
     pcache = std::make_unique<PersistentEvalCache>(
         config.persistent_cache_dir,
-        study_fingerprint(config, strategy, episodes));
+        study_fingerprint(config, strategy, episodes),
+        PersistentEvalCache::Budget{config.persistent_cache_max_entries,
+                                    config.persistent_cache_max_bytes});
     opts.persistent_cache = pcache.get();
   }
 
@@ -167,7 +170,11 @@ RunResult run_strategy(Strategy strategy, int episodes,
   util::Rng rng(util::hash_combine(config.seed,
                                    static_cast<std::uint64_t>(strategy) + 101));
   RunResult result = loop.run(rng);
-  if (pcache) pcache->save();
+  if (pcache) {
+    pcache->save();
+    result.persistent_evictions =
+        static_cast<std::int64_t>(pcache->evictions());
+  }
   return result;
 }
 

@@ -33,29 +33,64 @@ namespace lcda::core {
 /// map to distinct files, so parallel seed fan-out never shares one).
 class PersistentEvalCache {
  public:
+  /// On-disk budget. Both caps are 0 = unlimited; set either to keep cache
+  /// directories from growing without bound. Enforced at save() time with
+  /// oldest-first eviction (insertion order, which save/load round-trips
+  /// through a per-entry sequence number): the entries least likely to be
+  /// re-requested — those from the oldest episodes — go first. Eviction
+  /// never changes a trace: a evicted entry is simply re-evaluated on the
+  /// next run, deterministically, to the identical value.
+  struct Budget {
+    std::size_t max_entries = 0;  ///< cap on stored evaluations
+    std::size_t max_bytes = 0;    ///< approximate cap on the file size
+  };
+
   /// Loads `directory`/<fingerprint hex>.json when it exists; a missing
   /// file starts empty. Throws std::runtime_error on a corrupt file or a
   /// fingerprint mismatch (a file renamed across studies).
   PersistentEvalCache(std::string directory, std::uint64_t fingerprint);
+  PersistentEvalCache(std::string directory, std::uint64_t fingerprint,
+                      Budget budget);
 
   [[nodiscard]] std::optional<Evaluation> lookup(std::uint64_t design_hash) const;
   void insert(std::uint64_t design_hash, const Evaluation& ev);
 
   /// Writes the cache file if any insert happened since load/save
-  /// (write-to-temp + rename; creates the directory). Throws
+  /// (write-to-temp + rename; creates the directory), evicting
+  /// oldest-first down to the budget beforehand. Throws
   /// std::runtime_error on I/O failure.
   void save();
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+  [[nodiscard]] const Budget& budget() const { return budget_; }
+
+  /// Entries evicted over this instance's lifetime (load-time trims of an
+  /// over-budget file plus save-time evictions).
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
 
  private:
+  struct Entry {
+    Evaluation evaluation;
+    std::uint64_t seq = 0;  ///< insertion order; smaller = older
+  };
+
+  /// Drops the `drop` oldest entries (by insertion sequence).
+  void evict_oldest(std::size_t drop);
+
+  /// Drops the oldest entries until `max_entries` holds (max_bytes is
+  /// enforced in save(), where the serialized size is known).
+  void evict_to_entry_budget();
+
   std::string directory_;
   std::string path_;
   std::uint64_t fingerprint_ = 0;
+  Budget budget_;
   bool dirty_ = false;
-  std::unordered_map<std::uint64_t, Evaluation> entries_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t evictions_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
 };
 
 }  // namespace lcda::core

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "lcda/cim/cost_model.h"
 #include "lcda/data/synthetic_cifar.h"
@@ -63,8 +66,28 @@ class SurrogateEvaluator final : public PerformanceEvaluator {
   [[nodiscard]] std::string name() const override { return "Surrogate"; }
 
  private:
+  [[nodiscard]] std::shared_ptr<const cim::CostEvaluator> cost_evaluator_for(
+      const cim::HardwareConfig& hw);
+  [[nodiscard]] std::shared_ptr<const std::vector<nn::LayerShape>> shapes_for(
+      const std::vector<nn::ConvSpec>& rollout);
+
   Options opts_;
   surrogate::AccuracyModel accuracy_;
+
+  /// Search loops revisit the same hardware configs (≤ a few hundred combos
+  /// in the NACIM space) and rollouts constantly; rebuilding the circuit
+  /// library / CostEvaluator and re-deriving backbone layer shapes per
+  /// evaluation dominated the non-Monte-Carlo half of the hot path. Both
+  /// memos are content-keyed, so they never change a result — and they are
+  /// mutex-guarded because the loop calls evaluate() concurrently from pool
+  /// workers. Values are shared_ptr so a rehash (or the size-cap reset)
+  /// never invalidates an entry another worker is still using.
+  std::mutex memo_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const cim::CostEvaluator>>
+      cost_memo_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const std::vector<nn::LayerShape>>>
+      shapes_memo_;
 };
 
 /// Faithful evaluator: trains the candidate topology with noise injection

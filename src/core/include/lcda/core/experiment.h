@@ -54,8 +54,12 @@ struct ExperimentConfig {
   /// (1 = sequential, 0 = one worker per hardware thread); results are
   /// bit-identical for every setting. `batch_size` caps the loop's
   /// per-round proposal batch (0 = the optimizer's natural batch).
+  /// `pipeline_depth` lets the loop propose up to that many rounds ahead
+  /// of in-flight evaluations when the optimizer permits (see
+  /// CodesignLoop::Options::pipeline_depth; trace-invariant, 0 = off).
   int parallelism = 1;
   std::size_t batch_size = 0;
+  std::size_t pipeline_depth = 8;
   bool cache_evaluations = true;
 
   /// Directory of the on-disk evaluation cache ("" = disabled). Entries
@@ -64,6 +68,14 @@ struct ExperimentConfig {
   /// (scenario.h: study_fingerprint), so repeated runs of the same study
   /// skip re-evaluation while traces stay bit-identical to a cold run.
   std::string persistent_cache_dir;
+
+  /// On-disk cache budget (0 = unlimited): entry and approximate byte caps
+  /// per cache file, enforced oldest-first at save time
+  /// (PersistentEvalCache::Budget). Evicted entries are simply
+  /// re-evaluated — deterministically, to the identical value — so the
+  /// caps are trace-invariant.
+  std::size_t persistent_cache_max_entries = 0;
+  std::size_t persistent_cache_max_bytes = 0;
 };
 
 /// Which optimization strategy drives a run.

@@ -33,9 +33,12 @@ struct RunResult {
   /// evaluated (earlier episode or same batch) and reused its Evaluation;
   /// persistent_hits are episodes served from the on-disk cache of a
   /// previous process run (counted separately from both hits and misses).
+  /// persistent_evictions counts entries the on-disk cache dropped to stay
+  /// inside its configured budget (filled in after the post-run save).
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   std::int64_t persistent_hits = 0;
+  std::int64_t persistent_evictions = 0;
 
   /// Best episode, or a sentinel record (episode == -1, reward == -inf)
   /// when the run recorded no episodes.
@@ -58,12 +61,18 @@ struct RunResult {
 /// (see Optimizer::propose_batch), fans their evaluations out over a thread
 /// pool, and feeds the observations back in proposal order.
 ///
-/// Determinism: identical results for every `parallelism` setting. All
-/// random streams (proposals, per-episode evaluation RNGs) are drawn on the
-/// driving thread in episode order before any evaluation starts, and cache
-/// decisions are made at the same point, so worker scheduling can never
-/// reorder a draw. `evaluator.evaluate` must tolerate concurrent calls with
-/// distinct RNGs (both shipped evaluators do: they only touch local state).
+/// Determinism: identical results for every `parallelism` setting and for
+/// every `pipeline_depth`. All random streams (proposals, per-episode
+/// evaluation RNGs) are drawn on the driving thread in episode order before
+/// any evaluation starts, and cache decisions are made at the same point,
+/// so worker scheduling can never reorder a draw. Pipelined operation only
+/// proposes ahead of in-flight evaluations when the optimizer declares its
+/// proposal stream feedback-free (Optimizer::pipeline_lookahead), and
+/// duplicates of still-evaluating designs alias to the pending result, so
+/// traces and cache counters match the strict schedule bit for bit.
+/// `evaluator.evaluate` must tolerate concurrent calls with distinct RNGs
+/// (both shipped evaluators do: they only touch local or internally
+/// synchronized state).
 class CodesignLoop {
  public:
   struct Options {
@@ -85,6 +94,18 @@ class CodesignLoop {
     /// Design::hash) instead of re-evaluating. Population-based searches
     /// revisit designs constantly; hits surface in RunResult::cache_hits.
     bool cache_evaluations = true;
+
+    /// Pipelined propose/evaluate overlap: how many rounds beyond the one
+    /// currently evaluating the driving thread may propose and plan ahead,
+    /// keeping the pool fed across round boundaries. Engages only when the
+    /// optimizer grants lookahead (Optimizer::pipeline_lookahead() > 0 —
+    /// i.e. its proposal stream provably ignores feedback) and a pool
+    /// exists, so it can NEVER change a trace: RNG streams are still drawn
+    /// on the driving thread in episode order, feedback is still delivered
+    /// in round order, and duplicates of still-in-flight designs alias to
+    /// the pending evaluation exactly as same-batch duplicates do. 0
+    /// disables pipelining.
+    std::size_t pipeline_depth = 8;
 
     /// Optional on-disk cache consulted after the in-memory one (only when
     /// cache_evaluations is on) and filled with every fresh evaluation.

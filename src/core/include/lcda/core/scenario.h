@@ -59,6 +59,18 @@ void register_scenario(Scenario scenario);
 [[nodiscard]] Scenario scenario_by_name(std::string_view name);
 [[nodiscard]] std::vector<std::string> list_scenarios();
 
+/// Registers every "*.json" scenario file in `directory` (sorted by file
+/// name, so registration order is deterministic) and returns the names
+/// registered. Throws std::runtime_error when the directory cannot be
+/// read and std::invalid_argument on a malformed file or a name collision
+/// — a broken scenario drop-in fails loudly, not silently.
+///
+/// The same loading runs automatically at registry initialization for the
+/// directory named by the LCDA_SCENARIO_DIR environment variable, so
+/// `lcda_run --list`, every bench_* and every example sees dropped-in
+/// scenarios without code changes.
+std::vector<std::string> register_scenarios_from(const std::string& directory);
+
 /// Fingerprint of everything that determines a study's evaluation stream:
 /// the config minus the engine knobs that provably cannot change a trace
 /// (parallelism, in-memory/persistent cache settings), combined with the

@@ -3,8 +3,11 @@
 #include "lcda/core/eval_cache.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -69,6 +72,45 @@ std::size_t CodesignLoop::effective_batch(std::size_t remaining) const {
   return std::min(std::max<std::size_t>(batch, 1), remaining);
 }
 
+namespace {
+
+/// One evaluation job of a round: the slot it fills, the design hash (only
+/// meaningful when caching is on) and the RNG stream pre-forked on the
+/// driving thread in episode order.
+struct Job {
+  std::size_t slot;
+  std::uint64_t hash;
+  util::Rng rng;
+};
+
+/// One propose->evaluate round in flight. Planned entirely on the driving
+/// thread (proposals, RNG forks, cache decisions), evaluated by the pool,
+/// finalized (aliases, cache commits, records, feedback) on the driving
+/// thread again — in round order, so pipelining rounds never reorders
+/// anything observable.
+struct Round {
+  int first_episode = 0;
+  std::vector<search::Design> designs;
+  std::vector<Evaluation> evals;
+  std::vector<std::ptrdiff_t> alias;  ///< >= 0: copy that slot of this round
+  std::vector<std::uint64_t> cross;   ///< committed-cache hash to copy from
+  std::vector<char> cross_set;
+  std::vector<Job> jobs;
+
+  // Completion tracking for asynchronously dispatched jobs.
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t jobs_left = 0;
+  std::exception_ptr error;
+
+  void await() {
+    std::unique_lock lock(mutex);
+    done_cv.wait(lock, [this] { return jobs_left == 0; });
+  }
+};
+
+}  // namespace
+
 RunResult CodesignLoop::run(util::Rng& rng) {
   RunResult result;
   result.episodes.reserve(static_cast<std::size_t>(opts_.episodes));
@@ -81,89 +123,144 @@ RunResult CodesignLoop::run(util::Rng& rng) {
   // first episode that proposed it.
   std::unordered_map<std::uint64_t, Evaluation> cache;
 
-  int ep = 0;
-  while (ep < opts_.episodes) {
+  // Designs proposed but whose round has not been finalized yet, mapping
+  // hash -> first proposer. Without pipelining this only ever covers the
+  // round being planned (the in-batch duplicate map); with rounds in
+  // flight it also lets a later round alias a design an earlier round is
+  // still evaluating — the value lands in `cache` before that later round
+  // finalizes, so the alias resolves to exactly what a non-pipelined run
+  // would have found as a cache hit.
+  struct PendingSlot {
+    Round* round;
+    std::size_t slot;
+  };
+  std::unordered_map<std::uint64_t, PendingSlot> pending;
+
+  // Plans one round on the driving thread, in episode order: propose the
+  // batch, fork one eval RNG per episode (hit or miss, so the stream
+  // layout is independent of cache contents), resolve cache hits and
+  // duplicates, and collect the unique misses as jobs.
+  auto plan_round = [&](int ep) {
     const std::size_t batch =
         effective_batch(static_cast<std::size_t>(opts_.episodes - ep));
+    auto round = std::make_unique<Round>();
+    Round& r = *round;
+    r.first_episode = ep;
 
     // des_i = parse(LLM(prompt)) / controller sample / breed / ...
-    std::vector<search::Design> designs = optimizer_->propose_batch(batch, rng);
-    if (designs.size() != batch) {
+    r.designs = optimizer_->propose_batch(batch, rng);
+    if (r.designs.size() != batch) {
       throw std::logic_error("CodesignLoop: propose_batch returned " +
-                             std::to_string(designs.size()) + " designs, want " +
-                             std::to_string(batch));
+                             std::to_string(r.designs.size()) +
+                             " designs, want " + std::to_string(batch));
     }
 
-    // Plan the round on the driving thread, in episode order: fork one eval
-    // RNG per episode (hit or miss, so the stream layout is independent of
-    // cache contents), resolve cache hits and in-batch duplicates, and
-    // collect the unique misses as jobs.
-    struct Job {
-      std::size_t slot;
-      util::Rng rng;
-    };
-    std::vector<Evaluation> evals(batch);
-    std::vector<std::ptrdiff_t> alias(batch, -1);  ///< >= 0: copy that slot
-    std::vector<bool> planned(batch, false);
-    std::vector<Job> jobs;
-    std::unordered_map<std::uint64_t, std::size_t> first_in_batch;
+    r.evals.resize(batch);
+    r.alias.assign(batch, -1);
+    r.cross.assign(batch, 0);
+    r.cross_set.assign(batch, 0);
     for (std::size_t i = 0; i < batch; ++i) {
       util::Rng eval_rng = rng.fork();
+      std::uint64_t h = 0;
       if (opts_.cache_evaluations) {
-        const std::uint64_t h = designs[i].hash();
+        h = r.designs[i].hash();
         if (auto hit = cache.find(h); hit != cache.end()) {
-          evals[i] = hit->second;
-          planned[i] = true;
+          r.evals[i] = hit->second;
           ++result.cache_hits;
           continue;
         }
-        if (auto prev = first_in_batch.find(h); prev != first_in_batch.end()) {
-          alias[i] = static_cast<std::ptrdiff_t>(prev->second);
-          planned[i] = true;
+        if (auto inflight = pending.find(h); inflight != pending.end()) {
+          if (inflight->second.round == &r) {
+            r.alias[i] = static_cast<std::ptrdiff_t>(inflight->second.slot);
+          } else {
+            r.cross[i] = h;
+            r.cross_set[i] = 1;
+          }
           ++result.cache_hits;
           continue;
         }
         if (opts_.persistent_cache) {
           if (auto disk = opts_.persistent_cache->lookup(h)) {
-            evals[i] = *disk;
+            r.evals[i] = *disk;
             cache.emplace(h, *disk);
-            planned[i] = true;
             ++result.persistent_hits;
             continue;
           }
         }
-        first_in_batch.emplace(h, i);
+        pending.emplace(h, PendingSlot{&r, i});
       }
       ++result.cache_misses;
-      jobs.push_back(Job{i, eval_rng});
+      r.jobs.push_back(Job{i, h, eval_rng});
     }
+    return round;
+  };
 
-    // acc_i, hw_i = evaluators, fanned out over the pool.
-    util::parallel_for_each_index(
-        pool.get(), jobs.size(), [&](std::size_t j) {
-          util::Rng job_rng = jobs[j].rng;
-          evals[jobs[j].slot] = evaluator_->evaluate(designs[jobs[j].slot], job_rng);
-        });
-
-    for (std::size_t i = 0; i < batch; ++i) {
-      if (alias[i] >= 0) evals[i] = evals[static_cast<std::size_t>(alias[i])];
-      if (opts_.cache_evaluations && !planned[i]) {
-        cache.emplace(designs[i].hash(), evals[i]);
-        if (opts_.persistent_cache) {
-          opts_.persistent_cache->insert(designs[i].hash(), evals[i]);
+  // acc_i, hw_i = evaluators. With a pool the whole round is enqueued as
+  // one bulk submit; without one it runs inline here.
+  auto dispatch = [&](Round& r) {
+    r.jobs_left = r.jobs.size();
+    if (r.jobs.empty()) return;
+    if (!pool) {
+      for (const Job& job : r.jobs) {
+        util::Rng job_rng = job.rng;
+        r.evals[job.slot] = evaluator_->evaluate(r.designs[job.slot], job_rng);
+      }
+      r.jobs_left = 0;
+      return;
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(r.jobs.size());
+    for (const Job& job : r.jobs) {
+      tasks.push_back([this, &r, &job] {
+        try {
+          util::Rng job_rng = job.rng;
+          r.evals[job.slot] = evaluator_->evaluate(r.designs[job.slot], job_rng);
+        } catch (...) {
+          std::lock_guard lock(r.mutex);
+          if (!r.error) r.error = std::current_exception();
         }
+        std::lock_guard lock(r.mutex);
+        if (--r.jobs_left == 0) r.done_cv.notify_all();
+      });
+    }
+    pool->submit_batch(std::move(tasks));
+  };
+
+  // Waits the round out, commits it to the caches, resolves duplicates,
+  // and delivers records + feedback — always called in round order.
+  auto finalize = [&](Round& r) {
+    if (pool) r.await();
+    if (r.error) std::rethrow_exception(r.error);
+
+    // Commit fresh evaluations first so same-round aliases, cross-round
+    // aliases and future rounds all resolve against them.
+    if (opts_.cache_evaluations) {
+      for (const Job& job : r.jobs) {
+        cache.emplace(job.hash, r.evals[job.slot]);
+        if (opts_.persistent_cache) {
+          opts_.persistent_cache->insert(job.hash, r.evals[job.slot]);
+        }
+        pending.erase(job.hash);
+      }
+    }
+    const std::size_t batch = r.designs.size();
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (r.alias[i] >= 0) {
+        r.evals[i] = r.evals[static_cast<std::size_t>(r.alias[i])];
+      } else if (r.cross_set[i]) {
+        r.evals[i] = cache.at(r.cross[i]);
       }
     }
 
     // perf_i = f(acc_i, hw_i); add des_i and perf_i to l_des / l_perf.
     std::vector<search::Observation> observations(batch);
     for (std::size_t i = 0; i < batch; ++i) {
-      const Evaluation& ev = evals[i];
+      const Evaluation& ev = r.evals[i];
       const double reward = reward_(ev.accuracy, ev.cost);
 
       EpisodeRecord record;
-      record.episode = ep + static_cast<int>(i);
-      record.design = designs[i];
+      record.episode = r.first_episode + static_cast<int>(i);
+      record.design = r.designs[i];
       record.accuracy = ev.accuracy;
       record.energy_pj = ev.cost.energy_total_pj;
       record.latency_ns = ev.cost.latency_ns;
@@ -172,7 +269,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
       record.valid = ev.cost.valid;
 
       search::Observation& obs = observations[i];
-      obs.design = designs[i];
+      obs.design = r.designs[i];
       obs.reward = reward;
       obs.accuracy = ev.accuracy;
       obs.energy_pj = ev.cost.energy_total_pj;
@@ -186,7 +283,42 @@ RunResult CodesignLoop::run(util::Rng& rng) {
       result.episodes.push_back(std::move(record));
     }
     optimizer_->feedback_batch(observations);
-    ep += static_cast<int>(batch);
+  };
+
+  // Window of rounds in flight. 1 = the classic plan -> evaluate ->
+  // feedback cadence; pipelining admits more only when the optimizer's
+  // proposal stream is declared feedback-free, so the proposals an
+  // eager driving thread draws are the ones a strict schedule would have
+  // drawn — which is what keeps sequential, pipelined and parallel traces
+  // bit-identical.
+  std::size_t max_window = 1;
+  if (pool && opts_.pipeline_depth > 0) {
+    const std::size_t lookahead = optimizer_->pipeline_lookahead();
+    if (lookahead > 0) {
+      max_window = 1 + std::min(opts_.pipeline_depth, lookahead);
+    }
+  }
+
+  std::deque<std::unique_ptr<Round>> window;
+  int ep = 0;
+  try {
+    while (ep < opts_.episodes || !window.empty()) {
+      while (ep < opts_.episodes && window.size() < max_window) {
+        auto round = plan_round(ep);
+        ep += static_cast<int>(round->designs.size());
+        dispatch(*round);
+        window.push_back(std::move(round));
+      }
+      finalize(*window.front());
+      window.pop_front();
+    }
+  } catch (...) {
+    // In-flight workers still reference round memory; wait them out
+    // before the window (and its rounds) unwinds.
+    if (pool) {
+      for (auto& round : window) round->await();
+    }
+    throw;
   }
   return result;
 }

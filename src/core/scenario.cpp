@@ -1,7 +1,10 @@
 #include "lcda/core/scenario.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -458,9 +461,14 @@ util::Json config_to_json(const ExperimentConfig& config, bool include_defaults)
   w.child("trained", trained_to_json(config.trained, include_defaults));
   w.field("parallelism", config.parallelism, def.parallelism);
   w.field("batch_size", config.batch_size, def.batch_size);
+  w.field("pipeline_depth", config.pipeline_depth, def.pipeline_depth);
   w.field("cache_evaluations", config.cache_evaluations, def.cache_evaluations);
   w.field("persistent_cache_dir", config.persistent_cache_dir,
           def.persistent_cache_dir);
+  w.field("persistent_cache_max_entries", config.persistent_cache_max_entries,
+          def.persistent_cache_max_entries);
+  w.field("persistent_cache_max_bytes", config.persistent_cache_max_bytes,
+          def.persistent_cache_max_bytes);
   return w.take();
 }
 
@@ -490,8 +498,11 @@ ExperimentConfig config_from_json(const util::Json& j) {
   }
   r.integer("parallelism", config.parallelism);
   r.size("batch_size", config.batch_size);
+  r.size("pipeline_depth", config.pipeline_depth);
   r.boolean("cache_evaluations", config.cache_evaluations);
   r.str("persistent_cache_dir", config.persistent_cache_dir);
+  r.size("persistent_cache_max_entries", config.persistent_cache_max_entries);
+  r.size("persistent_cache_max_bytes", config.persistent_cache_max_bytes);
   r.finish();
   return config;
 }
@@ -593,118 +604,213 @@ void register_locked(Scenario s) {
   }
 }
 
+/// Loads and registers every *.json in `directory`, in file-name order.
+/// Used by both the public register_scenarios_from and the
+/// LCDA_SCENARIO_DIR autoload inside registry initialization (which must
+/// not re-enter ensure_builtins, hence the separate entry point).
+///
+/// All-or-nothing: every file is loaded and every name checked for
+/// collisions BEFORE anything is registered, so a failure (malformed
+/// third file, duplicate name) leaves the registry untouched and a retry
+/// reports the same real error instead of colliding with a half-registered
+/// batch.
+std::vector<std::string> register_directory(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::directory_iterator it(directory, ec);
+  if (ec) {
+    throw std::runtime_error("register_scenarios_from: cannot read \"" +
+                             directory + "\": " + ec.message());
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : it) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Scenario> loaded;
+  loaded.reserve(files.size());
+  for (const fs::path& file : files) {
+    loaded.push_back(load_scenario(file.string()));
+  }
+
+  // Re-registering a byte-identical definition is a no-op (so an
+  // LCDA_SCENARIO_DIR autoload followed by an explicit --scenario-dir of
+  // the same directory is harmless); only a CONFLICTING definition under
+  // a taken name is an error.
+  const auto same_definition = [](const Scenario& a, const Scenario& b) {
+    return scenario_to_json(a, /*include_defaults=*/true).dump() ==
+           scenario_to_json(b, /*include_defaults=*/true).dump();
+  };
+
+  std::vector<std::string> names;
+  names.reserve(loaded.size());
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<bool> skip(loaded.size(), false);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const std::string& name = loaded[i].name;
+    if (auto it = registry().find(name); it != registry().end()) {
+      if (!same_definition(loaded[i], it->second)) {
+        throw std::invalid_argument("register_scenarios_from: " +
+                                    files[i].string() +
+                                    " conflicts with registered scenario \"" +
+                                    name + "\"");
+      }
+      skip[i] = true;
+      continue;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (!skip[j] && loaded[j].name == name) {
+        throw std::invalid_argument("register_scenarios_from: " +
+                                    files[i].string() + " and " +
+                                    files[j].string() +
+                                    " both define scenario \"" + name + "\"");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    if (skip[i]) continue;
+    names.push_back(loaded[i].name);
+    register_locked(std::move(loaded[i]));
+  }
+  return names;
+}
+
 /// The built-in catalog. The four paper scenarios reproduce Sec. IV
 /// bit-for-bit; the rest open new workloads on the same engine (README
 /// "Scenario catalog" documents each).
-void ensure_builtins() {
-  static std::once_flag once;
-  std::call_once(once, [] {
-    std::lock_guard<std::mutex> lock(registry_mutex());
+void register_builtins();
 
-    {
-      Scenario s;
-      s.name = "paper-energy";
-      s.summary = "the paper's Sec. IV-A accuracy-energy study (Figs. 2-3, "
-                  "Table 1): NACIM space, surrogate evaluator, reward Eq. (1)";
-      s.default_strategy = Strategy::kLcda;
-      register_locked(s);
-    }
-    {
-      Scenario s;
-      s.name = "paper-latency";
-      s.summary = "the paper's Sec. IV-B accuracy-latency study (Fig. 4), "
-                  "where GPT-4's kernel priors mislead it: reward Eq. (2)";
-      s.default_strategy = Strategy::kLcda;
-      s.config.objective = llm::Objective::kLatency;
-      register_locked(s);
-    }
-    {
-      Scenario s;
-      s.name = "naive";
-      s.summary = "the paper's Sec. IV-C prompt ablation (Fig. 5): the same "
-                  "energy study driven without any co-design context";
-      s.default_strategy = Strategy::kLcdaNaive;
-      register_locked(s);
-    }
-    {
-      Scenario s;
-      s.name = "finetuned";
-      s.summary = "the paper's unfulfilled future-work point: the latency "
-                  "study with corrected CiM kernel priors";
-      s.default_strategy = Strategy::kLcdaFinetuned;
-      s.config.objective = llm::Objective::kLatency;
-      register_locked(s);
-    }
-    {
-      Scenario s;
-      s.name = "tight-area";
-      s.summary = "edge-class 20 mm^2 area budget: most of the space is "
-                  "invalid, stressing validity handling and -1 rewards";
-      s.default_strategy = Strategy::kLcda;
-      s.config.space.area_budget_mm2 = 20.0;
-      register_locked(s);
-    }
-    {
-      Scenario s;
-      s.name = "high-variation";
-      s.summary = "RRAM-only devices at 2x variation sensitivity, rescued by "
-                  "SWIM-style selective write-verify on 25% of weights";
-      s.default_strategy = Strategy::kLcda;
-      s.config.space.hw.devices = {cim::DeviceType::kRram};
-      s.config.evaluator.accuracy.variation_coeff = 2.0;
-      s.config.evaluator.write_verify_fraction = 0.25;
-      register_locked(s);
-    }
-    {
-      Scenario s;
-      s.name = "deep-backbone";
-      s.summary = "an 8-conv-layer backbone (pool after stages 2/4/6/8): a "
-                  "larger space where channel scheduling matters more";
-      s.default_strategy = Strategy::kLcda;
-      s.config.space.conv_layers = 8;
-      s.config.space.backbone.pool_after = {1, 3, 5, 7};
-      s.config.evaluator.backbone.pool_after = {1, 3, 5, 7};
-      s.config.lcda_episodes = 30;
-      register_locked(s);
-    }
-    {
-      Scenario s;
-      s.name = "multi-objective";
-      s.summary = "accuracy/energy/latency combined reward (Eq. 1's energy "
-                  "term plus Eq. 2's FPS term); NSGA-II by default";
-      s.default_strategy = Strategy::kNsga2;
-      s.config.combined_reward = true;
-      register_locked(s);
-    }
-    {
-      Scenario s;
-      s.name = "trained-small";
-      s.summary = "the faithful train-then-Monte-Carlo evaluator on a "
-                  "reduced 16x16/6-class dataset and a 4-layer space";
-      s.default_strategy = Strategy::kLcda;
-      s.config.evaluator_kind = EvaluatorKind::kTrained;
-      s.config.lcda_episodes = 5;
-      s.config.nacim_episodes = 10;
-      s.config.space.conv_layers = 4;
-      s.config.space.channel_choices = {16, 24, 32, 48, 64};
-      s.config.space.kernel_choices = {1, 3, 5};
-      nn::BackboneOptions backbone;
-      backbone.input_size = 16;
-      backbone.num_classes = 6;
-      backbone.hidden = 64;
-      backbone.pool_after = {0, 2};
-      s.config.space.backbone = backbone;
-      s.config.trained.backbone = backbone;
-      s.config.trained.dataset.image_size = 16;
-      s.config.trained.dataset.num_classes = 6;
-      s.config.trained.dataset.train_per_class = 40;
-      s.config.trained.dataset.test_per_class = 16;
-      s.config.trained.dataset.seed = 11;
-      s.config.trained.epochs = 3;
-      s.config.trained.monte_carlo_samples = 4;
-      register_locked(s);
+void ensure_builtins() {
+  // Two separate once-flags: register_builtins cannot fail, but the
+  // LCDA_SCENARIO_DIR autoload can (malformed file, unreadable dir). A
+  // failed call_once leaves its flag unset, so the autoload is retried on
+  // the next registry access — and because register_directory is
+  // all-or-nothing, the retry reports the same real error instead of
+  // colliding with a half-registered batch or re-running the builtins.
+  static std::once_flag builtins_once;
+  std::call_once(builtins_once, register_builtins);
+
+  // Drop-in scenario files: a directory named by LCDA_SCENARIO_DIR is
+  // loaded right after the built-ins, so every registry consumer (CLI,
+  // benches, examples) sees its scenarios without code changes. Errors
+  // propagate: a broken scenario file fails the registry access loudly
+  // instead of silently vanishing from --list.
+  static std::once_flag autoload_once;
+  std::call_once(autoload_once, [] {
+    if (const char* dir = std::getenv("LCDA_SCENARIO_DIR");
+        dir != nullptr && *dir != '\0') {
+      (void)register_directory(dir);
     }
   });
+}
+
+void register_builtins() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+
+  {
+    Scenario s;
+    s.name = "paper-energy";
+    s.summary = "the paper's Sec. IV-A accuracy-energy study (Figs. 2-3, "
+                "Table 1): NACIM space, surrogate evaluator, reward Eq. (1)";
+    s.default_strategy = Strategy::kLcda;
+    register_locked(s);
+  }
+  {
+    Scenario s;
+    s.name = "paper-latency";
+    s.summary = "the paper's Sec. IV-B accuracy-latency study (Fig. 4), "
+                "where GPT-4's kernel priors mislead it: reward Eq. (2)";
+    s.default_strategy = Strategy::kLcda;
+    s.config.objective = llm::Objective::kLatency;
+    register_locked(s);
+  }
+  {
+    Scenario s;
+    s.name = "naive";
+    s.summary = "the paper's Sec. IV-C prompt ablation (Fig. 5): the same "
+                "energy study driven without any co-design context";
+    s.default_strategy = Strategy::kLcdaNaive;
+    register_locked(s);
+  }
+  {
+    Scenario s;
+    s.name = "finetuned";
+    s.summary = "the paper's unfulfilled future-work point: the latency "
+                "study with corrected CiM kernel priors";
+    s.default_strategy = Strategy::kLcdaFinetuned;
+    s.config.objective = llm::Objective::kLatency;
+    register_locked(s);
+  }
+  {
+    Scenario s;
+    s.name = "tight-area";
+    s.summary = "edge-class 20 mm^2 area budget: most of the space is "
+                "invalid, stressing validity handling and -1 rewards";
+    s.default_strategy = Strategy::kLcda;
+    s.config.space.area_budget_mm2 = 20.0;
+    register_locked(s);
+  }
+  {
+    Scenario s;
+    s.name = "high-variation";
+    s.summary = "RRAM-only devices at 2x variation sensitivity, rescued by "
+                "SWIM-style selective write-verify on 25% of weights";
+    s.default_strategy = Strategy::kLcda;
+    s.config.space.hw.devices = {cim::DeviceType::kRram};
+    s.config.evaluator.accuracy.variation_coeff = 2.0;
+    s.config.evaluator.write_verify_fraction = 0.25;
+    register_locked(s);
+  }
+  {
+    Scenario s;
+    s.name = "deep-backbone";
+    s.summary = "an 8-conv-layer backbone (pool after stages 2/4/6/8): a "
+                "larger space where channel scheduling matters more";
+    s.default_strategy = Strategy::kLcda;
+    s.config.space.conv_layers = 8;
+    s.config.space.backbone.pool_after = {1, 3, 5, 7};
+    s.config.evaluator.backbone.pool_after = {1, 3, 5, 7};
+    s.config.lcda_episodes = 30;
+    register_locked(s);
+  }
+  {
+    Scenario s;
+    s.name = "multi-objective";
+    s.summary = "accuracy/energy/latency combined reward (Eq. 1's energy "
+                "term plus Eq. 2's FPS term); NSGA-II by default";
+    s.default_strategy = Strategy::kNsga2;
+    s.config.combined_reward = true;
+    register_locked(s);
+  }
+  {
+    Scenario s;
+    s.name = "trained-small";
+    s.summary = "the faithful train-then-Monte-Carlo evaluator on a "
+                "reduced 16x16/6-class dataset and a 4-layer space";
+    s.default_strategy = Strategy::kLcda;
+    s.config.evaluator_kind = EvaluatorKind::kTrained;
+    s.config.lcda_episodes = 5;
+    s.config.nacim_episodes = 10;
+    s.config.space.conv_layers = 4;
+    s.config.space.channel_choices = {16, 24, 32, 48, 64};
+    s.config.space.kernel_choices = {1, 3, 5};
+    nn::BackboneOptions backbone;
+    backbone.input_size = 16;
+    backbone.num_classes = 6;
+    backbone.hidden = 64;
+    backbone.pool_after = {0, 2};
+    s.config.space.backbone = backbone;
+    s.config.trained.backbone = backbone;
+    s.config.trained.dataset.image_size = 16;
+    s.config.trained.dataset.num_classes = 6;
+    s.config.trained.dataset.train_per_class = 40;
+    s.config.trained.dataset.test_per_class = 16;
+    s.config.trained.dataset.seed = 11;
+    s.config.trained.epochs = 3;
+    s.config.trained.monte_carlo_samples = 4;
+    register_locked(s);
+  }
 }
 
 }  // namespace
@@ -713,6 +819,11 @@ void register_scenario(Scenario scenario) {
   ensure_builtins();
   std::lock_guard<std::mutex> lock(registry_mutex());
   register_locked(std::move(scenario));
+}
+
+std::vector<std::string> register_scenarios_from(const std::string& directory) {
+  ensure_builtins();
+  return register_directory(directory);
 }
 
 Scenario scenario_by_name(std::string_view name) {
@@ -751,8 +862,11 @@ std::uint64_t study_fingerprint(const ExperimentConfig& config,
   ExperimentConfig canon = config;
   const ExperimentConfig def;
   canon.parallelism = def.parallelism;
+  canon.pipeline_depth = def.pipeline_depth;
   canon.cache_evaluations = def.cache_evaluations;
   canon.persistent_cache_dir = def.persistent_cache_dir;
+  canon.persistent_cache_max_entries = def.persistent_cache_max_entries;
+  canon.persistent_cache_max_bytes = def.persistent_cache_max_bytes;
   canon.lcda_episodes = def.lcda_episodes;
   canon.nacim_episodes = def.nacim_episodes;
   const std::string text = std::string(strategy_name(strategy)) + '/' +

@@ -83,4 +83,30 @@ std::vector<LayerShape> backbone_shapes(const std::vector<ConvSpec>& rollout,
   return shapes;
 }
 
+std::uint64_t rollout_hash(const std::vector<ConvSpec>& rollout,
+                           std::uint64_t seed) {
+  // The key on the stack for the common case (the search spaces top out at
+  // 8 conv layers); heap fallback only for exotic callers. Must hash
+  // identically to the historical vector<int>{c0, k0, c1, k1, ...} form —
+  // the surrogate's luck values derived from it are part of every golden
+  // trace.
+  constexpr std::size_t kStackInts = 32;
+  const std::size_t n = rollout.size() * 2;
+  if (n <= kStackInts) {
+    int key[kStackInts];
+    for (std::size_t i = 0; i < rollout.size(); ++i) {
+      key[2 * i] = rollout[i].channels;
+      key[2 * i + 1] = rollout[i].kernel;
+    }
+    return util::hash_ints(std::span<const int>(key, n), seed);
+  }
+  std::vector<int> key;
+  key.reserve(n);
+  for (const auto& spec : rollout) {
+    key.push_back(spec.channels);
+    key.push_back(spec.kernel);
+  }
+  return util::hash_ints(key, seed);
+}
+
 }  // namespace lcda::nn

@@ -64,6 +64,17 @@ class Optimizer {
   /// ones, 0 for "no preference" (any batch size is as good as any other).
   [[nodiscard]] virtual std::size_t preferred_batch() const { return 1; }
 
+  /// How many batches beyond the last fed-back one this optimizer may be
+  /// asked to propose WITHOUT changing its proposal stream — the engine's
+  /// licence to overlap propose_batch(k+1) with batch k still evaluating
+  /// (CodesignLoop pipelined mode). 0 (the default) means "my proposals
+  /// depend on the latest feedback; never propose ahead", which keeps
+  /// learning optimizers (RL, GA, annealing, LLM history prompts) on the
+  /// strict propose -> evaluate -> feedback cadence. Optimizers whose
+  /// proposals are feedback-independent (e.g. random search) return a
+  /// large value; the loop clamps it to its pipeline depth.
+  [[nodiscard]] virtual std::size_t pipeline_lookahead() const { return 0; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

@@ -19,10 +19,16 @@ class RandomOptimizer final : public Optimizer {
 
   /// Samples are independent, so a batch of n draws the exact same designs
   /// as n scalar propose/feedback round trips: duplicate avoidance counts
-  /// the batch's own members as seen.
+  /// every proposal as seen the moment it is drawn.
   [[nodiscard]] std::vector<Design> propose_batch(std::size_t n,
                                                   util::Rng& rng) override;
   [[nodiscard]] std::size_t preferred_batch() const override { return 0; }
+
+  /// The proposal stream never reads feedback, so the engine may propose
+  /// arbitrarily far ahead of in-flight evaluations without changing it.
+  [[nodiscard]] std::size_t pipeline_lookahead() const override {
+    return static_cast<std::size_t>(-1);
+  }
 
   [[nodiscard]] std::string name() const override { return "Random"; }
 

@@ -15,6 +15,13 @@ Design RandomOptimizer::propose(util::Rng& rng) {
          ++attempt) {
       d = space_.sample(rng);
     }
+    // Proposals count as seen immediately (not at feedback time), so the
+    // duplicate-avoidance stream is independent of when — or whether —
+    // feedback arrives. That is what makes the proposal stream
+    // feedback-free and the optimizer safely pipelineable, and it draws
+    // the exact same designs as the historical feedback-time bookkeeping:
+    // the loop always feeds back precisely what was proposed.
+    seen_.insert(d.hash());
   }
   return d;
 }
@@ -23,26 +30,12 @@ std::vector<Design> RandomOptimizer::propose_batch(std::size_t n,
                                                    util::Rng& rng) {
   std::vector<Design> out;
   out.reserve(n);
-  std::unordered_set<std::uint64_t> batch_seen;
-  for (std::size_t i = 0; i < n; ++i) {
-    Design d = space_.sample(rng);
-    if (avoid_duplicates_) {
-      auto is_dup = [&](const Design& cand) {
-        const std::uint64_t h = cand.hash();
-        return seen_.contains(h) || batch_seen.contains(h);
-      };
-      for (int attempt = 0; attempt < max_retries_ && is_dup(d); ++attempt) {
-        d = space_.sample(rng);
-      }
-      batch_seen.insert(d.hash());
-    }
-    out.push_back(std::move(d));
-  }
+  for (std::size_t i = 0; i < n; ++i) out.push_back(propose(rng));
   return out;
 }
 
-void RandomOptimizer::feedback(const Observation& obs) {
-  seen_.insert(obs.design.hash());
+void RandomOptimizer::feedback(const Observation&) {
+  // Proposals are recorded in seen_ at propose() time; nothing to learn.
 }
 
 }  // namespace lcda::search

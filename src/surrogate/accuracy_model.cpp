@@ -13,13 +13,7 @@ constexpr int kInputChannels = 3;
 }
 
 double AccuracyModel::luck(const std::vector<nn::ConvSpec>& rollout) const {
-  std::vector<int> key;
-  key.reserve(rollout.size() * 2);
-  for (const auto& spec : rollout) {
-    key.push_back(spec.channels);
-    key.push_back(spec.kernel);
-  }
-  const std::uint64_t h = util::hash_ints(key, opts_.calibration_seed);
+  const std::uint64_t h = nn::rollout_hash(rollout, opts_.calibration_seed);
   // Map the hash to an approximately normal deviate via 4-fold sum of
   // uniforms (deterministic per design).
   util::Rng rng(h);
@@ -78,28 +72,39 @@ double AccuracyModel::sensitivity(const std::vector<nn::ConvSpec>& rollout) cons
   return total / static_cast<double>(rollout.size());
 }
 
-double AccuracyModel::noisy_accuracy(const std::vector<nn::ConvSpec>& rollout,
-                                     double weight_sigma,
-                                     int adc_deficit_bits) const {
+AccuracyModel::SampleParams AccuracyModel::precompute(
+    const std::vector<nn::ConvSpec>& rollout, double weight_sigma,
+    int adc_deficit_bits) const {
   if (weight_sigma < 0.0) {
     throw std::invalid_argument("noisy_accuracy: negative sigma");
   }
-  const double clean = clean_accuracy(rollout);
+  SampleParams params;
+  params.clean = clean_accuracy(rollout);
   const double drop = opts_.variation_coeff * opts_.injection_recovery *
                       weight_sigma * sensitivity(rollout);
   const double adc_drop = opts_.adc_deficit_penalty * std::max(0, adc_deficit_bits);
-  return std::clamp(clean - drop - adc_drop, opts_.floor, 0.99);
+  params.mean = std::clamp(params.clean - drop - adc_drop, opts_.floor, 0.99);
+  // Chip-to-chip spread grows with how much accuracy variation is eating.
+  params.spread = 0.25 * (params.clean - params.mean) + 0.004;
+  return params;
+}
+
+double AccuracyModel::sample(const SampleParams& params, util::Rng& rng) const {
+  return std::clamp(params.mean + rng.normal(0.0, params.spread), opts_.floor,
+                    0.99);
+}
+
+double AccuracyModel::noisy_accuracy(const std::vector<nn::ConvSpec>& rollout,
+                                     double weight_sigma,
+                                     int adc_deficit_bits) const {
+  return precompute(rollout, weight_sigma, adc_deficit_bits).mean;
 }
 
 double AccuracyModel::noisy_accuracy_sample(const std::vector<nn::ConvSpec>& rollout,
                                             double weight_sigma,
                                             int adc_deficit_bits,
                                             util::Rng& rng) const {
-  const double mean = noisy_accuracy(rollout, weight_sigma, adc_deficit_bits);
-  const double clean = clean_accuracy(rollout);
-  // Chip-to-chip spread grows with how much accuracy variation is eating.
-  const double spread = 0.25 * (clean - mean) + 0.004;
-  return std::clamp(mean + rng.normal(0.0, spread), opts_.floor, 0.99);
+  return sample(precompute(rollout, weight_sigma, adc_deficit_bits), rng);
 }
 
 }  // namespace lcda::surrogate

@@ -52,6 +52,27 @@ class AccuracyModel {
   AccuracyModel() : AccuracyModel(Options{}) {}
   explicit AccuracyModel(Options opts) : opts_(opts) {}
 
+  /// Everything about (rollout, sigma, adc deficit) that is deterministic:
+  /// the ideal-hardware accuracy, the mean under variation, and the
+  /// chip-to-chip spread. Computing these once per evaluation turns the
+  /// Monte-Carlo loop into one normal draw + clamp per sample instead of
+  /// re-deriving the clean accuracy (twice), the sensitivity and the
+  /// rollout-hash "luck" every iteration — sample(precompute(...), rng) is
+  /// bit-identical to noisy_accuracy_sample(...).
+  struct SampleParams {
+    double clean = 0.0;   ///< clean_accuracy(rollout)
+    double mean = 0.0;    ///< noisy_accuracy(rollout, sigma, deficit)
+    double spread = 0.0;  ///< stddev of the per-chip accuracy draw
+  };
+
+  /// Folds the deterministic part of a Monte-Carlo evaluation.
+  [[nodiscard]] SampleParams precompute(const std::vector<nn::ConvSpec>& rollout,
+                                        double weight_sigma,
+                                        int adc_deficit_bits) const;
+
+  /// One Monte-Carlo draw from precomputed params (the per-sample hot path).
+  [[nodiscard]] double sample(const SampleParams& params, util::Rng& rng) const;
+
   /// Accuracy after noise-injection training, evaluated on ideal hardware.
   [[nodiscard]] double clean_accuracy(const std::vector<nn::ConvSpec>& rollout) const;
 

@@ -31,6 +31,13 @@ class ThreadPool {
   /// Enqueues a job. Jobs must not submit to the same pool recursively.
   void submit(std::function<void()> job);
 
+  /// Enqueues a whole batch under one lock acquisition and one
+  /// notify_all, instead of a lock + notify per job — the bulk-dispatch
+  /// fast path used by the co-design loop's evaluation rounds and by
+  /// parallel_for. Jobs run in submission order (FIFO queue) but complete
+  /// in any order.
+  void submit_batch(std::vector<std::function<void()>> jobs);
+
   /// Blocks until every submitted job has finished. Rethrows the first
   /// exception raised by a job (first in submission order of completion).
   void wait_idle();

@@ -31,6 +31,20 @@ void ThreadPool::submit(std::function<void()> job) {
   work_cv_.notify_one();
 }
 
+void ThreadPool::submit_batch(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+  {
+    std::unique_lock lock(mutex_);
+    for (auto& job : jobs) queue_.push_back(std::move(job));
+    in_flight_ += jobs.size();
+  }
+  if (jobs.size() == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
@@ -79,7 +93,7 @@ void ThreadPool::parallel_for(std::size_t n,
   };
   const std::size_t tasks =
       std::min(n, static_cast<std::size_t>(size() > 0 ? size() - 1 : 0));
-  for (std::size_t t = 0; t < tasks; ++t) submit(drain);
+  submit_batch(std::vector<std::function<void()>>(tasks, drain));
   try {
     drain();
   } catch (...) {

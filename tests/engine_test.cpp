@@ -42,6 +42,19 @@ TEST(ThreadPool, SubmitAndWaitIdleRunsAllJobs) {
   EXPECT_EQ(done.load(), 50);
 }
 
+TEST(ThreadPool, SubmitBatchRunsEveryJobOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(200);
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    jobs.push_back([&counts, i] { ++counts[i]; });
+  }
+  pool.submit_batch(std::move(jobs));
+  pool.wait_idle();
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
 TEST(ThreadPool, ParallelForPropagatesExceptions) {
   util::ThreadPool pool(4);
   EXPECT_THROW(pool.parallel_for(64,
@@ -182,6 +195,7 @@ void expect_identical_traces(const core::RunResult& a, const core::RunResult& b)
   EXPECT_EQ(a.best_episode, b.best_episode);
   EXPECT_EQ(a.cache_hits, b.cache_hits);
   EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.persistent_hits, b.persistent_hits);
   for (std::size_t i = 0; i < a.episodes.size(); ++i) {
     EXPECT_EQ(a.episodes[i].design, b.episodes[i].design) << "episode " << i;
     // Bit-for-bit: no tolerance.
@@ -291,6 +305,81 @@ TEST(EngineDeterminism, SpeedupStudyParallelMatchesSequential) {
   }
 }
 
+// ------------------------------------------- pipelined propose/evaluate
+
+TEST(EnginePipelining, SequentialPipelinedAndParallelTracesAreBitIdentical) {
+  // The three engine modes for every strategy: strictly sequential (no
+  // pool, no pipelining), parallel with pipelining disabled, and parallel
+  // with a deep pipeline. Traces AND cache counters must match bit for
+  // bit — learning optimizers refuse lookahead and degrade to the strict
+  // cadence; Random genuinely overlaps rounds and must still not drift.
+  for (const auto strategy :
+       {core::Strategy::kLcda, core::Strategy::kNacimRl, core::Strategy::kRandom,
+        core::Strategy::kGenetic, core::Strategy::kNsga2,
+        core::Strategy::kAnnealing}) {
+    core::ExperimentConfig sequential;
+    sequential.seed = 21;
+    sequential.parallelism = 1;
+    sequential.pipeline_depth = 0;
+    core::ExperimentConfig strict_parallel = sequential;
+    strict_parallel.parallelism = 4;
+    core::ExperimentConfig pipelined = sequential;
+    pipelined.parallelism = 4;
+    pipelined.pipeline_depth = 8;
+
+    const core::RunResult a = core::run_strategy(strategy, 30, sequential);
+    const core::RunResult b = core::run_strategy(strategy, 30, strict_parallel);
+    const core::RunResult c = core::run_strategy(strategy, 30, pipelined);
+    SCOPED_TRACE(std::string(core::strategy_name(strategy)));
+    expect_identical_traces(a, b);
+    expect_identical_traces(a, c);
+  }
+}
+
+TEST(EnginePipelining, CrossRoundDuplicatesCountAsCacheHits) {
+  // A space so tiny that random search repeats designs constantly: in
+  // pipelined mode a repeat of a design that is still being evaluated in
+  // an earlier in-flight round must alias to that pending evaluation —
+  // same values, same hit/miss counters as the strict schedule, where the
+  // repeat would have been a plain cache hit.
+  core::ExperimentConfig tiny;
+  tiny.seed = 13;
+  tiny.space.conv_layers = 2;
+  tiny.space.channel_choices = {16, 32};
+  tiny.space.kernel_choices = {3};
+  tiny.space.hw.devices = {cim::DeviceType::kRram};
+  tiny.space.hw.bits_per_cell = {2};
+  tiny.space.hw.adc_bits = {6};
+  tiny.space.hw.xbar_sizes = {128};
+  tiny.space.hw.col_mux = {8};
+  tiny.parallelism = 1;
+  tiny.pipeline_depth = 0;
+  core::ExperimentConfig pipelined = tiny;
+  pipelined.parallelism = 4;
+  pipelined.pipeline_depth = 8;
+
+  const core::RunResult a = core::run_strategy(core::Strategy::kRandom, 40, tiny);
+  const core::RunResult b =
+      core::run_strategy(core::Strategy::kRandom, 40, pipelined);
+  expect_identical_traces(a, b);
+  EXPECT_GT(a.cache_hits, 0) << "space too large: no duplicates exercised";
+  EXPECT_LT(a.cache_misses, 40);
+}
+
+TEST(EnginePipelining, GoldenPaperEnergyTraceSurvivesPipelinedEngine) {
+  // The checked-in golden trace is LCDA (strictly sequential optimizer);
+  // the pipelined engine must leave it untouched even at full depth.
+  core::ExperimentConfig paper;
+  paper.seed = 1;
+  core::ExperimentConfig pipelined = paper;
+  pipelined.parallelism = 4;
+  pipelined.pipeline_depth = 8;
+  const core::RunResult a = core::run_strategy(core::Strategy::kLcda, 20, paper);
+  const core::RunResult b =
+      core::run_strategy(core::Strategy::kLcda, 20, pipelined);
+  expect_identical_traces(a, b);
+}
+
 // ------------------------------------------------------ evaluation cache
 
 class FixedOptimizer final : public search::Optimizer {
@@ -363,6 +452,44 @@ TEST(EvalCache, InBatchDuplicatesHitWithoutRacing) {
   EXPECT_EQ(run.cache_hits, 11);
   for (const auto& ep : run.episodes) {
     EXPECT_EQ(ep.accuracy, run.episodes[0].accuracy);
+  }
+}
+
+class PipelineableFixedOptimizer final : public search::Optimizer {
+ public:
+  explicit PipelineableFixedOptimizer(search::Design design)
+      : design_(std::move(design)) {}
+  search::Design propose(util::Rng&) override { return design_; }
+  void feedback(const search::Observation&) override {}
+  std::size_t pipeline_lookahead() const override {
+    return static_cast<std::size_t>(-1);
+  }
+  std::string name() const override { return "PipelineableFixed"; }
+
+ private:
+  search::Design design_;
+};
+
+TEST(EvalCache, PipelinedPendingDuplicatesResolveToOneEvaluation) {
+  // With unlimited lookahead and scalar rounds the loop floods the pool
+  // with in-flight rounds of the SAME design; all but the first must
+  // alias the pending evaluation — one miss, identical values, exactly
+  // like the strict schedule's cache hits.
+  PipelineableFixedOptimizer opt(fixed_design());
+  core::SurrogateEvaluator eval;
+  core::CodesignLoop::Options lopts;
+  lopts.episodes = 12;
+  lopts.parallelism = 4;
+  lopts.pipeline_depth = 8;
+  core::CodesignLoop loop(opt, eval, core::RewardFunction(llm::Objective::kEnergy),
+                          lopts);
+  util::Rng rng(57);
+  const core::RunResult run = loop.run(rng);
+  EXPECT_EQ(run.cache_misses, 1);
+  EXPECT_EQ(run.cache_hits, 11);
+  for (const auto& ep : run.episodes) {
+    EXPECT_EQ(ep.accuracy, run.episodes[0].accuracy);
+    EXPECT_EQ(ep.reward, run.episodes[0].reward);
   }
 }
 

@@ -225,6 +225,42 @@ TEST(Registry, CustomScenariosRegisterAndRoundTripThroughFiles) {
   EXPECT_EQ(canonical(loaded.config), canonical(s.config));
 }
 
+TEST(Registry, ScenarioDirRegistersDroppedInFilesInNameOrder) {
+  const std::string dir = temp_dir("scenario_dir");
+  core::Scenario s = core::scenario_by_name("tight-area");
+  s.name = "dropped-in-b";
+  core::save_scenario(s, dir + "/b.json");
+  s.name = "dropped-in-a";
+  core::save_scenario(s, dir + "/a.json");
+  std::ofstream(dir + "/notes.txt") << "not a scenario";  // ignored
+
+  const std::vector<std::string> names = core::register_scenarios_from(dir);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "dropped-in-a");  // deterministic file-name order
+  EXPECT_EQ(names[1], "dropped-in-b");
+  EXPECT_EQ(core::scenario_by_name("dropped-in-a").config.space.area_budget_mm2,
+            20.0);
+
+  // Re-registering identical definitions (env autoload + explicit
+  // --scenario-dir of the same directory) is a harmless no-op ...
+  EXPECT_TRUE(core::register_scenarios_from(dir).empty());
+  // ... but a CONFLICTING definition under a taken name fails loudly.
+  const std::string dir2 = temp_dir("scenario_dir_conflict");
+  s.name = "dropped-in-a";
+  s.config.seed = 999;
+  core::save_scenario(s, dir2 + "/a.json");
+  EXPECT_THROW(core::register_scenarios_from(dir2), std::invalid_argument);
+  // And a directory that cannot be read is a hard error, not a no-op.
+  EXPECT_THROW(core::register_scenarios_from(dir + "/missing"),
+               std::runtime_error);
+}
+
+TEST(Registry, ScenarioDirRejectsMalformedFiles) {
+  const std::string dir = temp_dir("scenario_dir_bad");
+  std::ofstream(dir + "/broken.json") << R"({"name": "broken", "typo": 1})";
+  EXPECT_THROW(core::register_scenarios_from(dir), std::invalid_argument);
+}
+
 TEST(Registry, EveryBuiltinScenarioRoundTripsThroughJson) {
   for (const std::string& name : core::list_scenarios()) {
     const core::Scenario s = core::scenario_by_name(name);
@@ -342,6 +378,98 @@ TEST(PersistentCache, WarmBatchedOptimizerRunsStayBitIdentical) {
       core::run_strategy(core::Strategy::kGenetic, 30, config);
   EXPECT_EQ(warm.cache_misses, 0);
   EXPECT_GT(warm.persistent_hits, 0);
+  EXPECT_EQ(trace_text(warm), trace_text(cold));
+}
+
+TEST(PersistentCache, EntryBudgetEvictsOldestFirst) {
+  const std::string dir = temp_dir("evict_entries");
+  core::PersistentEvalCache cache(dir, 0x1234,
+                                  core::PersistentEvalCache::Budget{3, 0});
+  for (std::uint64_t h = 1; h <= 5; ++h) {
+    core::Evaluation ev;
+    ev.accuracy = 0.1 * static_cast<double>(h);
+    cache.insert(h, ev);
+  }
+  cache.save();
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_FALSE(cache.lookup(1).has_value());  // oldest went first
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_TRUE(cache.lookup(5).has_value());
+
+  // Ages survive the file round trip: a tightened budget trims the oldest
+  // SURVIVORS at load, not arbitrary entries.
+  core::PersistentEvalCache back(dir, 0x1234,
+                                 core::PersistentEvalCache::Budget{2, 0});
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.evictions(), 1u);
+  EXPECT_FALSE(back.lookup(3).has_value());
+  EXPECT_TRUE(back.lookup(4).has_value());
+  EXPECT_TRUE(back.lookup(5).has_value());
+}
+
+TEST(PersistentCache, ByteBudgetBoundsTheFileSize) {
+  const std::string dir = temp_dir("evict_bytes");
+  constexpr std::size_t kMaxBytes = 4096;
+  core::PersistentEvalCache cache(dir, 0x77,
+                                  core::PersistentEvalCache::Budget{0, kMaxBytes});
+  for (std::uint64_t h = 1; h <= 200; ++h) {
+    core::Evaluation ev;
+    ev.accuracy = 0.5;
+    ev.cost.energy_total_pj = static_cast<double>(h);
+    cache.insert(h, ev);
+  }
+  cache.save();
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_LE(std::filesystem::file_size(cache.path()), kMaxBytes);
+  // Newest entries are the survivors.
+  EXPECT_TRUE(cache.lookup(200).has_value());
+  EXPECT_FALSE(cache.lookup(1).has_value());
+}
+
+TEST(PersistentCache, TightenedByteBudgetTrimsWarmFileWithoutInserts) {
+  const std::string dir = temp_dir("evict_bytes_warm");
+  constexpr std::uint64_t kStudy = 0x88;
+  {
+    core::PersistentEvalCache cache(dir, kStudy,
+                                    core::PersistentEvalCache::Budget{});
+    for (std::uint64_t h = 1; h <= 50; ++h) {
+      core::Evaluation ev;
+      ev.accuracy = 0.5;
+      cache.insert(h, ev);
+    }
+    cache.save();
+    ASSERT_GT(std::filesystem::file_size(cache.path()), 2048u);
+  }
+  // A warm open with a tightened byte budget and zero inserts must still
+  // trim the file at save() — the over-budget load marks the cache dirty.
+  core::PersistentEvalCache cache(dir, kStudy,
+                                  core::PersistentEvalCache::Budget{0, 2048});
+  cache.save();
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LE(std::filesystem::file_size(cache.path()), 2048u);
+}
+
+TEST(PersistentCache, RunRespectsConfiguredBudgetAndStaysBitIdentical) {
+  core::ExperimentConfig config;
+  config.persistent_cache_dir = temp_dir("evict_run");
+  config.persistent_cache_max_entries = 4;
+  config.lcda_episodes = 8;
+
+  const core::RunResult cold =
+      core::run_strategy(core::Strategy::kLcda, config.lcda_episodes, config);
+  ASSERT_GT(cold.cache_misses, 4);  // else the budget never binds
+  EXPECT_GT(cold.persistent_evictions, 0);
+
+  // The warm rerun only finds the newest entries on disk, re-evaluates the
+  // evicted ones — deterministically — and must stay bit-identical.
+  const core::RunResult warm =
+      core::run_strategy(core::Strategy::kLcda, config.lcda_episodes, config);
+  EXPECT_GT(warm.persistent_hits, 0);
+  EXPECT_GT(warm.cache_misses, 0);
+  EXPECT_EQ(warm.persistent_hits + warm.cache_misses, cold.cache_misses);
   EXPECT_EQ(trace_text(warm), trace_text(cold));
 }
 

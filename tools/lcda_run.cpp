@@ -17,6 +17,9 @@
 //   --print-config         dump the resolved scenario as JSON and exit
 //   --scenario=NAME        registry scenario (see --list)
 //   --scenario-file=PATH   load a scenario JSON file instead
+//   --scenario-dir=DIR     register every *.json scenario in DIR first
+//                          (the LCDA_SCENARIO_DIR environment variable
+//                          autoloads a directory the same way)
 //   --strategy=A[,B...]    strategies to run (default: the scenario's);
 //                          "all" sweeps every strategy
 //   --episodes=N           override the per-strategy episode budget
@@ -56,6 +59,7 @@ struct CliOptions {
   bool quiet = false;
   std::string scenario;
   std::string scenario_file;
+  std::string scenario_dir;
   std::string strategies;
   std::string cache_dir;
   std::string json_path;
@@ -69,7 +73,8 @@ struct CliOptions {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --scenario=NAME [--strategy=A,B] [--seeds=N] "
+               "usage: %s --scenario=NAME [--scenario-dir=DIR] "
+               "[--strategy=A,B] [--seeds=N] "
                "[--episodes=N] [--seed=K] [--set key=value ...] "
                "[--cache-dir=DIR] [--parallelism=N] [--json=PATH] "
                "[--trace=PATH|-] [--quiet]\n"
@@ -122,8 +127,9 @@ int main(int argc, char** argv) {
       if (arg == "--list") cli.list = true;
       else if (arg == "--print-config") cli.print_config = true;
       else if (arg == "--quiet") cli.quiet = true;
-      else if (flag_value(arg, "--scenario=", cli.scenario)) {}
       else if (flag_value(arg, "--scenario-file=", cli.scenario_file)) {}
+      else if (flag_value(arg, "--scenario-dir=", cli.scenario_dir)) {}
+      else if (flag_value(arg, "--scenario=", cli.scenario)) {}
       else if (flag_value(arg, "--strategy=", cli.strategies)) {}
       else if (flag_value(arg, "--cache-dir=", cli.cache_dir)) {}
       else if (flag_value(arg, "--json=", cli.json_path)) {}
@@ -147,6 +153,10 @@ int main(int argc, char** argv) {
 
     // Tracing to stdout reserves it for CSV; narration moves to stderr.
     std::FILE* const human = cli.trace_path == "-" ? stderr : stdout;
+
+    if (!cli.scenario_dir.empty()) {
+      (void)core::register_scenarios_from(cli.scenario_dir);
+    }
 
     if (cli.list) {
       std::fprintf(human, "%-16s %s\n", "scenario", "what it stresses");
