@@ -28,14 +28,33 @@ const core::ExperimentConfig& paper_config() {
   return cfg;
 }
 
+// The engine's per-rollout cost pass exactly as the evaluator runs it:
+// phase one (CostPlan) and the flattened layer span are memoized, the pass
+// writes into a reused report. Before the two-phase split this measured
+// CostEvaluator::evaluate over memoized shapes — the same semantic point
+// of the pipeline (BENCH_engine.json tracks it as cost_evaluator_ns).
 void BM_CostEvaluator(benchmark::State& state) {
+  const cim::CostEvaluator eval{cim::HardwareConfig{}, paper_config().evaluator.cost};
+  const cim::LayerShapeSpan span = cim::LayerShapeSpan::from(
+      nn::backbone_shapes(kRollout, paper_config().evaluator.backbone));
+  cim::CostReport report;
+  for (auto _ : state) {
+    eval.evaluate_span(span, report);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CostEvaluator);
+
+// Full-detail evaluation (per-layer costs + mapping), shape flattening
+// included — what examples and offline analyses pay per call.
+void BM_CostEvaluatorDetail(benchmark::State& state) {
   const cim::CostEvaluator eval{cim::HardwareConfig{}, paper_config().evaluator.cost};
   const nn::BackboneOptions bopts = paper_config().evaluator.backbone;
   for (auto _ : state) {
     benchmark::DoNotOptimize(eval.evaluate(kRollout, bopts));
   }
 }
-BENCHMARK(BM_CostEvaluator);
+BENCHMARK(BM_CostEvaluatorDetail);
 
 void BM_SurrogateAccuracy(benchmark::State& state) {
   const surrogate::AccuracyModel model(paper_config().evaluator.accuracy);
@@ -55,6 +74,34 @@ void BM_FullSurrogateEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullSurrogateEvaluation);
+
+// One engine round through the batch contract: distinct designs, each with
+// its own pre-forked RNG stream, costed in one evaluate_batch pass — the
+// work a pool worker does per chunk wakeup.
+void BM_EvaluateBatch(benchmark::State& state) {
+  core::SurrogateEvaluator eval(paper_config().evaluator);
+  const search::SearchSpace space{paper_config().space};
+  util::Rng design_rng(11);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<search::Design> designs;
+  designs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) designs.push_back(space.sample(design_rng));
+  std::vector<util::Rng> rngs(n, util::Rng(0));
+  std::vector<core::Evaluation> evals(n);
+  std::vector<core::EvalRequest> requests(n);
+  util::Rng stream(12);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      rngs[i] = stream.fork();
+      requests[i] = core::EvalRequest{&designs[i], &rngs[i], &evals[i]};
+    }
+    state.ResumeTiming();
+    eval.evaluate_batch(std::span<core::EvalRequest>(requests));
+    benchmark::DoNotOptimize(evals);
+  }
+}
+BENCHMARK(BM_EvaluateBatch)->Arg(8);
 
 void BM_PromptBuild(benchmark::State& state) {
   llm::PromptBuilder builder{search::SearchSpace{paper_config().space}, {}};

@@ -1,6 +1,6 @@
 #include "lcda/cim/config.h"
 
-#include <sstream>
+#include <cstdio>
 
 namespace lcda::cim {
 
@@ -8,10 +8,15 @@ std::string HardwareConfig::validate() const {
   const DeviceModel dev = device_model(device);
   if (bits_per_cell <= 0) return "bits_per_cell must be positive";
   if (bits_per_cell > dev.max_bits_per_cell) {
-    std::ostringstream os;
-    os << device_name(device) << " supports at most " << dev.max_bits_per_cell
-       << " bits per cell, got " << bits_per_cell;
-    return os.str();
+    // snprintf instead of ostringstream: validation runs on every
+    // CostEvaluator construction (the memo-key hot path builds one per
+    // distinct hardware config), and the stream machinery dominated it.
+    const std::string_view name = device_name(device);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.*s supports at most %d bits per cell, got %d",
+                  static_cast<int>(name.size()), name.data(),
+                  dev.max_bits_per_cell, bits_per_cell);
+    return buf;
   }
   if (weight_bits < bits_per_cell) return "weight_bits < bits_per_cell";
   if (weight_bits > 16) return "weight_bits > 16 unsupported";
@@ -25,10 +30,12 @@ std::string HardwareConfig::validate() const {
 }
 
 std::string HardwareConfig::describe() const {
-  std::ostringstream os;
-  os << device_name(device) << " b" << bits_per_cell << " w" << weight_bits
-     << " adc" << adc_bits << " xbar" << xbar_size << " mux" << col_mux;
-  return os.str();
+  const std::string_view name = device_name(device);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*s b%d w%d adc%d xbar%d mux%d",
+                static_cast<int>(name.size()), name.data(), bits_per_cell,
+                weight_bits, adc_bits, xbar_size, col_mux);
+  return buf;
 }
 
 HardwareConfig isaac_reference() {

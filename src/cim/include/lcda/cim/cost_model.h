@@ -68,12 +68,20 @@ struct CostReport {
   /// Worst-case ADC resolution shortfall across layers (0 = exact).
   int max_adc_deficit_bits = 0;
 
+  /// Per-layer detail. Filled by the detailed evaluate() overloads; the
+  /// engine's lean evaluate_span() path leaves both empty (every scalar
+  /// above is still populated, bit-identically).
   std::vector<LayerCost> layers;
   MappingResult mapping;
 
   [[nodiscard]] double energy_per_mac_pj(long long total_macs) const {
     return total_macs > 0 ? energy_total_pj / static_cast<double>(total_macs) : 0.0;
   }
+
+  /// Resets every field to its default while keeping the capacity of
+  /// `layers` / `mapping.layers` / `invalid_reason`, so a report can be
+  /// reused across evaluations without reallocating.
+  void reset();
 };
 
 /// Options that define the fixed parts of the chip organization.
@@ -85,11 +93,80 @@ struct CostModelOptions {
   MapperOptions mapper;
 };
 
+/// Flattened structure-of-arrays view of a backbone's layer geometry — the
+/// per-rollout input of the cost model's second phase. Only the three
+/// quantities the fused mapping+cost pass actually consumes survive the
+/// flattening; everything else in nn::LayerShape is derived from them.
+/// Hardware-independent, so SurrogateEvaluator memoizes one span per rollout
+/// and reuses it across every hardware config the search visits.
+struct LayerShapeSpan {
+  std::vector<long long> rows;    ///< unrolled weight rows, K*K*Cin
+  std::vector<long long> cols;    ///< output channels (cols before cell split)
+  std::vector<long long> pixels;  ///< output pixels per inference (1 for FC)
+  std::vector<unsigned char> fc;  ///< FC flag (mapping detail bookkeeping)
+
+  [[nodiscard]] std::size_t size() const { return rows.size(); }
+  [[nodiscard]] bool empty() const { return rows.empty(); }
+
+  [[nodiscard]] static LayerShapeSpan from(
+      const std::vector<nn::LayerShape>& shapes);
+};
+
+/// Phase one of the two-phase cost model: every term of the chip cost that
+/// does not depend on the network being mapped, folded once per
+/// HardwareConfig at CostEvaluator construction. The per-rollout pass then
+/// touches only these scalars plus the LayerShapeSpan arrays.
+///
+/// Precomputed values are produced by exactly the expressions the
+/// historical per-evaluation code used, so phase two reproduces the old
+/// CostReport bit for bit (pinned in tests/cim_test.cpp).
+struct CostPlan {
+  // --- mapper terms ---
+  int xbar_size = 0;
+  int cells_per_weight = 0;
+  int input_bits = 0;
+  int max_replication = 0;
+  int adc_bits = 0;
+  int bits_per_cell = 0;
+  double replication_area_cap_mm2 = 0.0;  ///< budget * replication fraction
+
+  // --- per-unit circuit energies (pJ) ---
+  double adc_energy_per_conversion_pj = 0.0;
+  double cell_read_energy_pj = 0.0;
+  double dac_energy_per_row_pj = 0.0;
+  double sa_mux_energy_per_conversion_pj = 0.0;  ///< shift-add + mux, summed
+  double digital_energy_per_output_pj = 0.0;
+  double buffer_energy_per_byte_pj = 0.0;
+  double noc_energy_per_byte_hop_pj = 0.0;
+
+  // --- timing ---
+  double read_latency_ns = 0.0;  ///< one full analog array read
+
+  // --- area / leakage ---
+  int arrays_per_tile = 0;
+  int buffer_kb_per_tile = 0;
+  double area_per_array_mm2 = 0.0;
+  double buffer_area_per_kb_mm2 = 0.0;
+  double digital_area_per_tile_mm2 = 0.0;
+  double noc_router_area_mm2 = 0.0;
+  double array_leakage_mw = 0.0;
+  double leakage_per_tile_mw = 0.0;  ///< buffer + digital + router, summed
+  double area_budget_mm2 = 0.0;
+
+  // --- device ---
+  double weight_sigma = 0.0;
+  double device_write_energy_pj = 0.0;
+};
+
 /// Evaluates ISAAC-style chip costs for a network on a hardware config.
 ///
-/// Construction validates the config (throws std::invalid_argument).
-/// evaluate() never throws for well-formed shapes: an over-budget chip comes
-/// back with valid = false, which the framework maps to reward -1.
+/// Construction validates the config (throws std::invalid_argument) and
+/// folds the hardware-only cost terms into a CostPlan; evaluation is then a
+/// single fused mapping+cost pass per rollout. evaluate() never throws for
+/// well-formed shapes: an over-budget chip comes back with valid = false,
+/// which the framework maps to reward -1.
+///
+/// Thread-safe after construction: evaluation only reads the plan.
 class CostEvaluator {
  public:
   explicit CostEvaluator(const HardwareConfig& hw, CostModelOptions opts = {});
@@ -100,14 +177,25 @@ class CostEvaluator {
   [[nodiscard]] CostReport evaluate(const std::vector<nn::ConvSpec>& rollout,
                                     const nn::BackboneOptions& backbone) const;
 
+  /// The engine's hot path (phase two): whole-chip totals written into
+  /// `out`, reusing its buffers — zero allocations for a valid design.
+  /// `out.layers` / `out.mapping` are left empty; every scalar field is
+  /// bit-identical to the detailed evaluate() overloads.
+  void evaluate_span(const LayerShapeSpan& span, CostReport& out) const;
+
   [[nodiscard]] const HardwareConfig& config() const { return hw_; }
   [[nodiscard]] const CircuitLibrary& circuits() const { return circuits_; }
+  [[nodiscard]] const CostPlan& plan() const { return plan_; }
 
  private:
+  void run_pass(const LayerShapeSpan& span, CostReport& report,
+                bool detail) const;
+
   HardwareConfig hw_;
   CostModelOptions opts_;
   CircuitLibrary circuits_;
   NocModel noc_;
+  CostPlan plan_;
 };
 
 }  // namespace lcda::cim

@@ -15,13 +15,6 @@ namespace lcda::core {
 
 namespace {
 
-/// Safety valve for the evaluator memos: plenty for any real search space
-/// (the NACIM hardware axis has < 200 combos; a 500-episode run sees a few
-/// hundred rollouts), but a bound so a server-scale run can never grow the
-/// maps without limit. On overflow the map is simply reset — correctness
-/// does not depend on memo contents.
-constexpr std::size_t kMemoCap = 1 << 16;
-
 /// Content hash of every HardwareConfig field (unlike Design::hash, which
 /// covers only the searched knobs — the memo must also distinguish fixed
 /// fields like input_bits and the area budget).
@@ -35,6 +28,12 @@ std::uint64_t hardware_key(const cim::HardwareConfig& hw) {
 
 }  // namespace
 
+void PerformanceEvaluator::evaluate_batch(std::span<EvalRequest> batch) {
+  for (EvalRequest& req : batch) {
+    *req.out = evaluate(*req.design, *req.rng);
+  }
+}
+
 // ------------------------------------------------------ SurrogateEvaluator
 
 SurrogateEvaluator::SurrogateEvaluator(Options opts)
@@ -42,56 +41,38 @@ SurrogateEvaluator::SurrogateEvaluator(Options opts)
 
 std::shared_ptr<const cim::CostEvaluator> SurrogateEvaluator::cost_evaluator_for(
     const cim::HardwareConfig& hw) {
-  const std::uint64_t key = hardware_key(hw);
-  {
-    std::lock_guard lock(memo_mutex_);
-    if (auto it = cost_memo_.find(key); it != cost_memo_.end()) {
-      return it->second;
-    }
-  }
-  // Build outside the lock: make_circuits is the expensive part, and a
-  // concurrent duplicate build is harmless (first insert wins, both values
-  // are identical by construction).
-  auto built = std::make_shared<const cim::CostEvaluator>(hw, opts_.cost);
-  std::lock_guard lock(memo_mutex_);
-  if (cost_memo_.size() >= kMemoCap) cost_memo_.clear();
-  return cost_memo_.emplace(key, std::move(built)).first->second;
+  // Built outside the stripe lock: make_circuits is the expensive part, and
+  // a concurrent duplicate build is harmless (first insert wins, both
+  // values are identical by construction).
+  return cost_memo_.get_or_build(hardware_key(hw), [&] {
+    return std::make_shared<const cim::CostEvaluator>(hw, opts_.cost);
+  });
 }
 
-std::shared_ptr<const std::vector<nn::LayerShape>> SurrogateEvaluator::shapes_for(
+std::shared_ptr<const cim::LayerShapeSpan> SurrogateEvaluator::span_for(
     const std::vector<nn::ConvSpec>& rollout) {
-  const std::uint64_t key = nn::rollout_hash(rollout, 0x5ca1ab1eULL);
-  {
-    std::lock_guard lock(memo_mutex_);
-    if (auto it = shapes_memo_.find(key); it != shapes_memo_.end()) {
-      return it->second;
-    }
-  }
-  auto built = std::make_shared<const std::vector<nn::LayerShape>>(
-      nn::backbone_shapes(rollout, opts_.backbone));
-  std::lock_guard lock(memo_mutex_);
-  if (shapes_memo_.size() >= kMemoCap) shapes_memo_.clear();
-  return shapes_memo_.emplace(key, std::move(built)).first->second;
+  return span_memo_.get_or_build(nn::rollout_hash(rollout, 0x5ca1ab1eULL), [&] {
+    return std::make_shared<const cim::LayerShapeSpan>(cim::LayerShapeSpan::from(
+        nn::backbone_shapes(rollout, opts_.backbone)));
+  });
 }
 
-Evaluation SurrogateEvaluator::evaluate(const search::Design& design,
-                                        util::Rng& rng) {
-  Evaluation ev;
+void SurrogateEvaluator::evaluate_into(const search::Design& design,
+                                       util::Rng& rng, Evaluation& out) {
   const std::shared_ptr<const cim::CostEvaluator> cost_eval =
       cost_evaluator_for(design.hw);
-  const std::shared_ptr<const std::vector<nn::LayerShape>> shapes =
-      shapes_for(design.rollout);
-  ev.cost = cost_eval->evaluate(*shapes);
+  const std::shared_ptr<const cim::LayerShapeSpan> span = span_for(design.rollout);
+  cost_eval->evaluate_span(*span, out.cost);
 
   // Scenarios with selective write-verify deploy at a reduced effective
   // sigma and pay for it in one-time programming energy (the verified
   // fraction needs iterative write pulses instead of one); the gate keeps
   // the paper setting (fraction 0) bit-identical.
-  double sigma = ev.cost.weight_sigma;
+  double sigma = out.cost.weight_sigma;
   if (opts_.write_verify_fraction > 0.0) {
     sigma *= noise::effective_sigma_scale(opts_.write_verify_fraction,
                                           opts_.write_verify_sigma_scale);
-    ev.cost.programming_energy_pj *=
+    out.cost.programming_energy_pj *=
         (1.0 - opts_.write_verify_fraction) +
         opts_.write_verify_fraction * opts_.write_verify_pulses;
   }
@@ -102,15 +83,30 @@ Evaluation SurrogateEvaluator::evaluate(const search::Design& design,
   // per sample is load-bearing: it keeps the RNG stream layout — and hence
   // every trace — bit-identical to the historical per-sample evaluation.
   const surrogate::AccuracyModel::SampleParams params = accuracy_.precompute(
-      design.rollout, sigma, ev.cost.max_adc_deficit_bits);
+      design.rollout, sigma, out.cost.max_adc_deficit_bits);
   util::OnlineStats stats;
   for (int i = 0; i < opts_.monte_carlo_samples; ++i) {
     util::Rng sample_rng = rng.fork();
     stats.add(accuracy_.sample(params, sample_rng));
   }
-  ev.accuracy = stats.mean();
-  ev.accuracy_stddev = stats.stddev();
+  out.accuracy = stats.mean();
+  out.accuracy_stddev = stats.stddev();
+}
+
+Evaluation SurrogateEvaluator::evaluate(const search::Design& design,
+                                        util::Rng& rng) {
+  Evaluation ev;
+  evaluate_into(design, rng, ev);
   return ev;
+}
+
+void SurrogateEvaluator::evaluate_batch(std::span<EvalRequest> batch) {
+  // One pass per worker chunk: every evaluation writes straight into its
+  // request's Evaluation (the cost pass reuses the report's buffers), so
+  // the steady-state loop allocates nothing per episode.
+  for (EvalRequest& req : batch) {
+    evaluate_into(*req.design, *req.rng, *req.out);
+  }
 }
 
 // -------------------------------------------------------- TrainedEvaluator

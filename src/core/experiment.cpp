@@ -145,9 +145,14 @@ int default_episodes(Strategy strategy, const ExperimentConfig& config) {
 }
 
 RunResult run_strategy(Strategy strategy, int episodes,
-                       const ExperimentConfig& config) {
+                       const ExperimentConfig& config,
+                       PerformanceEvaluator* evaluator) {
   auto optimizer = make_optimizer(strategy, config);
-  auto evaluator = make_evaluator(config);
+  std::unique_ptr<PerformanceEvaluator> own_evaluator;
+  if (evaluator == nullptr) {
+    own_evaluator = make_evaluator(config);
+    evaluator = own_evaluator.get();
+  }
   RewardFunction reward = make_reward(config);
   CodesignLoop::Options opts;
   opts.episodes = episodes;
@@ -179,13 +184,15 @@ RunResult run_strategy(Strategy strategy, int episodes,
 }
 
 SpeedupReport measure_speedup(const ExperimentConfig& config,
-                              double threshold_fraction) {
+                              double threshold_fraction,
+                              PerformanceEvaluator* evaluator) {
   if (threshold_fraction <= 0.0 || threshold_fraction > 1.0) {
     throw std::invalid_argument("measure_speedup: bad threshold fraction");
   }
-  const RunResult lcda = run_strategy(Strategy::kLcda, config.lcda_episodes, config);
+  const RunResult lcda =
+      run_strategy(Strategy::kLcda, config.lcda_episodes, config, evaluator);
   const RunResult nacim =
-      run_strategy(Strategy::kNacimRl, config.nacim_episodes, config);
+      run_strategy(Strategy::kNacimRl, config.nacim_episodes, config, evaluator);
 
   SpeedupReport report;
   report.lcda_best = lcda.best_reward();

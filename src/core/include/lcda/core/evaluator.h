@@ -2,15 +2,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <optional>
-#include <unordered_map>
+#include <span>
 
 #include "lcda/cim/cost_model.h"
 #include "lcda/data/synthetic_cifar.h"
 #include "lcda/search/design.h"
 #include "lcda/surrogate/accuracy_model.h"
 #include "lcda/util/rng.h"
+#include "lcda/util/striped_cache.h"
 
 namespace lcda::core {
 
@@ -22,6 +21,18 @@ struct Evaluation {
   cim::CostReport cost;
 };
 
+/// One evaluation of a batch: the design to cost, the pre-forked private
+/// RNG stream that makes the result independent of scheduling, and where
+/// the Evaluation lands. All three point into storage the caller keeps
+/// alive (and no two requests alias), so a worker owns its request
+/// exclusively and a whole round can be evaluated with zero per-episode
+/// allocation.
+struct EvalRequest {
+  const search::Design* design = nullptr;
+  util::Rng* rng = nullptr;
+  Evaluation* out = nullptr;
+};
+
 /// Evaluates a design candidate end to end: builds the hardware cost report
 /// and measures DNN accuracy under that hardware's device variation.
 class PerformanceEvaluator {
@@ -29,6 +40,15 @@ class PerformanceEvaluator {
   virtual ~PerformanceEvaluator() = default;
   [[nodiscard]] virtual Evaluation evaluate(const search::Design& design,
                                             util::Rng& rng) = 0;
+
+  /// Batch contract: evaluates every request in order. The default
+  /// delegates to scalar evaluate(); evaluators with per-evaluation setup
+  /// cost override it to amortize that work across the batch. Requests are
+  /// independent (each has its own RNG stream), so results are identical
+  /// to scalar evaluation no matter how the caller splits a round into
+  /// batches — the co-design loop sends one contiguous chunk per worker.
+  virtual void evaluate_batch(std::span<EvalRequest> batch);
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -36,6 +56,13 @@ class PerformanceEvaluator {
 /// Monte-Carlo loop over the surrogate's chip-instance draws (DESIGN.md
 /// substitution #2). This is what the benchmark harnesses use — a
 /// 500-episode NACIM run completes in seconds.
+///
+/// Thread-safe: evaluate()/evaluate_batch() may be called concurrently from
+/// pool workers (the co-design loop does, and run_aggregate shares one
+/// instance across every seed's run). The two-phase cost model keeps the
+/// hot path allocation-free: per-hardware CostPlans and per-rollout
+/// LayerShapeSpans come from hash-striped content-keyed caches, and the
+/// per-rollout pass writes straight into the caller's Evaluation.
 class SurrogateEvaluator final : public PerformanceEvaluator {
  public:
   struct Options {
@@ -63,12 +90,15 @@ class SurrogateEvaluator final : public PerformanceEvaluator {
 
   [[nodiscard]] Evaluation evaluate(const search::Design& design,
                                     util::Rng& rng) override;
+  void evaluate_batch(std::span<EvalRequest> batch) override;
   [[nodiscard]] std::string name() const override { return "Surrogate"; }
 
  private:
+  void evaluate_into(const search::Design& design, util::Rng& rng,
+                     Evaluation& out);
   [[nodiscard]] std::shared_ptr<const cim::CostEvaluator> cost_evaluator_for(
       const cim::HardwareConfig& hw);
-  [[nodiscard]] std::shared_ptr<const std::vector<nn::LayerShape>> shapes_for(
+  [[nodiscard]] std::shared_ptr<const cim::LayerShapeSpan> span_for(
       const std::vector<nn::ConvSpec>& rollout);
 
   Options opts_;
@@ -76,18 +106,16 @@ class SurrogateEvaluator final : public PerformanceEvaluator {
 
   /// Search loops revisit the same hardware configs (≤ a few hundred combos
   /// in the NACIM space) and rollouts constantly; rebuilding the circuit
-  /// library / CostEvaluator and re-deriving backbone layer shapes per
-  /// evaluation dominated the non-Monte-Carlo half of the hot path. Both
-  /// memos are content-keyed, so they never change a result — and they are
-  /// mutex-guarded because the loop calls evaluate() concurrently from pool
-  /// workers. Values are shared_ptr so a rehash (or the size-cap reset)
-  /// never invalidates an entry another worker is still using.
-  std::mutex memo_mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const cim::CostEvaluator>>
-      cost_memo_;
-  std::unordered_map<std::uint64_t,
-                     std::shared_ptr<const std::vector<nn::LayerShape>>>
-      shapes_memo_;
+  /// library / CostEvaluator (phase one of the cost model) and re-deriving
+  /// the flattened layer geometry per evaluation dominated the
+  /// non-Monte-Carlo half of the hot path. Both memos are content-keyed, so
+  /// they never change a result — and they are hash-striped
+  /// (util::StripedCache) because the loop calls evaluate() concurrently
+  /// from pool workers and run_aggregate fans whole seed-runs over one
+  /// shared instance: a single memo mutex was the engine's last
+  /// serialization point.
+  util::StripedCache<cim::CostEvaluator> cost_memo_;
+  util::StripedCache<cim::LayerShapeSpan> span_memo_;
 };
 
 /// Faithful evaluator: trains the candidate topology with noise injection

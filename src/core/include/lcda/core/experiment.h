@@ -129,8 +129,17 @@ enum class Strategy {
                                    const ExperimentConfig& config);
 
 /// Runs one strategy for `episodes` episodes and returns the trace.
+///
+/// `evaluator` optionally supplies a shared PerformanceEvaluator instead of
+/// constructing a fresh one: both shipped evaluators are thread-safe and
+/// content-keyed, so multi-seed drivers (run_aggregate / speedup_study)
+/// reuse one instance across every seed — the striped cost-plan and
+/// layer-span memos then warm up once instead of once per seed. Results
+/// are bit-identical either way. The evaluator must match the config's
+/// evaluator settings; nullptr keeps the self-contained behavior.
 [[nodiscard]] RunResult run_strategy(Strategy strategy, int episodes,
-                                     const ExperimentConfig& config);
+                                     const ExperimentConfig& config,
+                                     PerformanceEvaluator* evaluator = nullptr);
 
 /// Speedup analysis behind the paper's headline claim (Sec. IV-A):
 /// episodes each method needs to reach a comparable solution.
@@ -148,9 +157,11 @@ struct SpeedupReport {
 
 /// Runs LCDA and NACIM with the config's episode budgets and measures the
 /// episodes-to-threshold speedup. `threshold_fraction` defines "comparable
-/// solution" as that fraction of NACIM's final best reward.
+/// solution" as that fraction of NACIM's final best reward. `evaluator`
+/// optionally shares one evaluator across both runs (see run_strategy).
 [[nodiscard]] SpeedupReport measure_speedup(const ExperimentConfig& config,
-                                            double threshold_fraction = 0.95);
+                                            double threshold_fraction = 0.95,
+                                            PerformanceEvaluator* evaluator = nullptr);
 
 /// Writes a run as CSV rows (episode, accuracy, energy, latency, reward,
 /// valid, design) — the exact series behind the paper's scatter plots.

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "lcda/core/loop.h"
+#include "lcda/core/stats_runner.h"
 #include "lcda/util/json_lite.h"
 
 namespace lcda::core {
@@ -24,6 +26,26 @@ struct LabelledRun {
 [[nodiscard]] util::Json experiment_to_json(std::string_view name,
                                             std::uint64_t seed,
                                             const std::vector<LabelledRun>& runs);
+
+/// Multi-seed aggregate of one strategy (core::run_aggregate) as JSON:
+/// final-best statistics, per-episode running-best mean/stddev, cache
+/// traffic, and episodes-to-threshold when one was supplied.
+[[nodiscard]] util::Json aggregate_to_json(const AggregateResult& agg);
+
+/// Per-seed LCDA-vs-NACIM speedup reports (core::speedup_study) as JSON:
+/// one entry per seed plus the aggregate mean speedup over seeds where
+/// both strategies reached the threshold.
+[[nodiscard]] util::Json speedup_study_to_json(
+    const std::vector<SpeedupReport>& reports);
+
+/// CSV forms of the same results. Aggregate rows are one per episode
+/// (label, episode, running-best mean/stddev/min/max across seeds);
+/// speedup rows are one per seed.
+void write_aggregate_csv(std::ostream& os, const AggregateResult& agg,
+                         std::string_view label);
+void write_speedup_csv(std::ostream& os,
+                       const std::vector<SpeedupReport>& reports,
+                       std::string_view label);
 
 /// Writes a pretty-printed JSON document to `path` (throws on I/O failure).
 void write_json_file(const util::Json& j, const std::string& path);

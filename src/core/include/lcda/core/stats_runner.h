@@ -1,5 +1,6 @@
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "lcda/core/experiment.h"
@@ -21,8 +22,13 @@ struct AggregateResult {
   /// Final best reward across seeds.
   util::OnlineStats final_best;
 
-  /// Episodes to reach an externally supplied threshold (only seeds that
-  /// reached it contribute); `reached` counts how many did.
+  /// The reward threshold this aggregate was asked to time (NaN = none
+  /// requested), so "asked but never reached" stays distinguishable from
+  /// "not asked" in serialized output.
+  double threshold = std::numeric_limits<double>::quiet_NaN();
+
+  /// Episodes to reach the threshold (only seeds that reached it
+  /// contribute); `reached` counts how many did.
   util::OnlineStats episodes_to_threshold;
   int reached = 0;
 

@@ -8,6 +8,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -74,20 +75,15 @@ std::size_t CodesignLoop::effective_batch(std::size_t remaining) const {
 
 namespace {
 
-/// One evaluation job of a round: the slot it fills, the design hash (only
-/// meaningful when caching is on) and the RNG stream pre-forked on the
-/// driving thread in episode order.
-struct Job {
-  std::size_t slot;
-  std::uint64_t hash;
-  util::Rng rng;
-};
-
 /// One propose->evaluate round in flight. Planned entirely on the driving
 /// thread (proposals, RNG forks, cache decisions), evaluated by the pool,
 /// finalized (aliases, cache commits, records, feedback) on the driving
 /// thread again — in round order, so pipelining rounds never reorders
 /// anything observable.
+///
+/// Rounds are pooled and their storage reused (reset() keeps every
+/// buffer's capacity), so the steady-state engine allocates nothing per
+/// episode.
 struct Round {
   int first_episode = 0;
   std::vector<search::Design> designs;
@@ -95,17 +91,47 @@ struct Round {
   std::vector<std::ptrdiff_t> alias;  ///< >= 0: copy that slot of this round
   std::vector<std::uint64_t> cross;   ///< committed-cache hash to copy from
   std::vector<char> cross_set;
-  std::vector<Job> jobs;
 
-  // Completion tracking for asynchronously dispatched jobs.
+  /// The round's unique cache misses, in episode order: slot/hash for the
+  /// finalize-time cache commit, the RNG stream pre-forked on the driving
+  /// thread, and the request list handed to the evaluator in pool-sized
+  /// chunks (pointers into this round's storage — stable because planning
+  /// finishes before dispatch).
+  std::vector<std::size_t> job_slots;
+  std::vector<std::uint64_t> job_hashes;
+  std::vector<util::Rng> job_rngs;
+  std::vector<EvalRequest> requests;
+
+  // Completion tracking for asynchronously dispatched chunks: one mutex
+  // acquisition per chunk (at most pool-size per round) instead of the
+  // historical two per episode. The counter must only change under the
+  // mutex: the driver recycles the round the moment await() returns, so
+  // the last worker's decrement, its notify and the driver's wakeup have
+  // to be one critical-section handshake (a lock-free count would let a
+  // spurious wakeup observe zero while the worker still holds the cv).
+  std::size_t chunks_left = 0;
   std::mutex mutex;
   std::condition_variable done_cv;
-  std::size_t jobs_left = 0;
   std::exception_ptr error;
+
+  void reset(int episode) {
+    first_episode = episode;
+    designs.clear();
+    evals.clear();
+    alias.clear();
+    cross.clear();
+    cross_set.clear();
+    job_slots.clear();
+    job_hashes.clear();
+    job_rngs.clear();
+    requests.clear();
+    chunks_left = 0;
+    error = nullptr;
+  }
 
   void await() {
     std::unique_lock lock(mutex);
-    done_cv.wait(lock, [this] { return jobs_left == 0; });
+    done_cv.wait(lock, [this] { return chunks_left == 0; });
   }
 };
 
@@ -120,8 +146,13 @@ RunResult CodesignLoop::run(util::Rng& rng) {
   if (parallelism > 1) pool = std::make_unique<util::ThreadPool>(parallelism);
 
   // Content-addressed evaluation cache: Design::hash -> Evaluation of the
-  // first episode that proposed it.
+  // first episode that proposed it. Bucket count reserved up front: a run
+  // inserts at most one entry per episode, and incremental rehashing of a
+  // growing map was measurable in the per-episode budget.
   std::unordered_map<std::uint64_t, Evaluation> cache;
+  if (opts_.cache_evaluations) {
+    cache.reserve(static_cast<std::size_t>(opts_.episodes));
+  }
 
   // Designs proposed but whose round has not been finalized yet, mapping
   // hash -> first proposer. Without pipelining this only ever covers the
@@ -136,6 +167,23 @@ RunResult CodesignLoop::run(util::Rng& rng) {
   };
   std::unordered_map<std::uint64_t, PendingSlot> pending;
 
+  // Retired rounds parked for reuse (their buffers keep their capacity).
+  std::vector<std::unique_ptr<Round>> spare_rounds;
+
+  // Window of rounds in flight. 1 = the classic plan -> evaluate ->
+  // feedback cadence; pipelining admits more only when the optimizer's
+  // proposal stream is declared feedback-free, so the proposals an
+  // eager driving thread draws are the ones a strict schedule would have
+  // drawn — which is what keeps sequential, pipelined and parallel traces
+  // bit-identical.
+  std::size_t max_window = 1;
+  if (pool && opts_.pipeline_depth > 0) {
+    const std::size_t lookahead = optimizer_->pipeline_lookahead();
+    if (lookahead > 0) {
+      max_window = 1 + std::min(opts_.pipeline_depth, lookahead);
+    }
+  }
+
   // Plans one round on the driving thread, in episode order: propose the
   // batch, fork one eval RNG per episode (hit or miss, so the stream
   // layout is independent of cache contents), resolve cache hits and
@@ -143,12 +191,18 @@ RunResult CodesignLoop::run(util::Rng& rng) {
   auto plan_round = [&](int ep) {
     const std::size_t batch =
         effective_batch(static_cast<std::size_t>(opts_.episodes - ep));
-    auto round = std::make_unique<Round>();
+    std::unique_ptr<Round> round;
+    if (!spare_rounds.empty()) {
+      round = std::move(spare_rounds.back());
+      spare_rounds.pop_back();
+    } else {
+      round = std::make_unique<Round>();
+    }
     Round& r = *round;
-    r.first_episode = ep;
+    r.reset(ep);
 
     // des_i = parse(LLM(prompt)) / controller sample / breed / ...
-    r.designs = optimizer_->propose_batch(batch, rng);
+    optimizer_->propose_batch_into(batch, rng, r.designs);
     if (r.designs.size() != batch) {
       throw std::logic_error("CodesignLoop: propose_batch returned " +
                              std::to_string(r.designs.size()) +
@@ -169,15 +223,17 @@ RunResult CodesignLoop::run(util::Rng& rng) {
           ++result.cache_hits;
           continue;
         }
-        if (auto inflight = pending.find(h); inflight != pending.end()) {
-          if (inflight->second.round == &r) {
-            r.alias[i] = static_cast<std::ptrdiff_t>(inflight->second.slot);
-          } else {
-            r.cross[i] = h;
-            r.cross_set[i] = 1;
+        if (!pending.empty()) {
+          if (auto inflight = pending.find(h); inflight != pending.end()) {
+            if (inflight->second.round == &r) {
+              r.alias[i] = static_cast<std::ptrdiff_t>(inflight->second.slot);
+            } else {
+              r.cross[i] = h;
+              r.cross_set[i] = 1;
+            }
+            ++result.cache_hits;
+            continue;
           }
-          ++result.cache_hits;
-          continue;
         }
         if (opts_.persistent_cache) {
           if (auto disk = opts_.persistent_cache->lookup(h)) {
@@ -187,40 +243,58 @@ RunResult CodesignLoop::run(util::Rng& rng) {
             continue;
           }
         }
-        pending.emplace(h, PendingSlot{&r, i});
+        // A pending entry can only ever be consulted by a later proposal
+        // of the same planning horizon: another slot of this batch, or a
+        // round planned while this one is still in flight. Scalar rounds
+        // with no pipeline window have neither, so skip the bookkeeping.
+        if (batch > 1 || max_window > 1) {
+          pending.emplace(h, PendingSlot{&r, i});
+        }
       }
       ++result.cache_misses;
-      r.jobs.push_back(Job{i, h, eval_rng});
+      r.job_slots.push_back(i);
+      r.job_hashes.push_back(h);
+      r.job_rngs.push_back(eval_rng);
     }
     return round;
   };
 
-  // acc_i, hw_i = evaluators. With a pool the whole round is enqueued as
-  // one bulk submit; without one it runs inline here.
+  // acc_i, hw_i = evaluators. The round's unique misses are split into at
+  // most pool-size contiguous chunks and each chunk is one work item —
+  // submitted in one bulk enqueue — so a worker costs a whole sub-batch
+  // per wakeup (PerformanceEvaluator::evaluate_batch) and completion is
+  // one atomic decrement per chunk. Without a pool the whole round runs
+  // inline as a single batch.
   auto dispatch = [&](Round& r) {
-    r.jobs_left = r.jobs.size();
-    if (r.jobs.empty()) return;
+    const std::size_t jobs = r.job_slots.size();
+    if (jobs == 0) return;
+    r.requests.reserve(jobs);
+    for (std::size_t k = 0; k < jobs; ++k) {
+      r.requests.push_back(EvalRequest{&r.designs[r.job_slots[k]],
+                                       &r.job_rngs[k],
+                                       &r.evals[r.job_slots[k]]});
+    }
     if (!pool) {
-      for (const Job& job : r.jobs) {
-        util::Rng job_rng = job.rng;
-        r.evals[job.slot] = evaluator_->evaluate(r.designs[job.slot], job_rng);
-      }
-      r.jobs_left = 0;
+      evaluator_->evaluate_batch(std::span<EvalRequest>(r.requests));
       return;
     }
+    const std::size_t chunks =
+        util::ThreadPool::chunks_for(jobs, pool->size());
+    r.chunks_left = chunks;
     std::vector<std::function<void()>> tasks;
-    tasks.reserve(r.jobs.size());
-    for (const Job& job : r.jobs) {
-      tasks.push_back([this, &r, &job] {
+    tasks.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [begin, end] = util::chunk_range(jobs, chunks, c);
+      tasks.push_back([this, &r, begin = begin, end = end] {
         try {
-          util::Rng job_rng = job.rng;
-          r.evals[job.slot] = evaluator_->evaluate(r.designs[job.slot], job_rng);
+          evaluator_->evaluate_batch(
+              std::span<EvalRequest>(r.requests.data() + begin, end - begin));
         } catch (...) {
           std::lock_guard lock(r.mutex);
           if (!r.error) r.error = std::current_exception();
         }
         std::lock_guard lock(r.mutex);
-        if (--r.jobs_left == 0) r.done_cv.notify_all();
+        if (--r.chunks_left == 0) r.done_cv.notify_all();
       });
     }
     pool->submit_batch(std::move(tasks));
@@ -228,6 +302,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
 
   // Waits the round out, commits it to the caches, resolves duplicates,
   // and delivers records + feedback — always called in round order.
+  std::vector<search::Observation> observations;
   auto finalize = [&](Round& r) {
     if (pool) r.await();
     if (r.error) std::rethrow_exception(r.error);
@@ -235,12 +310,12 @@ RunResult CodesignLoop::run(util::Rng& rng) {
     // Commit fresh evaluations first so same-round aliases, cross-round
     // aliases and future rounds all resolve against them.
     if (opts_.cache_evaluations) {
-      for (const Job& job : r.jobs) {
-        cache.emplace(job.hash, r.evals[job.slot]);
-        if (opts_.persistent_cache) {
-          opts_.persistent_cache->insert(job.hash, r.evals[job.slot]);
-        }
-        pending.erase(job.hash);
+      for (std::size_t k = 0; k < r.job_slots.size(); ++k) {
+        const std::uint64_t h = r.job_hashes[k];
+        const Evaluation& ev = r.evals[r.job_slots[k]];
+        cache.emplace(h, ev);
+        if (opts_.persistent_cache) opts_.persistent_cache->insert(h, ev);
+        if (!pending.empty()) pending.erase(h);
       }
     }
     const std::size_t batch = r.designs.size();
@@ -253,7 +328,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
     }
 
     // perf_i = f(acc_i, hw_i); add des_i and perf_i to l_des / l_perf.
-    std::vector<search::Observation> observations(batch);
+    observations.resize(batch);
     for (std::size_t i = 0; i < batch; ++i) {
       const Evaluation& ev = r.evals[i];
       const double reward = reward_(ev.accuracy, ev.cost);
@@ -269,7 +344,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
       record.valid = ev.cost.valid;
 
       search::Observation& obs = observations[i];
-      obs.design = r.designs[i];
+      obs.design = std::move(r.designs[i]);
       obs.reward = reward;
       obs.accuracy = ev.accuracy;
       obs.energy_pj = ev.cost.energy_total_pj;
@@ -285,20 +360,6 @@ RunResult CodesignLoop::run(util::Rng& rng) {
     optimizer_->feedback_batch(observations);
   };
 
-  // Window of rounds in flight. 1 = the classic plan -> evaluate ->
-  // feedback cadence; pipelining admits more only when the optimizer's
-  // proposal stream is declared feedback-free, so the proposals an
-  // eager driving thread draws are the ones a strict schedule would have
-  // drawn — which is what keeps sequential, pipelined and parallel traces
-  // bit-identical.
-  std::size_t max_window = 1;
-  if (pool && opts_.pipeline_depth > 0) {
-    const std::size_t lookahead = optimizer_->pipeline_lookahead();
-    if (lookahead > 0) {
-      max_window = 1 + std::min(opts_.pipeline_depth, lookahead);
-    }
-  }
-
   std::deque<std::unique_ptr<Round>> window;
   int ep = 0;
   try {
@@ -310,6 +371,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
         window.push_back(std::move(round));
       }
       finalize(*window.front());
+      spare_rounds.push_back(std::move(window.front()));
       window.pop_front();
     }
   } catch (...) {

@@ -1,9 +1,11 @@
 #include "lcda/core/report.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 
+#include "lcda/util/csv.h"
 #include "lcda/util/strings.h"
 
 namespace lcda::core {
@@ -71,6 +73,97 @@ util::Json experiment_to_json(std::string_view name, std::uint64_t seed,
   }
   j["runs"] = arr;
   return j;
+}
+
+util::Json aggregate_to_json(const AggregateResult& agg) {
+  util::Json j = util::Json::object();
+  j["strategy"] = std::string(strategy_name(agg.strategy));
+  j["episodes"] = agg.episodes;
+  j["seeds"] = agg.seeds;
+  util::Json final_best = util::Json::object();
+  final_best["mean"] = agg.final_best.mean();
+  final_best["stddev"] = agg.final_best.stddev();
+  final_best["min"] = agg.final_best.min();
+  final_best["max"] = agg.final_best.max();
+  j["final_best"] = final_best;
+  // Emitted whenever a threshold was requested — "reached: 0" must stay
+  // distinguishable from "no threshold study" for JSON consumers.
+  if (!std::isnan(agg.threshold)) {
+    util::Json thresh = util::Json::object();
+    thresh["threshold"] = agg.threshold;
+    thresh["reached"] = agg.reached;
+    if (agg.reached > 0) {
+      thresh["mean_episodes"] = agg.episodes_to_threshold.mean();
+    }
+    j["episodes_to_threshold"] = thresh;
+  }
+  j["cache_hits"] = static_cast<long long>(agg.cache_hits);
+  j["cache_misses"] = static_cast<long long>(agg.cache_misses);
+  j["persistent_hits"] = static_cast<long long>(agg.persistent_hits);
+  util::Json mean = util::Json::array();
+  util::Json stddev = util::Json::array();
+  for (const util::OnlineStats& s : agg.running_best) {
+    mean.push_back(s.mean());
+    stddev.push_back(s.stddev());
+  }
+  j["running_best_mean"] = mean;
+  j["running_best_stddev"] = stddev;
+  return j;
+}
+
+util::Json speedup_study_to_json(const std::vector<SpeedupReport>& reports) {
+  util::Json j = util::Json::object();
+  util::Json arr = util::Json::array();
+  util::OnlineStats speedups;
+  for (const SpeedupReport& r : reports) {
+    util::Json entry = util::Json::object();
+    entry["threshold"] = r.threshold;
+    entry["lcda_episodes"] = r.lcda_episodes;
+    entry["nacim_episodes"] = r.nacim_episodes;
+    entry["lcda_best"] = r.lcda_best;
+    entry["nacim_best"] = r.nacim_best;
+    entry["speedup"] = r.speedup();
+    arr.push_back(entry);
+    if (r.speedup() > 0.0) speedups.add(r.speedup());
+  }
+  j["seeds"] = static_cast<long long>(reports.size());
+  j["reached_both"] = static_cast<long long>(speedups.count());
+  if (speedups.count() > 0) j["mean_speedup"] = speedups.mean();
+  j["per_seed"] = arr;
+  return j;
+}
+
+void write_aggregate_csv(std::ostream& os, const AggregateResult& agg,
+                         std::string_view label) {
+  util::CsvWriter csv(os);
+  for (std::size_t e = 0; e < agg.running_best.size(); ++e) {
+    const util::OnlineStats& s = agg.running_best[e];
+    csv.field(label)
+        .field(static_cast<long long>(e))
+        .field(s.mean())
+        .field(s.stddev())
+        .field(s.min())
+        .field(s.max())
+        .endrow();
+  }
+}
+
+void write_speedup_csv(std::ostream& os,
+                       const std::vector<SpeedupReport>& reports,
+                       std::string_view label) {
+  util::CsvWriter csv(os);
+  for (std::size_t s = 0; s < reports.size(); ++s) {
+    const SpeedupReport& r = reports[s];
+    csv.field(label)
+        .field(static_cast<long long>(s))
+        .field(r.threshold)
+        .field(r.lcda_episodes)
+        .field(r.nacim_episodes)
+        .field(r.lcda_best)
+        .field(r.nacim_best)
+        .field(r.speedup())
+        .endrow();
+  }
 }
 
 void write_json_file(const util::Json& j, const std::string& path) {

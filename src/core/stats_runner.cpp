@@ -40,17 +40,23 @@ AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
   agg.strategy = strategy;
   agg.episodes = episodes;
   agg.seeds = seeds;
+  agg.threshold = threshold;
   agg.running_best.resize(static_cast<std::size_t>(episodes));
 
   // Fan the seeds out over the pool; every run's result is independent of
   // worker scheduling, and the fold below walks them in seed order, so the
-  // aggregate is bit-identical to a sequential run.
+  // aggregate is bit-identical to a sequential run. All seeds share one
+  // evaluator: its memos are content-keyed and hash-striped, so each
+  // hardware config's cost plan is built once for the whole study instead
+  // of once per seed, and concurrent seed-runs don't serialize on a lock.
   std::vector<RunResult> runs(static_cast<std::size_t>(seeds));
+  const auto evaluator = make_evaluator(config);
   const auto pool = make_pool(config);
   util::parallel_for_each_index(
       pool.get(), static_cast<std::size_t>(seeds), [&](std::size_t s) {
         runs[s] = run_strategy(strategy, episodes,
-                               seed_config(config, static_cast<int>(s), seeds));
+                               seed_config(config, static_cast<int>(s), seeds),
+                               evaluator.get());
       });
 
   for (const RunResult& run : runs) {
@@ -78,11 +84,12 @@ std::vector<SpeedupReport> speedup_study(const ExperimentConfig& config,
                                          int seeds, double threshold_fraction) {
   if (seeds <= 0) throw std::invalid_argument("speedup_study: seeds");
   std::vector<SpeedupReport> out(static_cast<std::size_t>(seeds));
+  const auto evaluator = make_evaluator(config);
   const auto pool = make_pool(config);
   util::parallel_for_each_index(
       pool.get(), static_cast<std::size_t>(seeds), [&](std::size_t s) {
         out[s] = measure_speedup(seed_config(config, static_cast<int>(s), seeds),
-                                 threshold_fraction);
+                                 threshold_fraction, evaluator.get());
       });
   return out;
 }

@@ -34,15 +34,18 @@ Design AnnealingOptimizer::propose(util::Rng& rng) {
   return space_.decode(neighbour);
 }
 
-std::vector<Design> AnnealingOptimizer::propose_batch(std::size_t n,
-                                                      util::Rng& rng) {
-  if (n == 1) return {propose(rng)};
+void AnnealingOptimizer::propose_batch_into(std::size_t n, util::Rng& rng,
+                                            std::vector<Design>& out) {
+  out.clear();
+  if (n == 1) {
+    out.push_back(propose(rng));
+    return;
+  }
   if (!accept_rng_seeded_) {
     accept_rng_ = rng.fork();
     accept_rng_seeded_ = true;
   }
   pending_genes_.clear();
-  std::vector<Design> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (current_genes_.empty()) {
@@ -56,7 +59,6 @@ std::vector<Design> AnnealingOptimizer::propose_batch(std::size_t n,
     }
     out.push_back(space_.decode(neighbour));
   }
-  return out;
 }
 
 void AnnealingOptimizer::feedback_batch(std::span<const Observation> batch) {

@@ -51,11 +51,14 @@ std::vector<int> GeneticOptimizer::breed(util::Rng& rng) const {
   return child;
 }
 
-std::vector<Design> GeneticOptimizer::propose_batch(std::size_t n,
-                                                    util::Rng& rng) {
-  if (n == 1) return {propose(rng)};
+void GeneticOptimizer::propose_batch_into(std::size_t n, util::Rng& rng,
+                                          std::vector<Design>& out) {
+  out.clear();
+  if (n == 1) {
+    out.push_back(propose(rng));
+    return;
+  }
   pending_genes_.clear();
-  std::vector<Design> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (scored_.size() + out.size() < opts_.population ||
@@ -65,7 +68,6 @@ std::vector<Design> GeneticOptimizer::propose_batch(std::size_t n,
       out.push_back(space_.decode(breed(rng)));
     }
   }
-  return out;
 }
 
 void GeneticOptimizer::feedback_batch(std::span<const Observation> batch) {

@@ -33,8 +33,8 @@ class AnnealingOptimizer final : public Optimizer {
   /// scalar step. The trajectory itself stays sequential by default (no
   /// batch preference resolves to scalar rounds); batches happen only
   /// when the caller sets an explicit batch_size.
-  [[nodiscard]] std::vector<Design> propose_batch(std::size_t n,
-                                                  util::Rng& rng) override;
+  void propose_batch_into(std::size_t n, util::Rng& rng,
+                          std::vector<Design>& out) override;
   void feedback_batch(std::span<const Observation> batch) override;
   [[nodiscard]] std::size_t preferred_batch() const override { return 0; }
 

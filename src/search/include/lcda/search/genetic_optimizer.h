@@ -32,8 +32,8 @@ class GeneticOptimizer final : public Optimizer {
   /// Generational batch: n children bred from a snapshot of the current
   /// pool (the seeding phase fills with random designs first). The natural
   /// batch is one population.
-  [[nodiscard]] std::vector<Design> propose_batch(std::size_t n,
-                                                  util::Rng& rng) override;
+  void propose_batch_into(std::size_t n, util::Rng& rng,
+                          std::vector<Design>& out) override;
   void feedback_batch(std::span<const Observation> batch) override;
   [[nodiscard]] std::size_t preferred_batch() const override {
     return opts_.population;

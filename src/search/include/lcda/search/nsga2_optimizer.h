@@ -52,8 +52,8 @@ class Nsga2Optimizer final : public Optimizer {
   /// Generational batch: the non-dominated sort and crowding distances are
   /// computed once per batch instead of once per proposal, and the
   /// environmental selection runs once after the whole generation lands.
-  [[nodiscard]] std::vector<Design> propose_batch(std::size_t n,
-                                                  util::Rng& rng) override;
+  void propose_batch_into(std::size_t n, util::Rng& rng,
+                          std::vector<Design>& out) override;
   void feedback_batch(std::span<const Observation> batch) override;
   [[nodiscard]] std::size_t preferred_batch() const override {
     return opts_.population;

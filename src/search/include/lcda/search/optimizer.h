@@ -39,19 +39,30 @@ class Optimizer {
 
   /// --- Batch contract (the parallel engine's entry points) -------------
   ///
-  /// propose_batch(n) returns exactly n candidates produced without any
-  /// feedback in between; feedback_batch delivers their observations in
-  /// proposal order. The defaults delegate to the scalar methods, so a
-  /// strictly sequential optimizer (e.g. llm::LlmOptimizer, whose every
-  /// prompt embeds the full history) keeps its semantics unchanged.
-  /// Overrides may implement genuinely generational behaviour, but a
-  /// batch of size 1 must always be equivalent to one scalar round trip.
+  /// propose_batch_into(n, rng, out) fills `out` with exactly n candidates
+  /// produced without any feedback in between; feedback_batch delivers
+  /// their observations in proposal order. The defaults delegate to the
+  /// scalar methods, so a strictly sequential optimizer (e.g.
+  /// llm::LlmOptimizer, whose every prompt embeds the full history) keeps
+  /// its semantics unchanged. Overrides may implement genuinely
+  /// generational behaviour, but a batch of size 1 must always be
+  /// equivalent to one scalar round trip.
+  ///
+  /// The engine calls propose_batch_into with a reused buffer every round
+  /// (the out-parameter is what keeps the steady-state proposal plumbing
+  /// allocation-free); propose_batch is the convenience wrapper.
 
-  [[nodiscard]] virtual std::vector<Design> propose_batch(std::size_t n,
-                                                          util::Rng& rng) {
-    std::vector<Design> out;
+  virtual void propose_batch_into(std::size_t n, util::Rng& rng,
+                                  std::vector<Design>& out) {
+    out.clear();
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) out.push_back(propose(rng));
+  }
+
+  [[nodiscard]] std::vector<Design> propose_batch(std::size_t n,
+                                                  util::Rng& rng) {
+    std::vector<Design> out;
+    propose_batch_into(n, rng, out);
     return out;
   }
 

@@ -41,7 +41,8 @@ class RlOptimizer final : public Optimizer {
   [[nodiscard]] std::size_t episodes() const { return episodes_; }
 
  private:
-  [[nodiscard]] std::vector<double> probabilities(std::size_t dim) const;
+  void fill_probabilities(std::size_t dim, std::vector<double>& out) const;
+  void refresh_probabilities();
 
   SearchSpace space_;
   Options opts_;
@@ -50,6 +51,18 @@ class RlOptimizer final : public Optimizer {
   util::Ema baseline_;
   double temperature_;
   std::size_t episodes_ = 0;
+
+  /// Softmax of the current policy, one vector per dimension, recomputed
+  /// in place only when logits or temperature changed. A propose →
+  /// feedback episode therefore folds the softmax once instead of twice
+  /// (and allocates nothing): the REINFORCE update needs the exact
+  /// probabilities the proposal was drawn from, which are still cached.
+  /// totals_ caches each dimension's left-to-right probability sum for
+  /// Rng::weighted_index's precomputed-total overload (bit-identical
+  /// draws, one fewer pass per dimension per proposal).
+  std::vector<std::vector<double>> probs_;
+  std::vector<double> totals_;
+  bool probs_fresh_ = false;
 };
 
 }  // namespace lcda::search

@@ -48,6 +48,12 @@ class SearchSpace {
   [[nodiscard]] std::vector<int> encode(const Design& design) const;
   [[nodiscard]] Design decode(const std::vector<int>& indices) const;
 
+  /// Equivalent to decode(indices) == design (false instead of throwing on
+  /// malformed indices), without materializing the decoded Design — the
+  /// allocation-free check the RL controller runs on every feedback.
+  [[nodiscard]] bool decodes_to(const std::vector<int>& indices,
+                                const Design& design) const;
+
   /// True when every rollout entry and hardware knob is a legal choice.
   [[nodiscard]] bool contains(const Design& design) const;
 

@@ -135,10 +135,14 @@ Design Nsga2Optimizer::propose(util::Rng& rng) {
   return space_.decode(child);
 }
 
-std::vector<Design> Nsga2Optimizer::propose_batch(std::size_t n, util::Rng& rng) {
-  if (n == 1) return {propose(rng)};
+void Nsga2Optimizer::propose_batch_into(std::size_t n, util::Rng& rng,
+                                        std::vector<Design>& out) {
+  out.clear();
+  if (n == 1) {
+    out.push_back(propose(rng));
+    return;
+  }
   pending_genes_.clear();
-  std::vector<Design> out;
   out.reserve(n);
 
   // Sort the archive once for the whole generation.
@@ -158,7 +162,6 @@ std::vector<Design> Nsga2Optimizer::propose_batch(std::size_t n, util::Rng& rng)
       out.push_back(space_.decode(breed(rng, ranks, crowd)));
     }
   }
-  return out;
 }
 
 void Nsga2Optimizer::feedback(const Observation& obs) {

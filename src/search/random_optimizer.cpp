@@ -26,12 +26,11 @@ Design RandomOptimizer::propose(util::Rng& rng) {
   return d;
 }
 
-std::vector<Design> RandomOptimizer::propose_batch(std::size_t n,
-                                                   util::Rng& rng) {
-  std::vector<Design> out;
+void RandomOptimizer::propose_batch_into(std::size_t n, util::Rng& rng,
+                                         std::vector<Design>& out) {
+  out.clear();
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) out.push_back(propose(rng));
-  return out;
 }
 
 void RandomOptimizer::feedback(const Observation&) {

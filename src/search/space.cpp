@@ -101,6 +101,7 @@ Design SearchSpace::decode(const std::vector<int>& indices) const {
   }
   Design design;
   design.hw.area_budget_mm2 = opts_.area_budget_mm2;
+  design.rollout.reserve(static_cast<std::size_t>(opts_.conv_layers));
   std::size_t cursor = 0;
   for (int layer = 0; layer < opts_.conv_layers; ++layer) {
     nn::ConvSpec spec;
@@ -115,6 +116,50 @@ Design SearchSpace::decode(const std::vector<int>& indices) const {
   design.hw.xbar_size = hw.xbar_sizes[static_cast<std::size_t>(indices[cursor++])];
   design.hw.col_mux = hw.col_mux[static_cast<std::size_t>(indices[cursor++])];
   return design;
+}
+
+bool SearchSpace::decodes_to(const std::vector<int>& indices,
+                             const Design& design) const {
+  if (indices.size() != dimensions()) return false;
+  if (design.rollout.size() != static_cast<std::size_t>(opts_.conv_layers)) {
+    return false;
+  }
+  // Single fused pass: bounds-check each index against its dimension and
+  // compare the decoded value in place (what decode() would build).
+  auto pick = [](const std::vector<int>& choices, int idx, bool& ok) {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= choices.size()) {
+      ok = false;
+      return 0;
+    }
+    return choices[static_cast<std::size_t>(idx)];
+  };
+  bool ok = true;
+  std::size_t cursor = 0;
+  for (const nn::ConvSpec& spec : design.rollout) {
+    if (spec.channels != pick(opts_.channel_choices, indices[cursor++], ok)) {
+      return false;
+    }
+    if (spec.kernel != pick(opts_.kernel_choices, indices[cursor++], ok)) {
+      return false;
+    }
+    if (!ok) return false;
+  }
+  // Mirror decode(): the decoded design carries the space's area budget and
+  // default values for the non-searched hardware fields, so those must
+  // match too for decode(indices) == design to hold.
+  const auto& hw = opts_.hw;
+  const int dev_idx = indices[cursor++];
+  if (dev_idx < 0 || static_cast<std::size_t>(dev_idx) >= hw.devices.size()) {
+    return false;
+  }
+  cim::HardwareConfig decoded;
+  decoded.area_budget_mm2 = opts_.area_budget_mm2;
+  decoded.device = hw.devices[static_cast<std::size_t>(dev_idx)];
+  decoded.bits_per_cell = pick(hw.bits_per_cell, indices[cursor++], ok);
+  decoded.adc_bits = pick(hw.adc_bits, indices[cursor++], ok);
+  decoded.xbar_size = pick(hw.xbar_sizes, indices[cursor++], ok);
+  decoded.col_mux = pick(hw.col_mux, indices[cursor++], ok);
+  return ok && decoded == design.hw;
 }
 
 bool SearchSpace::contains(const Design& design) const {

@@ -90,8 +90,11 @@ AccuracyModel::SampleParams AccuracyModel::precompute(
 }
 
 double AccuracyModel::sample(const SampleParams& params, util::Rng& rng) const {
-  return std::clamp(params.mean + rng.normal(0.0, params.spread), opts_.floor,
-                    0.99);
+  // normal_once: every caller hands a fresh per-sample fork (the engine's
+  // trace layout), so a Box-Muller spare would die unconsumed — skipping
+  // it drops a sine per Monte-Carlo sample while drawing the same value.
+  return std::clamp(params.mean + rng.normal_once(0.0, params.spread),
+                    opts_.floor, 0.99);
 }
 
 double AccuracyModel::noisy_accuracy(const std::vector<nn::ConvSpec>& rollout,

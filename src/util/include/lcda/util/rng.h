@@ -37,6 +37,14 @@ class Rng {
   /// Normal with the given mean / standard deviation.
   double normal(double mean, double stddev);
 
+  /// One standard-normal draw without Box-Muller spare caching: consumes
+  /// the same two uniforms and returns the same value as normal() does on
+  /// a spare-free generator, but skips computing the sine half of the
+  /// pair. For fork-per-sample Monte-Carlo streams, where each generator
+  /// dies after a single draw and the spare would never be consumed.
+  double normal_once();
+  double normal_once(double mean, double stddev);
+
   /// Bernoulli trial.
   bool chance(double p);
 
@@ -57,6 +65,13 @@ class Rng {
   /// Samples an index according to non-negative weights (need not sum to 1).
   /// Falls back to uniform if all weights are zero.
   std::size_t weighted_index(std::span<const double> weights);
+
+  /// Same draw, with the caller supplying `total` = the left-to-right sum
+  /// of `weights` (e.g. cached alongside a softmax). Produces bit-identical
+  /// indices to the self-summing overload for the same stream — the RL
+  /// controller's per-dimension sampling uses this to skip re-summing an
+  /// unchanged policy every episode.
+  std::size_t weighted_index(std::span<const double> weights, double total);
 
   /// Fisher-Yates shuffle.
   template <typename T>

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace lcda::util {
+
+/// Hash-striped content-addressed memo: 64-bit content key ->
+/// shared_ptr<const V>, sharded over independently locked stripes so
+/// concurrent readers on different keys never serialize on one mutex (the
+/// PR 3 evaluator memos shared a single lock; under a worker pool every
+/// evaluation funnelled through it).
+///
+/// Semantics match the memos this replaces:
+///  * content-keyed, so a hit and a rebuild are interchangeable — the cache
+///    can never change a result, only save work;
+///  * values are shared_ptr so a rehash or stripe reset never invalidates
+///    an entry another thread still uses;
+///  * concurrent duplicate builds are allowed (the builder runs outside the
+///    lock; the first insert wins and the loser adopts it);
+///  * each stripe is capped; on overflow the stripe is reset, not the
+///    world (correctness does not depend on memo contents).
+template <typename V>
+class StripedCache {
+ public:
+  /// `capacity` bounds the total entry count across stripes (rounded up to
+  /// a per-stripe cap); 0 keeps the default of 1<<16.
+  explicit StripedCache(std::size_t capacity = 0) {
+    const std::size_t total = capacity > 0 ? capacity : (1u << 16);
+    per_stripe_cap_ = (total + kStripes - 1) / kStripes;
+    if (per_stripe_cap_ == 0) per_stripe_cap_ = 1;
+  }
+
+  StripedCache(const StripedCache&) = delete;
+  StripedCache& operator=(const StripedCache&) = delete;
+
+  /// Returns the value for `key`, building it via `build()` (which must
+  /// return something convertible to std::shared_ptr<const V>) on a miss.
+  /// `build` runs without any lock held.
+  template <typename Build>
+  [[nodiscard]] std::shared_ptr<const V> get_or_build(std::uint64_t key,
+                                                      Build&& build) {
+    Stripe& stripe = stripe_for(key);
+    {
+      std::lock_guard lock(stripe.mutex);
+      if (auto it = stripe.map.find(key); it != stripe.map.end()) {
+        return it->second;
+      }
+    }
+    std::shared_ptr<const V> built = std::forward<Build>(build)();
+    std::lock_guard lock(stripe.mutex);
+    if (stripe.map.size() >= per_stripe_cap_) stripe.map.clear();
+    return stripe.map.emplace(key, std::move(built)).first->second;
+  }
+
+  /// Entry count across all stripes (approximate under concurrency).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard lock(stripe.mutex);
+      total += stripe.map.size();
+    }
+    return total;
+  }
+
+  static constexpr std::size_t kStripes = 16;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const V>> map;
+  };
+
+  Stripe& stripe_for(std::uint64_t key) {
+    // The low bits feed unordered_map's bucket index; mix the high bits
+    // into the stripe choice so both selectors stay independent.
+    return stripes_[(key >> 48) & (kStripes - 1)];
+  }
+
+  Stripe stripes_[kStripes];
+  std::size_t per_stripe_cap_ = 0;
+};
+
+}  // namespace lcda::util

@@ -52,6 +52,13 @@ class ThreadPool {
   /// anything else (0 = "auto") maps to the hardware concurrency.
   [[nodiscard]] static int resolve_parallelism(int requested);
 
+  /// How many contiguous chunks `items` work items should be split into
+  /// for a pool of `workers` threads: one chunk per worker, never more
+  /// chunks than items, at least one chunk for a non-empty batch. This is
+  /// the round fan-out policy of the co-design loop — a worker costs a
+  /// whole chunk per wakeup instead of paying queue traffic per item.
+  [[nodiscard]] static std::size_t chunks_for(std::size_t items, int workers);
+
  private:
   void worker_loop();
 
@@ -69,5 +76,15 @@ class ThreadPool {
 /// null — the two paths produce identical results for independent bodies.
 void parallel_for_each_index(ThreadPool* pool, std::size_t n,
                              const std::function<void(std::size_t)>& body);
+
+/// Half-open range of work items chunk `chunk` (of `chunks`) owns when `n`
+/// items are split into balanced contiguous ranges: the first n % chunks
+/// chunks take one extra item. Requires chunk < chunks and chunks >= 1.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+[[nodiscard]] ChunkRange chunk_range(std::size_t n, std::size_t chunks,
+                                     std::size_t chunk);
 
 }  // namespace lcda::util

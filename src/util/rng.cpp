@@ -95,6 +95,20 @@ double Rng::normal() {
 
 double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
 
+double Rng::normal_once() {
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal_once(double mean, double stddev) {
+  return mean + stddev * normal_once();
+}
+
 bool Rng::chance(double p) { return uniform() < p; }
 
 std::size_t Rng::index(std::size_t n) {
@@ -109,6 +123,11 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
     if (w < 0.0) throw std::invalid_argument("Rng::weighted_index: negative weight");
     total += w;
   }
+  return weighted_index(weights, total);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights, double total) {
+  if (weights.empty()) throw std::invalid_argument("Rng::weighted_index: empty");
   if (total <= 0.0) return index(weights.size());
   double r = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {

@@ -103,6 +103,21 @@ void ThreadPool::parallel_for(std::size_t n,
   wait_idle();
 }
 
+std::size_t ThreadPool::chunks_for(std::size_t items, int workers) {
+  if (items == 0) return 0;
+  const auto cap = static_cast<std::size_t>(std::max(workers, 1));
+  return std::min(items, cap);
+}
+
+ChunkRange chunk_range(std::size_t n, std::size_t chunks, std::size_t chunk) {
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  ChunkRange range;
+  range.begin = chunk * base + std::min(chunk, extra);
+  range.end = range.begin + base + (chunk < extra ? 1 : 0);
+  return range;
+}
+
 int ThreadPool::resolve_parallelism(int requested) {
   if (requested >= 1) return requested;
   const unsigned hw = std::thread::hardware_concurrency();

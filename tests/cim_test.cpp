@@ -256,6 +256,138 @@ TEST(Mapper, SequentialReadsShrinkWithReplication) {
   EXPECT_EQ(lm.sequential_reads(), 334);  // ceil
 }
 
+// ------------------------------------------------- two-phase cost model
+
+namespace {
+
+/// Every scalar field of a CostReport must match bit for bit between the
+/// detailed and the lean (span) evaluation paths — golden traces depend on
+/// it.
+void expect_scalars_identical(const CostReport& a, const CostReport& b) {
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.invalid_reason, b.invalid_reason);
+  EXPECT_EQ(a.area_arrays_mm2, b.area_arrays_mm2);
+  EXPECT_EQ(a.area_buffer_mm2, b.area_buffer_mm2);
+  EXPECT_EQ(a.area_digital_mm2, b.area_digital_mm2);
+  EXPECT_EQ(a.area_noc_mm2, b.area_noc_mm2);
+  EXPECT_EQ(a.area_total_mm2, b.area_total_mm2);
+  EXPECT_EQ(a.energy_adc_pj, b.energy_adc_pj);
+  EXPECT_EQ(a.energy_xbar_pj, b.energy_xbar_pj);
+  EXPECT_EQ(a.energy_dac_pj, b.energy_dac_pj);
+  EXPECT_EQ(a.energy_digital_pj, b.energy_digital_pj);
+  EXPECT_EQ(a.energy_buffer_pj, b.energy_buffer_pj);
+  EXPECT_EQ(a.energy_noc_pj, b.energy_noc_pj);
+  EXPECT_EQ(a.energy_total_pj, b.energy_total_pj);
+  EXPECT_EQ(a.latency_ns, b.latency_ns);
+  EXPECT_EQ(a.leakage_mw, b.leakage_mw);
+  EXPECT_EQ(a.total_weights, b.total_weights);
+  EXPECT_EQ(a.total_cells, b.total_cells);
+  EXPECT_EQ(a.programming_energy_pj, b.programming_energy_pj);
+  EXPECT_EQ(a.weight_sigma, b.weight_sigma);
+  EXPECT_EQ(a.max_adc_deficit_bits, b.max_adc_deficit_bits);
+}
+
+}  // namespace
+
+TEST(TwoPhaseCostModel, SpanPassMatchesDetailedEvaluationBitForBit) {
+  nn::BackboneOptions bb;
+  const auto shapes = nn::backbone_shapes(kVggRollout, bb);
+  const LayerShapeSpan span = LayerShapeSpan::from(shapes);
+  for (HardwareConfig hw :
+       {HardwareConfig{}, isaac_reference(),
+        HardwareConfig{.device = DeviceType::kFefet, .bits_per_cell = 1,
+                       .adc_bits = 4, .xbar_size = 64, .col_mux = 4},
+        HardwareConfig{.adc_bits = 8, .xbar_size = 256},
+        // Tiny budget: the invalid path must match too.
+        HardwareConfig{.area_budget_mm2 = 1.0}}) {
+    SCOPED_TRACE(hw.describe());
+    const CostEvaluator eval{hw};
+    const CostReport detailed = eval.evaluate(shapes);
+    CostReport lean;
+    eval.evaluate_span(span, lean);
+    expect_scalars_identical(detailed, lean);
+    // Lean mode carries no per-layer detail; the detailed mode does.
+    EXPECT_TRUE(lean.layers.empty());
+    EXPECT_TRUE(lean.mapping.layers.empty());
+    EXPECT_EQ(detailed.layers.size(), shapes.size());
+  }
+}
+
+TEST(TwoPhaseCostModel, FusedMappingMatchesMapNetwork) {
+  // The fused pass reimplements map_network's greedy balancing; the two
+  // must never drift apart.
+  nn::BackboneOptions bb;
+  const auto shapes = nn::backbone_shapes(kVggRollout, bb);
+  const HardwareConfig hw;
+  const CostEvaluator eval{hw};
+  const CostReport rep = eval.evaluate(shapes);
+  const MappingResult direct =
+      map_network(shapes, hw, eval.circuits(), CostModelOptions{}.mapper);
+  ASSERT_EQ(rep.mapping.layers.size(), direct.layers.size());
+  EXPECT_EQ(rep.mapping.total_arrays, direct.total_arrays);
+  for (std::size_t i = 0; i < direct.layers.size(); ++i) {
+    SCOPED_TRACE(i);
+    const LayerMapping& a = rep.mapping.layers[i];
+    const LayerMapping& b = direct.layers[i];
+    EXPECT_EQ(a.rows_needed, b.rows_needed);
+    EXPECT_EQ(a.cols_needed, b.cols_needed);
+    EXPECT_EQ(a.row_tiles, b.row_tiles);
+    EXPECT_EQ(a.col_tiles, b.col_tiles);
+    EXPECT_EQ(a.replication, b.replication);
+    EXPECT_EQ(a.is_fc, b.is_fc);
+    EXPECT_EQ(a.row_utilization, b.row_utilization);
+    EXPECT_EQ(a.col_utilization, b.col_utilization);
+    EXPECT_EQ(a.reads_per_inference, b.reads_per_inference);
+    EXPECT_EQ(a.rows_in_fullest_tile, b.rows_in_fullest_tile);
+    EXPECT_EQ(a.adc_bits_required, b.adc_bits_required);
+  }
+}
+
+TEST(TwoPhaseCostModel, ReusedReportIsResetCompletely) {
+  nn::BackboneOptions bb;
+  const CostEvaluator eval{HardwareConfig{}};
+  const LayerShapeSpan big =
+      LayerShapeSpan::from(nn::backbone_shapes(kVggRollout, bb));
+  const std::vector<nn::ConvSpec> small_rollout = {{16, 1}, {16, 1}, {16, 1},
+                                                   {16, 1}, {16, 1}, {16, 1}};
+  const LayerShapeSpan small =
+      LayerShapeSpan::from(nn::backbone_shapes(small_rollout, bb));
+
+  CostReport reused;
+  eval.evaluate_span(big, reused);
+  eval.evaluate_span(small, reused);  // must not inherit anything
+  CostReport fresh;
+  eval.evaluate_span(small, fresh);
+  expect_scalars_identical(fresh, reused);
+
+  // An invalid report reused for a valid design must lose its reason.
+  const CostEvaluator tight{HardwareConfig{.area_budget_mm2 = 1.0}};
+  CostReport flip;
+  tight.evaluate_span(big, flip);
+  ASSERT_FALSE(flip.valid);
+  ASSERT_FALSE(flip.invalid_reason.empty());
+  eval.evaluate_span(big, flip);
+  EXPECT_TRUE(flip.valid);
+  EXPECT_TRUE(flip.invalid_reason.empty());
+}
+
+TEST(TwoPhaseCostModel, SpanFlatteningKeepsGeometry) {
+  nn::BackboneOptions bb;
+  const auto shapes = nn::backbone_shapes(kVggRollout, bb);
+  const LayerShapeSpan span = LayerShapeSpan::from(shapes);
+  ASSERT_EQ(span.size(), shapes.size());
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    EXPECT_EQ(span.rows[i], shapes[i].weight_rows());
+    EXPECT_EQ(span.cols[i], shapes[i].weight_cols());
+    EXPECT_EQ(span.fc[i] != 0, shapes[i].is_fc);
+    const long long pixels =
+        shapes[i].is_fc
+            ? 1
+            : static_cast<long long>(shapes[i].out_hw) * shapes[i].out_hw;
+    EXPECT_EQ(span.pixels[i], pixels);
+  }
+}
+
 // ------------------------------------------------------------ CostModel
 
 TEST(CostModel, EnergyBreakdownSumsToTotal) {

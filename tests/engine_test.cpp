@@ -7,7 +7,9 @@
 #include <atomic>
 #include <limits>
 #include <set>
+#include <span>
 #include <stdexcept>
+#include <thread>
 
 #include "lcda/core/experiment.h"
 #include "lcda/core/loop.h"
@@ -18,6 +20,7 @@
 #include "lcda/search/nsga2_optimizer.h"
 #include "lcda/search/random_optimizer.h"
 #include "lcda/util/rng.h"
+#include "lcda/util/striped_cache.h"
 #include "lcda/util/thread_pool.h"
 
 namespace lcda {
@@ -91,6 +94,202 @@ TEST(DeriveSeed, OrderIndependentAndDistinct) {
   // Derived streams behave like independent Rngs.
   util::Rng a(util::derive_seed(1, 0)), b(util::derive_seed(1, 1));
   EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ------------------------------------------------------- chunked dispatch
+
+TEST(ThreadPool, ChunksForSizesToThePool) {
+  EXPECT_EQ(util::ThreadPool::chunks_for(0, 4), 0u);
+  EXPECT_EQ(util::ThreadPool::chunks_for(1, 4), 1u);
+  EXPECT_EQ(util::ThreadPool::chunks_for(3, 4), 3u);
+  EXPECT_EQ(util::ThreadPool::chunks_for(16, 4), 4u);
+  EXPECT_EQ(util::ThreadPool::chunks_for(16, 0), 1u);  // clamped workers
+}
+
+TEST(ThreadPool, ChunkRangesPartitionExactly) {
+  for (std::size_t n : {1u, 5u, 16u, 17u, 100u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 7u}) {
+      if (chunks > n) continue;
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] = util::chunk_range(n, chunks, c);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_GT(end, begin) << "empty chunk";
+        covered += end - begin;
+        expected_begin = end;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+// --------------------------------------------------------- striped cache
+
+TEST(StripedCache, BuildsOncePerKeyAndSharesTheValue) {
+  util::StripedCache<int> cache;
+  std::atomic<int> builds{0};
+  auto build = [&] {
+    ++builds;
+    return std::make_shared<const int>(42);
+  };
+  const auto a = cache.get_or_build(7, build);
+  const auto b = cache.get_or_build(7, build);
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(*a, 42);
+  (void)cache.get_or_build(8, build);
+  EXPECT_EQ(builds.load(), 2);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(StripedCache, StripeOverflowResetsOnlyThatStripe) {
+  // Tiny capacity: per-stripe cap of 1 entry. Keys that land on the same
+  // stripe evict each other; entries already handed out stay valid.
+  util::StripedCache<std::uint64_t> cache(util::StripedCache<std::uint64_t>::kStripes);
+  auto value_of = [&](std::uint64_t key) {
+    return cache.get_or_build(key,
+                              [&] { return std::make_shared<const std::uint64_t>(key); });
+  };
+  // Two keys on stripe 0 (stripe = top 16 bits & 15).
+  const auto first = value_of(1);
+  const auto second = value_of(2);
+  EXPECT_EQ(*first, 1u);   // still usable after its stripe was reset
+  EXPECT_EQ(*second, 2u);
+}
+
+TEST(StripedCache, ConcurrentHammeringIsRaceFreeAndConsistent) {
+  // The TSan-exercised stress test of the evaluator-memo design: many
+  // threads resolving a small key set through one cache must always see
+  // the key's own value, whatever interleaving of builds/hits/evictions
+  // happens. Small capacity keeps stripe resets in play.
+  util::StripedCache<std::uint64_t> cache(64);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t key = util::hash_mix(rng.next_u64() % 97);
+        const auto value = cache.get_or_build(key, [&] {
+          return std::make_shared<const std::uint64_t>(key);
+        });
+        if (*value != key) failed = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+}
+
+// ------------------------------------------------ evaluator batch contract
+
+TEST(EvaluateBatch, MatchesScalarEvaluationBitForBit) {
+  // One evaluator driven through evaluate(), another through
+  // evaluate_batch() with identically forked streams: every field of every
+  // Evaluation must match exactly, for any chunk split.
+  core::ExperimentConfig cfg;
+  core::SurrogateEvaluator scalar(cfg.evaluator);
+  core::SurrogateEvaluator batched(cfg.evaluator);
+
+  const search::SearchSpace space{cfg.space};
+  util::Rng design_rng(21);
+  constexpr std::size_t kN = 12;
+  std::vector<search::Design> designs;
+  designs.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) designs.push_back(space.sample(design_rng));
+
+  util::Rng stream_a(5), stream_b(5);
+  std::vector<core::Evaluation> want;
+  want.reserve(kN);
+  for (const search::Design& d : designs) {
+    util::Rng r = stream_a.fork();
+    want.push_back(scalar.evaluate(d, r));
+  }
+
+  std::vector<util::Rng> rngs;
+  rngs.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) rngs.push_back(stream_b.fork());
+  std::vector<core::Evaluation> got(kN);
+  std::vector<core::EvalRequest> requests(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    requests[i] = core::EvalRequest{&designs[i], &rngs[i], &got[i]};
+  }
+  // Split into uneven chunks, like the loop's pool-sized dispatch does.
+  batched.evaluate_batch(std::span<core::EvalRequest>(requests.data(), 5));
+  batched.evaluate_batch(std::span<core::EvalRequest>(requests.data() + 5, 1));
+  batched.evaluate_batch(
+      std::span<core::EvalRequest>(requests.data() + 6, kN - 6));
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(want[i].accuracy, got[i].accuracy);
+    EXPECT_EQ(want[i].accuracy_stddev, got[i].accuracy_stddev);
+    EXPECT_EQ(want[i].cost.energy_total_pj, got[i].cost.energy_total_pj);
+    EXPECT_EQ(want[i].cost.latency_ns, got[i].cost.latency_ns);
+    EXPECT_EQ(want[i].cost.area_total_mm2, got[i].cost.area_total_mm2);
+    EXPECT_EQ(want[i].cost.programming_energy_pj,
+              got[i].cost.programming_energy_pj);
+    EXPECT_EQ(want[i].cost.weight_sigma, got[i].cost.weight_sigma);
+    EXPECT_EQ(want[i].cost.max_adc_deficit_bits,
+              got[i].cost.max_adc_deficit_bits);
+    EXPECT_EQ(want[i].cost.valid, got[i].cost.valid);
+  }
+}
+
+TEST(EvaluateBatch, SharedEvaluatorUnderManyThreadsMatchesReference) {
+  // The contention-free core's end-to-end stress: one SurrogateEvaluator
+  // (striped cost-plan + span memos) hammered concurrently from many
+  // threads over a small design set. Under TSan this is the data-race
+  // sentinel; everywhere it pins that concurrency never changes a value.
+  core::ExperimentConfig cfg;
+  core::SurrogateEvaluator shared(cfg.evaluator);
+
+  const search::SearchSpace space{cfg.space};
+  util::Rng design_rng(33);
+  constexpr std::size_t kDesigns = 24;
+  std::vector<search::Design> designs;
+  designs.reserve(kDesigns);
+  for (std::size_t i = 0; i < kDesigns; ++i) {
+    designs.push_back(space.sample(design_rng));
+  }
+
+  // Reference evaluations from a fresh evaluator, sequentially.
+  std::vector<core::Evaluation> want;
+  want.reserve(kDesigns);
+  {
+    core::SurrogateEvaluator reference(cfg.evaluator);
+    for (std::size_t i = 0; i < kDesigns; ++i) {
+      util::Rng r(util::derive_seed(99, i));
+      want.push_back(reference.evaluate(designs[i], r));
+    }
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 40;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng order(static_cast<std::uint64_t>(t) + 7);
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t i = order.index(kDesigns);
+        util::Rng r(util::derive_seed(99, i));
+        const core::Evaluation got = shared.evaluate(designs[i], r);
+        if (got.accuracy != want[i].accuracy ||
+            got.cost.energy_total_pj != want[i].cost.energy_total_pj ||
+            got.cost.latency_ns != want[i].cost.latency_ns) {
+          mismatch = true;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
 }
 
 // ------------------------------------------------- optimizer batch contract

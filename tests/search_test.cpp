@@ -264,6 +264,36 @@ TEST(GeneticOptimizer, RejectsDegenerateOptions) {
                std::invalid_argument);
 }
 
+// ------------------------------------------------------------ decodes_to
+
+TEST(SearchSpace, DecodesToAgreesWithDecode) {
+  const SearchSpace space = default_space();
+  util::Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const Design d = space.sample(rng);
+    const std::vector<int> idx = space.encode(d);
+    EXPECT_TRUE(space.decodes_to(idx, d));
+    EXPECT_EQ(space.decode(idx), d);
+
+    // Any single perturbation must break the match.
+    Design wrong_rollout = d;
+    wrong_rollout.rollout[0].channels += 1;
+    EXPECT_FALSE(space.decodes_to(idx, wrong_rollout));
+    Design wrong_hw = d;
+    wrong_hw.hw.adc_bits += 1;
+    EXPECT_FALSE(space.decodes_to(idx, wrong_hw));
+    Design wrong_budget = d;
+    wrong_budget.hw.area_budget_mm2 += 1.0;
+    EXPECT_FALSE(space.decodes_to(idx, wrong_budget));
+  }
+  // Malformed indices are false, not a throw.
+  const Design d = space.sample(rng);
+  EXPECT_FALSE(space.decodes_to({}, d));
+  std::vector<int> bad = space.encode(d);
+  bad[0] = 10000;
+  EXPECT_FALSE(space.decodes_to(bad, d));
+}
+
 // --------------------------------------------------------------- Random
 
 TEST(RandomOptimizer, AvoidsDuplicates) {

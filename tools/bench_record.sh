@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# bench_record — measure the engine's tracked perf metrics and append
+# correctly-shaped history entries to BENCH_engine.json, so the recorded
+# perf trajectory (README "Performance") stops being hand-edited.
+#
+# Measure mode (run once on the baseline commit, once on the candidate):
+#   tools/bench_record.sh measure --build build --out after.json [--reps 5] \
+#       [--seeds 8] [--episodes 300]
+#
+#   Runs bench_micro_components (BM_FullSurrogateEvaluation,
+#   BM_MonteCarloSurrogate/16, BM_CostEvaluator) and bench_engine_scaling
+#   at parallelism 1 and 4, takes the min over --reps repetitions (the
+#   noise-robust estimator the recorded history uses), and writes one flat
+#   measurement JSON.
+#
+# Append mode (combine a before/after pair into the history):
+#   tools/bench_record.sh append --before before.json --after after.json \
+#       --change "what this PR changed" --baseline-commit abc1234 \
+#       [--file BENCH_engine.json]
+#
+# The CMake target `bench_record` runs measure mode against the current
+# build tree.
+set -euo pipefail
+
+mode="${1:-}"
+shift || true
+
+BUILD=build
+OUT=""
+REPS=3
+SEEDS=8
+EPISODES=300
+BEFORE=""
+AFTER=""
+CHANGE=""
+BASELINE_COMMIT=""
+BENCH_FILE="BENCH_engine.json"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build) BUILD="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    --reps) REPS="$2"; shift 2 ;;
+    --seeds) SEEDS="$2"; shift 2 ;;
+    --episodes) EPISODES="$2"; shift 2 ;;
+    --before) BEFORE="$2"; shift 2 ;;
+    --after) AFTER="$2"; shift 2 ;;
+    --change) CHANGE="$2"; shift 2 ;;
+    --baseline-commit) BASELINE_COMMIT="$2"; shift 2 ;;
+    --file) BENCH_FILE="$2"; shift 2 ;;
+    *) echo "bench_record: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+case "$mode" in
+measure)
+  [[ -n "$OUT" ]] || { echo "bench_record measure: --out required" >&2; exit 2; }
+  [[ -x "$BUILD/bench_micro_components" ]] || {
+    echo "bench_record: $BUILD/bench_micro_components missing (configure with Google Benchmark)" >&2
+    exit 1
+  }
+  [[ -x "$BUILD/bench_engine_scaling" ]] || {
+    echo "bench_record: $BUILD/bench_engine_scaling missing" >&2; exit 1
+  }
+
+  tmpdir=$(mktemp -d)
+  trap 'rm -rf "$tmpdir"' EXIT
+
+  echo "bench_record: micro benchmarks ($REPS repetitions)..." >&2
+  "$BUILD/bench_micro_components" \
+    --benchmark_filter='BM_FullSurrogateEvaluation$|BM_MonteCarloSurrogate/16$|BM_CostEvaluator$' \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_format=json >"$tmpdir/micro.json" 2>/dev/null
+
+  echo "bench_record: engine scaling ($REPS runs of $SEEDS seeds x $EPISODES episodes)..." >&2
+  for rep in $(seq "$REPS"); do
+    LCDA_PARALLELISM=4 "$BUILD/bench_engine_scaling" "$SEEDS" "$EPISODES" \
+      --json="$tmpdir/engine_$rep.json" >/dev/null
+  done
+
+  python3 - "$tmpdir" "$OUT" "$REPS" "$SEEDS" "$EPISODES" <<'PYEOF'
+import json, sys
+tmpdir, out_path, reps, seeds, episodes = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5]))
+
+micro = json.load(open(f"{tmpdir}/micro.json"))
+def bench_min(name):
+    times = [b["real_time"] for b in micro["benchmarks"]
+             if b.get("run_type") != "aggregate" and b["name"] == name]
+    if not times:
+        raise SystemExit(f"bench_record: no samples for {name}")
+    return min(times)
+
+walls = {1: [], 4: []}
+for rep in range(1, reps + 1):
+    sweep = json.load(open(f"{tmpdir}/engine_{rep}.json"))["sweep"]
+    for row in sweep:
+        if row["parallelism"] in walls:
+            walls[row["parallelism"]].append(row["wall_ms"])
+for par, values in walls.items():
+    if not values:
+        raise SystemExit(f"bench_record: engine sweep has no parallelism-{par} row "
+                         "(is LCDA_PARALLELISM < 4?)")
+
+measurement = {
+    "format": "lcda-bench-measurement-v1",
+    "reps": reps,
+    "estimator": "min",
+    "surrogate_full_evaluation_ns": round(bench_min("BM_FullSurrogateEvaluation")),
+    "monte_carlo_16_ns": round(bench_min("BM_MonteCarloSurrogate/16")),
+    "cost_evaluator_ns": round(bench_min("BM_CostEvaluator")),
+    "engine_scaling_wall_ms": {
+        "seeds": seeds,
+        "episodes": episodes,
+        "parallelism_1": round(min(walls[1]), 1),
+        "parallelism_4": round(min(walls[4]), 1),
+    },
+}
+json.dump(measurement, open(out_path, "w"), indent=2)
+print(json.dumps(measurement, indent=2))
+PYEOF
+  echo "bench_record: wrote $OUT" >&2
+  ;;
+
+append)
+  [[ -n "$BEFORE" && -n "$AFTER" && -n "$CHANGE" ]] || {
+    echo "bench_record append: --before, --after and --change are required" >&2
+    exit 2
+  }
+  python3 - "$BEFORE" "$AFTER" "$CHANGE" "$BASELINE_COMMIT" "$BENCH_FILE" <<'PYEOF'
+import json, sys
+before_path, after_path, change, baseline_commit, bench_file = sys.argv[1:6]
+before = json.load(open(before_path))
+after = json.load(open(after_path))
+
+def pair(key, digits=2):
+    b, a = before[key], after[key]
+    return {"before": b, "after": a,
+            "speedup": round(b / a, digits) if a else None}
+
+b_eng, a_eng = before["engine_scaling_wall_ms"], after["engine_scaling_wall_ms"]
+if (b_eng["seeds"], b_eng["episodes"]) != (a_eng["seeds"], a_eng["episodes"]):
+    raise SystemExit("bench_record: before/after engine runs have different shapes")
+
+entry = {
+    "change": change,
+    "baseline_commit": baseline_commit or "unknown",
+    "surrogate_full_evaluation_ns": pair("surrogate_full_evaluation_ns"),
+    "monte_carlo_16_ns": pair("monte_carlo_16_ns"),
+    "cost_evaluator_ns": pair("cost_evaluator_ns"),
+    "engine_scaling_wall_ms": {
+        "strategy": "NACIM",
+        "episodes": a_eng["episodes"],
+        "seeds": a_eng["seeds"],
+        "parallelism_1": {
+            "before": b_eng["parallelism_1"], "after": a_eng["parallelism_1"],
+            "speedup": round(b_eng["parallelism_1"] / a_eng["parallelism_1"], 2),
+        },
+        "parallelism_4": {
+            "before": b_eng["parallelism_4"], "after": a_eng["parallelism_4"],
+            "speedup": round(b_eng["parallelism_4"] / a_eng["parallelism_4"], 2),
+        },
+    },
+}
+
+doc = json.load(open(bench_file))
+if doc.get("format") != "lcda-bench-engine-v1":
+    raise SystemExit(f"bench_record: {bench_file} is not a lcda-bench-engine-v1 file")
+doc["history"].append(entry)
+with open(bench_file, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"bench_record: appended history entry #{len(doc['history'])} to {bench_file}")
+PYEOF
+  ;;
+
+*)
+  echo "usage: tools/bench_record.sh measure --out FILE [--build DIR] [--reps N] [--seeds N] [--episodes N]" >&2
+  echo "       tools/bench_record.sh append --before F --after F --change DESC [--baseline-commit SHA] [--file BENCH_engine.json]" >&2
+  exit 2
+  ;;
+esac

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""CI gate over a bench_engine_scaling --json sweep.
+
+Fails (exit 1) when the parallelism-4 wall-clock is worse than the
+parallelism-1 wall-clock by more than the tolerance — i.e. when a
+serialization point has crept back into the parallel core. Usage:
+
+    check_scaling_gate.py SWEEP.json [TOLERANCE]
+
+TOLERANCE is the allowed wall(4)/wall(1) ratio, default 1.15 (absorbs
+shared-runner noise; a real regression such as a global memo lock or
+per-episode queue traffic lands far above it).
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = float(sys.argv[2]) if len(sys.argv) > 2 else 1.15
+    sweep = json.load(open(sys.argv[1]))["sweep"]
+    wall = {row["parallelism"]: row["wall_ms"] for row in sweep}
+    if 1 not in wall or 4 not in wall:
+        print("check_scaling_gate: sweep lacks parallelism 1 and/or 4 rows "
+              "(run with LCDA_PARALLELISM>=4)", file=sys.stderr)
+        return 2
+    ratio = wall[4] / wall[1]
+    print(f"parallelism-1: {wall[1]:.1f} ms, parallelism-4: {wall[4]:.1f} ms "
+          f"(ratio {ratio:.2f}, tolerance {tolerance:.2f})")
+    return 0 if ratio <= tolerance else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

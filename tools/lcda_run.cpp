@@ -11,6 +11,8 @@
 //   lcda_run --scenario=paper-latency --strategy=lcda,nacim --json=out.json
 //   lcda_run --scenario=tight-area --set space.area_budget_mm2=15
 //   lcda_run --scenario-file=my_study.json --trace=trace.csv
+//   lcda_run --scenario=paper-energy --aggregate --seeds=8 --json=agg.json
+//   lcda_run --scenario=paper-energy --speedup --seeds=4 --trace=speedup.csv
 //
 // Flags:
 //   --list                 list registered scenarios and exit
@@ -22,6 +24,18 @@
 //                          autoloads a directory the same way)
 //   --strategy=A[,B...]    strategies to run (default: the scenario's);
 //                          "all" sweeps every strategy
+//   --aggregate            multi-seed aggregate per strategy instead of the
+//                          per-seed episode listing (core::run_aggregate):
+//                          running-best mean/stddev across seeds, final-best
+//                          statistics, cache traffic. --seeds sets the seed
+//                          count; --threshold=R also reports episodes-to-R
+//   --speedup              paired LCDA-vs-NACIM episodes-to-threshold study
+//                          (core::speedup_study) over --seeds seeds;
+//                          --threshold-fraction=F sets the "comparable
+//                          solution" bar (default 0.95 of NACIM's best)
+//   --threshold=R          reward threshold for --aggregate's
+//                          episodes-to-threshold statistic
+//   --threshold-fraction=F speedup threshold fraction (--speedup only)
 //   --episodes=N           override the per-strategy episode budget
 //   --seeds=N              seeds per strategy (base, base+1, ...; default 1)
 //   --seed=K               override the base seed
@@ -38,15 +52,18 @@
 //                          stdout stays valid CSV) — the format CI diffs
 //                          against golden traces
 //   --quiet                suppress the per-episode listing
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "lcda/core/report.h"
 #include "lcda/core/scenario.h"
+#include "lcda/core/stats_runner.h"
 #include "lcda/util/strings.h"
 
 namespace {
@@ -57,6 +74,8 @@ struct CliOptions {
   bool list = false;
   bool print_config = false;
   bool quiet = false;
+  bool aggregate = false;
+  bool speedup = false;
   std::string scenario;
   std::string scenario_file;
   std::string scenario_dir;
@@ -69,6 +88,8 @@ struct CliOptions {
   int seeds = 1;
   long long seed = -1;          // -1 = scenario default
   int parallelism = -1;         // -1 = environment default
+  double threshold = std::numeric_limits<double>::quiet_NaN();
+  double threshold_fraction = 0.95;
 };
 
 int usage(const char* argv0) {
@@ -78,10 +99,25 @@ int usage(const char* argv0) {
                "[--episodes=N] [--seed=K] [--set key=value ...] "
                "[--cache-dir=DIR] [--parallelism=N] [--json=PATH] "
                "[--trace=PATH|-] [--quiet]\n"
+               "       %s --scenario=NAME --aggregate [--threshold=R] [...]\n"
+               "       %s --scenario=NAME --speedup [--threshold-fraction=F] "
+               "[...]\n"
                "       %s --scenario-file=PATH [...]\n"
                "       %s --list | --print-config --scenario=NAME\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
+}
+
+/// Strict double flag parsing, same loud-failure policy as
+/// parse_number_flag below.
+double parse_double_flag(const std::string& value, const char* flag) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || !std::isfinite(parsed)) {
+    throw std::invalid_argument(std::string("bad value for ") + flag + ": \"" +
+                                value + "\" (want a finite number)");
+  }
+  return parsed;
 }
 
 bool flag_value(std::string_view arg, std::string_view name, std::string& out) {
@@ -103,6 +139,26 @@ long long parse_number_flag(const std::string& value, const char* flag,
                                 std::to_string(min_value) + ")");
   }
   return *parsed;
+}
+
+/// Opens the --trace destination: `path` as a file, or stdout for "-".
+/// Returns the stream to write to, or nullptr after printing an error.
+struct TraceOut {
+  std::ofstream file;
+  std::ostream* stream = nullptr;
+};
+bool open_trace(const std::string& path, TraceOut& out) {
+  if (path == "-") {
+    out.stream = &std::cout;
+    return true;
+  }
+  out.file.open(path, std::ios::trunc);
+  if (!out.file) {
+    std::fprintf(stderr, "lcda_run: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out.stream = &out.file;
+  return true;
 }
 
 std::vector<core::Strategy> resolve_strategies(const std::string& spec,
@@ -127,6 +183,8 @@ int main(int argc, char** argv) {
       if (arg == "--list") cli.list = true;
       else if (arg == "--print-config") cli.print_config = true;
       else if (arg == "--quiet") cli.quiet = true;
+      else if (arg == "--aggregate") cli.aggregate = true;
+      else if (arg == "--speedup") cli.speedup = true;
       else if (flag_value(arg, "--scenario-file=", cli.scenario_file)) {}
       else if (flag_value(arg, "--scenario-dir=", cli.scenario_dir)) {}
       else if (flag_value(arg, "--scenario=", cli.scenario)) {}
@@ -144,6 +202,10 @@ int main(int argc, char** argv) {
         cli.seed = parse_number_flag(value, "--seed", 0);
       } else if (flag_value(arg, "--parallelism=", value)) {
         cli.parallelism = static_cast<int>(parse_number_flag(value, "--parallelism", 0));
+      } else if (flag_value(arg, "--threshold-fraction=", value)) {
+        cli.threshold_fraction = parse_double_flag(value, "--threshold-fraction");
+      } else if (flag_value(arg, "--threshold=", value)) {
+        cli.threshold = parse_double_flag(value, "--threshold");
       } else {
         std::fprintf(stderr, "lcda_run: unknown argument \"%s\"\n",
                      std::string(arg).c_str());
@@ -196,6 +258,33 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    if (cli.aggregate && cli.speedup) {
+      std::fprintf(stderr, "lcda_run: --aggregate and --speedup are exclusive\n");
+      return usage(argv[0]);
+    }
+    // Flags another mode would silently ignore must fail loudly instead.
+    if (cli.speedup && cli.episodes > 0) {
+      std::fprintf(stderr,
+                   "lcda_run: --speedup uses the scenario's episode budgets; "
+                   "override them with --set lcda_episodes=N / "
+                   "--set nacim_episodes=N instead of --episodes\n");
+      return usage(argv[0]);
+    }
+    if (cli.speedup && !std::isnan(cli.threshold)) {
+      std::fprintf(stderr,
+                   "lcda_run: --threshold applies to --aggregate; --speedup "
+                   "takes --threshold-fraction\n");
+      return usage(argv[0]);
+    }
+    if (!cli.speedup && cli.threshold_fraction != 0.95) {
+      std::fprintf(stderr, "lcda_run: --threshold-fraction requires --speedup\n");
+      return usage(argv[0]);
+    }
+    if (!cli.aggregate && !std::isnan(cli.threshold)) {
+      std::fprintf(stderr, "lcda_run: --threshold requires --aggregate\n");
+      return usage(argv[0]);
+    }
+
     const std::vector<core::Strategy> strategies =
         resolve_strategies(cli.strategies, scenario.default_strategy);
 
@@ -204,6 +293,99 @@ int main(int argc, char** argv) {
     std::fprintf(human, "# parallelism %d, base seed %llu\n",
                  scenario.config.parallelism,
                  static_cast<unsigned long long>(scenario.config.seed));
+
+    // --- multi-seed aggregate mode (SpeedupReport/AggregateResult were
+    // engine-only until now; this surfaces them through the CLI) ---------
+    if (cli.aggregate) {
+      std::vector<core::AggregateResult> aggregates;
+      std::fprintf(human, "%-14s %8s %8s %10s %10s %10s %10s\n", "strategy",
+                   "episodes", "seeds", "best mean", "stddev", "min", "max");
+      for (core::Strategy strategy : strategies) {
+        const int episodes =
+            cli.episodes > 0 ? cli.episodes
+                             : core::default_episodes(strategy, scenario.config);
+        core::AggregateResult agg = core::run_aggregate(
+            strategy, episodes, cli.seeds, scenario.config, cli.threshold);
+        std::fprintf(human, "%-14s %8d %8d %10.4f %10.4f %10.4f %10.4f\n",
+                     std::string(core::strategy_name(strategy)).c_str(),
+                     episodes, cli.seeds, agg.final_best.mean(),
+                     agg.final_best.stddev(), agg.final_best.min(),
+                     agg.final_best.max());
+        if (!std::isnan(cli.threshold)) {
+          std::fprintf(human,
+                       "  threshold %+0.4f: %d/%d seeds reached, "
+                       "mean %.1f episodes\n",
+                       cli.threshold, agg.reached, cli.seeds,
+                       agg.episodes_to_threshold.mean());
+        }
+        std::fprintf(human, "  cache: %lld hits, %lld misses, %lld persistent\n",
+                     static_cast<long long>(agg.cache_hits),
+                     static_cast<long long>(agg.cache_misses),
+                     static_cast<long long>(agg.persistent_hits));
+        aggregates.push_back(std::move(agg));
+      }
+
+      if (!cli.trace_path.empty()) {
+        TraceOut trace;
+        if (!open_trace(cli.trace_path, trace)) return 1;
+        for (const core::AggregateResult& agg : aggregates) {
+          core::write_aggregate_csv(*trace.stream, agg,
+                                    core::strategy_name(agg.strategy));
+        }
+      }
+      if (!cli.json_path.empty()) {
+        util::Json doc = util::Json::object();
+        doc["experiment"] = scenario.name;
+        doc["seed"] = static_cast<long long>(scenario.config.seed);
+        doc["seeds"] = cli.seeds;
+        util::Json arr = util::Json::array();
+        for (const core::AggregateResult& agg : aggregates) {
+          arr.push_back(core::aggregate_to_json(agg));
+        }
+        doc["aggregates"] = arr;
+        doc["scenario"] = core::scenario_to_json(scenario);
+        core::write_json_file(doc, cli.json_path);
+        std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
+      }
+      return 0;
+    }
+
+    // --- paired LCDA-vs-NACIM speedup study -----------------------------
+    if (cli.speedup) {
+      const std::vector<core::SpeedupReport> reports =
+          core::speedup_study(scenario.config, cli.seeds, cli.threshold_fraction);
+      std::fprintf(human, "%-6s %12s %10s %10s %10s %10s\n", "seed",
+                   "threshold", "lcda eps", "nacim eps", "nacim best",
+                   "speedup");
+      util::OnlineStats speedups;
+      for (std::size_t s = 0; s < reports.size(); ++s) {
+        const core::SpeedupReport& r = reports[s];
+        std::fprintf(human, "%-6zu %12.4f %10d %10d %10.4f %9.1fx\n", s,
+                     r.threshold, r.lcda_episodes, r.nacim_episodes,
+                     r.nacim_best, r.speedup());
+        if (r.speedup() > 0.0) speedups.add(r.speedup());
+      }
+      if (speedups.count() > 0) {
+        std::fprintf(human, "mean speedup over %zu seed(s): %.1fx\n",
+                     speedups.count(), speedups.mean());
+      }
+
+      if (!cli.trace_path.empty()) {
+        TraceOut trace;
+        if (!open_trace(cli.trace_path, trace)) return 1;
+        core::write_speedup_csv(*trace.stream, reports, scenario.name);
+      }
+      if (!cli.json_path.empty()) {
+        util::Json doc = util::Json::object();
+        doc["experiment"] = scenario.name;
+        doc["seed"] = static_cast<long long>(scenario.config.seed);
+        doc["speedup_study"] = core::speedup_study_to_json(reports);
+        doc["scenario"] = core::scenario_to_json(scenario);
+        core::write_json_file(doc, cli.json_path);
+        std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
+      }
+      return 0;
+    }
 
     struct Completed {
       std::string label;
@@ -248,19 +430,10 @@ int main(int argc, char** argv) {
     }
 
     if (!cli.trace_path.empty()) {
-      std::ofstream file;
-      const bool to_stdout = cli.trace_path == "-";
-      if (!to_stdout) {
-        file.open(cli.trace_path, std::ios::trunc);
-        if (!file) {
-          std::fprintf(stderr, "lcda_run: cannot write %s\n",
-                       cli.trace_path.c_str());
-          return 1;
-        }
-      }
-      std::ostream& os = to_stdout ? std::cout : file;
+      TraceOut trace;
+      if (!open_trace(cli.trace_path, trace)) return 1;
       for (const Completed& c : completed) {
-        core::write_run_csv(os, c.run, c.label);
+        core::write_run_csv(*trace.stream, c.run, c.label);
       }
     }
 
