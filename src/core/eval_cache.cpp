@@ -12,17 +12,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include "lcda/util/strings.h"
+
 namespace lcda::core {
 
 namespace {
 
 constexpr std::string_view kFormat = "lcda-eval-cache-v1";
-
-std::string hex64(std::uint64_t v) {
-  char buf[19];
-  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
-  return buf;
-}
 
 std::uint64_t parse_hex64(const std::string& s) {
   std::uint64_t v = 0;
@@ -111,26 +107,53 @@ PersistentEvalCache::PersistentEvalCache(std::string directory,
   if (directory_.empty()) {
     throw std::invalid_argument("PersistentEvalCache: empty directory");
   }
-  path_ = directory_ + "/" + hex64(fingerprint_) + ".json";
+  path_ = directory_ + "/" + util::hex_u64(fingerprint_) + ".json";
 
   std::ifstream in(path_);
   if (!in) return;  // no cache yet
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  const std::string body = buffer.str();
+  try {
+    load_body(body);
+  } catch (const std::exception& e) {
+    // Unusable file: skip it (counted, reported) and run cold instead of
+    // aborting. Writes are atomic (temp + rename), so this cannot be a
+    // torn save from a concurrent worker — it is a genuinely bad file,
+    // and a distributed shard retry must be able to get past it; the next
+    // save simply replaces it. Partially parsed contents must not leak
+    // into the run, so the load is all-or-nothing.
+    std::fprintf(stderr,
+                 "PersistentEvalCache: skipping unusable cache file %s: %s\n",
+                 path_.c_str(), e.what());
+    entries_.clear();
+    next_seq_ = 0;
+    ++skipped_files_;
+    return;
+  }
+  // A budget tightened between runs trims the file on the next save, even
+  // when that run inserts nothing: over-budget contents mark the cache
+  // dirty here so save() cannot early-return past the eviction pass.
+  const std::size_t before = entries_.size();
+  evict_to_entry_budget();
+  if (entries_.size() != before) dirty_ = true;
+  if (budget_.max_bytes > 0 && body.size() > budget_.max_bytes) {
+    dirty_ = true;
+  }
+}
+
+void PersistentEvalCache::load_body(const std::string& body) {
   util::Json doc;
   try {
-    doc = util::Json::parse(buffer.str());
+    doc = util::Json::parse(body);
   } catch (const std::runtime_error& e) {
-    throw std::runtime_error("PersistentEvalCache: corrupt cache file " +
-                             path_ + ": " + e.what());
+    throw std::runtime_error(std::string("corrupt JSON: ") + e.what());
   }
   if (!doc.contains("format") || doc.at("format").as_string() != kFormat) {
-    throw std::runtime_error("PersistentEvalCache: " + path_ +
-                             " is not a " + std::string(kFormat) + " file");
+    throw std::runtime_error("not a " + std::string(kFormat) + " file");
   }
   if (parse_hex64(doc.at("fingerprint").as_string()) != fingerprint_) {
-    throw std::runtime_error("PersistentEvalCache: fingerprint mismatch in " +
-                             path_ + " (file moved between studies?)");
+    throw std::runtime_error("fingerprint mismatch (file moved between studies?)");
   }
   for (const util::Json& entry : doc.at("entries").elements()) {
     Entry e;
@@ -142,15 +165,6 @@ PersistentEvalCache::PersistentEvalCache(std::string directory,
                 : next_seq_;
     next_seq_ = std::max(next_seq_, e.seq + 1);
     entries_.emplace(parse_hex64(entry.at("design").as_string()), std::move(e));
-  }
-  // A budget tightened between runs trims the file on the next save, even
-  // when that run inserts nothing: over-budget contents mark the cache
-  // dirty here so save() cannot early-return past the eviction pass.
-  const std::size_t before = entries_.size();
-  evict_to_entry_budget();
-  if (entries_.size() != before) dirty_ = true;
-  if (budget_.max_bytes > 0 && buffer.str().size() > budget_.max_bytes) {
-    dirty_ = true;
   }
 }
 
@@ -201,12 +215,12 @@ void PersistentEvalCache::save() {
 
     util::Json doc = util::Json::object();
     doc["format"] = kFormat;
-    doc["fingerprint"] = hex64(fingerprint_);
+    doc["fingerprint"] = util::hex_u64(fingerprint_);
     util::Json arr = util::Json::array();
     for (std::uint64_t key : keys) {
       const Entry& e = entries_.at(key);
       util::Json entry = util::Json::object();
-      entry["design"] = hex64(key);
+      entry["design"] = util::hex_u64(key);
       entry["seq"] = static_cast<long long>(e.seq);
       entry["evaluation"] = evaluation_to_json(e.evaluation);
       arr.push_back(entry);

@@ -179,6 +179,8 @@ RunResult run_strategy(Strategy strategy, int episodes,
     pcache->save();
     result.persistent_evictions =
         static_cast<std::int64_t>(pcache->evictions());
+    result.persistent_skipped =
+        static_cast<std::int64_t>(pcache->skipped_files());
   }
   return result;
 }

@@ -31,6 +31,16 @@ namespace lcda::core {
 /// Not thread-safe: the CodesignLoop consults it only from the driving
 /// thread, and each loop owns its own instance (distinct seeds/strategies
 /// map to distinct files, so parallel seed fan-out never shares one).
+///
+/// Multi-process safe: save() publishes through a uniquely named temp file
+/// and an atomic rename, so concurrent worker processes sharing one cache
+/// directory can never observe a torn file — a reader sees either the old
+/// complete file or the new complete file. An unusable file (corrupt JSON,
+/// foreign format, fingerprint mismatch) does NOT abort the run: the cache
+/// starts cold, the problem is reported on stderr, and skipped_files()
+/// counts it so RunResult::persistent_skipped makes it machine-visible —
+/// a distributed shard retry must be able to get past a bad file instead
+/// of failing on it forever.
 class PersistentEvalCache {
  public:
   /// On-disk budget. Both caps are 0 = unlimited; set either to keep cache
@@ -46,8 +56,9 @@ class PersistentEvalCache {
   };
 
   /// Loads `directory`/<fingerprint hex>.json when it exists; a missing
-  /// file starts empty. Throws std::runtime_error on a corrupt file or a
-  /// fingerprint mismatch (a file renamed across studies).
+  /// file starts empty. An unusable file (corrupt, foreign format, or a
+  /// fingerprint mismatch from a file renamed across studies) also starts
+  /// empty, with a stderr warning and skipped_files() incremented.
   PersistentEvalCache(std::string directory, std::uint64_t fingerprint);
   PersistentEvalCache(std::string directory, std::uint64_t fingerprint,
                       Budget budget);
@@ -70,11 +81,20 @@ class PersistentEvalCache {
   /// over-budget file plus save-time evictions).
   [[nodiscard]] std::size_t evictions() const { return evictions_; }
 
+  /// Unusable cache files skipped at load (0 or 1 for one instance):
+  /// corrupt JSON, a foreign format tag, or a fingerprint mismatch. The
+  /// run proceeds cold; RunResult::persistent_skipped surfaces the count.
+  [[nodiscard]] std::size_t skipped_files() const { return skipped_files_; }
+
  private:
   struct Entry {
     Evaluation evaluation;
     std::uint64_t seq = 0;  ///< insertion order; smaller = older
   };
+
+  /// Parses `body` into entries_; throws std::runtime_error on anything
+  /// unusable (the constructor converts that into a counted skip).
+  void load_body(const std::string& body);
 
   /// Drops the `drop` oldest entries (by insertion sequence).
   void evict_oldest(std::size_t drop);
@@ -90,6 +110,7 @@ class PersistentEvalCache {
   bool dirty_ = false;
   std::uint64_t next_seq_ = 0;
   std::size_t evictions_ = 0;
+  std::size_t skipped_files_ = 0;
   std::unordered_map<std::uint64_t, Entry> entries_;
 };
 

@@ -34,11 +34,16 @@ struct RunResult {
   /// persistent_hits are episodes served from the on-disk cache of a
   /// previous process run (counted separately from both hits and misses).
   /// persistent_evictions counts entries the on-disk cache dropped to stay
-  /// inside its configured budget (filled in after the post-run save).
+  /// inside its configured budget (filled in after the post-run save);
+  /// persistent_skipped counts unusable on-disk cache files (corrupt,
+  /// foreign format, or moved across studies) that the run skipped —
+  /// loudly visible here instead of either aborting a whole distributed
+  /// worker or being silently treated as a cold start.
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   std::int64_t persistent_hits = 0;
   std::int64_t persistent_evictions = 0;
+  std::int64_t persistent_skipped = 0;
 
   /// Best episode, or a sentinel record (episode == -1, reward == -inf)
   /// when the run recorded no episodes.

@@ -17,6 +17,11 @@ namespace lcda::core {
 struct Scenario {
   std::string name;     ///< registry key, e.g. "paper-energy"
   std::string summary;  ///< one line: what this scenario stresses
+  /// A sentence or two of detail beyond the summary — what the study
+  /// measures and which knobs it turns. Shown by `lcda_run --list` and
+  /// carried in shard specs, so a scenario name appearing in distributed
+  /// logs is self-explanatory. Optional ("" is omitted when serialized).
+  std::string description;
   /// Strategy a bare `lcda_run --scenario=X` runs; benches override it.
   Strategy default_strategy = Strategy::kLcda;
   ExperimentConfig config;

@@ -36,11 +36,21 @@ struct AggregateResult {
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   std::int64_t persistent_hits = 0;
+  std::int64_t persistent_skipped = 0;
 
   [[nodiscard]] double mean_running_best(int episode) const {
     return running_best[static_cast<std::size_t>(episode)].mean();
   }
 };
+
+/// The per-seed config of global seed index `s` in a `seeds`-seed
+/// aggregate/speedup study: the seed stream is derived by key
+/// (util::derive_seed, order-independent), and the worker budget is split
+/// between seed-level fan-out and the inner loop. Exposed so distributed
+/// workers (lcda::dist) reproduce exactly the runs a single process would
+/// have produced — any partition of the seed-index set is bit-compatible.
+[[nodiscard]] ExperimentConfig aggregate_seed_config(
+    const ExperimentConfig& config, int s, int seeds);
 
 /// Runs `strategy` for `episodes` episodes with seeds 1..seeds (offset by
 /// config.seed) and aggregates. `threshold` feeds episodes_to_threshold;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "lcda/core/report.h"
+#include "lcda/util/rng.h"
 #include "lcda/util/strings.h"
 
 namespace lcda::core {
@@ -431,15 +432,6 @@ void trained_from_json(const util::Json& j, TrainedEvaluator::Options& t,
   r.finish();
 }
 
-std::uint64_t fnv1a64(std::string_view s) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
 }  // namespace
 
 util::Json config_to_json(const ExperimentConfig& config, bool include_defaults) {
@@ -511,6 +503,9 @@ util::Json scenario_to_json(const Scenario& scenario, bool include_defaults) {
   util::Json j = util::Json::object();
   j["name"] = scenario.name;
   j["summary"] = scenario.summary;
+  if (include_defaults || !scenario.description.empty()) {
+    j["description"] = scenario.description;
+  }
   j["default_strategy"] = std::string(strategy_name(scenario.default_strategy));
   j["config"] = config_to_json(scenario.config, include_defaults);
   return j;
@@ -521,6 +516,7 @@ Scenario scenario_from_json(const util::Json& j) {
   Reader r(j, "scenario");
   r.str("name", s.name);
   r.str("summary", s.summary);
+  r.str("description", s.description);
   std::string strategy(strategy_name(s.default_strategy));
   r.str("default_strategy", strategy);
   s.default_strategy = strategy_from_name(strategy);
@@ -713,6 +709,10 @@ void register_builtins() {
     s.name = "paper-energy";
     s.summary = "the paper's Sec. IV-A accuracy-energy study (Figs. 2-3, "
                 "Table 1): NACIM space, surrogate evaluator, reward Eq. (1)";
+    s.description =
+        "Reproduces the headline result: GPT-4-guided co-design search over "
+        "the NACIM network/hardware space, maximizing accuracy with an "
+        "inference-energy term, 20 LCDA vs 500 NACIM-RL episodes.";
     s.default_strategy = Strategy::kLcda;
     register_locked(s);
   }
@@ -721,6 +721,10 @@ void register_builtins() {
     s.name = "paper-latency";
     s.summary = "the paper's Sec. IV-B accuracy-latency study (Fig. 4), "
                 "where GPT-4's kernel priors mislead it: reward Eq. (2)";
+    s.description =
+        "Same space and engine as paper-energy but rewarding frames per "
+        "second; the simulated LLM's GPU-shaped kernel intuitions hurt "
+        "here, which is the paper's motivation for fine-tuning.";
     s.default_strategy = Strategy::kLcda;
     s.config.objective = llm::Objective::kLatency;
     register_locked(s);
@@ -730,6 +734,10 @@ void register_builtins() {
     s.name = "naive";
     s.summary = "the paper's Sec. IV-C prompt ablation (Fig. 5): the same "
                 "energy study driven without any co-design context";
+    s.description =
+        "Ablates the prompt: the LLM is asked for designs without being "
+        "told it is co-designing CiM hardware, isolating how much of the "
+        "speedup comes from domain framing.";
     s.default_strategy = Strategy::kLcdaNaive;
     register_locked(s);
   }
@@ -738,6 +746,10 @@ void register_builtins() {
     s.name = "finetuned";
     s.summary = "the paper's unfulfilled future-work point: the latency "
                 "study with corrected CiM kernel priors";
+    s.description =
+        "What Sec. IV-B's fine-tuning would buy: the latency study rerun "
+        "with a simulated LLM whose kernel-size priors match CiM crossbar "
+        "economics instead of GPU folklore.";
     s.default_strategy = Strategy::kLcdaFinetuned;
     s.config.objective = llm::Objective::kLatency;
     register_locked(s);
@@ -747,6 +759,10 @@ void register_builtins() {
     s.name = "tight-area";
     s.summary = "edge-class 20 mm^2 area budget: most of the space is "
                 "invalid, stressing validity handling and -1 rewards";
+    s.description =
+        "Shrinks the silicon budget until most candidate chips are "
+        "infeasible, so the search spends its episodes learning the "
+        "validity boundary rather than polishing a reward.";
     s.default_strategy = Strategy::kLcda;
     s.config.space.area_budget_mm2 = 20.0;
     register_locked(s);
@@ -756,6 +772,10 @@ void register_builtins() {
     s.name = "high-variation";
     s.summary = "RRAM-only devices at 2x variation sensitivity, rescued by "
                 "SWIM-style selective write-verify on 25% of weights";
+    s.description =
+        "Doubles device-variation sensitivity on an RRAM-only space and "
+        "turns on selective write-verify for the most sensitive quarter of "
+        "the weights — the noise-robustness workload.";
     s.default_strategy = Strategy::kLcda;
     s.config.space.hw.devices = {cim::DeviceType::kRram};
     s.config.evaluator.accuracy.variation_coeff = 2.0;
@@ -767,6 +787,10 @@ void register_builtins() {
     s.name = "deep-backbone";
     s.summary = "an 8-conv-layer backbone (pool after stages 2/4/6/8): a "
                 "larger space where channel scheduling matters more";
+    s.description =
+        "Doubles the network depth (and the LCDA budget to 30 episodes): "
+        "the design space grows combinatorially and per-stage channel "
+        "scheduling dominates the reward.";
     s.default_strategy = Strategy::kLcda;
     s.config.space.conv_layers = 8;
     s.config.space.backbone.pool_after = {1, 3, 5, 7};
@@ -779,6 +803,10 @@ void register_builtins() {
     s.name = "multi-objective";
     s.summary = "accuracy/energy/latency combined reward (Eq. 1's energy "
                 "term plus Eq. 2's FPS term); NSGA-II by default";
+    s.description =
+        "Optimizes accuracy, energy and latency at once through the "
+        "combined reward; NSGA-II drives it by default so the result is a "
+        "Pareto front rather than a single champion.";
     s.default_strategy = Strategy::kNsga2;
     s.config.combined_reward = true;
     register_locked(s);
@@ -788,6 +816,10 @@ void register_builtins() {
     s.name = "trained-small";
     s.summary = "the faithful train-then-Monte-Carlo evaluator on a "
                 "reduced 16x16/6-class dataset and a 4-layer space";
+    s.description =
+        "Swaps the calibrated surrogate for the real pipeline — train each "
+        "candidate, then Monte-Carlo its accuracy under device noise — on "
+        "a dataset small enough to keep a study interactive.";
     s.default_strategy = Strategy::kLcda;
     s.config.evaluator_kind = EvaluatorKind::kTrained;
     s.config.lcda_episodes = 5;
@@ -872,7 +904,7 @@ std::uint64_t study_fingerprint(const ExperimentConfig& config,
   const std::string text = std::string(strategy_name(strategy)) + '/' +
                            std::to_string(episodes) + '\n' +
                            config_to_json(canon, /*include_defaults=*/true).dump();
-  return fnv1a64(text);
+  return util::fnv1a64(text);
 }
 
 }  // namespace lcda::core

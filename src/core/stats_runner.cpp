@@ -9,20 +9,21 @@
 
 namespace lcda::core {
 
-namespace {
-
-/// Per-seed config: the seed stream is derived by key (order-independent),
-/// and the worker budget is split between seed-level fan-out and the inner
-/// loop — seeds get the pool, and only the parallelism the fan-out cannot
-/// use (seeds < workers) is passed down, so the machine is never
-/// oversubscribed. Inner parallelism does not affect traces.
-ExperimentConfig seed_config(const ExperimentConfig& config, int s, int seeds) {
+// The seed stream is derived by key (order-independent), and the worker
+// budget is split between seed-level fan-out and the inner loop — seeds
+// get the pool, and only the parallelism the fan-out cannot use
+// (seeds < workers) is passed down, so the machine is never
+// oversubscribed. Inner parallelism does not affect traces.
+ExperimentConfig aggregate_seed_config(const ExperimentConfig& config, int s,
+                                       int seeds) {
   ExperimentConfig cfg = config;
   cfg.seed = util::derive_seed(config.seed, static_cast<std::uint64_t>(s));
   const int par = util::ThreadPool::resolve_parallelism(config.parallelism);
   cfg.parallelism = std::max(1, par / std::max(seeds, 1));
   return cfg;
 }
+
+namespace {
 
 std::unique_ptr<util::ThreadPool> make_pool(const ExperimentConfig& config) {
   const int par = util::ThreadPool::resolve_parallelism(config.parallelism);
@@ -54,9 +55,10 @@ AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
   const auto pool = make_pool(config);
   util::parallel_for_each_index(
       pool.get(), static_cast<std::size_t>(seeds), [&](std::size_t s) {
-        runs[s] = run_strategy(strategy, episodes,
-                               seed_config(config, static_cast<int>(s), seeds),
-                               evaluator.get());
+        runs[s] = run_strategy(
+            strategy, episodes,
+            aggregate_seed_config(config, static_cast<int>(s), seeds),
+            evaluator.get());
       });
 
   for (const RunResult& run : runs) {
@@ -69,6 +71,7 @@ AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
     agg.cache_hits += run.cache_hits;
     agg.cache_misses += run.cache_misses;
     agg.persistent_hits += run.persistent_hits;
+    agg.persistent_skipped += run.persistent_skipped;
     if (!std::isnan(threshold)) {
       const int hit = run.episodes_to_reach(threshold);
       if (hit >= 0) {
@@ -88,8 +91,9 @@ std::vector<SpeedupReport> speedup_study(const ExperimentConfig& config,
   const auto pool = make_pool(config);
   util::parallel_for_each_index(
       pool.get(), static_cast<std::size_t>(seeds), [&](std::size_t s) {
-        out[s] = measure_speedup(seed_config(config, static_cast<int>(s), seeds),
-                                 threshold_fraction, evaluator.get());
+        out[s] = measure_speedup(
+            aggregate_seed_config(config, static_cast<int>(s), seeds),
+            threshold_fraction, evaluator.get());
       });
   return out;
 }

@@ -1,0 +1,147 @@
+#include "lcda/dist/coordinator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
+#include "lcda/util/subprocess.h"
+
+namespace lcda::dist {
+
+namespace {
+
+/// "seeds 4-7" / "seeds 3" — shard log labels.
+std::string seeds_label(const ShardSpec& spec) {
+  if (spec.seeds.empty()) return "no seeds";
+  const auto [lo, hi] =
+      std::minmax_element(spec.seeds.begin(), spec.seeds.end());
+  if (*lo == *hi) return "seed " + std::to_string(*lo);
+  return "seeds " + std::to_string(*lo) + "-" + std::to_string(*hi);
+}
+
+/// The last non-empty stderr line — the part of a crash worth quoting in
+/// a one-line retry message (the full capture goes into the final error).
+std::string last_line(const std::string& text) {
+  std::size_t end = text.find_last_not_of('\n');
+  if (end == std::string::npos) return "";
+  std::size_t begin = text.find_last_of('\n', end);
+  begin = begin == std::string::npos ? 0 : begin + 1;
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Coordinator::Coordinator(Options opts) : opts_(std::move(opts)) {
+  if (opts_.worker_command.empty()) {
+    throw std::invalid_argument("Coordinator: empty worker_command");
+  }
+  if (opts_.shard_dir.empty()) {
+    throw std::invalid_argument("Coordinator: empty shard_dir");
+  }
+  if (opts_.max_parallel < 1) {
+    throw std::invalid_argument("Coordinator: max_parallel must be >= 1");
+  }
+  if (opts_.max_retries < 0) {
+    throw std::invalid_argument("Coordinator: max_retries must be >= 0");
+  }
+}
+
+void Coordinator::run(std::vector<ShardSpec>& specs) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(opts_.shard_dir, ec);
+  if (ec) {
+    throw std::runtime_error("Coordinator: cannot create shard dir " +
+                             opts_.shard_dir + ": " + ec.message());
+  }
+
+  std::vector<std::string> spec_paths(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string stem =
+        opts_.shard_dir + "/shard-" + std::to_string(specs[i].index);
+    spec_paths[i] = stem + "-spec.json";
+    specs[i].result_path = stem + "-result.json";
+    // A manifest left over from a previous plan in a reused directory
+    // must not be mistaken for this run's output (the checksum would
+    // catch a different study, but not a re-run of the same one).
+    fs::remove(specs[i].result_path, ec);
+  }
+
+  struct Active {
+    std::unique_ptr<util::Subprocess> process;
+    std::size_t shard = 0;
+  };
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < specs.size(); ++i) queue.push_back(i);
+  std::deque<Active> active;
+
+  const auto spawn = [&](std::size_t i) {
+    save_shard_spec(specs[i], spec_paths[i]);
+    std::vector<std::string> argv = opts_.worker_command;
+    argv.push_back("--worker=" + spec_paths[i]);
+    Active a;
+    a.process = std::make_unique<util::Subprocess>(std::move(argv));
+    a.shard = i;
+    if (opts_.verbose) {
+      std::fprintf(stderr,
+                   "[dist] shard %d/%d (%s, %s, attempt %d) -> pid %ld\n",
+                   specs[i].index, specs[i].count,
+                   std::string(core::strategy_name(specs[i].strategy)).c_str(),
+                   seeds_label(specs[i]).c_str(), specs[i].attempt,
+                   static_cast<long>(a.process->pid()));
+    }
+    active.push_back(std::move(a));
+  };
+
+  while (!queue.empty() || !active.empty()) {
+    while (!queue.empty() &&
+           static_cast<int>(active.size()) < opts_.max_parallel) {
+      const std::size_t next = queue.front();
+      queue.pop_front();
+      spawn(next);
+    }
+
+    // FIFO drain: waiting on the oldest in-flight worker keeps every
+    // stderr pipe bounded (each is fully drained before the next wait)
+    // and retries promptly — shards cost roughly the same, so the oldest
+    // is the likeliest to have finished.
+    Active done = std::move(active.front());
+    active.pop_front();
+    const std::size_t i = done.shard;
+    const util::Subprocess::Result result = done.process->wait();
+
+    if (result.ok()) {
+      if (opts_.verbose) {
+        std::fprintf(stderr, "[dist] shard %d done\n", specs[i].index);
+      }
+      continue;
+    }
+
+    // attempt N failed; N+1 is the next one. max_retries bounds the
+    // retries, so attempts 0..max_retries are allowed.
+    if (specs[i].attempt < opts_.max_retries) {
+      ++specs[i].attempt;
+      if (opts_.verbose) {
+        const std::string line = last_line(result.stderr_output);
+        std::fprintf(stderr,
+                     "[dist] shard %d failed (%s)%s%s — retrying "
+                     "(attempt %d/%d)\n",
+                     specs[i].index, result.describe().c_str(),
+                     line.empty() ? "" : ": ", line.c_str(), specs[i].attempt,
+                     opts_.max_retries);
+      }
+      queue.push_back(i);
+      continue;
+    }
+
+    throw std::runtime_error(
+        "Coordinator: shard " + std::to_string(specs[i].index) + " failed (" +
+        result.describe() + ") after " + std::to_string(specs[i].attempt + 1) +
+        " attempt(s); worker stderr:\n" + result.stderr_output);
+  }
+}
+
+}  // namespace lcda::dist

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lcda/dist/shard.h"
+
+namespace lcda::dist {
+
+/// Process-level shard executor: writes each spec to the shard directory,
+/// spawns one worker subprocess per shard (`<worker_command> --worker=
+/// <spec.json>`), keeps up to `max_parallel` in flight, and retries a
+/// failed shard up to `max_retries` extra attempts before giving up with
+/// the worker's captured stderr in the error. On success every spec's
+/// result_path names a fresh manifest for the merger.
+///
+/// Workers are plain subprocesses: a shard survives anything short of the
+/// coordinator dying — a crash, an abort, an OOM kill — because the retry
+/// simply re-runs the spec, and determinism guarantees the re-run computes
+/// the same manifest the crashed attempt would have.
+class Coordinator {
+ public:
+  struct Options {
+    /// Program (and any leading arguments) of the worker; the coordinator
+    /// appends "--worker=<spec path>". Typically the running lcda_run
+    /// binary itself (util::self_executable_path).
+    std::vector<std::string> worker_command;
+
+    /// Where shard specs and result manifests live. Created when missing;
+    /// the caller owns cleanup (the CLI keeps a user-supplied --shard-dir
+    /// and removes an automatic temp one on success).
+    std::string shard_dir;
+
+    int max_parallel = 1;  ///< concurrent worker processes
+    int max_retries = 2;   ///< extra attempts per shard after the first
+
+    /// Shard lifecycle narration on stderr (spawn / done / retry lines).
+    bool verbose = true;
+  };
+
+  explicit Coordinator(Options opts);
+
+  /// Runs every shard to completion, mutating each spec in place: the
+  /// coordinator assigns result paths under shard_dir and bumps attempt
+  /// counters across retries. Throws std::runtime_error when a shard
+  /// exhausts its attempts or a worker cannot be spawned.
+  void run(std::vector<ShardSpec>& specs);
+
+ private:
+  Options opts_;
+};
+
+}  // namespace lcda::dist

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lcda/core/stats_runner.h"
+#include "lcda/dist/shard.h"
+#include "lcda/util/json_lite.h"
+
+namespace lcda::dist {
+
+/// Loads the result manifest `spec.result_path` points at and verifies it
+/// belongs to this spec: format tag, shard index, mode, and the spec
+/// checksum the worker echoed back — a stale manifest in a reused shard
+/// directory fails here instead of corrupting a merge. Throws
+/// std::runtime_error on a missing/unreadable/foreign manifest.
+[[nodiscard]] util::Json load_shard_manifest(const ShardSpec& spec);
+
+/// Folds the per-seed summaries of one strategy's shards back into the
+/// AggregateResult a single-process core::run_aggregate would have
+/// produced, byte-for-byte: the fold walks seeds in canonical order (the
+/// Welford accumulators are order-sensitive in floating point), every
+/// double has already survived the JSON round trip bit-exactly, and the
+/// cache counters are order-free sums. All specs must share one strategy,
+/// episode budget, seed count and threshold; the seed partition must cover
+/// 0..total_seeds-1 exactly once.
+[[nodiscard]] core::AggregateResult merge_aggregate(
+    const std::vector<ShardSpec>& specs,
+    const std::vector<util::Json>& manifests);
+
+/// Reassembles a speedup study's per-seed reports in canonical seed order
+/// — identical to core::speedup_study over the same config and seeds.
+[[nodiscard]] std::vector<core::SpeedupReport> merge_speedup(
+    const std::vector<ShardSpec>& specs,
+    const std::vector<util::Json>& manifests);
+
+/// One reassembled runs-mode run: the full run JSON (embedded verbatim in
+/// merged experiment documents), its trace CSV rows, and the scalars the
+/// coordinator's summary lines print.
+struct MergedRun {
+  int seed = 0;
+  std::string label;
+  util::Json run_json;
+  std::string csv;
+  double best_reward = 0.0;
+  int best_episode = -1;
+  std::string best_design;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long persistent_hits = 0;
+  long long persistent_skipped = 0;
+};
+
+/// Reassembles runs-mode payloads in plan order (strategy-major, seeds
+/// ascending) — the order the single-process CLI produces its runs in.
+/// `specs` must be the full plan, sorted by shard index.
+[[nodiscard]] std::vector<MergedRun> merge_runs(
+    const std::vector<ShardSpec>& specs,
+    const std::vector<util::Json>& manifests);
+
+}  // namespace lcda::dist

@@ -1,0 +1,188 @@
+// Worker-side half of the distributed study runner: executes one ShardSpec
+// exactly as the single-process engine would have (same seed derivation,
+// same per-seed parallelism split, same evaluator sharing) and reports a
+// result manifest the merger can fold back bit-for-bit.
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "lcda/core/report.h"
+#include "lcda/core/stats_runner.h"
+#include "lcda/dist/shard.h"
+#include "lcda/util/strings.h"
+
+namespace lcda::dist {
+
+namespace {
+
+constexpr std::string_view kResultFormat = "lcda-shard-result-v1";
+
+std::string hex64(std::uint64_t v) { return "0x" + util::hex_u64(v); }
+
+/// One aggregate-mode seed summary: exactly the per-seed values
+/// core::run_aggregate's fold consumes, so the merger can replay that fold
+/// in canonical seed order. Doubles survive the JSON round trip bit-for-bit
+/// (shortest-round-trip formatting), which is what makes the merged
+/// AggregateResult byte-identical to the single-process one.
+util::Json aggregate_entry(int seed, const core::RunResult& run,
+                           double threshold) {
+  util::Json e = util::Json::object();
+  e["seed"] = seed;
+  e["final_best"] = run.best_reward();
+  util::Json rmax = util::Json::array();
+  for (double r : run.reward_running_max()) rmax.push_back(r);
+  e["running_max"] = rmax;
+  e["cache_hits"] = static_cast<long long>(run.cache_hits);
+  e["cache_misses"] = static_cast<long long>(run.cache_misses);
+  e["persistent_hits"] = static_cast<long long>(run.persistent_hits);
+  e["persistent_skipped"] = static_cast<long long>(run.persistent_skipped);
+  if (!std::isnan(threshold)) {
+    e["threshold_episode"] = run.episodes_to_reach(threshold);
+  }
+  return e;
+}
+
+util::Json speedup_entry(int seed, const core::SpeedupReport& r) {
+  util::Json e = util::Json::object();
+  e["seed"] = seed;
+  e["threshold"] = r.threshold;
+  e["lcda_episodes"] = r.lcda_episodes;
+  e["nacim_episodes"] = r.nacim_episodes;
+  e["lcda_best"] = r.lcda_best;
+  e["nacim_best"] = r.nacim_best;
+  return e;
+}
+
+/// One runs-mode payload: the full run JSON (merged documents embed it
+/// verbatim, so the assembled experiment JSON matches a single-process
+/// run byte-for-byte), the run's CSV rows for --trace concatenation, and
+/// the scalars the coordinator's per-run summary lines print.
+util::Json run_entry(int seed, const std::string& label,
+                     const core::RunResult& run) {
+  util::Json e = util::Json::object();
+  e["seed"] = seed;
+  e["label"] = label;
+  e["best_reward"] = run.best_reward();
+  e["best_episode"] = run.best_episode;
+  e["best_design"] = run.best().design.describe();
+  e["cache_hits"] = static_cast<long long>(run.cache_hits);
+  e["cache_misses"] = static_cast<long long>(run.cache_misses);
+  e["persistent_hits"] = static_cast<long long>(run.persistent_hits);
+  e["persistent_skipped"] = static_cast<long long>(run.persistent_skipped);
+  e["run"] = core::run_to_json(run, label);
+  std::ostringstream csv;
+  core::write_run_csv(csv, run, label);
+  e["csv"] = csv.str();
+  return e;
+}
+
+/// Atomic publication, same discipline as the persistent cache: a
+/// coordinator or a human inspecting the shard directory never sees a
+/// torn manifest, and a crashed attempt leaves at most a stale temp file.
+void write_manifest_atomically(const util::Json& manifest,
+                               const std::string& path) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  core::write_json_file(manifest, tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("worker: rename to " + path +
+                             " failed: " + ec.message());
+  }
+}
+
+}  // namespace
+
+util::Json run_shard(const ShardSpec& spec) {
+  const core::ExperimentConfig& config = spec.scenario.config;
+
+  util::Json manifest = util::Json::object();
+  manifest["format"] = kResultFormat;
+  manifest["shard"] = spec.index;
+  manifest["count"] = spec.count;
+  manifest["mode"] = std::string(shard_mode_name(spec.mode));
+  manifest["strategy"] = std::string(core::strategy_name(spec.strategy));
+  manifest["episodes"] = spec.episodes;
+  manifest["spec_checksum"] = hex64(shard_spec_checksum(spec));
+  util::Json entries = util::Json::array();
+
+  switch (spec.mode) {
+    case ShardMode::kAggregate: {
+      // One shared evaluator across the shard's seeds, like run_aggregate
+      // shares one across the whole study: its memos are content-keyed,
+      // so sharing scope cannot change a result.
+      const auto evaluator = core::make_evaluator(config);
+      for (int s : spec.seeds) {
+        const core::RunResult run = core::run_strategy(
+            spec.strategy, spec.episodes,
+            core::aggregate_seed_config(config, s, spec.total_seeds),
+            evaluator.get());
+        entries.push_back(aggregate_entry(s, run, spec.threshold));
+      }
+      break;
+    }
+    case ShardMode::kSpeedup: {
+      const auto evaluator = core::make_evaluator(config);
+      for (int s : spec.seeds) {
+        const core::SpeedupReport report = core::measure_speedup(
+            core::aggregate_seed_config(config, s, spec.total_seeds),
+            spec.threshold_fraction, evaluator.get());
+        entries.push_back(speedup_entry(s, report));
+      }
+      break;
+    }
+    case ShardMode::kRuns: {
+      for (int s : spec.seeds) {
+        // The CLI's per-seed mode offsets the base seed directly (the
+        // aggregate modes derive by key instead); both are replicated
+        // here verbatim so either partitioning is bit-compatible.
+        core::ExperimentConfig cfg = config;
+        cfg.seed = config.seed + static_cast<std::uint64_t>(s);
+        const core::RunResult run =
+            core::run_strategy(spec.strategy, spec.episodes, cfg);
+        const std::string label =
+            std::string(core::strategy_name(spec.strategy)) + "/seed" +
+            std::to_string(cfg.seed);
+        entries.push_back(run_entry(s, label, run));
+      }
+      break;
+    }
+  }
+
+  manifest["entries"] = entries;
+  return manifest;
+}
+
+int run_worker(const std::string& spec_path) {
+  try {
+    const ShardSpec spec = load_shard_spec(spec_path);
+    if (spec.fail_first_attempt && spec.attempt == 0) {
+      // Crash injection aborts at entry — before any evaluation or cache
+      // write — so the retry runs the shard clean and the merged study,
+      // cache counters included, is identical to one without the crash.
+      std::fprintf(stderr,
+                   "worker: shard %d injected failure on attempt 0 "
+                   "(fail_first_attempt)\n",
+                   spec.index);
+      return 3;
+    }
+    if (spec.result_path.empty()) {
+      throw std::invalid_argument("worker: spec has no result_path");
+    }
+
+    write_manifest_atomically(run_shard(spec), spec.result_path);
+    std::fprintf(stderr, "worker: shard %d/%d done (%zu seed(s), attempt %d)\n",
+                 spec.index, spec.count, spec.seeds.size(), spec.attempt);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lcda_run --worker: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace lcda::dist

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace lcda::util {
@@ -103,6 +104,11 @@ std::uint64_t hash_mix(std::uint64_t key);
 
 /// Combines two hashes.
 std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// FNV-1a over bytes — the stable content hash behind study fingerprints
+/// and shard-spec checksums (one definition, so a writer and an
+/// independent verifier can never drift apart).
+std::uint64_t fnv1a64(std::string_view s);
 
 /// Seed of the `index`-th derived RNG stream of `base`. Unlike Rng::fork()
 /// this consumes no generator state, so streams can be handed out in any

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -39,5 +40,10 @@ namespace lcda::util {
 /// Replaces every occurrence of `from` (non-empty) with `to`.
 [[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
                                       std::string_view to);
+
+/// 16-digit zero-padded lowercase hex of a 64-bit value (no "0x" prefix)
+/// — the one formatter behind cache file names and shard checksums, so a
+/// writer and an independent verifier can never disagree on the shape.
+[[nodiscard]] std::string hex_u64(std::uint64_t value);
 
 }  // namespace lcda::util

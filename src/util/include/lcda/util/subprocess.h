@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace lcda::util {
+
+/// Fork/exec helper for spawning worker processes: runs an argv vector,
+/// captures the child's stderr through a pipe, and reports how it ended
+/// (exit status or terminating signal). stdout is inherited, so a child
+/// that legitimately talks to the terminal still can; protocol output
+/// should go through files the parent names, not through this class.
+///
+/// The distributed study runner (lcda::dist) is the primary user: the
+/// coordinator spawns one `lcda_run --worker=<spec>` per shard, waits on
+/// each, and surfaces the captured stderr when a shard has to be retried
+/// or given up on.
+class Subprocess {
+ public:
+  /// How a child ended. `exit_code` is the process exit status when it
+  /// exited normally and -1 when a signal killed it (`term_signal` then
+  /// holds the signal number). A child that could not exec its program
+  /// exits with code 127, like a shell.
+  struct Result {
+    int exit_code = -1;
+    int term_signal = 0;
+    std::string stderr_output;
+
+    [[nodiscard]] bool ok() const { return exit_code == 0; }
+
+    /// "exit 3" / "signal 6" — for error messages.
+    [[nodiscard]] std::string describe() const;
+  };
+
+  /// Spawns argv[0] with the given argument vector (argv[0] is both the
+  /// program and its zeroth argument; PATH is searched). Throws
+  /// std::runtime_error when the process cannot be created. `argv` must
+  /// be non-empty.
+  explicit Subprocess(std::vector<std::string> argv);
+
+  /// Kills (SIGKILL) and reaps a child that was never waited on, so an
+  /// exception unwinding past a live Subprocess cannot leak a zombie.
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// Drains the child's stderr to EOF, then reaps it. Call at most once.
+  [[nodiscard]] Result wait();
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+  [[nodiscard]] bool waited() const { return waited_; }
+
+  /// Convenience: spawn + wait.
+  [[nodiscard]] static Result run(std::vector<std::string> argv);
+
+ private:
+  pid_t pid_ = -1;
+  int stderr_fd_ = -1;
+  bool waited_ = false;
+};
+
+/// Absolute path of the running executable (/proc/self/exe), falling back
+/// to `argv0` when the link cannot be read — how a CLI re-invokes itself
+/// in worker mode.
+[[nodiscard]] std::string self_executable_path(const char* argv0);
+
+}  // namespace lcda::util

@@ -139,4 +139,13 @@ std::size_t Rng::weighted_index(std::span<const double> weights, double total) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace lcda::util

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 
 namespace lcda::util {
 
@@ -121,6 +122,13 @@ std::string replace_all(std::string_view s, std::string_view from, std::string_v
     out += to;
     pos = hit + from.size();
   }
+}
+
+std::string hex_u64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
 }
 
 }  // namespace lcda::util

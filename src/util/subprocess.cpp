@@ -1,0 +1,141 @@
+#include "lcda/util/subprocess.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace lcda::util {
+
+namespace {
+
+/// Read to EOF, retrying on EINTR.
+std::string drain_fd(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return out;
+  }
+}
+
+int waitpid_retry(pid_t pid, int* status) {
+  for (;;) {
+    const pid_t r = ::waitpid(pid, status, 0);
+    if (r >= 0 || errno != EINTR) return static_cast<int>(r);
+  }
+}
+
+}  // namespace
+
+std::string Subprocess::Result::describe() const {
+  char buf[64];
+  if (term_signal != 0) {
+    std::snprintf(buf, sizeof(buf), "signal %d", term_signal);
+  } else {
+    std::snprintf(buf, sizeof(buf), "exit %d", exit_code);
+  }
+  return buf;
+}
+
+Subprocess::Subprocess(std::vector<std::string> argv) {
+  if (argv.empty()) throw std::invalid_argument("Subprocess: empty argv");
+
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw std::runtime_error(std::string("Subprocess: pipe: ") +
+                             ::strerror(errno));
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw std::runtime_error(std::string("Subprocess: fork: ") +
+                             ::strerror(errno));
+  }
+
+  if (pid == 0) {
+    // Child: stderr goes to the pipe; the read end closes so EOF tracks
+    // child exit. Only async-signal-safe calls between fork and exec.
+    ::close(fds[0]);
+    ::dup2(fds[1], STDERR_FILENO);
+    if (fds[1] != STDERR_FILENO) ::close(fds[1]);
+
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (std::string& arg : argv) cargv.push_back(arg.data());
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+
+    // Exec failed: report through the (now redirected) stderr and use the
+    // shell's 127 so the parent can tell "no such program" from a crash.
+    const char* msg = "Subprocess: exec failed: ";
+    (void)!::write(STDERR_FILENO, msg, ::strlen(msg));
+    (void)!::write(STDERR_FILENO, cargv[0], ::strlen(cargv[0]));
+    (void)!::write(STDERR_FILENO, "\n", 1);
+    ::_exit(127);
+  }
+
+  // Parent.
+  ::close(fds[1]);
+  pid_ = pid;
+  stderr_fd_ = fds[0];
+}
+
+Subprocess::~Subprocess() {
+  if (waited_ || pid_ < 0) return;
+  ::kill(pid_, SIGKILL);
+  if (stderr_fd_ >= 0) ::close(stderr_fd_);
+  int status = 0;
+  (void)waitpid_retry(pid_, &status);
+}
+
+Subprocess::Result Subprocess::wait() {
+  if (waited_) throw std::logic_error("Subprocess: wait() called twice");
+  waited_ = true;
+
+  Result result;
+  result.stderr_output = drain_fd(stderr_fd_);
+  ::close(stderr_fd_);
+  stderr_fd_ = -1;
+
+  int status = 0;
+  if (waitpid_retry(pid_, &status) < 0) {
+    throw std::runtime_error(std::string("Subprocess: waitpid: ") +
+                             ::strerror(errno));
+  }
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.exit_code = -1;
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+Subprocess::Result Subprocess::run(std::vector<std::string> argv) {
+  Subprocess child(std::move(argv));
+  return child.wait();
+}
+
+std::string self_executable_path(const char* argv0) {
+  std::error_code ec;
+  const std::filesystem::path exe =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec && !exe.empty()) return exe.string();
+  return argv0 != nullptr ? std::string(argv0) : std::string();
+}
+
+}  // namespace lcda::util

@@ -1,0 +1,352 @@
+// The distributed study runner: shard planning, spec round trips, the
+// subprocess helper, coordinator retries, and — the load-bearing contract —
+// merged results byte-identical to single-process runs of the same study.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "lcda/core/report.h"
+#include "lcda/core/stats_runner.h"
+#include "lcda/dist/coordinator.h"
+#include "lcda/dist/merge.h"
+#include "lcda/dist/shard.h"
+#include "lcda/util/subprocess.h"
+
+namespace {
+
+using namespace lcda;
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("lcda_dist_test_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// A small but non-trivial study: two strategies' worth of signal is not
+/// needed, one strategy over several seeds is the sharding axis.
+core::Scenario small_scenario() {
+  core::Scenario s = core::scenario_by_name("paper-energy");
+  s.config.lcda_episodes = 6;
+  s.config.nacim_episodes = 16;
+  return s;
+}
+
+/// The lcda_run binary next to this test binary (both live in the build
+/// root); empty when it is not there, so end-to-end tests skip instead of
+/// failing in exotic build layouts.
+std::string lcda_run_path() {
+  const std::string self = util::self_executable_path(nullptr);
+  if (self.empty()) return "";
+  const std::filesystem::path candidate =
+      std::filesystem::path(self).parent_path() / "lcda_run";
+  std::error_code ec;
+  return std::filesystem::exists(candidate, ec) ? candidate.string() : "";
+}
+
+/// Runs every shard in-process (run_shard — the exact worker body) and
+/// returns the manifests after a JSON dump/parse round trip, exactly the
+/// path bytes take through a real worker's result file.
+std::vector<util::Json> run_shards_in_process(
+    const std::vector<dist::ShardSpec>& specs) {
+  std::vector<util::Json> manifests;
+  for (const dist::ShardSpec& spec : specs) {
+    manifests.push_back(util::Json::parse(dist::run_shard(spec).dump(1)));
+  }
+  return manifests;
+}
+
+// ----------------------------------------------------------- subprocess
+
+TEST(Subprocess, CapturesExitStatusAndStderr) {
+  const auto result =
+      util::Subprocess::run({"/bin/sh", "-c", "echo boom >&2; exit 3"});
+  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.stderr_output, "boom\n");
+  EXPECT_EQ(result.describe(), "exit 3");
+}
+
+TEST(Subprocess, SuccessAndMissingProgram) {
+  EXPECT_TRUE(util::Subprocess::run({"/bin/true"}).ok());
+  // exec failure surfaces as the shell's 127, with a message.
+  const auto result =
+      util::Subprocess::run({"/definitely/not/a/program-xyz"});
+  EXPECT_EQ(result.exit_code, 127);
+  EXPECT_NE(result.stderr_output.find("exec failed"), std::string::npos);
+}
+
+TEST(Subprocess, SignalDeathIsReported) {
+  const auto result =
+      util::Subprocess::run({"/bin/sh", "-c", "kill -KILL $$"});
+  EXPECT_EQ(result.exit_code, -1);
+  EXPECT_EQ(result.term_signal, 9);
+  EXPECT_EQ(result.describe(), "signal 9");
+}
+
+// ------------------------------------------------------- specs and plans
+
+TEST(ShardSpec, RoundTripsThroughJson) {
+  dist::ShardSpec spec;
+  spec.index = 2;
+  spec.count = 4;
+  spec.mode = dist::ShardMode::kAggregate;
+  spec.scenario = small_scenario();
+  spec.strategy = core::Strategy::kNacimRl;
+  spec.episodes = 16;
+  spec.total_seeds = 8;
+  spec.seeds = {4, 5};
+  spec.threshold = 0.25;
+  spec.threshold_fraction = 0.9;
+  spec.result_path = "/tmp/r.json";
+  spec.fail_first_attempt = true;
+  spec.attempt = 1;
+
+  const dist::ShardSpec back =
+      dist::shard_spec_from_json(dist::shard_spec_to_json(spec));
+  EXPECT_EQ(back.index, spec.index);
+  EXPECT_EQ(back.count, spec.count);
+  EXPECT_EQ(back.mode, spec.mode);
+  EXPECT_EQ(back.strategy, spec.strategy);
+  EXPECT_EQ(back.episodes, spec.episodes);
+  EXPECT_EQ(back.total_seeds, spec.total_seeds);
+  EXPECT_EQ(back.seeds, spec.seeds);
+  EXPECT_EQ(back.threshold, spec.threshold);
+  EXPECT_EQ(back.threshold_fraction, spec.threshold_fraction);
+  EXPECT_EQ(back.result_path, spec.result_path);
+  EXPECT_EQ(back.fail_first_attempt, spec.fail_first_attempt);
+  EXPECT_EQ(back.attempt, spec.attempt);
+  EXPECT_EQ(dist::shard_spec_checksum(back), dist::shard_spec_checksum(spec));
+
+  // A NaN threshold ("no threshold") round-trips through key absence.
+  spec.threshold = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(
+      dist::shard_spec_from_json(dist::shard_spec_to_json(spec)).threshold));
+}
+
+TEST(ShardSpec, TamperedSpecIsRejected) {
+  dist::ShardSpec spec;
+  spec.scenario = small_scenario();
+  spec.seeds = {0};
+  util::Json j = dist::shard_spec_to_json(spec);
+  j["episodes"] = 999;  // body no longer matches the embedded checksum
+  EXPECT_THROW((void)dist::shard_spec_from_json(j), std::invalid_argument);
+  EXPECT_THROW((void)dist::shard_spec_from_json(util::Json::parse("{}")),
+               std::invalid_argument);
+}
+
+TEST(ShardPlan, PartitionsSeedsExactlyOnce) {
+  const core::Scenario scenario = small_scenario();
+  const auto plan = dist::plan_shards(
+      scenario, dist::ShardMode::kAggregate,
+      {{core::Strategy::kLcda, 6}, {core::Strategy::kRandom, 16}},
+      /*seeds=*/5, /*shards=*/3, /*threshold=*/NAN, 0.95);
+  // Two strategies x min(3, 5) chunks each.
+  ASSERT_EQ(plan.size(), 6u);
+  for (const auto& spec : plan) EXPECT_EQ(spec.count, 6);
+  std::vector<int> seen;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan[i].strategy, core::Strategy::kLcda);
+    EXPECT_EQ(plan[i].episodes, 6);
+    for (int s : plan[i].seeds) seen.push_back(s);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(plan[3].strategy, core::Strategy::kRandom);
+  EXPECT_EQ(plan[3].episodes, 16);
+
+  // Never more shards than seeds.
+  const auto tight = dist::plan_shards(scenario, dist::ShardMode::kRuns,
+                                       {{core::Strategy::kLcda, 6}},
+                                       /*seeds=*/2, /*shards=*/8, NAN, 0.95);
+  EXPECT_EQ(tight.size(), 2u);
+}
+
+// ------------------------------------------------- merge == single process
+
+TEST(Merge, AggregateIsByteIdenticalToSingleProcess) {
+  core::Scenario scenario = small_scenario();
+  const int kSeeds = 5;
+  const double kThreshold = 0.0;
+  const core::AggregateResult reference =
+      core::run_aggregate(core::Strategy::kLcda, scenario.config.lcda_episodes,
+                          kSeeds, scenario.config, kThreshold);
+
+  auto specs = dist::plan_shards(
+      scenario, dist::ShardMode::kAggregate,
+      {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, kSeeds,
+      /*shards=*/2, kThreshold, 0.95);
+  ASSERT_EQ(specs.size(), 2u);
+  const core::AggregateResult merged =
+      dist::merge_aggregate(specs, run_shards_in_process(specs));
+
+  EXPECT_EQ(core::aggregate_to_json(merged).dump(2),
+            core::aggregate_to_json(reference).dump(2));
+}
+
+TEST(Merge, AggregateWithoutThresholdMatchesToo) {
+  core::Scenario scenario = small_scenario();
+  const core::AggregateResult reference = core::run_aggregate(
+      core::Strategy::kRandom, scenario.config.nacim_episodes, 4,
+      scenario.config, NAN);
+  auto specs = dist::plan_shards(
+      scenario, dist::ShardMode::kAggregate,
+      {{core::Strategy::kRandom, scenario.config.nacim_episodes}}, 4,
+      /*shards=*/4, NAN, 0.95);
+  const core::AggregateResult merged =
+      dist::merge_aggregate(specs, run_shards_in_process(specs));
+  EXPECT_EQ(core::aggregate_to_json(merged).dump(2),
+            core::aggregate_to_json(reference).dump(2));
+}
+
+TEST(Merge, SpeedupIsByteIdenticalToSingleProcess) {
+  core::Scenario scenario = small_scenario();
+  const auto reference = core::speedup_study(scenario.config, 3, 0.95);
+  auto specs = dist::plan_shards(scenario, dist::ShardMode::kSpeedup,
+                                 {{core::Strategy::kLcda, 0}}, 3,
+                                 /*shards=*/2, NAN, 0.95);
+  const auto merged = dist::merge_speedup(specs, run_shards_in_process(specs));
+  EXPECT_EQ(core::speedup_study_to_json(merged).dump(2),
+            core::speedup_study_to_json(reference).dump(2));
+}
+
+TEST(Merge, RunsModeReassemblesTracesVerbatim) {
+  core::Scenario scenario = small_scenario();
+  // Reference: the CLI's plain path — seed offsets, labels, CSV.
+  std::string reference_csv;
+  std::string reference_runs_json;
+  {
+    util::Json arr = util::Json::array();
+    std::ostringstream csv;
+    for (int s = 0; s < 3; ++s) {
+      core::ExperimentConfig cfg = scenario.config;
+      cfg.seed = scenario.config.seed + static_cast<std::uint64_t>(s);
+      const core::RunResult run = core::run_strategy(
+          core::Strategy::kLcda, scenario.config.lcda_episodes, cfg);
+      const std::string label = "LCDA/seed" + std::to_string(cfg.seed);
+      core::write_run_csv(csv, run, label);
+      arr.push_back(core::run_to_json(run, label));
+    }
+    reference_csv = csv.str();
+    reference_runs_json = arr.dump(2);
+  }
+
+  auto specs = dist::plan_shards(
+      scenario, dist::ShardMode::kRuns,
+      {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, 3,
+      /*shards=*/3, NAN, 0.95);
+  const auto merged = dist::merge_runs(specs, run_shards_in_process(specs));
+  ASSERT_EQ(merged.size(), 3u);
+  std::string csv;
+  util::Json arr = util::Json::array();
+  for (const dist::MergedRun& run : merged) {
+    csv += run.csv;
+    arr.push_back(run.run_json);
+  }
+  EXPECT_EQ(csv, reference_csv);
+  EXPECT_EQ(arr.dump(2), reference_runs_json);
+}
+
+TEST(Merge, IncompleteOrForeignManifestsAreRejected) {
+  core::Scenario scenario = small_scenario();
+  auto specs = dist::plan_shards(
+      scenario, dist::ShardMode::kAggregate,
+      {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, 4,
+      /*shards=*/2, NAN, 0.95);
+  auto manifests = run_shards_in_process(specs);
+
+  // A lost shard: merging one manifest over a 4-seed study must throw.
+  EXPECT_THROW((void)dist::merge_aggregate({specs[0]}, {manifests[0]}),
+               std::runtime_error);
+  // A duplicated shard: the same seeds twice must throw, not double-count.
+  EXPECT_THROW(
+      (void)dist::merge_aggregate({specs[0], specs[0]},
+                                  {manifests[0], manifests[0]}),
+      std::runtime_error);
+}
+
+// ------------------------------------------- end-to-end worker processes
+
+TEST(Distributed, WorkersAndRetriesConvergeToReferenceBytes) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+
+  // 2 workers x parallelism 2, shared persistent-cache directory — the
+  // distributed acceptance configuration.
+  core::Scenario scenario = small_scenario();
+  scenario.config.parallelism = 2;
+  scenario.config.persistent_cache_dir = temp_dir("shared_cache_ref");
+  const int kSeeds = 4;
+  const core::AggregateResult reference =
+      core::run_aggregate(core::Strategy::kLcda, scenario.config.lcda_episodes,
+                          kSeeds, scenario.config, NAN);
+
+  // Fresh shared cache dir for the distributed run so both start cold and
+  // the cache counters can match exactly.
+  scenario.config.persistent_cache_dir = temp_dir("shared_cache_dist");
+  auto specs = dist::plan_shards(
+      scenario, dist::ShardMode::kAggregate,
+      {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, kSeeds,
+      /*shards=*/2, NAN, 0.95);
+  ASSERT_EQ(specs.size(), 2u);
+  // Crash injection: shard 0's first attempt aborts at entry; the
+  // coordinator must retry it and the merged bytes must not change.
+  specs[0].fail_first_attempt = true;
+
+  dist::Coordinator::Options opts;
+  opts.worker_command = {runner};
+  opts.shard_dir = temp_dir("coord");
+  opts.max_parallel = 2;
+  opts.max_retries = 1;
+  opts.verbose = false;
+  dist::Coordinator(opts).run(specs);
+  EXPECT_EQ(specs[0].attempt, 1);  // the injected failure was retried
+  EXPECT_EQ(specs[1].attempt, 0);
+
+  std::vector<util::Json> manifests;
+  for (const auto& spec : specs) {
+    manifests.push_back(dist::load_shard_manifest(spec));
+  }
+  const core::AggregateResult merged =
+      dist::merge_aggregate(specs, manifests);
+  EXPECT_EQ(core::aggregate_to_json(merged).dump(2),
+            core::aggregate_to_json(reference).dump(2));
+  EXPECT_EQ(merged.persistent_hits, reference.persistent_hits);
+}
+
+TEST(Distributed, ExhaustedRetriesFailLoudly) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+  core::Scenario scenario = small_scenario();
+  auto specs = dist::plan_shards(
+      scenario, dist::ShardMode::kAggregate,
+      {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, 2,
+      /*shards=*/1, NAN, 0.95);
+  specs[0].fail_first_attempt = true;
+
+  dist::Coordinator::Options opts;
+  opts.worker_command = {runner};
+  opts.shard_dir = temp_dir("coord_fail");
+  opts.max_parallel = 1;
+  opts.max_retries = 0;  // no second attempt: the injected crash is fatal
+  opts.verbose = false;
+  try {
+    dist::Coordinator(opts).run(specs);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exit 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("injected failure"),
+              std::string::npos);
+  }
+}
+
+}  // namespace

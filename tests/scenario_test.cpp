@@ -490,21 +490,100 @@ TEST(PersistentCache, DistinctStudiesDoNotShareFiles) {
   EXPECT_EQ(files, 2u);
 }
 
-TEST(PersistentCache, CorruptFilesFailLoudly) {
+TEST(PersistentCache, UnusableFilesAreSkippedAndCounted) {
+  // A bad cache file must not abort the run (a distributed shard retry
+  // would then fail on it forever): the cache starts cold, counts the
+  // skip, and the next save simply replaces the file.
   const std::string dir = temp_dir("corrupt");
   const core::ExperimentConfig config;
   const auto fp = core::study_fingerprint(config, core::Strategy::kLcda, 20);
-  core::PersistentEvalCache fresh(dir, fp);
-  fresh.insert(1, core::Evaluation{});
-  fresh.save();
   {
+    core::PersistentEvalCache fresh(dir, fp);
+    fresh.insert(1, core::Evaluation{});
+    fresh.save();
     std::ofstream out(fresh.path(), std::ios::trunc);
     out << "{ not json";
   }
-  EXPECT_THROW((core::PersistentEvalCache{dir, fp}), std::runtime_error);
+
+  core::PersistentEvalCache cold(dir, fp);
+  EXPECT_EQ(cold.size(), 0u);
+  EXPECT_EQ(cold.skipped_files(), 1u);
+  cold.insert(2, core::Evaluation{});
+  cold.save();
+
+  // The replacement file is healthy again.
+  core::PersistentEvalCache back(dir, fp);
+  EXPECT_EQ(back.skipped_files(), 0u);
+  EXPECT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back.lookup(2).has_value());
+}
+
+TEST(PersistentCache, ForeignFingerprintIsSkippedNotFatal) {
+  // A file renamed across studies used to be fatal; in a shared
+  // multi-process cache directory it must degrade to a counted cold start.
+  const std::string dir = temp_dir("foreign");
+  core::PersistentEvalCache a(dir, 0xaaa);
+  a.insert(1, core::Evaluation{});
+  a.save();
+  std::filesystem::copy_file(
+      a.path(), dir + "/0000000000000bbb.json",
+      std::filesystem::copy_options::overwrite_existing);
+
+  core::PersistentEvalCache b(dir, 0xbbb);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.skipped_files(), 1u);
+}
+
+TEST(PersistentCache, SkippedFilesSurfaceInRunResult) {
+  core::ExperimentConfig config;
+  config.persistent_cache_dir = temp_dir("skip_visible");
+  config.lcda_episodes = 4;
+  const core::RunResult cold =
+      core::run_strategy(core::Strategy::kLcda, config.lcda_episodes, config);
+  EXPECT_EQ(cold.persistent_skipped, 0);
+
+  // Corrupt the study's cache file; the rerun reports the skip, still
+  // completes, and stays bit-identical to the cold run.
+  const auto fp = core::study_fingerprint(config, core::Strategy::kLcda,
+                                          config.lcda_episodes);
+  core::PersistentEvalCache probe(config.persistent_cache_dir, fp);
+  {
+    std::ofstream out(probe.path(), std::ios::trunc);
+    out << "garbage";
+  }
+  const core::RunResult rerun =
+      core::run_strategy(core::Strategy::kLcda, config.lcda_episodes, config);
+  EXPECT_EQ(rerun.persistent_skipped, 1);
+  EXPECT_EQ(rerun.persistent_hits, 0);
+  EXPECT_EQ(trace_text(rerun), trace_text(cold));
 }
 
 // --------------------------------------------------- scenario behaviours
+
+TEST(Scenarios, DescriptionsExistAndRoundTrip) {
+  // Every built-in carries a description (lcda_run --list prints it, shard
+  // specs embed it), and the field survives serialization. Only the
+  // built-ins are checked: other tests drop scenarios into the shared
+  // registry, and those need not carry one.
+  for (const char* name :
+       {"paper-energy", "paper-latency", "naive", "finetuned", "tight-area",
+        "high-variation", "deep-backbone", "multi-objective", "trained-small"}) {
+    EXPECT_FALSE(core::scenario_by_name(name).description.empty())
+        << name << " has no description";
+  }
+  const core::Scenario s = core::scenario_by_name("paper-energy");
+  const core::Scenario back = core::scenario_from_json(
+      util::Json::parse(core::scenario_to_json(s).dump()));
+  EXPECT_EQ(back.description, s.description);
+
+  // Absent field stays absent: a description-less scenario serializes
+  // without the key and loads back empty.
+  core::Scenario bare;
+  bare.name = "bare";
+  EXPECT_FALSE(core::scenario_to_json(bare).contains("description"));
+  EXPECT_TRUE(core::scenario_from_json(core::scenario_to_json(bare))
+                  .description.empty());
+}
 
 TEST(Scenarios, TightAreaBudgetPropagatesToDesigns) {
   const core::Scenario s = core::scenario_by_name("tight-area");

@@ -5,13 +5,17 @@
 #
 # Measure mode (run once on the baseline commit, once on the candidate):
 #   tools/bench_record.sh measure --build build --out after.json [--reps 5] \
-#       [--seeds 8] [--episodes 300]
+#       [--seeds 8] [--episodes 300] [--distribute N]
 #
 #   Runs bench_micro_components (BM_FullSurrogateEvaluation,
 #   BM_MonteCarloSurrogate/16, BM_CostEvaluator) and bench_engine_scaling
 #   at parallelism 1 and 4, takes the min over --reps repetitions (the
 #   noise-robust estimator the recorded history uses), and writes one flat
-#   measurement JSON.
+#   measurement JSON. Every measurement records hardware_threads (nproc),
+#   so the single-hardware-thread caveat on recorded scaling numbers is
+#   machine-checkable instead of a prose footnote. With --distribute N it
+#   also times the same aggregate study sharded over N lcda_run worker
+#   processes (min wall-clock over the reps).
 #
 # Append mode (combine a before/after pair into the history):
 #   tools/bench_record.sh append --before before.json --after after.json \
@@ -30,6 +34,7 @@ OUT=""
 REPS=3
 SEEDS=8
 EPISODES=300
+DISTRIBUTE=0
 BEFORE=""
 AFTER=""
 CHANGE=""
@@ -43,6 +48,7 @@ while [[ $# -gt 0 ]]; do
     --reps) REPS="$2"; shift 2 ;;
     --seeds) SEEDS="$2"; shift 2 ;;
     --episodes) EPISODES="$2"; shift 2 ;;
+    --distribute) DISTRIBUTE="$2"; shift 2 ;;
     --before) BEFORE="$2"; shift 2 ;;
     --after) AFTER="$2"; shift 2 ;;
     --change) CHANGE="$2"; shift 2 ;;
@@ -78,10 +84,34 @@ measure)
       --json="$tmpdir/engine_$rep.json" >/dev/null
   done
 
-  python3 - "$tmpdir" "$OUT" "$REPS" "$SEEDS" "$EPISODES" <<'PYEOF'
+  # Optional distributed-mode wall clock: the same NACIM aggregate study
+  # sharded over worker processes through lcda_run --distribute.
+  if [[ "$DISTRIBUTE" -gt 0 ]]; then
+    [[ -x "$BUILD/lcda_run" ]] || {
+      echo "bench_record: $BUILD/lcda_run missing (needed for --distribute)" >&2
+      exit 1
+    }
+    echo "bench_record: distributed aggregate ($REPS runs, $DISTRIBUTE workers)..." >&2
+    : >"$tmpdir/dist_walls.txt"
+    for rep in $(seq "$REPS"); do
+      start=$(date +%s%N)
+      "$BUILD/lcda_run" --scenario=paper-energy --strategy=rl --aggregate \
+        --seeds="$SEEDS" --episodes="$EPISODES" --parallelism=4 \
+        --distribute="$DISTRIBUTE" --quiet >/dev/null 2>&1
+      end=$(date +%s%N)
+      echo $(( (end - start) / 1000000 )) >>"$tmpdir/dist_walls.txt"
+    done
+  fi
+
+  # nproc is what std::thread::hardware_concurrency reports on Linux
+  # (both honour the process's cpu affinity mask / cgroup pinning).
+  HW_THREADS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
+  python3 - "$tmpdir" "$OUT" "$REPS" "$SEEDS" "$EPISODES" "$HW_THREADS" "$DISTRIBUTE" <<'PYEOF'
 import json, sys
-tmpdir, out_path, reps, seeds, episodes = (
-    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]), int(sys.argv[5]))
+tmpdir, out_path, reps, seeds, episodes, hw_threads, distribute = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]),
+    int(sys.argv[5]), int(sys.argv[6]), int(sys.argv[7]))
 
 micro = json.load(open(f"{tmpdir}/micro.json"))
 def bench_min(name):
@@ -106,6 +136,7 @@ measurement = {
     "format": "lcda-bench-measurement-v1",
     "reps": reps,
     "estimator": "min",
+    "hardware_threads": hw_threads,
     "surrogate_full_evaluation_ns": round(bench_min("BM_FullSurrogateEvaluation")),
     "monte_carlo_16_ns": round(bench_min("BM_MonteCarloSurrogate/16")),
     "cost_evaluator_ns": round(bench_min("BM_CostEvaluator")),
@@ -116,6 +147,18 @@ measurement = {
         "parallelism_4": round(min(walls[4]), 1),
     },
 }
+if distribute > 0:
+    dist_walls = [int(line) for line in open(f"{tmpdir}/dist_walls.txt")
+                  if line.strip()]
+    if not dist_walls:
+        raise SystemExit("bench_record: no distributed wall samples")
+    measurement["distributed_wall_ms"] = {
+        "workers": distribute,
+        "seeds": seeds,
+        "episodes": episodes,
+        "wall_ms": min(dist_walls),
+        "note": "lcda_run --distribute wall clock incl. process spawn and merge",
+    }
 json.dump(measurement, open(out_path, "w"), indent=2)
 print(json.dumps(measurement, indent=2))
 PYEOF
@@ -145,6 +188,10 @@ if (b_eng["seeds"], b_eng["episodes"]) != (a_eng["seeds"], a_eng["episodes"]):
 entry = {
     "change": change,
     "baseline_commit": baseline_commit or "unknown",
+    # Machine-checkable scaling context: recorded parallel speedups are
+    # only meaningful relative to the threads the measuring box exposed.
+    "hardware_threads": {"before": before.get("hardware_threads"),
+                         "after": after.get("hardware_threads")},
     "surrogate_full_evaluation_ns": pair("surrogate_full_evaluation_ns"),
     "monte_carlo_16_ns": pair("monte_carlo_16_ns"),
     "cost_evaluator_ns": pair("cost_evaluator_ns"),
@@ -163,6 +210,14 @@ entry = {
     },
 }
 
+# Distributed wall clock rides along when either side measured it (a PR
+# introducing the mode has no "before" number).
+if "distributed_wall_ms" in after or "distributed_wall_ms" in before:
+    entry["distributed_wall_ms"] = {
+        "before": before.get("distributed_wall_ms"),
+        "after": after.get("distributed_wall_ms"),
+    }
+
 doc = json.load(open(bench_file))
 if doc.get("format") != "lcda-bench-engine-v1":
     raise SystemExit(f"bench_record: {bench_file} is not a lcda-bench-engine-v1 file")
@@ -175,7 +230,7 @@ PYEOF
   ;;
 
 *)
-  echo "usage: tools/bench_record.sh measure --out FILE [--build DIR] [--reps N] [--seeds N] [--episodes N]" >&2
+  echo "usage: tools/bench_record.sh measure --out FILE [--build DIR] [--reps N] [--seeds N] [--episodes N] [--distribute N]" >&2
   echo "       tools/bench_record.sh append --before F --after F --change DESC [--baseline-commit SHA] [--file BENCH_engine.json]" >&2
   exit 2
   ;;

@@ -13,6 +13,7 @@
 //   lcda_run --scenario-file=my_study.json --trace=trace.csv
 //   lcda_run --scenario=paper-energy --aggregate --seeds=8 --json=agg.json
 //   lcda_run --scenario=paper-energy --speedup --seeds=4 --trace=speedup.csv
+//   lcda_run --scenario=paper-energy --aggregate --seeds=8 --distribute=2
 //
 // Flags:
 //   --list                 list registered scenarios and exit
@@ -45,6 +46,19 @@
 //   --parallelism=N        worker threads (default: LCDA_PARALLELISM, else 1;
 //                          0 = one per hardware thread); traces are
 //                          bit-identical for every setting
+//   --distribute=N         shard the study across N worker PROCESSES (the
+//                          lcda::dist coordinator spawns `lcda_run --worker`
+//                          subprocesses and merges their result manifests);
+//                          every output — traces, JSON, cache counters — is
+//                          byte-identical to the same command without
+//                          --distribute (see README "Scaling out")
+//   --max-retries=K        extra attempts per failed shard before the run
+//                          aborts (default 2; requires --distribute)
+//   --shard-dir=DIR        keep shard specs/manifests in DIR instead of an
+//                          auto-cleaned temp directory (requires
+//                          --distribute)
+//   --worker=SPEC.json     internal: run one shard spec and write its result
+//                          manifest (what --distribute spawns)
 //   --json=PATH            write the full experiment (runs + traces + cache
 //                          counters) as JSON
 //   --trace=PATH           write the episode traces as CSV ("-" = stdout;
@@ -52,9 +66,12 @@
 //                          stdout stays valid CSV) — the format CI diffs
 //                          against golden traces
 //   --quiet                suppress the per-episode listing
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -64,7 +81,11 @@
 #include "lcda/core/report.h"
 #include "lcda/core/scenario.h"
 #include "lcda/core/stats_runner.h"
+#include "lcda/dist/coordinator.h"
+#include "lcda/dist/merge.h"
+#include "lcda/dist/shard.h"
 #include "lcda/util/strings.h"
+#include "lcda/util/subprocess.h"
 
 namespace {
 
@@ -83,11 +104,16 @@ struct CliOptions {
   std::string cache_dir;
   std::string json_path;
   std::string trace_path;
+  std::string shard_dir;        // --distribute: where shard files live
+  std::string worker_spec;      // internal --worker mode
   std::vector<std::string> overrides;
   int episodes = 0;  // 0 = scenario default
   int seeds = 1;
   long long seed = -1;          // -1 = scenario default
   int parallelism = -1;         // -1 = environment default
+  int distribute = 0;           // 0 = in-process; N = worker processes
+  int max_retries = 2;          // per-shard retry budget (--distribute)
+  bool max_retries_set = false;
   double threshold = std::numeric_limits<double>::quiet_NaN();
   double threshold_fraction = 0.95;
 };
@@ -99,12 +125,14 @@ int usage(const char* argv0) {
                "[--episodes=N] [--seed=K] [--set key=value ...] "
                "[--cache-dir=DIR] [--parallelism=N] [--json=PATH] "
                "[--trace=PATH|-] [--quiet]\n"
+               "       %s ... --distribute=N [--max-retries=K] "
+               "[--shard-dir=DIR]\n"
                "       %s --scenario=NAME --aggregate [--threshold=R] [...]\n"
                "       %s --scenario=NAME --speedup [--threshold-fraction=F] "
                "[...]\n"
                "       %s --scenario-file=PATH [...]\n"
                "       %s --list | --print-config --scenario=NAME\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -172,6 +200,85 @@ std::vector<core::Strategy> resolve_strategies(const std::string& spec,
   return out;
 }
 
+/// Per-strategy episode budgets, resolved once so the in-process and
+/// distributed paths can never disagree on them.
+std::vector<dist::StrategyStudy> resolve_studies(
+    const CliOptions& cli, const core::Scenario& scenario,
+    const std::vector<core::Strategy>& strategies) {
+  std::vector<dist::StrategyStudy> studies;
+  studies.reserve(strategies.size());
+  for (core::Strategy strategy : strategies) {
+    const int episodes =
+        cli.episodes > 0 ? cli.episodes
+                         : core::default_episodes(strategy, scenario.config);
+    studies.push_back({strategy, episodes});
+  }
+  return studies;
+}
+
+/// A completed distributed study: the executed plan plus every shard's
+/// loaded (and spec-verified) result manifest, index-aligned with specs.
+struct DistributedStudy {
+  std::vector<dist::ShardSpec> specs;
+  std::vector<util::Json> manifests;
+
+  /// The contiguous shard range study entry `k` owns (plan_shards is
+  /// strategy-major with a fixed chunk count per strategy), as parallel
+  /// spec/manifest slices for the per-strategy mergers.
+  [[nodiscard]] std::pair<std::vector<dist::ShardSpec>,
+                          std::vector<util::Json>>
+  strategy_slice(std::size_t k, std::size_t study_count) const {
+    const std::size_t chunks = specs.size() / study_count;
+    std::pair<std::vector<dist::ShardSpec>, std::vector<util::Json>> slice;
+    for (std::size_t i = k * chunks; i < (k + 1) * chunks; ++i) {
+      slice.first.push_back(specs[i]);
+      slice.second.push_back(manifests[i]);
+    }
+    return slice;
+  }
+};
+
+/// Plans the study, drives the shard workers to completion through the
+/// coordinator, and loads their manifests. The shard directory is the
+/// user's --shard-dir (kept) or an automatic temp directory (removed on
+/// success, kept on failure for post-mortem).
+DistributedStudy run_distributed(const CliOptions& cli,
+                                 const core::Scenario& scenario,
+                                 dist::ShardMode mode,
+                                 const std::vector<dist::StrategyStudy>& studies,
+                                 const char* argv0) {
+  namespace fs = std::filesystem;
+  const bool auto_dir = cli.shard_dir.empty();
+  const std::string shard_dir =
+      auto_dir ? (fs::temp_directory_path() /
+                  ("lcda-shards-" + std::to_string(static_cast<long>(::getpid()))))
+                     .string()
+               : cli.shard_dir;
+
+  DistributedStudy study;
+  study.specs =
+      dist::plan_shards(scenario, mode, studies, cli.seeds, cli.distribute,
+                        cli.threshold, cli.threshold_fraction);
+
+  dist::Coordinator::Options opts;
+  opts.worker_command = {util::self_executable_path(argv0)};
+  opts.shard_dir = shard_dir;
+  opts.max_parallel = cli.distribute;
+  opts.max_retries = cli.max_retries;
+  opts.verbose = !cli.quiet;  // --quiet silences shard narration too
+  dist::Coordinator(opts).run(study.specs);
+
+  study.manifests.reserve(study.specs.size());
+  for (const dist::ShardSpec& spec : study.specs) {
+    study.manifests.push_back(dist::load_shard_manifest(spec));
+  }
+  if (auto_dir) {
+    std::error_code ec;
+    fs::remove_all(shard_dir, ec);
+  }
+  return study;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -192,6 +299,8 @@ int main(int argc, char** argv) {
       else if (flag_value(arg, "--cache-dir=", cli.cache_dir)) {}
       else if (flag_value(arg, "--json=", cli.json_path)) {}
       else if (flag_value(arg, "--trace=", cli.trace_path)) {}
+      else if (flag_value(arg, "--shard-dir=", cli.shard_dir)) {}
+      else if (flag_value(arg, "--worker=", cli.worker_spec)) {}
       else if (arg == "--set" && i + 1 < argc) cli.overrides.emplace_back(argv[++i]);
       else if (flag_value(arg, "--set=", value)) cli.overrides.push_back(value);
       else if (flag_value(arg, "--episodes=", value)) {
@@ -202,6 +311,11 @@ int main(int argc, char** argv) {
         cli.seed = parse_number_flag(value, "--seed", 0);
       } else if (flag_value(arg, "--parallelism=", value)) {
         cli.parallelism = static_cast<int>(parse_number_flag(value, "--parallelism", 0));
+      } else if (flag_value(arg, "--distribute=", value)) {
+        cli.distribute = static_cast<int>(parse_number_flag(value, "--distribute", 1));
+      } else if (flag_value(arg, "--max-retries=", value)) {
+        cli.max_retries = static_cast<int>(parse_number_flag(value, "--max-retries", 0));
+        cli.max_retries_set = true;
       } else if (flag_value(arg, "--threshold-fraction=", value)) {
         cli.threshold_fraction = parse_double_flag(value, "--threshold-fraction");
       } else if (flag_value(arg, "--threshold=", value)) {
@@ -211,6 +325,12 @@ int main(int argc, char** argv) {
                      std::string(arg).c_str());
         return usage(argv[0]);
       }
+    }
+
+    // Internal worker mode: execute one shard spec and exit. Everything
+    // the shard needs travels in the spec file, so no other flag applies.
+    if (!cli.worker_spec.empty()) {
+      return dist::run_worker(cli.worker_spec);
     }
 
     // Tracing to stdout reserves it for CSV; narration moves to stderr.
@@ -227,6 +347,9 @@ int main(int argc, char** argv) {
         std::fprintf(human, "%-16s %s  [default strategy: %s]\n",
                      s.name.c_str(), s.summary.c_str(),
                      std::string(core::strategy_name(s.default_strategy)).c_str());
+        if (!s.description.empty()) {
+          std::fprintf(human, "%-16s %s\n", "", s.description.c_str());
+        }
       }
       return 0;
     }
@@ -284,6 +407,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "lcda_run: --threshold requires --aggregate\n");
       return usage(argv[0]);
     }
+    if (cli.distribute == 0 && (!cli.shard_dir.empty() || cli.max_retries_set)) {
+      std::fprintf(stderr,
+                   "lcda_run: --shard-dir / --max-retries require "
+                   "--distribute\n");
+      return usage(argv[0]);
+    }
 
     const std::vector<core::Strategy> strategies =
         resolve_strategies(cli.strategies, scenario.default_strategy);
@@ -297,32 +426,46 @@ int main(int argc, char** argv) {
     // --- multi-seed aggregate mode (SpeedupReport/AggregateResult were
     // engine-only until now; this surfaces them through the CLI) ---------
     if (cli.aggregate) {
+      const std::vector<dist::StrategyStudy> studies =
+          resolve_studies(cli, scenario, strategies);
       std::vector<core::AggregateResult> aggregates;
+      if (cli.distribute > 0) {
+        // Shard across worker processes and fold the manifests back; the
+        // merged aggregates are byte-identical to the in-process branch.
+        const DistributedStudy study = run_distributed(
+            cli, scenario, dist::ShardMode::kAggregate, studies, argv[0]);
+        for (std::size_t k = 0; k < studies.size(); ++k) {
+          const auto [specs, manifests] =
+              study.strategy_slice(k, studies.size());
+          aggregates.push_back(dist::merge_aggregate(specs, manifests));
+        }
+      } else {
+        for (const dist::StrategyStudy& s : studies) {
+          aggregates.push_back(core::run_aggregate(s.strategy, s.episodes,
+                                                   cli.seeds, scenario.config,
+                                                   cli.threshold));
+        }
+      }
+
       std::fprintf(human, "%-14s %8s %8s %10s %10s %10s %10s\n", "strategy",
                    "episodes", "seeds", "best mean", "stddev", "min", "max");
-      for (core::Strategy strategy : strategies) {
-        const int episodes =
-            cli.episodes > 0 ? cli.episodes
-                             : core::default_episodes(strategy, scenario.config);
-        core::AggregateResult agg = core::run_aggregate(
-            strategy, episodes, cli.seeds, scenario.config, cli.threshold);
+      for (const core::AggregateResult& agg : aggregates) {
         std::fprintf(human, "%-14s %8d %8d %10.4f %10.4f %10.4f %10.4f\n",
-                     std::string(core::strategy_name(strategy)).c_str(),
-                     episodes, cli.seeds, agg.final_best.mean(),
+                     std::string(core::strategy_name(agg.strategy)).c_str(),
+                     agg.episodes, agg.seeds, agg.final_best.mean(),
                      agg.final_best.stddev(), agg.final_best.min(),
                      agg.final_best.max());
         if (!std::isnan(cli.threshold)) {
           std::fprintf(human,
                        "  threshold %+0.4f: %d/%d seeds reached, "
                        "mean %.1f episodes\n",
-                       cli.threshold, agg.reached, cli.seeds,
+                       cli.threshold, agg.reached, agg.seeds,
                        agg.episodes_to_threshold.mean());
         }
         std::fprintf(human, "  cache: %lld hits, %lld misses, %lld persistent\n",
                      static_cast<long long>(agg.cache_hits),
                      static_cast<long long>(agg.cache_misses),
                      static_cast<long long>(agg.persistent_hits));
-        aggregates.push_back(std::move(agg));
       }
 
       if (!cli.trace_path.empty()) {
@@ -352,8 +495,17 @@ int main(int argc, char** argv) {
 
     // --- paired LCDA-vs-NACIM speedup study -----------------------------
     if (cli.speedup) {
-      const std::vector<core::SpeedupReport> reports =
-          core::speedup_study(scenario.config, cli.seeds, cli.threshold_fraction);
+      std::vector<core::SpeedupReport> reports;
+      if (cli.distribute > 0) {
+        // The speedup study has no strategy axis: one plan over the seeds.
+        const DistributedStudy study =
+            run_distributed(cli, scenario, dist::ShardMode::kSpeedup,
+                            {{core::Strategy::kLcda, 0}}, argv[0]);
+        reports = dist::merge_speedup(study.specs, study.manifests);
+      } else {
+        reports = core::speedup_study(scenario.config, cli.seeds,
+                                      cli.threshold_fraction);
+      }
       std::fprintf(human, "%-6s %12s %10s %10s %10s %10s\n", "seed",
                    "threshold", "lcda eps", "nacim eps", "nacim best",
                    "speedup");
@@ -380,6 +532,50 @@ int main(int argc, char** argv) {
         doc["experiment"] = scenario.name;
         doc["seed"] = static_cast<long long>(scenario.config.seed);
         doc["speedup_study"] = core::speedup_study_to_json(reports);
+        doc["scenario"] = core::scenario_to_json(scenario);
+        core::write_json_file(doc, cli.json_path);
+        std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
+      }
+      return 0;
+    }
+
+    // --- per-seed runs, sharded across worker processes -----------------
+    if (cli.distribute > 0) {
+      const std::vector<dist::StrategyStudy> studies =
+          resolve_studies(cli, scenario, strategies);
+      const DistributedStudy study = run_distributed(
+          cli, scenario, dist::ShardMode::kRuns, studies, argv[0]);
+      const std::vector<dist::MergedRun> runs =
+          dist::merge_runs(study.specs, study.manifests);
+
+      // Per-episode listings stay inside the workers; the coordinator
+      // prints each run's summary (full traces flow through --json and
+      // --trace, byte-identical to a non-distributed run).
+      for (const dist::MergedRun& run : runs) {
+        std::fprintf(human, "\n== %s (%lld episodes) ==\n", run.label.c_str(),
+                     run.run_json.at("episodes").as_int());
+        std::fprintf(human, "best reward %+0.4f at episode %d (%s)\n",
+                     run.best_reward, run.best_episode,
+                     run.best_design.c_str());
+        std::fprintf(human,
+                     "cache: %lld hits, %lld misses, %lld persistent hits\n",
+                     run.cache_hits, run.cache_misses, run.persistent_hits);
+      }
+
+      if (!cli.trace_path.empty()) {
+        TraceOut trace;
+        if (!open_trace(cli.trace_path, trace)) return 1;
+        for (const dist::MergedRun& run : runs) *trace.stream << run.csv;
+      }
+      if (!cli.json_path.empty()) {
+        // Same document shape as core::experiment_to_json, with each
+        // worker's run JSON embedded verbatim.
+        util::Json doc = util::Json::object();
+        doc["experiment"] = scenario.name;
+        doc["seed"] = static_cast<long long>(scenario.config.seed);
+        util::Json arr = util::Json::array();
+        for (const dist::MergedRun& run : runs) arr.push_back(run.run_json);
+        doc["runs"] = arr;
         doc["scenario"] = core::scenario_to_json(scenario);
         core::write_json_file(doc, cli.json_path);
         std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
