@@ -91,6 +91,37 @@ void SurrogateEvaluator::evaluate_into(const search::Design& design,
   }
   out.accuracy = stats.mean();
   out.accuracy_stddev = stats.stddev();
+  // The deterministic part travels with the Evaluation so the persistent
+  // store can share it across studies (replay_evaluation re-runs only the
+  // Monte-Carlo loop above from these two numbers).
+  out.replay_mean = params.mean;
+  out.replay_spread = params.spread;
+  out.has_replay_params = true;
+}
+
+bool SurrogateEvaluator::replay_evaluation(const Evaluation& cached,
+                                           util::Rng& rng, Evaluation& out) {
+  if (!cached.has_replay_params) return false;
+  out.cost = cached.cost;
+  out.replay_mean = cached.replay_mean;
+  out.replay_spread = cached.replay_spread;
+  out.has_replay_params = true;
+  // The exact Monte-Carlo loop of evaluate_into — same fork layout, same
+  // draw count (monte_carlo_samples is part of the store's
+  // evaluation-identity fingerprint, so producer and consumer agree) —
+  // seeded by the consumer's own stream: the result is bit-identical to
+  // the cold evaluation this study would have computed itself.
+  surrogate::AccuracyModel::SampleParams params{};
+  params.mean = cached.replay_mean;
+  params.spread = cached.replay_spread;
+  util::OnlineStats stats;
+  for (int i = 0; i < opts_.monte_carlo_samples; ++i) {
+    util::Rng sample_rng = rng.fork();
+    stats.add(accuracy_.sample(params, sample_rng));
+  }
+  out.accuracy = stats.mean();
+  out.accuracy_stddev = stats.stddev();
+  return true;
 }
 
 Evaluation SurrogateEvaluator::evaluate(const search::Design& design,

@@ -4,8 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
-#include "lcda/core/eval_cache.h"
 #include "lcda/core/scenario.h"
+#include "lcda/store/eval_store.h"
 #include "lcda/util/csv.h"
 #include "lcda/util/strings.h"
 #include "lcda/util/thread_pool.h"
@@ -161,26 +161,33 @@ RunResult run_strategy(Strategy strategy, int episodes,
   opts.pipeline_depth = config.pipeline_depth;
   opts.cache_evaluations = config.cache_evaluations;
 
-  std::unique_ptr<PersistentEvalCache> pcache;
+  std::unique_ptr<store::EvalStore> pstore;
   if (!config.persistent_cache_dir.empty()) {
-    pcache = std::make_unique<PersistentEvalCache>(
-        config.persistent_cache_dir,
-        study_fingerprint(config, strategy, episodes),
-        PersistentEvalCache::Budget{config.persistent_cache_max_entries,
-                                    config.persistent_cache_max_bytes});
-    opts.persistent_cache = pcache.get();
+    store::EvalStore::Options store_opts;
+    store_opts.directory = config.persistent_cache_dir;
+    store_opts.eval_fingerprint = evaluation_fingerprint(config);
+    store_opts.stream_fingerprint = stream_fingerprint(config, strategy, episodes);
+    // The unchanged v1 fingerprint formula still names any flat-JSON file a
+    // pre-store run left behind; the store migrates it on open.
+    store_opts.legacy_fingerprint = study_fingerprint(config, strategy, episodes);
+    store_opts.budget = store::Budget{config.persistent_cache_max_entries,
+                                      config.persistent_cache_max_bytes};
+    pstore = std::make_unique<store::EvalStore>(std::move(store_opts));
+    opts.persistent_store = pstore.get();
   }
 
   CodesignLoop loop(*optimizer, *evaluator, reward, opts);
   util::Rng rng(util::hash_combine(config.seed,
                                    static_cast<std::uint64_t>(strategy) + 101));
   RunResult result = loop.run(rng);
-  if (pcache) {
-    pcache->save();
+  if (pstore) {
+    pstore->save();  // non-throwing: failures degrade to the counter below
     result.persistent_evictions =
-        static_cast<std::int64_t>(pcache->evictions());
+        static_cast<std::int64_t>(pstore->evictions());
     result.persistent_skipped =
-        static_cast<std::int64_t>(pcache->skipped_files());
+        static_cast<std::int64_t>(pstore->skipped_files());
+    result.persistent_save_failures =
+        static_cast<std::int64_t>(pstore->save_failures());
   }
   return result;
 }

@@ -19,6 +19,20 @@ struct Evaluation {
   double accuracy = 0.0;        ///< mean Monte-Carlo accuracy under variation
   double accuracy_stddev = 0.0; ///< chip-to-chip spread
   cim::CostReport cost;
+
+  /// Deterministic accuracy-model parameters behind the Monte-Carlo loop
+  /// (surrogate::AccuracyModel::SampleParams mean/spread). Unlike
+  /// `accuracy`, which folds in the producing study's RNG draws, these are
+  /// a pure content function of (design, evaluator options) — they are
+  /// what the evaluation store may legally share across studies. A
+  /// consumer re-derives its own bit-exact accuracy from them by replaying
+  /// the Monte-Carlo draws with its own stream
+  /// (PerformanceEvaluator::replay_evaluation). has_replay_params is false
+  /// for evaluators without a replayable accuracy model and for entries
+  /// migrated from v1 cache files.
+  double replay_mean = 0.0;
+  double replay_spread = 0.0;
+  bool has_replay_params = false;
 };
 
 /// One evaluation of a batch: the design to cost, the pre-forked private
@@ -48,6 +62,24 @@ class PerformanceEvaluator {
   /// to scalar evaluation no matter how the caller splits a round into
   /// batches — the co-design loop sends one contiguous chunk per worker.
   virtual void evaluate_batch(std::span<EvalRequest> batch);
+
+  /// Cross-study reuse hook: re-derives the Evaluation this evaluator
+  /// would have computed for the design behind `cached`, consuming `rng`
+  /// exactly as a fresh evaluate() would, but skipping all deterministic
+  /// work by starting from cached.replay_mean/replay_spread and
+  /// cached.cost. Returns false (leaving `out` untouched, `rng`
+  /// unconsumed) when `cached` carries no replay parameters or this
+  /// evaluator cannot replay — the caller then evaluates cold. When it
+  /// returns true, `out` is bit-identical to a cold evaluation with the
+  /// same `rng` state, so a replayed hit can never change a trace.
+  [[nodiscard]] virtual bool replay_evaluation(const Evaluation& cached,
+                                               util::Rng& rng,
+                                               Evaluation& out) {
+    (void)cached;
+    (void)rng;
+    (void)out;
+    return false;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -91,6 +123,9 @@ class SurrogateEvaluator final : public PerformanceEvaluator {
   [[nodiscard]] Evaluation evaluate(const search::Design& design,
                                     util::Rng& rng) override;
   void evaluate_batch(std::span<EvalRequest> batch) override;
+  [[nodiscard]] bool replay_evaluation(const Evaluation& cached,
+                                       util::Rng& rng,
+                                       Evaluation& out) override;
   [[nodiscard]] std::string name() const override { return "Surrogate"; }
 
  private:

@@ -8,9 +8,11 @@
 #include "lcda/core/reward.h"
 #include "lcda/search/optimizer.h"
 
-namespace lcda::core {
+namespace lcda::store {
+class EvalStore;
+}  // namespace lcda::store
 
-class PersistentEvalCache;
+namespace lcda::core {
 
 /// One completed episode of the co-design loop.
 struct EpisodeRecord {
@@ -31,19 +33,26 @@ struct RunResult {
 
   /// Evaluation-cache traffic: hits are episodes whose design was already
   /// evaluated (earlier episode or same batch) and reused its Evaluation;
-  /// persistent_hits are episodes served from the on-disk cache of a
-  /// previous process run (counted separately from both hits and misses).
-  /// persistent_evictions counts entries the on-disk cache dropped to stay
-  /// inside its configured budget (filled in after the post-run save);
-  /// persistent_skipped counts unusable on-disk cache files (corrupt,
-  /// foreign format, or moved across studies) that the run skipped —
-  /// loudly visible here instead of either aborting a whole distributed
-  /// worker or being silently treated as a cold start.
+  /// persistent_hits are episodes served byte-identically from the on-disk
+  /// store under this study's own key (counted separately from both hits
+  /// and misses). persistent_shared_hits are episodes served from ANOTHER
+  /// study's record in the same evaluation-identity namespace: the
+  /// deterministic part came from disk and the Monte-Carlo accuracy was
+  /// replayed with this run's own RNG stream, so the trace still matches a
+  /// cold run bit for bit. persistent_evictions counts records budget
+  /// compactions dropped (filled in after the post-run save);
+  /// persistent_skipped counts unusable store files (corrupt, foreign
+  /// format, truncated) the run skipped, and persistent_save_failures
+  /// counts saves that failed and were degraded to a warning — loudly
+  /// visible here instead of either aborting a whole distributed worker or
+  /// being silently treated as a cold start.
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   std::int64_t persistent_hits = 0;
+  std::int64_t persistent_shared_hits = 0;
   std::int64_t persistent_evictions = 0;
   std::int64_t persistent_skipped = 0;
+  std::int64_t persistent_save_failures = 0;
 
   /// Best episode, or a sentinel record (episode == -1, reward == -inf)
   /// when the run recorded no episodes.
@@ -112,11 +121,15 @@ class CodesignLoop {
     /// disables pipelining.
     std::size_t pipeline_depth = 8;
 
-    /// Optional on-disk cache consulted after the in-memory one (only when
-    /// cache_evaluations is on) and filled with every fresh evaluation.
-    /// Not owned; the owner saves it after the run. The loop touches it
-    /// only from the driving thread.
-    PersistentEvalCache* persistent_cache = nullptr;
+    /// Optional on-disk evaluation store consulted after the in-memory
+    /// cache (only when cache_evaluations is on) and filled with every
+    /// fresh evaluation. Full-key hits are reused as-is; shared-namespace
+    /// hits (another study's record for the same evaluation identity) are
+    /// replayed through the evaluator with this run's own RNG stream, so
+    /// either way the trace matches a cold run bit for bit. Not owned; the
+    /// owner saves it after the run. The loop touches it only from the
+    /// driving thread.
+    store::EvalStore* persistent_store = nullptr;
 
     /// Called after each episode (progress reporting in benches/examples).
     /// Invoked on the driving thread, in episode order, after the episode's

@@ -85,5 +85,22 @@ std::vector<std::string> register_scenarios_from(const std::string& directory);
 /// budgets. Keys the persistent evaluation cache.
 [[nodiscard]] std::uint64_t study_fingerprint(const ExperimentConfig& config,
                                               Strategy strategy, int episodes);
+/// The study fingerprint split into the store-v2 namespaces (see
+/// lcda::store::EvalStore). evaluation_fingerprint covers what legally
+/// determines an Evaluation's content: search space, evaluator kind and
+/// options, noise/write-verify settings, reward shape — everything in the
+/// config EXCEPT the stream-shaping knobs. Two studies with equal
+/// evaluation fingerprints compute byte-identical deterministic parts
+/// (cost report, accuracy-model parameters) for the same design, no matter
+/// how their seeds, strategies or batch schedules differ — which is
+/// exactly what the store shares across a sweep's sibling studies.
+[[nodiscard]] std::uint64_t evaluation_fingerprint(const ExperimentConfig& config);
+/// stream_fingerprint covers the rest: strategy, episode budget, seed and
+/// batch size — what shapes the RNG stream and therefore the Monte-Carlo
+/// accuracy draws. (evaluation, stream) together key exactly what
+/// study_fingerprint keys; the split just lets the store match the two
+/// halves independently.
+[[nodiscard]] std::uint64_t stream_fingerprint(const ExperimentConfig& config,
+                                               Strategy strategy, int episodes);
 
 }  // namespace lcda::core

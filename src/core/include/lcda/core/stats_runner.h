@@ -36,7 +36,9 @@ struct AggregateResult {
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
   std::int64_t persistent_hits = 0;
+  std::int64_t persistent_shared_hits = 0;
   std::int64_t persistent_skipped = 0;
+  std::int64_t persistent_save_failures = 0;
 
   [[nodiscard]] double mean_running_best(int episode) const {
     return running_best[static_cast<std::size_t>(episode)].mean();

@@ -1,6 +1,6 @@
 #include "lcda/core/loop.h"
 
-#include "lcda/core/eval_cache.h"
+#include "lcda/store/eval_store.h"
 
 #include <algorithm>
 #include <condition_variable>
@@ -235,12 +235,30 @@ RunResult CodesignLoop::run(util::Rng& rng) {
             continue;
           }
         }
-        if (opts_.persistent_cache) {
-          if (auto disk = opts_.persistent_cache->lookup(h)) {
+        if (opts_.persistent_store) {
+          if (auto disk = opts_.persistent_store->lookup(h)) {
             r.evals[i] = *disk;
             cache.emplace(h, *disk);
             ++result.persistent_hits;
             continue;
+          }
+          // Cross-study reuse: a sibling study's record for this design in
+          // the same evaluation-identity namespace carries the
+          // deterministic part (cost + accuracy-model params); replaying
+          // the Monte-Carlo draws with THIS slot's pre-forked stream
+          // yields the exact Evaluation a cold run would compute, so the
+          // hit is trace-invisible. Replayed here on the driving thread
+          // (it is a handful of normal draws), and inserted under this
+          // study's own key so the next warm rerun full-hits.
+          if (auto shared = opts_.persistent_store->lookup_shared(h)) {
+            Evaluation replayed;
+            if (evaluator_->replay_evaluation(*shared, eval_rng, replayed)) {
+              r.evals[i] = replayed;
+              cache.emplace(h, replayed);
+              opts_.persistent_store->insert(h, replayed);
+              ++result.persistent_shared_hits;
+              continue;
+            }
           }
         }
         // A pending entry can only ever be consulted by a later proposal
@@ -314,7 +332,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
         const std::uint64_t h = r.job_hashes[k];
         const Evaluation& ev = r.evals[r.job_slots[k]];
         cache.emplace(h, ev);
-        if (opts_.persistent_cache) opts_.persistent_cache->insert(h, ev);
+        if (opts_.persistent_store) opts_.persistent_store->insert(h, ev);
         if (!pending.empty()) pending.erase(h);
       }
     }

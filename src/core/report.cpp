@@ -55,7 +55,11 @@ util::Json run_to_json(const RunResult& run, std::string_view label) {
   j["cache_hits"] = static_cast<long long>(run.cache_hits);
   j["cache_misses"] = static_cast<long long>(run.cache_misses);
   j["persistent_hits"] = static_cast<long long>(run.persistent_hits);
+  j["persistent_shared_hits"] =
+      static_cast<long long>(run.persistent_shared_hits);
   j["persistent_skipped"] = static_cast<long long>(run.persistent_skipped);
+  j["persistent_save_failures"] =
+      static_cast<long long>(run.persistent_save_failures);
   util::Json eps = util::Json::array();
   for (const auto& ep : run.episodes) eps.push_back(episode_to_json(ep));
   j["trace"] = eps;
@@ -101,7 +105,11 @@ util::Json aggregate_to_json(const AggregateResult& agg) {
   j["cache_hits"] = static_cast<long long>(agg.cache_hits);
   j["cache_misses"] = static_cast<long long>(agg.cache_misses);
   j["persistent_hits"] = static_cast<long long>(agg.persistent_hits);
+  j["persistent_shared_hits"] =
+      static_cast<long long>(agg.persistent_shared_hits);
   j["persistent_skipped"] = static_cast<long long>(agg.persistent_skipped);
+  j["persistent_save_failures"] =
+      static_cast<long long>(agg.persistent_save_failures);
   util::Json mean = util::Json::array();
   util::Json stddev = util::Json::array();
   for (const util::OnlineStats& s : agg.running_best) {

@@ -907,4 +907,44 @@ std::uint64_t study_fingerprint(const ExperimentConfig& config,
   return util::fnv1a64(text);
 }
 
+std::uint64_t evaluation_fingerprint(const ExperimentConfig& config) {
+  // The study fingerprint's canonicalization, additionally normalizing the
+  // stream-shaping knobs (seed, batch size) and dropping strategy/episodes
+  // entirely: what remains — space, evaluator kind and options, noise and
+  // write-verify settings, reward shape — is exactly what determines an
+  // Evaluation's deterministic part, so sibling studies of a sweep land in
+  // one shared namespace. The tag keeps this hash disjoint from
+  // study_fingerprint's for identical configs.
+  ExperimentConfig canon = config;
+  const ExperimentConfig def;
+  canon.parallelism = def.parallelism;
+  canon.pipeline_depth = def.pipeline_depth;
+  canon.cache_evaluations = def.cache_evaluations;
+  canon.persistent_cache_dir = def.persistent_cache_dir;
+  canon.persistent_cache_max_entries = def.persistent_cache_max_entries;
+  canon.persistent_cache_max_bytes = def.persistent_cache_max_bytes;
+  canon.lcda_episodes = def.lcda_episodes;
+  canon.nacim_episodes = def.nacim_episodes;
+  canon.seed = def.seed;
+  canon.batch_size = def.batch_size;
+  const std::string text =
+      "lcda-eval-identity-v1\n" +
+      config_to_json(canon, /*include_defaults=*/true).dump();
+  return util::fnv1a64(text);
+}
+
+std::uint64_t stream_fingerprint(const ExperimentConfig& config,
+                                 Strategy strategy, int episodes) {
+  // Everything evaluation_fingerprint normalized away: together the two
+  // halves key what study_fingerprint keys, so (eval, stream) equality is
+  // the v1 full-hit condition and eval-only equality is the legal sharing
+  // condition.
+  const std::string text = "lcda-stream-identity-v1\n" +
+                           std::string(strategy_name(strategy)) + '/' +
+                           std::to_string(episodes) + '/' +
+                           std::to_string(config.seed) + '/' +
+                           std::to_string(config.batch_size);
+  return util::fnv1a64(text);
+}
+
 }  // namespace lcda::core

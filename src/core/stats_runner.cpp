@@ -71,7 +71,9 @@ AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
     agg.cache_hits += run.cache_hits;
     agg.cache_misses += run.cache_misses;
     agg.persistent_hits += run.persistent_hits;
+    agg.persistent_shared_hits += run.persistent_shared_hits;
     agg.persistent_skipped += run.persistent_skipped;
+    agg.persistent_save_failures += run.persistent_save_failures;
     if (!std::isnan(threshold)) {
       const int hit = run.episodes_to_reach(threshold);
       if (hit >= 0) {

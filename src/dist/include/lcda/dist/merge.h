@@ -48,7 +48,9 @@ struct MergedRun {
   long long cache_hits = 0;
   long long cache_misses = 0;
   long long persistent_hits = 0;
+  long long persistent_shared_hits = 0;
   long long persistent_skipped = 0;
+  long long persistent_save_failures = 0;
 };
 
 /// Reassembles runs-mode payloads in plan order (strategy-major, seeds

@@ -123,7 +123,10 @@ core::AggregateResult merge_aggregate(const std::vector<ShardSpec>& specs,
     agg.cache_hits += entry.at("cache_hits").as_int();
     agg.cache_misses += entry.at("cache_misses").as_int();
     agg.persistent_hits += entry.at("persistent_hits").as_int();
+    agg.persistent_shared_hits += entry.at("persistent_shared_hits").as_int();
     agg.persistent_skipped += entry.at("persistent_skipped").as_int();
+    agg.persistent_save_failures +=
+        entry.at("persistent_save_failures").as_int();
     if (!std::isnan(head.threshold)) {
       const int hit = static_cast<int>(entry.at("threshold_episode").as_int());
       if (hit >= 0) {
@@ -187,7 +190,11 @@ std::vector<MergedRun> merge_runs(const std::vector<ShardSpec>& specs,
       run.cache_hits = entry.at("cache_hits").as_int();
       run.cache_misses = entry.at("cache_misses").as_int();
       run.persistent_hits = entry.at("persistent_hits").as_int();
+      run.persistent_shared_hits =
+          entry.at("persistent_shared_hits").as_int();
       run.persistent_skipped = entry.at("persistent_skipped").as_int();
+      run.persistent_save_failures =
+          entry.at("persistent_save_failures").as_int();
       out.push_back(std::move(run));
     }
   }

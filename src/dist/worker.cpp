@@ -39,7 +39,11 @@ util::Json aggregate_entry(int seed, const core::RunResult& run,
   e["cache_hits"] = static_cast<long long>(run.cache_hits);
   e["cache_misses"] = static_cast<long long>(run.cache_misses);
   e["persistent_hits"] = static_cast<long long>(run.persistent_hits);
+  e["persistent_shared_hits"] =
+      static_cast<long long>(run.persistent_shared_hits);
   e["persistent_skipped"] = static_cast<long long>(run.persistent_skipped);
+  e["persistent_save_failures"] =
+      static_cast<long long>(run.persistent_save_failures);
   if (!std::isnan(threshold)) {
     e["threshold_episode"] = run.episodes_to_reach(threshold);
   }
@@ -72,7 +76,11 @@ util::Json run_entry(int seed, const std::string& label,
   e["cache_hits"] = static_cast<long long>(run.cache_hits);
   e["cache_misses"] = static_cast<long long>(run.cache_misses);
   e["persistent_hits"] = static_cast<long long>(run.persistent_hits);
+  e["persistent_shared_hits"] =
+      static_cast<long long>(run.persistent_shared_hits);
   e["persistent_skipped"] = static_cast<long long>(run.persistent_skipped);
+  e["persistent_save_failures"] =
+      static_cast<long long>(run.persistent_save_failures);
   e["run"] = core::run_to_json(run, label);
   std::ostringstream csv;
   core::write_run_csv(csv, run, label);

@@ -1,0 +1,276 @@
+#include "lcda/store/eval_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "lcda/store/legacy_json.h"
+#include "lcda/util/rng.h"
+#include "lcda/util/strings.h"
+
+namespace lcda::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// One stderr warning per file path per process: a store maps many files
+/// and several EvalStore instances per run (aggregate seed fan-out) map the
+/// same ones, so an unusable file must not spam a warning per instance.
+void warn_once(const std::string& path, const std::string& message) {
+  static std::mutex mutex;
+  static std::unordered_set<std::string> warned;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (warned.insert(path).second) {
+    std::fprintf(stderr, "EvalStore: %s\n", message.c_str());
+  }
+}
+
+std::uint64_t pair_shard(std::uint64_t eval_fp, std::uint64_t design_hash,
+                         std::size_t buckets) {
+  return util::hash_combine(eval_fp, design_hash) %
+         static_cast<std::uint64_t>(buckets);
+}
+
+}  // namespace
+
+EvalStore::EvalStore(Options opts) : opts_(std::move(opts)) {
+  if (opts_.directory.empty()) {
+    throw std::invalid_argument("EvalStore: empty directory");
+  }
+  if (opts_.buckets == 0) opts_.buckets = 1;
+  open_directory();
+  import_legacy();
+}
+
+void EvalStore::open_directory() {
+  // Index buckets first, then live segments: lookups walk files_ in order,
+  // so the compacted (stable) tier is preferred when a record exists in
+  // both. Either copy is byte-identical, the order just keeps probes
+  // touching the fewest files.
+  std::vector<std::string> paths = list_segment_files(opts_.directory + "/index");
+  const std::size_t index_files = paths.size();
+  for (const std::string& path : list_segment_files(opts_.directory + "/segments")) {
+    paths.push_back(path);
+  }
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    std::string error;
+    std::optional<SegmentView> view = SegmentView::open(paths[p], &error);
+    if (!view) {
+      if (!error.empty()) {
+        // Unusable file: skip it (counted, warned once per process) and run
+        // cold on whatever it held instead of aborting — a distributed
+        // shard retry must be able to get past a bad file, and the next
+        // --store-compact drops it. "" means the file vanished under a
+        // concurrent compaction, which is not damage.
+        ++skipped_files_;
+        warn_once(paths[p], "skipping unusable store file: " + error);
+      }
+      continue;
+    }
+    MappedFile file;
+    file.bucket_count = 1;
+    if (p < index_files) {
+      const std::string name = fs::path(paths[p]).filename().string();
+      file.is_bucket =
+          parse_bucket_name(name, &file.bucket_index, &file.bucket_count);
+    }
+    next_seq_ = std::max(next_seq_, view->max_seq() + 1);
+    file.view = std::move(*view);
+    files_.push_back(std::move(file));
+  }
+}
+
+void EvalStore::import_legacy() {
+  if (opts_.legacy_fingerprint == 0) return;
+  const std::string path =
+      legacy_cache_path(opts_.directory, opts_.legacy_fingerprint);
+  std::ifstream in(path);
+  if (!in) return;  // nothing to migrate
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<LegacyEntry> imported;
+  try {
+    imported = parse_legacy_cache(buffer.str(), opts_.legacy_fingerprint);
+  } catch (const std::exception& e) {
+    ++skipped_files_;
+    warn_once(path, "skipping unusable legacy cache file " + path + ": " +
+                        e.what());
+    return;
+  }
+  // v1 sequence numbers are per-file; offsetting them past everything the
+  // store has seen preserves their relative age without colliding with
+  // store-wide sequences. The entries enter unpublished, so the next save
+  // republishes them as a segment and then deletes the v1 file — the
+  // migration is complete after one warm run.
+  std::uint64_t max_seq = next_seq_;
+  for (LegacyEntry& e : imported) {
+    Entry entry;
+    entry.evaluation = std::move(e.evaluation);
+    entry.seq = next_seq_ + e.seq;
+    max_seq = std::max(max_seq, entry.seq);
+    if (entries_.emplace(e.design_hash, std::move(entry)).second) {
+      dirty_ = true;
+    }
+  }
+  next_seq_ = max_seq + 1;
+  legacy_path_ = path;
+}
+
+std::optional<core::Evaluation> EvalStore::probe_file(
+    const MappedFile& file, std::uint64_t design_hash, bool shared) const {
+  if (file.is_bucket &&
+      pair_shard(opts_.eval_fingerprint, design_hash, file.bucket_count) !=
+          file.bucket_index) {
+    return std::nullopt;
+  }
+  const SegmentView& view = file.view;
+  for (std::size_t i = view.lower_bound(opts_.eval_fingerprint, design_hash);
+       view.matches_pair(i, opts_.eval_fingerprint, design_hash); ++i) {
+    if (!record_checksum_ok(view.record(i))) {
+      // Damaged record inside a healthy file: skip it (counted) and keep
+      // probing — worst case this key re-evaluates cold. Never fatal.
+      ++corrupt_records_;
+      continue;
+    }
+    StoreRecord record = decode_record(view.record(i));
+    if (shared) {
+      if (record.evaluation.has_replay_params) {
+        return std::move(record.evaluation);
+      }
+    } else if (record.stream_fingerprint == opts_.stream_fingerprint) {
+      return std::move(record.evaluation);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<core::Evaluation> EvalStore::lookup(
+    std::uint64_t design_hash) const {
+  if (const auto it = entries_.find(design_hash); it != entries_.end()) {
+    return it->second.evaluation;
+  }
+  for (const MappedFile& file : files_) {
+    if (auto hit = probe_file(file, design_hash, /*shared=*/false)) return hit;
+  }
+  return std::nullopt;
+}
+
+std::optional<core::Evaluation> EvalStore::lookup_shared(
+    std::uint64_t design_hash) const {
+  // Compacted buckets only — never live segments, never this session's
+  // entries. Buckets change only under an explicit --store-compact, so
+  // whether a sibling study's record is visible here cannot depend on
+  // concurrent-process timing, and shared-hit counters stay deterministic
+  // (single-process == distributed, run-to-run).
+  for (const MappedFile& file : files_) {
+    if (!file.is_bucket) continue;
+    if (auto hit = probe_file(file, design_hash, /*shared=*/true)) return hit;
+  }
+  return std::nullopt;
+}
+
+void EvalStore::insert(std::uint64_t design_hash, const core::Evaluation& ev) {
+  if (ev.cost.invalid_reason.size() > kMaxReason) return;
+  if (entries_.emplace(design_hash, Entry{ev, next_seq_, false}).second) {
+    ++next_seq_;
+    dirty_ = true;
+  }
+}
+
+bool EvalStore::over_budget_estimate() const {
+  if (opts_.budget.max_entries == 0 && opts_.budget.max_bytes == 0) {
+    return false;
+  }
+  // Upper-bound estimate from open-time file headers plus this session's
+  // published entries; duplicates across segments inflate it, which only
+  // makes compaction run a pass it would otherwise skip — never miss one.
+  std::size_t records = 0, bytes = 0;
+  for (const MappedFile& file : files_) {
+    records += file.view.count();
+    bytes += kHeaderSize + file.view.count() * kRecordSize;
+  }
+  std::size_t published = 0;
+  for (const auto& [hash, entry] : entries_) {
+    if (entry.published) ++published;
+  }
+  records += published;
+  bytes += published * kRecordSize + (published > 0 ? kHeaderSize : 0);
+  return (opts_.budget.max_entries > 0 && records > opts_.budget.max_entries) ||
+         (opts_.budget.max_bytes > 0 && bytes > opts_.budget.max_bytes);
+}
+
+bool EvalStore::save() {
+  std::vector<StoreRecord> fresh;
+  for (const auto& [hash, entry] : entries_) {
+    if (entry.published) continue;
+    StoreRecord record;
+    record.eval_fingerprint = opts_.eval_fingerprint;
+    record.design_hash = hash;
+    record.stream_fingerprint = opts_.stream_fingerprint;
+    record.seq = entry.seq;
+    record.evaluation = entry.evaluation;
+    if (record_encodable(record)) fresh.push_back(std::move(record));
+  }
+  std::sort(fresh.begin(), fresh.end(),
+            [](const StoreRecord& a, const StoreRecord& b) {
+              return a.key_less(b);
+            });
+
+  if (!fresh.empty()) {
+    try {
+      fs::create_directories(opts_.directory + "/segments");
+      const std::vector<std::uint8_t> bytes = serialize_segment(fresh);
+      const std::uint64_t content_hash = util::fnv1a64(std::string_view(
+          reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+      static std::atomic<unsigned long> segment_counter{0};
+      const std::string path =
+          opts_.directory + "/segments/seg-" +
+          std::to_string(static_cast<long>(::getpid())) + "-" +
+          std::to_string(segment_counter.fetch_add(1)) + "-" +
+          util::hex_u64(content_hash) + ".seg";
+      publish_file(path, bytes);
+    } catch (const std::exception& e) {
+      // A study's results are already in hand by the time it saves; an I/O
+      // failure here degrades to a counted warning (mirroring the
+      // load-side skip-and-count rule) instead of killing the run. The
+      // entries stay unpublished, so a later save retries.
+      ++save_failures_;
+      warn_once(opts_.directory + "/save",
+                std::string("save failed (cache not persisted): ") + e.what());
+      return false;
+    }
+    for (auto& [hash, entry] : entries_) entry.published = true;
+    dirty_ = false;
+  }
+
+  if (!legacy_path_.empty()) {
+    std::error_code ec;
+    fs::remove(legacy_path_, ec);  // best-effort; reimported next run if not
+    legacy_path_.clear();
+  }
+
+  if (over_budget_estimate()) {
+    try {
+      const CompactionReport report =
+          compact_store(opts_.directory, opts_.budget, opts_.buckets);
+      evictions_ += report.evicted;
+    } catch (const std::exception& e) {
+      ++save_failures_;
+      warn_once(opts_.directory + "/compact",
+                std::string("budget compaction failed: ") + e.what());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lcda::store

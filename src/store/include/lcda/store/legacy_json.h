@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lcda/core/evaluator.h"
+#include "lcda/util/json_lite.h"
+
+namespace lcda::store {
+
+/// JSON round-trip of an Evaluation's scalar payload, kept from the v1
+/// flat-JSON PersistentEvalCache so its files can still be parsed (store-v2
+/// migrates them at open) and so tests can fabricate v1 fixtures. Doubles
+/// survive bit-for-bit (shortest-round-trip JSON numbers).
+[[nodiscard]] util::Json evaluation_to_json(const core::Evaluation& ev);
+[[nodiscard]] core::Evaluation evaluation_from_json(const util::Json& j);
+
+/// One entry of a v1 cache file: design hash -> evaluation, plus the
+/// insertion sequence number that carries its age into the store.
+struct LegacyEntry {
+  std::uint64_t design_hash = 0;
+  std::uint64_t seq = 0;
+  core::Evaluation evaluation;
+};
+
+/// `directory`/<hex fingerprint>.json — where v1 kept one study's cache.
+[[nodiscard]] std::string legacy_cache_path(const std::string& directory,
+                                            std::uint64_t fingerprint);
+
+/// Parses a v1 ("lcda-eval-cache-v1") file body. Throws std::runtime_error
+/// on anything unusable — corrupt JSON, foreign format tag, fingerprint
+/// mismatch — which the store converts into a counted skip.
+[[nodiscard]] std::vector<LegacyEntry> parse_legacy_cache(
+    const std::string& body, std::uint64_t fingerprint);
+
+/// Writes a v1-format cache file (test/fixture aid; the engine itself only
+/// reads v1). Throws std::runtime_error on I/O failure.
+void write_legacy_cache_file(const std::string& path, std::uint64_t fingerprint,
+                             const std::vector<LegacyEntry>& entries);
+
+}  // namespace lcda::store

@@ -1,0 +1,154 @@
+#include "lcda/store/legacy_json.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+
+#include "lcda/util/strings.h"
+
+namespace lcda::store {
+
+namespace {
+
+constexpr std::string_view kLegacyFormat = "lcda-eval-cache-v1";
+
+std::uint64_t parse_hex64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (ec != std::errc() || ptr != s.data() + s.size() || s.empty()) {
+    throw std::runtime_error("legacy cache: bad hex id \"" + s + "\"");
+  }
+  return v;
+}
+
+}  // namespace
+
+util::Json evaluation_to_json(const core::Evaluation& ev) {
+  util::Json j = util::Json::object();
+  j["accuracy"] = ev.accuracy;
+  j["accuracy_stddev"] = ev.accuracy_stddev;
+
+  util::Json c = util::Json::object();
+  c["valid"] = ev.cost.valid;
+  if (!ev.cost.invalid_reason.empty()) c["invalid_reason"] = ev.cost.invalid_reason;
+  c["area_arrays_mm2"] = ev.cost.area_arrays_mm2;
+  c["area_buffer_mm2"] = ev.cost.area_buffer_mm2;
+  c["area_digital_mm2"] = ev.cost.area_digital_mm2;
+  c["area_noc_mm2"] = ev.cost.area_noc_mm2;
+  c["area_total_mm2"] = ev.cost.area_total_mm2;
+  c["energy_adc_pj"] = ev.cost.energy_adc_pj;
+  c["energy_xbar_pj"] = ev.cost.energy_xbar_pj;
+  c["energy_dac_pj"] = ev.cost.energy_dac_pj;
+  c["energy_digital_pj"] = ev.cost.energy_digital_pj;
+  c["energy_buffer_pj"] = ev.cost.energy_buffer_pj;
+  c["energy_noc_pj"] = ev.cost.energy_noc_pj;
+  c["energy_total_pj"] = ev.cost.energy_total_pj;
+  c["latency_ns"] = ev.cost.latency_ns;
+  c["leakage_mw"] = ev.cost.leakage_mw;
+  c["total_weights"] = ev.cost.total_weights;
+  c["total_cells"] = ev.cost.total_cells;
+  c["programming_energy_pj"] = ev.cost.programming_energy_pj;
+  c["weight_sigma"] = ev.cost.weight_sigma;
+  c["max_adc_deficit_bits"] = ev.cost.max_adc_deficit_bits;
+  j["cost"] = c;
+  return j;
+}
+
+core::Evaluation evaluation_from_json(const util::Json& j) {
+  core::Evaluation ev;
+  ev.accuracy = j.at("accuracy").as_double();
+  ev.accuracy_stddev = j.at("accuracy_stddev").as_double();
+  const util::Json& c = j.at("cost");
+  ev.cost.valid = c.at("valid").as_bool();
+  if (c.contains("invalid_reason")) {
+    ev.cost.invalid_reason = c.at("invalid_reason").as_string();
+  }
+  ev.cost.area_arrays_mm2 = c.at("area_arrays_mm2").as_double();
+  ev.cost.area_buffer_mm2 = c.at("area_buffer_mm2").as_double();
+  ev.cost.area_digital_mm2 = c.at("area_digital_mm2").as_double();
+  ev.cost.area_noc_mm2 = c.at("area_noc_mm2").as_double();
+  ev.cost.area_total_mm2 = c.at("area_total_mm2").as_double();
+  ev.cost.energy_adc_pj = c.at("energy_adc_pj").as_double();
+  ev.cost.energy_xbar_pj = c.at("energy_xbar_pj").as_double();
+  ev.cost.energy_dac_pj = c.at("energy_dac_pj").as_double();
+  ev.cost.energy_digital_pj = c.at("energy_digital_pj").as_double();
+  ev.cost.energy_buffer_pj = c.at("energy_buffer_pj").as_double();
+  ev.cost.energy_noc_pj = c.at("energy_noc_pj").as_double();
+  ev.cost.energy_total_pj = c.at("energy_total_pj").as_double();
+  ev.cost.latency_ns = c.at("latency_ns").as_double();
+  ev.cost.leakage_mw = c.at("leakage_mw").as_double();
+  ev.cost.total_weights = c.at("total_weights").as_int();
+  ev.cost.total_cells = c.at("total_cells").as_int();
+  ev.cost.programming_energy_pj = c.at("programming_energy_pj").as_double();
+  ev.cost.weight_sigma = c.at("weight_sigma").as_double();
+  ev.cost.max_adc_deficit_bits =
+      static_cast<int>(c.at("max_adc_deficit_bits").as_int());
+  return ev;
+}
+
+std::string legacy_cache_path(const std::string& directory,
+                              std::uint64_t fingerprint) {
+  return directory + "/" + util::hex_u64(fingerprint) + ".json";
+}
+
+std::vector<LegacyEntry> parse_legacy_cache(const std::string& body,
+                                            std::uint64_t fingerprint) {
+  util::Json doc;
+  try {
+    doc = util::Json::parse(body);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string("corrupt JSON: ") + e.what());
+  }
+  if (!doc.contains("format") ||
+      doc.at("format").as_string() != kLegacyFormat) {
+    throw std::runtime_error("not a " + std::string(kLegacyFormat) + " file");
+  }
+  if (parse_hex64(doc.at("fingerprint").as_string()) != fingerprint) {
+    throw std::runtime_error("fingerprint mismatch (file moved between studies?)");
+  }
+  std::vector<LegacyEntry> entries;
+  std::uint64_t next_seq = 0;
+  for (const util::Json& entry : doc.at("entries").elements()) {
+    LegacyEntry e;
+    e.design_hash = parse_hex64(entry.at("design").as_string());
+    e.evaluation = evaluation_from_json(entry.at("evaluation"));
+    // Age survives round trips via a per-entry sequence number; files from
+    // before eviction existed carry none and age by file order.
+    e.seq = entry.contains("seq")
+                ? static_cast<std::uint64_t>(entry.at("seq").as_int())
+                : next_seq;
+    next_seq = std::max(next_seq, e.seq + 1);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void write_legacy_cache_file(const std::string& path, std::uint64_t fingerprint,
+                             const std::vector<LegacyEntry>& entries) {
+  std::vector<LegacyEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LegacyEntry& a, const LegacyEntry& b) {
+              return a.design_hash < b.design_hash;
+            });
+  util::Json doc = util::Json::object();
+  doc["format"] = kLegacyFormat;
+  doc["fingerprint"] = util::hex_u64(fingerprint);
+  util::Json arr = util::Json::array();
+  for (const LegacyEntry& e : sorted) {
+    util::Json entry = util::Json::object();
+    entry["design"] = util::hex_u64(e.design_hash);
+    entry["seq"] = static_cast<long long>(e.seq);
+    entry["evaluation"] = evaluation_to_json(e.evaluation);
+    arr.push_back(entry);
+  }
+  doc["entries"] = arr;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("legacy cache: cannot write " + path);
+  out << doc.dump(1) << '\n';
+  if (!out.flush()) {
+    throw std::runtime_error("legacy cache: write failed for " + path);
+  }
+}
+
+}  // namespace lcda::store

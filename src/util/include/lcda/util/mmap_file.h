@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lcda::util {
+
+/// Read-only memory-mapped file. The mapping is immutable for the object's
+/// lifetime and survives the underlying file being renamed over or unlinked
+/// (POSIX keeps the pages alive until munmap), which is what lets store
+/// compaction replace segment files while readers hold mappings into them.
+///
+/// Move-only; the moved-from object is empty. An empty MmapFile (default
+/// constructed, failed open, or zero-length file) has data() == nullptr and
+/// size() == 0.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Maps `path` read-only. Returns an empty mapping on any failure and, if
+  /// `error` is non-null, stores a one-line description there ("" on
+  /// success). A zero-length file maps successfully to an empty mapping.
+  [[nodiscard]] static MmapFile open(const std::string& path,
+                                     std::string* error = nullptr);
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lcda::util

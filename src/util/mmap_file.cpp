@@ -1,0 +1,73 @@
+#include "lcda/util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace lcda::util {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error) *error = what;
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MmapFile MmapFile::open(const std::string& path, std::string* error) {
+  set_error(error, "");
+  MmapFile file;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    set_error(error, path + ": " + std::strerror(errno));
+    return file;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    set_error(error, path + ": fstat: " + std::strerror(errno));
+    ::close(fd);
+    return file;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return file;  // empty mapping, no error
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file contents alive
+  if (addr == MAP_FAILED) {
+    set_error(error, path + ": mmap: " + std::strerror(errno));
+    return file;
+  }
+  file.data_ = static_cast<const std::uint8_t*>(addr);
+  file.size_ = size;
+  return file;
+}
+
+}  // namespace lcda::util

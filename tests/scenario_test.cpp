@@ -1,13 +1,13 @@
-// Scenario registry, ExperimentConfig serialization, and the persistent
-// evaluation cache: the contracts behind `lcda_run` and the data-driven
-// benches.
+// Scenario registry, ExperimentConfig serialization, and the run-level
+// behaviour of the persistent evaluation store: the contracts behind
+// `lcda_run` and the data-driven benches. (Store internals — segments,
+// budgets, corruption recovery, migration — live in store_test.)
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
-#include "lcda/core/eval_cache.h"
 #include "lcda/core/scenario.h"
 #include "lcda/core/report.h"
 #include "lcda/noise/write_verify.h"
@@ -303,35 +303,56 @@ TEST(StudyFingerprint, SeparatesStudies) {
   EXPECT_NE(fp, core::study_fingerprint(batched, core::Strategy::kLcda, 20));
 }
 
-// ---------------------------------------------------------- eval cache
+// ------------------------------------------------ fingerprint namespaces
 
-TEST(EvalCacheJson, EvaluationRoundTripsBitForBit) {
-  core::Evaluation ev;
-  ev.accuracy = 1.0 / 3.0;
-  ev.accuracy_stddev = 0.0123456789012345678;
-  ev.cost.valid = false;
-  ev.cost.invalid_reason = "area 80.1 mm^2 over budget";
-  ev.cost.area_total_mm2 = 80.1;
-  ev.cost.energy_total_pj = 6.02e7 / 7.0;
-  ev.cost.latency_ns = 1e9 / 3.0;
-  ev.cost.total_weights = 1234567;
-  ev.cost.weight_sigma = 0.1 + 1e-17;
-  ev.cost.max_adc_deficit_bits = 2;
-  const core::Evaluation back = core::evaluation_from_json(
-      util::Json::parse(core::evaluation_to_json(ev).dump()));
-  EXPECT_EQ(back.accuracy, ev.accuracy);
-  EXPECT_EQ(back.accuracy_stddev, ev.accuracy_stddev);
-  EXPECT_EQ(back.cost.valid, ev.cost.valid);
-  EXPECT_EQ(back.cost.invalid_reason, ev.cost.invalid_reason);
-  EXPECT_EQ(back.cost.area_total_mm2, ev.cost.area_total_mm2);
-  EXPECT_EQ(back.cost.energy_total_pj, ev.cost.energy_total_pj);
-  EXPECT_EQ(back.cost.latency_ns, ev.cost.latency_ns);
-  EXPECT_EQ(back.cost.total_weights, ev.cost.total_weights);
-  EXPECT_EQ(back.cost.weight_sigma, ev.cost.weight_sigma);
-  EXPECT_EQ(back.cost.max_adc_deficit_bits, ev.cost.max_adc_deficit_bits);
+TEST(EvaluationFingerprint, IgnoresStreamIdentityAndEngineKnobs) {
+  // The evaluation-identity namespace is what legally determines an
+  // Evaluation: space, evaluator, reward, noise. Seed, batch size and every
+  // engine knob belong to the stream/engine side, so studies differing only
+  // there share records through the store's shared namespace.
+  core::ExperimentConfig a;
+  core::ExperimentConfig b;
+  b.seed = 99;
+  b.batch_size = 4;
+  b.parallelism = 8;
+  b.pipeline_depth = 2;
+  b.persistent_cache_dir = "/tmp/x";
+  b.lcda_episodes = 50;
+  EXPECT_EQ(core::evaluation_fingerprint(a), core::evaluation_fingerprint(b));
 }
 
-TEST(PersistentCache, SecondRunIsServedFromDiskWithIdenticalTrace) {
+TEST(EvaluationFingerprint, SeparatesEvaluationIdentities) {
+  const core::ExperimentConfig base;
+  const auto fp = core::evaluation_fingerprint(base);
+  core::ExperimentConfig spaced = base;
+  spaced.space.area_budget_mm2 = 20.0;
+  EXPECT_NE(fp, core::evaluation_fingerprint(spaced));
+  core::ExperimentConfig noisy = base;
+  noisy.evaluator.accuracy.variation_coeff = 1.75;
+  EXPECT_NE(fp, core::evaluation_fingerprint(noisy));
+  core::ExperimentConfig objective = base;
+  objective.objective = llm::Objective::kLatency;
+  EXPECT_NE(fp, core::evaluation_fingerprint(objective));
+}
+
+TEST(StreamFingerprint, SeparatesStreams) {
+  const core::ExperimentConfig base;
+  const auto fp = core::stream_fingerprint(base, core::Strategy::kLcda, 20);
+  EXPECT_NE(fp, core::stream_fingerprint(base, core::Strategy::kNacimRl, 20));
+  // Batched optimizers truncate their last batch at the budget, shifting
+  // RNG consumption — different budgets must not share full keys.
+  EXPECT_NE(fp, core::stream_fingerprint(base, core::Strategy::kLcda, 21));
+  core::ExperimentConfig seeded = base;
+  seeded.seed = 2;
+  EXPECT_NE(fp, core::stream_fingerprint(seeded, core::Strategy::kLcda, 20));
+  core::ExperimentConfig batched = base;
+  batched.batch_size = 4;
+  EXPECT_NE(fp, core::stream_fingerprint(batched, core::Strategy::kLcda, 20));
+}
+
+// ------------------------------------------- persistent evaluation store
+
+TEST(PersistentStore, SecondRunIsServedFromDiskWithIdenticalTrace) {
   core::ExperimentConfig config;
   config.persistent_cache_dir = temp_dir("reuse");
   config.lcda_episodes = 8;
@@ -348,25 +369,30 @@ TEST(PersistentCache, SecondRunIsServedFromDiskWithIdenticalTrace) {
   EXPECT_EQ(trace_text(warm), trace_text(cold));
 }
 
-TEST(PersistentCache, DifferentBudgetsUseDistinctFiles) {
+TEST(PersistentStore, DifferentEpisodeBudgetsDoNotShareEntries) {
   // Batched optimizers truncate the final batch at the budget, which
   // shifts RNG consumption: a 4-episode stream is NOT a prefix of an
-  // 8-episode stream in general, so budgets must not share cache entries.
+  // 8-episode stream in general, so budgets must not share full keys. And
+  // shared-namespace reuse only ever flows through compacted index buckets,
+  // which don't exist until --store-compact runs.
   const std::string dir = temp_dir("budgets");
   core::ExperimentConfig config;
   config.persistent_cache_dir = dir;
   (void)core::run_strategy(core::Strategy::kLcda, 4, config);
   const core::RunResult big = core::run_strategy(core::Strategy::kLcda, 8, config);
   EXPECT_EQ(big.persistent_hits, 0);
-  std::size_t files = 0;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+  EXPECT_EQ(big.persistent_shared_hits, 0);
+  // Each study published its own append-only segment.
+  std::size_t segments = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir + "/segments")) {
     (void)entry;
-    ++files;
+    ++segments;
   }
-  EXPECT_EQ(files, 2u);
+  EXPECT_EQ(segments, 2u);
 }
 
-TEST(PersistentCache, WarmBatchedOptimizerRunsStayBitIdentical) {
+TEST(PersistentStore, WarmBatchedOptimizerRunsStayBitIdentical) {
   // The guarantee that forced episodes into the fingerprint: a genetic
   // run's warm rerun (same budget) must match its cold run bit for bit,
   // even though the population batching truncates at the budget tail.
@@ -381,78 +407,7 @@ TEST(PersistentCache, WarmBatchedOptimizerRunsStayBitIdentical) {
   EXPECT_EQ(trace_text(warm), trace_text(cold));
 }
 
-TEST(PersistentCache, EntryBudgetEvictsOldestFirst) {
-  const std::string dir = temp_dir("evict_entries");
-  core::PersistentEvalCache cache(dir, 0x1234,
-                                  core::PersistentEvalCache::Budget{3, 0});
-  for (std::uint64_t h = 1; h <= 5; ++h) {
-    core::Evaluation ev;
-    ev.accuracy = 0.1 * static_cast<double>(h);
-    cache.insert(h, ev);
-  }
-  cache.save();
-  EXPECT_EQ(cache.size(), 3u);
-  EXPECT_EQ(cache.evictions(), 2u);
-  EXPECT_FALSE(cache.lookup(1).has_value());  // oldest went first
-  EXPECT_FALSE(cache.lookup(2).has_value());
-  EXPECT_TRUE(cache.lookup(3).has_value());
-  EXPECT_TRUE(cache.lookup(5).has_value());
-
-  // Ages survive the file round trip: a tightened budget trims the oldest
-  // SURVIVORS at load, not arbitrary entries.
-  core::PersistentEvalCache back(dir, 0x1234,
-                                 core::PersistentEvalCache::Budget{2, 0});
-  EXPECT_EQ(back.size(), 2u);
-  EXPECT_EQ(back.evictions(), 1u);
-  EXPECT_FALSE(back.lookup(3).has_value());
-  EXPECT_TRUE(back.lookup(4).has_value());
-  EXPECT_TRUE(back.lookup(5).has_value());
-}
-
-TEST(PersistentCache, ByteBudgetBoundsTheFileSize) {
-  const std::string dir = temp_dir("evict_bytes");
-  constexpr std::size_t kMaxBytes = 4096;
-  core::PersistentEvalCache cache(dir, 0x77,
-                                  core::PersistentEvalCache::Budget{0, kMaxBytes});
-  for (std::uint64_t h = 1; h <= 200; ++h) {
-    core::Evaluation ev;
-    ev.accuracy = 0.5;
-    ev.cost.energy_total_pj = static_cast<double>(h);
-    cache.insert(h, ev);
-  }
-  cache.save();
-  EXPECT_GT(cache.evictions(), 0u);
-  EXPECT_GT(cache.size(), 0u);
-  EXPECT_LE(std::filesystem::file_size(cache.path()), kMaxBytes);
-  // Newest entries are the survivors.
-  EXPECT_TRUE(cache.lookup(200).has_value());
-  EXPECT_FALSE(cache.lookup(1).has_value());
-}
-
-TEST(PersistentCache, TightenedByteBudgetTrimsWarmFileWithoutInserts) {
-  const std::string dir = temp_dir("evict_bytes_warm");
-  constexpr std::uint64_t kStudy = 0x88;
-  {
-    core::PersistentEvalCache cache(dir, kStudy,
-                                    core::PersistentEvalCache::Budget{});
-    for (std::uint64_t h = 1; h <= 50; ++h) {
-      core::Evaluation ev;
-      ev.accuracy = 0.5;
-      cache.insert(h, ev);
-    }
-    cache.save();
-    ASSERT_GT(std::filesystem::file_size(cache.path()), 2048u);
-  }
-  // A warm open with a tightened byte budget and zero inserts must still
-  // trim the file at save() — the over-budget load marks the cache dirty.
-  core::PersistentEvalCache cache(dir, kStudy,
-                                  core::PersistentEvalCache::Budget{0, 2048});
-  cache.save();
-  EXPECT_GT(cache.evictions(), 0u);
-  EXPECT_LE(std::filesystem::file_size(cache.path()), 2048u);
-}
-
-TEST(PersistentCache, RunRespectsConfiguredBudgetAndStaysBitIdentical) {
+TEST(PersistentStore, RunRespectsConfiguredBudgetAndStaysBitIdentical) {
   core::ExperimentConfig config;
   config.persistent_cache_dir = temp_dir("evict_run");
   config.persistent_cache_max_entries = 4;
@@ -473,7 +428,11 @@ TEST(PersistentCache, RunRespectsConfiguredBudgetAndStaysBitIdentical) {
   EXPECT_EQ(trace_text(warm), trace_text(cold));
 }
 
-TEST(PersistentCache, DistinctStudiesDoNotShareFiles) {
+TEST(PersistentStore, DistinctStreamsDoNotShareFullKeys) {
+  // LCDA and LCDA-naive share an evaluation identity (same space, evaluator
+  // and reward) but not a stream, so neither study may claim the other's
+  // records as its own — and the shared namespace stays silent until an
+  // explicit --store-compact publishes index buckets.
   const std::string dir = temp_dir("separate");
   core::ExperimentConfig config;
   config.persistent_cache_dir = dir;
@@ -481,76 +440,29 @@ TEST(PersistentCache, DistinctStudiesDoNotShareFiles) {
   (void)core::run_strategy(core::Strategy::kLcda, 4, config);
   const core::RunResult other =
       core::run_strategy(core::Strategy::kLcdaNaive, 4, config);
-  EXPECT_EQ(other.persistent_hits, 0);  // different strategy, different file
-  std::size_t files = 0;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    (void)entry;
-    ++files;
-  }
-  EXPECT_EQ(files, 2u);
+  EXPECT_EQ(other.persistent_hits, 0);
+  EXPECT_EQ(other.persistent_shared_hits, 0);
 }
 
-TEST(PersistentCache, UnusableFilesAreSkippedAndCounted) {
-  // A bad cache file must not abort the run (a distributed shard retry
-  // would then fail on it forever): the cache starts cold, counts the
-  // skip, and the next save simply replaces the file.
-  const std::string dir = temp_dir("corrupt");
-  const core::ExperimentConfig config;
-  const auto fp = core::study_fingerprint(config, core::Strategy::kLcda, 20);
-  {
-    core::PersistentEvalCache fresh(dir, fp);
-    fresh.insert(1, core::Evaluation{});
-    fresh.save();
-    std::ofstream out(fresh.path(), std::ios::trunc);
-    out << "{ not json";
-  }
-
-  core::PersistentEvalCache cold(dir, fp);
-  EXPECT_EQ(cold.size(), 0u);
-  EXPECT_EQ(cold.skipped_files(), 1u);
-  cold.insert(2, core::Evaluation{});
-  cold.save();
-
-  // The replacement file is healthy again.
-  core::PersistentEvalCache back(dir, fp);
-  EXPECT_EQ(back.skipped_files(), 0u);
-  EXPECT_EQ(back.size(), 1u);
-  EXPECT_TRUE(back.lookup(2).has_value());
-}
-
-TEST(PersistentCache, ForeignFingerprintIsSkippedNotFatal) {
-  // A file renamed across studies used to be fatal; in a shared
-  // multi-process cache directory it must degrade to a counted cold start.
-  const std::string dir = temp_dir("foreign");
-  core::PersistentEvalCache a(dir, 0xaaa);
-  a.insert(1, core::Evaluation{});
-  a.save();
-  std::filesystem::copy_file(
-      a.path(), dir + "/0000000000000bbb.json",
-      std::filesystem::copy_options::overwrite_existing);
-
-  core::PersistentEvalCache b(dir, 0xbbb);
-  EXPECT_EQ(b.size(), 0u);
-  EXPECT_EQ(b.skipped_files(), 1u);
-}
-
-TEST(PersistentCache, SkippedFilesSurfaceInRunResult) {
+TEST(PersistentStore, SkippedFilesSurfaceInRunResult) {
   core::ExperimentConfig config;
   config.persistent_cache_dir = temp_dir("skip_visible");
   config.lcda_episodes = 4;
   const core::RunResult cold =
       core::run_strategy(core::Strategy::kLcda, config.lcda_episodes, config);
   EXPECT_EQ(cold.persistent_skipped, 0);
+  EXPECT_EQ(cold.persistent_save_failures, 0);
 
-  // Corrupt the study's cache file; the rerun reports the skip, still
-  // completes, and stays bit-identical to the cold run.
-  const auto fp = core::study_fingerprint(config, core::Strategy::kLcda,
-                                          config.lcda_episodes);
-  core::PersistentEvalCache probe(config.persistent_cache_dir, fp);
-  {
-    std::ofstream out(probe.path(), std::ios::trunc);
+  // Corrupt the study's published segment; the rerun reports the skip,
+  // still completes (cold, deterministically), and stays bit-identical.
+  std::size_t corrupted = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           config.persistent_cache_dir + "/segments")) {
+    std::ofstream out(entry.path(), std::ios::trunc);
     out << "garbage";
+    ++corrupted;
   }
+  ASSERT_EQ(corrupted, 1u);
   const core::RunResult rerun =
       core::run_strategy(core::Strategy::kLcda, config.lcda_episodes, config);
   EXPECT_EQ(rerun.persistent_skipped, 1);

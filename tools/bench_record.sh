@@ -84,6 +84,33 @@ measure)
       --json="$tmpdir/engine_$rep.json" >/dev/null
   done
 
+  # Warm-rerun wall clock: one cold aggregate study populating a fresh
+  # persistent cache, then the identical command re-run against the
+  # populated cache (min over the reps). The warm number is the tracked
+  # save+load+hit-path cost of the evaluation store.
+  [[ -x "$BUILD/lcda_run" ]] || {
+    echo "bench_record: $BUILD/lcda_run missing (needed for warm rerun)" >&2
+    exit 1
+  }
+  echo "bench_record: warm rerun (1 cold + $REPS warm, $SEEDS seeds x $EPISODES episodes)..." >&2
+  cachedir="$tmpdir/warm_cache"
+  rm -rf "$cachedir"
+  start=$(date +%s%N)
+  "$BUILD/lcda_run" --scenario=paper-energy --strategy=rl --aggregate \
+    --seeds="$SEEDS" --episodes="$EPISODES" --parallelism=1 \
+    --cache-dir="$cachedir" --quiet >/dev/null
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 )) >"$tmpdir/warm_cold.txt"
+  : >"$tmpdir/warm_walls.txt"
+  for rep in $(seq "$REPS"); do
+    start=$(date +%s%N)
+    "$BUILD/lcda_run" --scenario=paper-energy --strategy=rl --aggregate \
+      --seeds="$SEEDS" --episodes="$EPISODES" --parallelism=1 \
+      --cache-dir="$cachedir" --quiet >/dev/null
+    end=$(date +%s%N)
+    echo $(( (end - start) / 1000000 )) >>"$tmpdir/warm_walls.txt"
+  done
+
   # Optional distributed-mode wall clock: the same NACIM aggregate study
   # sharded over worker processes through lcda_run --distribute.
   if [[ "$DISTRIBUTE" -gt 0 ]]; then
@@ -147,6 +174,18 @@ measurement = {
         "parallelism_4": round(min(walls[4]), 1),
     },
 }
+warm_cold = int(open(f"{tmpdir}/warm_cold.txt").read().strip())
+warm_walls = [int(line) for line in open(f"{tmpdir}/warm_walls.txt") if line.strip()]
+if not warm_walls:
+    raise SystemExit("bench_record: no warm-rerun wall samples")
+measurement["warm_rerun_wall_ms"] = {
+    "seeds": seeds,
+    "episodes": episodes,
+    "parallelism": 1,
+    "cold_wall_ms": warm_cold,
+    "warm_wall_ms": min(warm_walls),
+    "note": "RL aggregate vs a populated persistent cache (store save+load+hit path)",
+}
 if distribute > 0:
     dist_walls = [int(line) for line in open(f"{tmpdir}/dist_walls.txt")
                   if line.strip()]
@@ -209,6 +248,15 @@ entry = {
         },
     },
 }
+
+# Warm-rerun wall clock rides along when either side measured it; the
+# warm_speedup quotient is the headline save+load improvement.
+if "warm_rerun_wall_ms" in after or "warm_rerun_wall_ms" in before:
+    b, a = before.get("warm_rerun_wall_ms"), after.get("warm_rerun_wall_ms")
+    entry["warm_rerun_wall_ms"] = {"before": b, "after": a}
+    if b and a and a.get("warm_wall_ms"):
+        entry["warm_rerun_wall_ms"]["warm_speedup"] = round(
+            b["warm_wall_ms"] / a["warm_wall_ms"], 2)
 
 # Distributed wall clock rides along when either side measured it (a PR
 # introducing the mode has no "before" number).

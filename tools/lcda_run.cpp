@@ -42,7 +42,7 @@
 //   --seed=K               override the base seed
 //   --set key=value        dotted-path config override (repeatable), e.g.
 //                          --set space.conv_layers=4 --set objective=latency
-//   --cache-dir=PATH       enable the on-disk evaluation cache
+//   --cache-dir=PATH       enable the on-disk evaluation store
 //   --parallelism=N        worker threads (default: LCDA_PARALLELISM, else 1;
 //                          0 = one per hardware thread); traces are
 //                          bit-identical for every setting
@@ -66,6 +66,18 @@
 //                          stdout stays valid CSV) — the format CI diffs
 //                          against golden traces
 //   --quiet                suppress the per-episode listing
+//
+// Store maintenance (act on --cache-dir=DIR and exit):
+//   --store-compact        merge segments into fresh index buckets, dedupe
+//                          republished records, drop corrupt ones
+//                          (skip-and-count) and enforce the budget
+//                          oldest-first; safe while readers/writers are
+//                          live. --store-buckets=N sets the index shard
+//                          count (default 16); --store-max-entries=N /
+//                          --store-max-bytes=N apply a budget
+//   --store-fsck           verify every segment and index bucket (headers,
+//                          per-record checksums, sort order); exits
+//                          nonzero when any damage is found
 #include <unistd.h>
 
 #include <cmath>
@@ -79,6 +91,7 @@
 #include <vector>
 
 #include "lcda/core/report.h"
+#include "lcda/store/eval_store.h"
 #include "lcda/core/scenario.h"
 #include "lcda/core/stats_runner.h"
 #include "lcda/dist/coordinator.h"
@@ -90,6 +103,13 @@
 namespace {
 
 using namespace lcda;
+
+/// ", N shared" when cross-study reuse happened, "" otherwise — existing
+/// cache summary lines (and everything that greps them) stay unchanged
+/// until the store actually shares across studies.
+std::string shared_hits_suffix(long long shared) {
+  return shared > 0 ? ", " + std::to_string(shared) + " shared" : std::string();
+}
 
 struct CliOptions {
   bool list = false;
@@ -105,6 +125,11 @@ struct CliOptions {
   std::string json_path;
   std::string trace_path;
   std::string shard_dir;        // --distribute: where shard files live
+  bool store_compact = false;   // store maintenance modes (need --cache-dir)
+  bool store_fsck = false;
+  long long store_buckets = 16;
+  long long store_max_entries = 0;
+  long long store_max_bytes = 0;
   std::string worker_spec;      // internal --worker mode
   std::vector<std::string> overrides;
   int episodes = 0;  // 0 = scenario default
@@ -131,8 +156,11 @@ int usage(const char* argv0) {
                "       %s --scenario=NAME --speedup [--threshold-fraction=F] "
                "[...]\n"
                "       %s --scenario-file=PATH [...]\n"
+               "       %s --cache-dir=DIR --store-compact "
+               "[--store-buckets=N] [--store-max-entries=N] "
+               "[--store-max-bytes=N] | --store-fsck\n"
                "       %s --list | --print-config --scenario=NAME\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -297,6 +325,15 @@ int main(int argc, char** argv) {
       else if (flag_value(arg, "--scenario=", cli.scenario)) {}
       else if (flag_value(arg, "--strategy=", cli.strategies)) {}
       else if (flag_value(arg, "--cache-dir=", cli.cache_dir)) {}
+      else if (arg == "--store-compact") cli.store_compact = true;
+      else if (arg == "--store-fsck") cli.store_fsck = true;
+      else if (flag_value(arg, "--store-buckets=", value)) {
+        cli.store_buckets = parse_number_flag(value, "--store-buckets", 1);
+      } else if (flag_value(arg, "--store-max-entries=", value)) {
+        cli.store_max_entries = parse_number_flag(value, "--store-max-entries", 0);
+      } else if (flag_value(arg, "--store-max-bytes=", value)) {
+        cli.store_max_bytes = parse_number_flag(value, "--store-max-bytes", 0);
+      }
       else if (flag_value(arg, "--json=", cli.json_path)) {}
       else if (flag_value(arg, "--trace=", cli.trace_path)) {}
       else if (flag_value(arg, "--shard-dir=", cli.shard_dir)) {}
@@ -331,6 +368,40 @@ int main(int argc, char** argv) {
     // the shard needs travels in the spec file, so no other flag applies.
     if (!cli.worker_spec.empty()) {
       return dist::run_worker(cli.worker_spec);
+    }
+
+    // Store maintenance modes: act on the store directory and exit.
+    if (cli.store_compact || cli.store_fsck) {
+      if (cli.cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "lcda_run: --store-compact/--store-fsck require "
+                     "--cache-dir=DIR\n");
+        return 2;
+      }
+      if (cli.store_compact) {
+        const lcda::store::Budget budget{
+            static_cast<std::size_t>(cli.store_max_entries),
+            static_cast<std::size_t>(cli.store_max_bytes)};
+        const lcda::store::CompactionReport rep = lcda::store::compact_store(
+            cli.cache_dir, budget, static_cast<std::size_t>(cli.store_buckets));
+        std::printf(
+            "store-compact %s: %zu files merged (%zu unreadable dropped), "
+            "%zu records kept, %zu duplicates dropped, %zu corrupt dropped, "
+            "%zu evicted\n",
+            cli.cache_dir.c_str(), rep.input_files, rep.skipped_files,
+            rep.records_kept, rep.duplicates_dropped, rep.corrupt_dropped,
+            rep.evicted);
+      }
+      if (cli.store_fsck) {
+        const lcda::store::FsckReport rep = lcda::store::fsck(cli.cache_dir);
+        std::printf(
+            "store-fsck %s: %zu files, %zu records ok, %zu bad files, "
+            "%zu bad records -> %s\n",
+            cli.cache_dir.c_str(), rep.files, rep.records, rep.bad_files,
+            rep.bad_records, rep.clean() ? "clean" : "DAMAGED");
+        if (!rep.clean()) return 1;
+      }
+      return 0;
     }
 
     // Tracing to stdout reserves it for CSV; narration moves to stderr.
@@ -462,10 +533,11 @@ int main(int argc, char** argv) {
                        cli.threshold, agg.reached, agg.seeds,
                        agg.episodes_to_threshold.mean());
         }
-        std::fprintf(human, "  cache: %lld hits, %lld misses, %lld persistent\n",
+        std::fprintf(human, "  cache: %lld hits, %lld misses, %lld persistent%s\n",
                      static_cast<long long>(agg.cache_hits),
                      static_cast<long long>(agg.cache_misses),
-                     static_cast<long long>(agg.persistent_hits));
+                     static_cast<long long>(agg.persistent_hits),
+                     shared_hits_suffix(agg.persistent_shared_hits).c_str());
       }
 
       if (!cli.trace_path.empty()) {
@@ -558,8 +630,9 @@ int main(int argc, char** argv) {
                      run.best_reward, run.best_episode,
                      run.best_design.c_str());
         std::fprintf(human,
-                     "cache: %lld hits, %lld misses, %lld persistent hits\n",
-                     run.cache_hits, run.cache_misses, run.persistent_hits);
+                     "cache: %lld hits, %lld misses, %lld persistent hits%s\n",
+                     run.cache_hits, run.cache_misses, run.persistent_hits,
+                     shared_hits_suffix(run.persistent_shared_hits).c_str());
       }
 
       if (!cli.trace_path.empty()) {
@@ -617,10 +690,11 @@ int main(int argc, char** argv) {
                      run.best_reward(), run.best_episode,
                      run.best().design.describe().c_str());
         std::fprintf(human,
-                     "cache: %lld hits, %lld misses, %lld persistent hits\n",
+                     "cache: %lld hits, %lld misses, %lld persistent hits%s\n",
                      static_cast<long long>(run.cache_hits),
                      static_cast<long long>(run.cache_misses),
-                     static_cast<long long>(run.persistent_hits));
+                     static_cast<long long>(run.persistent_hits),
+                     shared_hits_suffix(run.persistent_shared_hits).c_str());
         completed.push_back({label, run});
       }
     }
