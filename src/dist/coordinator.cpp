@@ -1,17 +1,26 @@
 #include "lcda/dist/coordinator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <filesystem>
+#include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
+#include "lcda/dist/progress.h"
 #include "lcda/util/subprocess.h"
 
 namespace lcda::dist {
 
 namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
 
 /// "seeds 4-7" / "seeds 3" — shard log labels.
 std::string seeds_label(const ShardSpec& spec) {
@@ -32,6 +41,50 @@ std::string last_line(const std::string& text) {
   return text.substr(begin, end - begin + 1);
 }
 
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+/// Upper median of an unsorted sample (copies; samples are tiny).
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// How a shard is doing right now, from the coordinator's point of view.
+enum class State { kPending, kRunning, kDone, kSuperseded };
+
+/// Scheduler-side shard record, parallel to the specs vector.
+struct Track {
+  State state = State::kPending;
+  std::set<int> revoked;           // stolen seeds (persisted to revoke file)
+  std::set<int> started, done;     // current attempt's progress records
+  bool stolen = false;             // phase-1 steal already taken
+  int duplicate_pos = -1;          // position of its supersede-duplicate
+  Clock::time_point spawn_time{};
+  double wall_ms = 0.0;            // busy wall summed across attempts
+  int slot = -1;
+  int spawns = 0;
+};
+
+struct Active {
+  std::unique_ptr<util::Subprocess> process;
+  std::size_t pos = 0;  // position in the specs vector
+  int slot = -1;
+};
+
+/// The seeds a spec still owes the merger: its seed list minus the
+/// revoked ones (the worker skips those; thief specs own them now).
+std::vector<int> owned_seeds(const ShardSpec& spec,
+                             const std::set<int>& revoked) {
+  std::vector<int> out;
+  for (int s : spec.seeds) {
+    if (revoked.count(s) == 0) out.push_back(s);
+  }
+  return out;
+}
+
 }  // namespace
 
 Coordinator::Coordinator(Options opts) : opts_(std::move(opts)) {
@@ -47,10 +100,16 @@ Coordinator::Coordinator(Options opts) : opts_(std::move(opts)) {
   if (opts_.max_retries < 0) {
     throw std::invalid_argument("Coordinator: max_retries must be >= 0");
   }
+  if (opts_.steal_threshold < 1.0) {
+    throw std::invalid_argument("Coordinator: steal_threshold must be >= 1");
+  }
+  if (opts_.poll_min_ms < 1) opts_.poll_min_ms = 1;
+  if (opts_.poll_max_ms < opts_.poll_min_ms) {
+    opts_.poll_max_ms = opts_.poll_min_ms;
+  }
 }
 
 void Coordinator::run(std::vector<ShardSpec>& specs) {
-  namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(opts_.shard_dir, ec);
   if (ec) {
@@ -58,90 +117,495 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
                              opts_.shard_dir + ": " + ec.message());
   }
 
-  std::vector<std::string> spec_paths(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const std::string stem =
-        opts_.shard_dir + "/shard-" + std::to_string(specs[i].index);
-    spec_paths[i] = stem + "-spec.json";
-    specs[i].result_path = stem + "-result.json";
-    // A manifest left over from a previous plan in a reused directory
-    // must not be mistaken for this run's output (the checksum would
-    // catch a different study, but not a re-run of the same one).
-    fs::remove(specs[i].result_path, ec);
+  stats_ = Stats{};
+  stats_.planned = static_cast<int>(specs.size());
+
+  std::vector<Track> track(specs.size());
+  std::deque<std::size_t> queue;
+  std::vector<Active> active;
+  std::vector<char> slot_busy(static_cast<std::size_t>(opts_.max_parallel), 0);
+  std::vector<char> slot_banned(static_cast<std::size_t>(opts_.max_parallel), 0);
+  std::vector<std::set<int>> slot_failures(
+      static_cast<std::size_t>(opts_.max_parallel));
+
+  // Shard "names" (spec.index) survive steals: new specs take fresh
+  // indices past every existing one, so file stems never collide.
+  int next_index = 0;
+  for (const ShardSpec& spec : specs) {
+    next_index = std::max(next_index, spec.index + 1);
   }
 
-  struct Active {
-    std::unique_ptr<util::Subprocess> process;
-    std::size_t shard = 0;
+  const auto stem = [&](std::size_t p) {
+    return opts_.shard_dir + "/shard-" + std::to_string(specs[p].index);
   };
-  std::deque<std::size_t> queue;
-  for (std::size_t i = 0; i < specs.size(); ++i) queue.push_back(i);
-  std::deque<Active> active;
 
-  const auto spawn = [&](std::size_t i) {
-    save_shard_spec(specs[i], spec_paths[i]);
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    specs[p].result_path = stem(p) + "-result.json";
+    specs[p].revoke_path = stem(p) + "-revoke.json";
+    specs[p].heartbeat_ms = opts_.heartbeat_ms;
+    // Leftovers from a previous plan in a reused directory must not be
+    // mistaken for this run's output (the checksum would catch a
+    // different study, but not a re-run of the same one).
+    fs::remove(specs[p].result_path, ec);
+    fs::remove(specs[p].revoke_path, ec);
+    queue.push_back(p);
+  }
+
+  const auto free_slot = [&]() -> int {
+    for (int s = 0; s < opts_.max_parallel; ++s) {
+      if (!slot_busy[static_cast<std::size_t>(s)] &&
+          !slot_banned[static_cast<std::size_t>(s)]) {
+        return s;
+      }
+    }
+    return -1;
+  };
+  const auto usable_slots = [&] {
+    int n = 0;
+    for (char b : slot_banned) n += b == 0;
+    return n;
+  };
+
+  const auto spawn = [&](std::size_t p, int slot) {
+    ShardSpec& spec = specs[p];
+    const std::string spec_path = stem(p) + "-spec.json";
+    spec.progress_path =
+        stem(p) + "-progress-a" + std::to_string(spec.attempt) + ".jsonl";
+    fs::remove(spec.progress_path, ec);
+    save_shard_spec(spec, spec_path);
     std::vector<std::string> argv = opts_.worker_command;
-    argv.push_back("--worker=" + spec_paths[i]);
+    argv.push_back("--worker=" + spec_path);
     Active a;
     a.process = std::make_unique<util::Subprocess>(std::move(argv));
-    a.shard = i;
+    a.pos = p;
+    a.slot = slot;
+    slot_busy[static_cast<std::size_t>(slot)] = 1;
+    Track& t = track[p];
+    t.state = State::kRunning;
+    t.started.clear();
+    t.done.clear();
+    t.slot = slot;
+    t.spawn_time = Clock::now();
+    ++t.spawns;
+    ++stats_.spawned;
     if (opts_.verbose) {
       std::fprintf(stderr,
-                   "[dist] shard %d/%d (%s, %s, attempt %d) -> pid %ld\n",
-                   specs[i].index, specs[i].count,
-                   std::string(core::strategy_name(specs[i].strategy)).c_str(),
-                   seeds_label(specs[i]).c_str(), specs[i].attempt,
-                   static_cast<long>(a.process->pid()));
+                   "[dist] shard %d/%d (%s, %s, attempt %d) -> pid %ld "
+                   "slot %d\n",
+                   spec.index, spec.count,
+                   std::string(core::strategy_name(spec.strategy)).c_str(),
+                   seeds_label(spec).c_str(), spec.attempt,
+                   static_cast<long>(a.process->pid()), slot);
     }
     active.push_back(std::move(a));
   };
 
-  while (!queue.empty() || !active.empty()) {
-    while (!queue.empty() &&
-           static_cast<int>(active.size()) < opts_.max_parallel) {
-      const std::size_t next = queue.front();
-      queue.pop_front();
-      spawn(next);
+  const auto release_slot = [&](int slot) {
+    if (slot >= 0) slot_busy[static_cast<std::size_t>(slot)] = 0;
+  };
+
+  /// Stops the active worker of shard `p` (if any) and drops its entry.
+  const auto stop_worker = [&](std::size_t p) {
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      if (active[a].pos != p) continue;
+      (void)active[a].process->stop(/*grace_ms=*/500);
+      release_slot(active[a].slot);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(a));
+      return;
     }
+  };
 
-    // FIFO drain: waiting on the oldest in-flight worker keeps every
-    // stderr pipe bounded (each is fully drained before the next wait)
-    // and retries promptly — shards cost roughly the same, so the oldest
-    // is the likeliest to have finished.
-    Active done = std::move(active.front());
-    active.pop_front();
-    const std::size_t i = done.shard;
-    const util::Subprocess::Result result = done.process->wait();
+  const auto drop_from_queue = [&](std::size_t p) {
+    queue.erase(std::remove(queue.begin(), queue.end(), p), queue.end());
+  };
 
-    if (result.ok()) {
-      if (opts_.verbose) {
-        std::fprintf(stderr, "[dist] shard %d done\n", specs[i].index);
+  /// A shard's worker was stopped or skipped because every seed it would
+  /// have published is covered by another spec's manifest (a supersede
+  /// duplicate, or the parent of a now-redundant duplicate).
+  const auto supersede = [&](std::size_t p, const char* why) {
+    Track& t = track[p];
+    if (t.state == State::kRunning) stop_worker(p);
+    if (t.state == State::kPending) drop_from_queue(p);
+    t.state = State::kSuperseded;
+    ++stats_.superseded;
+    if (opts_.verbose) {
+      std::fprintf(stderr, "[dist] shard %d superseded (%s)\n",
+                   specs[p].index, why);
+    }
+  };
+
+  const auto on_success = [&](std::size_t p) {
+    Track& t = track[p];
+    t.state = State::kDone;
+    if (opts_.verbose) {
+      std::fprintf(stderr, "[dist] shard %d done\n", specs[p].index);
+    }
+    // A whole-shard duplicate landing first covers its parent; the parent
+    // landing first makes an unfinished duplicate redundant. Either way
+    // the slower copy is stopped and erased from the plan — the merger's
+    // per-seed arbitration handles the narrow race where both published.
+    if (specs[p].supersedes && specs[p].stolen_from >= 0) {
+      for (std::size_t q = 0; q < specs.size(); ++q) {
+        if (specs[q].index == specs[p].stolen_from &&
+            (track[q].state == State::kRunning ||
+             track[q].state == State::kPending)) {
+          supersede(q, "duplicate finished first");
+        }
       }
-      continue;
     }
+    if (t.duplicate_pos >= 0) {
+      const std::size_t d = static_cast<std::size_t>(t.duplicate_pos);
+      if (track[d].state == State::kRunning ||
+          track[d].state == State::kPending) {
+        supersede(d, "original finished first");
+      }
+    }
+  };
 
+  const auto on_failure = [&](std::size_t p, int slot,
+                              const std::string& described,
+                              const std::string& stderr_output) {
+    Track& t = track[p];
+    // Health accounting: the slot (stand-in for a host in the multi-host
+    // era) remembers which distinct shards died on it; repeat offenders
+    // are banlisted for the rest of the study, but never below one
+    // usable slot.
+    if (slot >= 0) {
+      auto& failures = slot_failures[static_cast<std::size_t>(slot)];
+      failures.insert(specs[p].index);
+      if (static_cast<int>(failures.size()) >= opts_.banlist_after &&
+          !slot_banned[static_cast<std::size_t>(slot)] && usable_slots() > 1) {
+        slot_banned[static_cast<std::size_t>(slot)] = 1;
+        stats_.banlisted_slots.push_back(slot);
+        if (opts_.verbose) {
+          std::fprintf(stderr,
+                       "[dist] slot %d banlisted after %zu distinct shard "
+                       "failure(s)\n",
+                       slot, failures.size());
+        }
+      }
+    }
+    // A parent with a live (or finished) whole-shard duplicate owes the
+    // merger nothing — the duplicate owns the same seeds. Skip the retry.
+    if (t.duplicate_pos >= 0 &&
+        track[static_cast<std::size_t>(t.duplicate_pos)].state !=
+            State::kSuperseded) {
+      t.state = State::kSuperseded;
+      ++stats_.superseded;
+      if (opts_.verbose) {
+        std::fprintf(stderr,
+                     "[dist] shard %d failed (%s) but its duplicate covers "
+                     "it — not retrying\n",
+                     specs[p].index, described.c_str());
+      }
+      return;
+    }
     // attempt N failed; N+1 is the next one. max_retries bounds the
     // retries, so attempts 0..max_retries are allowed.
-    if (specs[i].attempt < opts_.max_retries) {
-      ++specs[i].attempt;
+    if (specs[p].attempt < opts_.max_retries) {
+      ++specs[p].attempt;
+      ++stats_.retries;
       if (opts_.verbose) {
-        const std::string line = last_line(result.stderr_output);
+        const std::string line = last_line(stderr_output);
         std::fprintf(stderr,
                      "[dist] shard %d failed (%s)%s%s — retrying "
                      "(attempt %d/%d)\n",
-                     specs[i].index, result.describe().c_str(),
-                     line.empty() ? "" : ": ", line.c_str(), specs[i].attempt,
+                     specs[p].index, described.c_str(),
+                     line.empty() ? "" : ": ", line.c_str(), specs[p].attempt,
                      opts_.max_retries);
       }
-      queue.push_back(i);
-      continue;
+      t.state = State::kPending;
+      queue.push_back(p);
+      return;
+    }
+    throw std::runtime_error(
+        "Coordinator: shard " + std::to_string(specs[p].index) + " failed (" +
+        described + ") after " + std::to_string(specs[p].attempt + 1) +
+        " attempt(s); worker stderr:\n" + stderr_output);
+  };
+
+  /// Creates a steal spec owning `seeds`, inheriting the parent's study
+  /// identity, and queues it for the next idle slot.
+  const auto dispatch_steal = [&](std::size_t parent, std::vector<int> seeds,
+                                  bool supersedes) {
+    ShardSpec spec;
+    spec.index = next_index++;
+    spec.count = specs[parent].count;
+    spec.mode = specs[parent].mode;
+    spec.scenario = specs[parent].scenario;
+    spec.strategy = specs[parent].strategy;
+    spec.episodes = specs[parent].episodes;
+    spec.total_seeds = specs[parent].total_seeds;
+    spec.seeds = std::move(seeds);
+    spec.threshold = specs[parent].threshold;
+    spec.threshold_fraction = specs[parent].threshold_fraction;
+    spec.study_slot = specs[parent].study_slot;
+    spec.stolen_from = specs[parent].index;
+    spec.supersedes = supersedes;
+    specs.push_back(std::move(spec));
+    track.emplace_back();
+    const std::size_t p = specs.size() - 1;
+    specs[p].result_path = stem(p) + "-result.json";
+    specs[p].revoke_path = stem(p) + "-revoke.json";
+    specs[p].heartbeat_ms = opts_.heartbeat_ms;
+    fs::remove(specs[p].result_path, ec);
+    fs::remove(specs[p].revoke_path, ec);
+    queue.push_back(p);
+    ++stats_.steals;
+    stats_.stolen_seeds += static_cast<int>(specs[p].seeds.size());
+    return p;
+  };
+
+  /// One straggler-mitigation pass: finds the worst relative straggler
+  /// among running shards and steals its not-yet-started seeds (phase 1)
+  /// or duplicates its whole unpublished remainder (phase 2). At most one
+  /// steal per pass keeps the policy easy to reason about; the next scan
+  /// can steal again.
+  const auto maybe_steal = [&] {
+    if (!opts_.enable_steal || !queue.empty() || free_slot() < 0) return false;
+
+    struct Estimate {
+      std::size_t pos;
+      double remaining_ms;
+      double elapsed;
+      std::vector<int> owned;
+    };
+    std::vector<Estimate> running;
+    for (const Active& a : active) {
+      const Track& t = track[a.pos];
+      Estimate e;
+      e.pos = a.pos;
+      e.elapsed = elapsed_ms(t.spawn_time);
+      e.owned = owned_seeds(specs[a.pos], t.revoked);
+      const double done_n = static_cast<double>(t.done.size());
+      const double remaining_n =
+          static_cast<double>(e.owned.size()) - done_n;
+      const double per_seed = done_n > 0 ? e.elapsed / done_n : e.elapsed;
+      e.remaining_ms = remaining_n > 0 ? remaining_n * per_seed : 0.0;
+      running.push_back(std::move(e));
+    }
+    if (running.empty()) return false;
+
+    std::vector<double> completed_walls;
+    for (std::size_t p = 0; p < track.size(); ++p) {
+      if (track[p].state == State::kDone) {
+        completed_walls.push_back(track[p].wall_ms);
+      }
     }
 
-    throw std::runtime_error(
-        "Coordinator: shard " + std::to_string(specs[i].index) + " failed (" +
-        result.describe() + ") after " + std::to_string(specs[i].attempt + 1) +
-        " attempt(s); worker stderr:\n" + result.stderr_output);
+    // Worst straggler first.
+    std::sort(running.begin(), running.end(), [](const auto& x, const auto& y) {
+      return x.remaining_ms > y.remaining_ms;
+    });
+    for (const Estimate& e : running) {
+      if (e.remaining_ms <= 0.0) continue;
+      std::vector<double> others;
+      for (const Estimate& o : running) {
+        if (o.pos != e.pos) others.push_back(o.remaining_ms);
+      }
+      bool straggling = false;
+      if (!others.empty()) {
+        straggling = e.remaining_ms > opts_.steal_threshold * median_of(others);
+      } else if (!completed_walls.empty()) {
+        straggling = e.elapsed > opts_.steal_threshold * median_of(completed_walls);
+      } else {
+        // A lone shard with idle slots and no reference point: splitting
+        // it is pure win as long as it has parallelizable seeds left.
+        straggling = true;
+      }
+      if (!straggling) continue;
+
+      // No reference into track across dispatch_steal: it grows the
+      // vector and would invalidate one.
+      std::vector<int> unstarted;
+      for (int s : e.owned) {
+        if (track[e.pos].started.count(s) == 0) unstarted.push_back(s);
+      }
+
+      if (!unstarted.empty()) {
+        // Phase 1: revoke the unstarted seeds, split them over the idle
+        // slots. The worker re-reads the revocation file before each
+        // seed, so it simply never runs them.
+        for (int s : unstarted) track[e.pos].revoked.insert(s);
+        write_revocations(specs[e.pos].revoke_path, track[e.pos].revoked);
+        int idle = 0;
+        for (int s = 0; s < opts_.max_parallel; ++s) {
+          if (!slot_busy[static_cast<std::size_t>(s)] &&
+              !slot_banned[static_cast<std::size_t>(s)]) {
+            ++idle;
+          }
+        }
+        const std::size_t chunks =
+            std::min(unstarted.size(), static_cast<std::size_t>(idle));
+        std::vector<int> created;
+        for (std::size_t c = 0; c < chunks; ++c) {
+          const std::size_t begin = c * unstarted.size() / chunks;
+          const std::size_t end = (c + 1) * unstarted.size() / chunks;
+          const std::size_t p = dispatch_steal(
+              e.pos,
+              std::vector<int>(unstarted.begin() + begin,
+                               unstarted.begin() + end),
+              /*supersedes=*/false);
+          created.push_back(specs[p].index);
+        }
+        track[e.pos].stolen = true;
+        if (opts_.verbose) {
+          std::fprintf(stderr,
+                       "[dist] stealing %zu not-yet-started seed(s) from "
+                       "shard %d into %zu new shard(s)\n",
+                       unstarted.size(), specs[e.pos].index, created.size());
+        }
+        return true;
+      }
+
+      if (track[e.pos].duplicate_pos < 0 && !e.owned.empty() &&
+          track[e.pos].done.size() < e.owned.size()) {
+        // Phase 2: everything left is already started (or finished but
+        // unpublished), so re-dispatch the shard's whole owed seed set as
+        // a supersede duplicate; whichever copy publishes first wins and
+        // the other worker is stopped.
+        const std::size_t d =
+            dispatch_steal(e.pos, e.owned, /*supersedes=*/true);
+        track[e.pos].duplicate_pos = static_cast<int>(d);
+        if (opts_.verbose) {
+          std::fprintf(stderr,
+                       "[dist] duplicating shard %d's remaining %zu seed(s) "
+                       "as shard %d (supersede race)\n",
+                       specs[e.pos].index, e.owned.size(), specs[d].index);
+        }
+        return true;
+      }
+    }
+    return false;
+  };
+
+  /// Progress scan: refresh per-seed knowledge and reap workers whose
+  /// progress file has gone stale (alive but wedged — a crash would have
+  /// surfaced through try_wait already).
+  const auto scan_progress = [&] {
+    bool event = false;
+    for (std::size_t a = 0; a < active.size();) {
+      Track& t = track[active[a].pos];
+      const ShardSpec& spec = specs[active[a].pos];
+      if (!spec.progress_path.empty()) {
+        const ProgressSnapshot snap = read_progress(spec.progress_path);
+        t.started = snap.started;
+        t.done = snap.done;
+      }
+      bool stale = false;
+      if (opts_.heartbeat_timeout_ms > 0 && opts_.heartbeat_ms > 0) {
+        std::error_code mec;
+        const auto mtime = fs::last_write_time(spec.progress_path, mec);
+        if (!mec) {
+          const auto age = fs::file_time_type::clock::now() - mtime;
+          stale = std::chrono::duration_cast<std::chrono::milliseconds>(age)
+                      .count() > opts_.heartbeat_timeout_ms;
+        } else {
+          // No progress file yet: measure from spawn (a worker that never
+          // even opened its sidecar is just as dead).
+          stale = elapsed_ms(t.spawn_time) >
+                  static_cast<double>(opts_.heartbeat_timeout_ms);
+        }
+      }
+      if (!stale) {
+        ++a;
+        continue;
+      }
+      // Declared dead: stop it (TERM -> grace -> KILL) and route the
+      // shard through the ordinary failure path without waiting for a
+      // voluntary exit.
+      Active dead = std::move(active[a]);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(a));
+      const util::Subprocess::Result result = dead.process->stop(500);
+      release_slot(dead.slot);
+      t.wall_ms += elapsed_ms(t.spawn_time);
+      ++stats_.dead_workers;
+      if (opts_.verbose) {
+        std::fprintf(stderr,
+                     "[dist] shard %d worker pid %ld stale (no heartbeat "
+                     "for > %d ms) — stopped (%s)\n",
+                     spec.index, static_cast<long>(dead.process->pid()),
+                     opts_.heartbeat_timeout_ms, result.describe().c_str());
+      }
+      on_failure(dead.pos, dead.slot, "heartbeat timeout",
+                 result.stderr_output);
+      event = true;
+    }
+    return event;
+  };
+
+  int backoff_ms = opts_.poll_min_ms;
+  while (!queue.empty() || !active.empty()) {
+    bool event = false;
+
+    while (!queue.empty()) {
+      const int slot = free_slot();
+      if (slot < 0) break;
+      const std::size_t next = queue.front();
+      queue.pop_front();
+      spawn(next, slot);
+      event = true;
+    }
+
+    // Reap in completion order: every in-flight worker is polled, so a
+    // straggler at the head of the spawn order no longer blocks reaping
+    // (and retrying, and stealing from) everyone behind it.
+    for (std::size_t a = 0; a < active.size();) {
+      std::optional<util::Subprocess::Result> result =
+          active[a].process->try_wait();
+      if (!result) {
+        ++a;
+        continue;
+      }
+      Active fin = std::move(active[a]);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(a));
+      release_slot(fin.slot);
+      Track& t = track[fin.pos];
+      t.wall_ms += elapsed_ms(t.spawn_time);
+      if (result->ok()) {
+        on_success(fin.pos);
+      } else {
+        on_failure(fin.pos, fin.slot, result->describe(),
+                   result->stderr_output);
+      }
+      event = true;
+    }
+
+    event = scan_progress() || event;
+    event = maybe_steal() || event;
+
+    if (event) {
+      backoff_ms = opts_.poll_min_ms;
+      continue;  // something changed; see if more work unblocked
+    }
+    if (active.empty()) continue;  // pending work only; spawn next pass
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, opts_.poll_max_ms);
   }
+
+  // Final shard records, then drop superseded specs from the plan: they
+  // have no manifest, and every seed they owned is published by the spec
+  // that superseded them.
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    ShardStats s;
+    s.index = specs[p].index;
+    s.stolen_from = specs[p].stolen_from;
+    s.supersedes = specs[p].supersedes;
+    s.superseded = track[p].state == State::kSuperseded;
+    s.attempts = std::max(1, track[p].spawns);
+    s.slot = track[p].slot;
+    s.wall_ms = track[p].wall_ms;
+    s.seeds = static_cast<int>(specs[p].seeds.size());
+    stats_.shards.push_back(s);
+  }
+  std::vector<ShardSpec> surviving;
+  surviving.reserve(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    if (track[p].state != State::kSuperseded) {
+      surviving.push_back(std::move(specs[p]));
+    }
+  }
+  specs = std::move(surviving);
 }
 
 }  // namespace lcda::dist

@@ -7,17 +7,41 @@
 
 namespace lcda::dist {
 
-/// Process-level shard executor: writes each spec to the shard directory,
-/// spawns one worker subprocess per shard (`<worker_command> --worker=
-/// <spec.json>`), keeps up to `max_parallel` in flight, and retries a
-/// failed shard up to `max_retries` extra attempts before giving up with
-/// the worker's captured stderr in the error. On success every spec's
-/// result_path names a fresh manifest for the merger.
+/// Process-level shard executor, rebuilt as an event-driven scheduler:
+/// writes each spec to the shard directory, spawns one worker subprocess
+/// per shard (`<worker_command> --worker=<spec.json>`), keeps up to
+/// `max_parallel` in flight, and — instead of draining FIFO — polls all
+/// in-flight workers with Subprocess::try_wait() so they are reaped in
+/// completion order, with a backed-off sleep between scans (no busy loop).
 ///
-/// Workers are plain subprocesses: a shard survives anything short of the
-/// coordinator dying — a crash, an abort, an OOM kill — because the retry
-/// simply re-runs the spec, and determinism guarantees the re-run computes
-/// the same manifest the crashed attempt would have.
+/// On top of plain execution it mitigates stragglers and dead workers:
+///
+/// - **Progress tracking.** Every worker appends per-seed start/done
+///   records and heartbeats to a sidecar progress file; the coordinator
+///   polls those files to know how far each shard has got.
+/// - **Work stealing.** A shard whose remaining-work estimate exceeds
+///   `steal_threshold` x the median of its peers has its not-yet-started
+///   seeds revoked (the worker skips them) and re-dispatched to idle
+///   slots as fresh specs. Legal because seed derivation is
+///   order-independent and the merger accepts arbitrary partitions; the
+///   merged bytes cannot change, only the wall clock.
+/// - **Supersede duplication.** A straggler with nothing left to steal
+///   (all remaining seeds already started) gets its whole unpublished
+///   seed set duplicated onto an idle slot; whichever copy finishes
+///   first wins and the other worker is stopped (SIGTERM -> grace ->
+///   SIGKILL). Seed arbitration in the merger keeps exactly one copy of
+///   any seed both published, deterministically (lowest shard index).
+/// - **Health tracking.** A worker whose progress file goes stale for
+///   `heartbeat_timeout_ms` is declared dead, stopped, and its shard
+///   retried without waiting for the process to exit. A slot whose
+///   workers fail `banlist_after` distinct shards is banlisted for the
+///   study (capacity shrinks, never below one slot).
+///
+/// A failed shard is retried up to `max_retries` extra attempts before
+/// the run gives up with the worker's captured stderr in the error. On
+/// success every surviving spec's result_path names a fresh manifest for
+/// the merger; specs whose workers were superseded (their seeds are
+/// covered by other manifests) are erased from the plan.
 class Coordinator {
  public:
   struct Options {
@@ -26,28 +50,89 @@ class Coordinator {
     /// binary itself (util::self_executable_path).
     std::vector<std::string> worker_command;
 
-    /// Where shard specs and result manifests live. Created when missing;
-    /// the caller owns cleanup (the CLI keeps a user-supplied --shard-dir
-    /// and removes an automatic temp one on success).
+    /// Where shard specs, manifests and progress sidecars live. Created
+    /// when missing; the caller owns cleanup.
     std::string shard_dir;
 
-    int max_parallel = 1;  ///< concurrent worker processes
+    int max_parallel = 1;  ///< concurrent worker processes (slots)
     int max_retries = 2;   ///< extra attempts per shard after the first
 
-    /// Shard lifecycle narration on stderr (spawn / done / retry lines).
+    /// Shard lifecycle narration on stderr (spawn / done / retry /
+    /// steal / banlist lines).
     bool verbose = true;
+
+    /// Work stealing. A running shard is a straggler when its estimated
+    /// remaining milliseconds exceed steal_threshold x the median
+    /// estimate of the other running shards (or of the completed shard
+    /// walls when it runs alone). Requires >= 1.0; stealing only happens
+    /// when a slot is idle, so it can never slow a saturated study.
+    bool enable_steal = true;
+    double steal_threshold = 2.0;
+
+    /// Worker heartbeat period (written into each spec; 0 disables the
+    /// worker-side heartbeat thread) and the staleness bar after which a
+    /// silent worker is declared dead (0 disables reaping).
+    int heartbeat_ms = 250;
+    int heartbeat_timeout_ms = 10000;
+
+    /// Progress-scan pacing: the poll loop sleeps poll_min_ms after an
+    /// event and backs off exponentially to poll_max_ms while idle.
+    int poll_min_ms = 2;
+    int poll_max_ms = 100;
+
+    /// A slot is banlisted once its workers have failed this many
+    /// distinct shards (crashes, non-zero exits, heartbeat deaths) —
+    /// YT-style node retirement scaled down to process slots. At least
+    /// one slot always stays usable.
+    int banlist_after = 3;
+  };
+
+  /// Per-shard scheduling record, kept for every spec that ever existed
+  /// in the plan (including superseded ones the final plan no longer
+  /// carries).
+  struct ShardStats {
+    int index = 0;
+    int stolen_from = -1;    ///< parent shard for steal/duplicate specs
+    bool supersedes = false; ///< was a whole-shard duplicate
+    bool superseded = false; ///< worker stopped; seeds covered elsewhere
+    int attempts = 1;        ///< worker processes spawned for this shard
+    int slot = -1;           ///< last slot it ran on
+    double wall_ms = 0.0;    ///< total busy wall across attempts
+    int seeds = 0;           ///< seeds the spec owned at the end
+  };
+
+  /// Study-level scheduling outcome, surfaced through `--json` (as the
+  /// "dist" object) and the one-line stderr summary.
+  struct Stats {
+    int planned = 0;    ///< specs at entry
+    int spawned = 0;    ///< worker processes started (incl. retries)
+    int retries = 0;
+    int steals = 0;     ///< steal/duplicate specs created
+    int stolen_seeds = 0;
+    int superseded = 0; ///< workers stopped because their seeds were covered
+    int dead_workers = 0;  ///< heartbeat-staleness kills
+    std::vector<int> banlisted_slots;
+    std::vector<ShardStats> shards;
   };
 
   explicit Coordinator(Options opts);
 
-  /// Runs every shard to completion, mutating each spec in place: the
-  /// coordinator assigns result paths under shard_dir and bumps attempt
-  /// counters across retries. Throws std::runtime_error when a shard
-  /// exhausts its attempts or a worker cannot be spawned.
+  /// Runs every shard to completion, mutating the plan in place: the
+  /// coordinator assigns result/progress/revocation paths under
+  /// shard_dir, bumps attempt counters across retries, APPENDS specs it
+  /// creates by stealing, and ERASES specs whose workers were superseded
+  /// (they have no manifest; their seeds are covered by the appended
+  /// ones). After it returns, loading every spec's manifest and merging
+  /// yields bytes identical to the single-process study. Throws
+  /// std::runtime_error when a shard exhausts its attempts or a worker
+  /// cannot be spawned.
   void run(std::vector<ShardSpec>& specs);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   Options opts_;
+  Stats stats_;
 };
 
 }  // namespace lcda::dist

@@ -53,9 +53,13 @@ struct MergedRun {
   long long persistent_save_failures = 0;
 };
 
-/// Reassembles runs-mode payloads in plan order (strategy-major, seeds
-/// ascending) — the order the single-process CLI produces its runs in.
-/// `specs` must be the full plan, sorted by shard index.
+/// Reassembles runs-mode payloads in canonical order — study-major (the
+/// planner's strategy order via study_slot), seeds ascending — the order
+/// the single-process CLI produces its runs in. `specs` is the full plan
+/// after the coordinator ran it, steal-appended specs included; seeds
+/// published by two shards (steal races) are arbitrated to the lowest
+/// shard index, and each study's partition must cover its seed range
+/// exactly.
 [[nodiscard]] std::vector<MergedRun> merge_runs(
     const std::vector<ShardSpec>& specs,
     const std::vector<util::Json>& manifests);

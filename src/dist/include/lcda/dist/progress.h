@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace lcda::dist {
+
+/// Worker-side half of the progress protocol: appends one JSON line per
+/// event to the shard's sidecar progress file (format
+/// "lcda-shard-progress-v1", line-oriented so a crash can tear at most the
+/// last line):
+///
+///   {"e":"begin","pid":1234,"attempt":0}
+///   {"e":"start","seed":4}            — seed 4 is now being computed
+///   {"e":"done","seed":4,"wall_ms":12.5}
+///   {"e":"hb"}                        — periodic heartbeat
+///
+/// Every append also freshens the file's mtime, which is the liveness
+/// signal the coordinator actually watches (no clock synchronisation
+/// between processes, just "has this file moved lately"). The heartbeat
+/// thread exists so a worker grinding inside one long seed still moves the
+/// file; per-seed records alone would look like a hang.
+///
+/// Appends use a single O_APPEND write per record and a mutex across the
+/// heartbeat thread and the seed loop, so records never interleave
+/// mid-line.
+class ProgressWriter {
+ public:
+  /// Opens (creates/appends) the sidecar. Throws when the file cannot be
+  /// opened.
+  explicit ProgressWriter(std::string path);
+  ~ProgressWriter();
+
+  ProgressWriter(const ProgressWriter&) = delete;
+  ProgressWriter& operator=(const ProgressWriter&) = delete;
+
+  void begin(int attempt);
+  void seed_started(int seed);
+  void seed_done(int seed, double wall_ms);
+
+  /// Starts/stops the background heartbeat thread (interval_ms > 0).
+  /// stop_heartbeats() is also how the wedge-injection test simulates a
+  /// live-but-dead worker: records stop, mtime goes stale, and the
+  /// coordinator's staleness reaper takes over.
+  void start_heartbeats(int interval_ms);
+  void stop_heartbeats();
+
+ private:
+  void append(const std::string& line);
+
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mutex_;
+  std::thread heartbeat_;
+  std::condition_variable cv_;
+  std::mutex cv_mutex_;
+  bool stop_ = false;
+};
+
+/// What the coordinator sees when it polls a progress file: which seeds
+/// the worker has started and finished, and the per-seed wall clock of the
+/// finished ones. A torn final line (the worker died mid-append) is
+/// ignored; unknown events are skipped so the format can grow.
+struct ProgressSnapshot {
+  std::set<int> started;  ///< includes finished seeds
+  std::set<int> done;
+  double done_wall_ms = 0.0;  ///< sum over finished seeds
+  int records = 0;
+
+  [[nodiscard]] bool started_not_done(int seed) const {
+    return started.count(seed) != 0 && done.count(seed) == 0;
+  }
+};
+
+/// Parses a progress sidecar. A missing file is an empty snapshot (the
+/// worker may not have started yet), not an error.
+[[nodiscard]] ProgressSnapshot read_progress(const std::string& path);
+
+/// Seed revocation, the coordinator-side half of a steal: the file at
+/// `path` atomically (temp + rename) holds the JSON array of global seed
+/// indices the coordinator has re-dispatched elsewhere. The worker
+/// re-reads it before starting each seed and skips revoked ones; a seed
+/// that was already started when the revocation landed is computed anyway
+/// and the merger's arbitration keeps exactly one copy.
+void write_revocations(const std::string& path, const std::set<int>& seeds);
+[[nodiscard]] std::set<int> read_revocations(const std::string& path);
+
+}  // namespace lcda::dist

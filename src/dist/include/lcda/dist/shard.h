@@ -47,6 +47,11 @@ struct ShardSpec {
   int total_seeds = 1;
   std::vector<int> seeds;  ///< global seed indices this shard owns
 
+  /// Which planner study (strategy x episodes entry) this spec slices.
+  /// Steal specs inherit it from their parent, so the merger can group a
+  /// plan by study without relying on contiguous strategy-major order.
+  int study_slot = 0;
+
   /// Aggregate-mode reward threshold (NaN = none) and speedup-mode
   /// threshold fraction.
   double threshold = std::numeric_limits<double>::quiet_NaN();
@@ -58,11 +63,36 @@ struct ShardSpec {
   /// the merged --trace output diffs directly against golden traces.
   std::string result_path;
 
-  /// Crash injection for retry tests: when set, attempt 0 aborts at entry
-  /// (before any evaluation or cache traffic) with exit code 3; the
+  /// Progress sidecar (lcda-shard-progress-v1, see progress.h): the worker
+  /// appends per-seed start/done records and heartbeats here; empty
+  /// disables progress emission. Assigned by the coordinator, like
+  /// result_path.
+  std::string progress_path;
+
+  /// Seed-revocation file the worker re-reads before each seed: seeds the
+  /// coordinator stole and re-dispatched elsewhere are skipped. Empty
+  /// disables the check. Keyed by shard (not attempt), so a retried shard
+  /// still honours earlier steals.
+  std::string revoke_path;
+
+  /// Heartbeat period for the progress sidecar; 0 disables the heartbeat
+  /// thread (per-seed records still freshen the file).
+  int heartbeat_ms = 0;
+
+  /// Steal provenance: the shard index this spec's seeds were stolen from,
+  /// -1 for planner-born shards. When `supersedes` is also set, this spec
+  /// duplicates every seed its parent would still publish, so the
+  /// coordinator stops the parent the moment this spec's manifest lands.
+  int stolen_from = -1;
+  bool supersedes = false;
+
+  /// Crash injection for retry tests: fail_first_attempt aborts attempt 0
+  /// at entry (before any evaluation or cache traffic) with exit code 3;
+  /// fail_attempts=N generalizes it to every attempt < N. The
   /// coordinator's retry then runs the shard clean, which keeps the merged
   /// result — counters included — identical to a run without the crash.
   bool fail_first_attempt = false;
+  int fail_attempts = 0;
   int attempt = 0;
 };
 
@@ -100,11 +130,16 @@ struct StrategyStudy {
     const std::vector<StrategyStudy>& strategies, int seeds, int shards,
     double threshold, double threshold_fraction);
 
+class ProgressWriter;
+
 /// Runs one shard in-process and returns its result manifest (format
 /// "lcda-shard-result-v1"): per-seed summaries in aggregate/speedup mode,
 /// full run payloads (JSON trace + CSV text) in runs mode. This is the
 /// worker's core, exposed for in-process testing of the merge contract.
-[[nodiscard]] util::Json run_shard(const ShardSpec& spec);
+/// With a ProgressWriter it emits per-seed start/done records, and with
+/// spec.revoke_path set it skips seeds the coordinator stole.
+[[nodiscard]] util::Json run_shard(const ShardSpec& spec,
+                                   ProgressWriter* progress = nullptr);
 
 /// The `lcda_run --worker=<spec.json>` entry point: loads the spec,
 /// honours crash injection, runs the shard, and writes the manifest

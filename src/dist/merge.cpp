@@ -17,22 +17,35 @@ constexpr std::string_view kResultFormat = "lcda-shard-result-v1";
 
 std::string hex64(std::uint64_t v) { return "0x" + util::hex_u64(v); }
 
-/// Collects every (seed -> entry) pair of one shard group, rejecting
-/// duplicate or missing seeds: a merge over an incomplete partition must
-/// fail loudly, never produce a statistic over fewer seeds than claimed.
+/// Collects every (seed -> entry) pair of one shard group, with
+/// exactly-once arbitration: a seed published by two DIFFERENT shards is
+/// legal under work stealing (a revocation can race the worker's own
+/// start of that seed, and a supersede duplicate can tie with its
+/// parent), and both copies are byte-identical because per-seed entries
+/// are partition-independent — so the merge deterministically keeps the
+/// lowest shard index, regardless of which worker won the wall-clock
+/// race. The same shard listing a seed twice is still a hard error, as
+/// is a missing seed or one outside the study: a statistic must never
+/// quietly cover the wrong seed set.
 std::map<int, util::Json> entries_by_seed(
     const std::vector<ShardSpec>& specs,
-    const std::vector<util::Json>& manifests, int total_seeds) {
+    const std::vector<util::Json>& manifests,
+    const std::vector<std::size_t>& group, int total_seeds) {
   if (specs.size() != manifests.size()) {
     throw std::invalid_argument("merge: specs/manifests size mismatch");
   }
-  std::map<int, util::Json> by_seed;
-  for (std::size_t i = 0; i < specs.size(); ++i) {
+  std::map<int, std::pair<int, util::Json>> by_seed;  // seed -> (index, entry)
+  for (std::size_t i : group) {
     for (const util::Json& entry : manifests[i].at("entries").elements()) {
       const int seed = static_cast<int>(entry.at("seed").as_int());
-      if (!by_seed.emplace(seed, entry).second) {
+      const auto it = by_seed.find(seed);
+      if (it == by_seed.end()) {
+        by_seed.emplace(seed, std::make_pair(specs[i].index, entry));
+      } else if (it->second.first == specs[i].index) {
         throw std::runtime_error("merge: seed " + std::to_string(seed) +
                                  " appears in more than one shard");
+      } else if (specs[i].index < it->second.first) {
+        it->second = std::make_pair(specs[i].index, entry);
       }
     }
   }
@@ -45,7 +58,17 @@ std::map<int, util::Json> entries_by_seed(
   if (static_cast<int>(by_seed.size()) != total_seeds) {
     throw std::runtime_error("merge: shard results cover seeds outside the study");
   }
-  return by_seed;
+  std::map<int, util::Json> out;
+  for (auto& [seed, indexed] : by_seed) {
+    out.emplace(seed, std::move(indexed.second));
+  }
+  return out;
+}
+
+std::vector<std::size_t> all_positions(std::size_t n) {
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
 }
 
 }  // namespace
@@ -98,7 +121,9 @@ core::AggregateResult merge_aggregate(const std::vector<ShardSpec>& specs,
     }
   }
 
-  const auto by_seed = entries_by_seed(specs, manifests, head.total_seeds);
+  const auto by_seed = entries_by_seed(specs, manifests,
+                                       all_positions(specs.size()),
+                                       head.total_seeds);
 
   // Replays core::run_aggregate's fold over the per-seed summaries, in
   // canonical seed order. Keep the two in lockstep: any new AggregateResult
@@ -150,7 +175,8 @@ std::vector<core::SpeedupReport> merge_speedup(
     }
   }
   const auto by_seed =
-      entries_by_seed(specs, manifests, specs.front().total_seeds);
+      entries_by_seed(specs, manifests, all_positions(specs.size()),
+                      specs.front().total_seeds);
 
   std::vector<core::SpeedupReport> out;
   out.reserve(by_seed.size());
@@ -171,16 +197,41 @@ std::vector<MergedRun> merge_runs(const std::vector<ShardSpec>& specs,
   if (specs.size() != manifests.size()) {
     throw std::invalid_argument("merge_runs: specs/manifests size mismatch");
   }
-  // Plan order IS canonical order (strategy-major, seeds ascending within
-  // a shard, contiguous ranges across shards), so a stable walk suffices.
-  std::vector<MergedRun> out;
+  // Canonical order is study-major (the planner's strategy order), seeds
+  // ascending within a study. The plan used to guarantee that by
+  // construction; steal specs appended by the coordinator break the
+  // contiguity, so group by study_slot in first-appearance order and sort
+  // each group's seeds explicitly.
+  std::vector<int> slot_order;
+  std::map<int, std::vector<std::size_t>> groups;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (specs[i].mode != ShardMode::kRuns) {
       throw std::invalid_argument("merge_runs: non-runs shard in the plan");
     }
-    for (const util::Json& entry : manifests[i].at("entries").elements()) {
+    auto [it, fresh] = groups.emplace(specs[i].study_slot,
+                                      std::vector<std::size_t>{});
+    if (fresh) slot_order.push_back(specs[i].study_slot);
+    it->second.push_back(i);
+  }
+
+  std::vector<MergedRun> out;
+  for (int slot : slot_order) {
+    const std::vector<std::size_t>& group = groups.at(slot);
+    const ShardSpec& head = specs[group.front()];
+    for (std::size_t i : group) {
+      if (specs[i].strategy != head.strategy ||
+          specs[i].episodes != head.episodes ||
+          specs[i].total_seeds != head.total_seeds) {
+        throw std::invalid_argument(
+            "merge_runs: shards of one study slot disagree on its "
+            "definition");
+      }
+    }
+    const auto by_seed =
+        entries_by_seed(specs, manifests, group, head.total_seeds);
+    for (const auto& [seed, entry] : by_seed) {
       MergedRun run;
-      run.seed = static_cast<int>(entry.at("seed").as_int());
+      run.seed = seed;
       run.label = entry.at("label").as_string();
       run.run_json = entry.at("run");
       run.csv = entry.at("csv").as_string();

@@ -1,0 +1,147 @@
+#include "lcda/dist/progress.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "lcda/util/json_lite.h"
+
+namespace lcda::dist {
+
+ProgressWriter::ProgressWriter(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("ProgressWriter: cannot open " + path_);
+  }
+}
+
+ProgressWriter::~ProgressWriter() {
+  stop_heartbeats();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ProgressWriter::append(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One write() per record: O_APPEND makes concurrent appends land whole,
+  // so the reader can only ever see a torn *final* line after a crash.
+  (void)!::write(fd_, line.data(), line.size());
+}
+
+void ProgressWriter::begin(int attempt) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"e\":\"begin\",\"pid\":%ld,\"attempt\":%d}\n",
+                static_cast<long>(::getpid()), attempt);
+  append(buf);
+}
+
+void ProgressWriter::seed_started(int seed) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"e\":\"start\",\"seed\":%d}\n", seed);
+  append(buf);
+}
+
+void ProgressWriter::seed_done(int seed, double wall_ms) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"e\":\"done\",\"seed\":%d,\"wall_ms\":%.3f}\n",
+                seed, wall_ms);
+  append(buf);
+}
+
+void ProgressWriter::start_heartbeats(int interval_ms) {
+  if (interval_ms <= 0 || heartbeat_.joinable()) return;
+  stop_ = false;
+  heartbeat_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(cv_mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms));
+      if (stop_) break;
+      lock.unlock();
+      append("{\"e\":\"hb\"}\n");
+      lock.lock();
+    }
+  });
+}
+
+void ProgressWriter::stop_heartbeats() {
+  if (!heartbeat_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(cv_mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  heartbeat_.join();
+}
+
+ProgressSnapshot read_progress(const std::string& path) {
+  ProgressSnapshot snap;
+  std::ifstream in(path);
+  if (!in) return snap;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    util::Json record;
+    try {
+      record = util::Json::parse(line);
+    } catch (const std::exception&) {
+      continue;  // torn final line from a crashed worker
+    }
+    if (!record.is_object() || !record.contains("e")) continue;
+    ++snap.records;
+    const std::string& event = record.at("e").as_string();
+    if (event == "start" && record.contains("seed")) {
+      snap.started.insert(static_cast<int>(record.at("seed").as_int()));
+    } else if (event == "done" && record.contains("seed")) {
+      const int seed = static_cast<int>(record.at("seed").as_int());
+      snap.started.insert(seed);
+      snap.done.insert(seed);
+      if (record.contains("wall_ms")) {
+        snap.done_wall_ms += record.at("wall_ms").as_double();
+      }
+    }
+  }
+  return snap;
+}
+
+void write_revocations(const std::string& path, const std::set<int>& seeds) {
+  util::Json arr = util::Json::array();
+  for (int s : seeds) arr.push_back(s);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("write_revocations: cannot write " + tmp);
+    out << arr.dump() << "\n";
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("write_revocations: rename to " + path +
+                             " failed: " + ec.message());
+  }
+}
+
+std::set<int> read_revocations(const std::string& path) {
+  std::set<int> seeds;
+  std::ifstream in(path);
+  if (!in) return seeds;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const util::Json arr = util::Json::parse(buffer.str());
+    for (const util::Json& s : arr.elements()) {
+      seeds.insert(static_cast<int>(s.as_int()));
+    }
+  } catch (const std::exception&) {
+    // An unreadable revocation file only costs duplicated work (the
+    // worker computes seeds a thief also owns); arbitration dedupes.
+  }
+  return seeds;
+}
+
+}  // namespace lcda::dist

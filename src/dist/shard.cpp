@@ -83,7 +83,17 @@ util::Json shard_spec_to_json(const ShardSpec& spec) {
   }
   j["spec_checksum"] = hex64(shard_spec_checksum(spec));
   j["result_path"] = spec.result_path;
+  // Scheduling bookkeeping travels outside the identity checksum: two
+  // specs that compute the same seeds are the same study slice no matter
+  // where their sidecars live or which shard they were stolen from.
+  if (spec.study_slot != 0) j["study_slot"] = spec.study_slot;
+  if (!spec.progress_path.empty()) j["progress_path"] = spec.progress_path;
+  if (!spec.revoke_path.empty()) j["revoke_path"] = spec.revoke_path;
+  if (spec.heartbeat_ms != 0) j["heartbeat_ms"] = spec.heartbeat_ms;
+  if (spec.stolen_from >= 0) j["stolen_from"] = spec.stolen_from;
+  if (spec.supersedes) j["supersedes"] = true;
   if (spec.fail_first_attempt) j["fail_first_attempt"] = true;
+  if (spec.fail_attempts != 0) j["fail_attempts"] = spec.fail_attempts;
   j["attempt"] = spec.attempt;
   return j;
 }
@@ -109,8 +119,29 @@ ShardSpec shard_spec_from_json(const util::Json& j) {
   if (j.contains("threshold")) spec.threshold = j.at("threshold").as_double();
   spec.threshold_fraction = j.at("threshold_fraction").as_double();
   spec.result_path = j.at("result_path").as_string();
+  if (j.contains("study_slot")) {
+    spec.study_slot = static_cast<int>(j.at("study_slot").as_int());
+  }
+  if (j.contains("progress_path")) {
+    spec.progress_path = j.at("progress_path").as_string();
+  }
+  if (j.contains("revoke_path")) {
+    spec.revoke_path = j.at("revoke_path").as_string();
+  }
+  if (j.contains("heartbeat_ms")) {
+    spec.heartbeat_ms = static_cast<int>(j.at("heartbeat_ms").as_int());
+  }
+  if (j.contains("stolen_from")) {
+    spec.stolen_from = static_cast<int>(j.at("stolen_from").as_int());
+  }
+  if (j.contains("supersedes")) {
+    spec.supersedes = j.at("supersedes").as_bool();
+  }
   if (j.contains("fail_first_attempt")) {
     spec.fail_first_attempt = j.at("fail_first_attempt").as_bool();
+  }
+  if (j.contains("fail_attempts")) {
+    spec.fail_attempts = static_cast<int>(j.at("fail_attempts").as_int());
   }
   spec.attempt = static_cast<int>(j.at("attempt").as_int());
   // A spec edited out from under its checksum must fail before it can
@@ -152,6 +183,7 @@ std::vector<ShardSpec> plan_shards(const core::Scenario& scenario,
 
   std::vector<ShardSpec> plan;
   int index = 0;
+  int slot = 0;
   for (const StrategyStudy& study : strategies) {
     const std::size_t chunks = static_cast<std::size_t>(
         std::min(shards, seeds));
@@ -165,6 +197,7 @@ std::vector<ShardSpec> plan_shards(const core::Scenario& scenario,
       spec.strategy = study.strategy;
       spec.episodes = study.episodes;
       spec.total_seeds = seeds;
+      spec.study_slot = slot;
       spec.threshold = threshold;
       spec.threshold_fraction = threshold_fraction;
       for (std::size_t s = range.begin; s < range.end; ++s) {
@@ -174,6 +207,7 @@ std::vector<ShardSpec> plan_shards(const core::Scenario& scenario,
     }
     // The speedup study has no per-strategy axis: one pass over the seeds.
     if (mode == ShardMode::kSpeedup) break;
+    ++slot;
   }
   for (ShardSpec& spec : plan) spec.count = static_cast<int>(plan.size());
   return plan;

@@ -4,14 +4,20 @@
 // result manifest the merger can fold back bit-for-bit.
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "lcda/core/report.h"
 #include "lcda/core/stats_runner.h"
+#include "lcda/dist/progress.h"
 #include "lcda/dist/shard.h"
 #include "lcda/util/strings.h"
 
@@ -104,9 +110,74 @@ void write_manifest_atomically(const util::Json& manifest,
   }
 }
 
+/// Test-only straggler/wedge injection, env-gated so production workers
+/// pay one getenv per process: LCDA_TEST_SEED_SLEEP_MS=T with
+/// LCDA_TEST_SLEEP_SEEDS=a,b,... sleeps T ms before each listed global
+/// seed (the injected straggler); LCDA_TEST_WEDGE_SEED=s makes attempt 0
+/// stop heartbeating and hang at seed s (the injected dead worker — still
+/// a live process, so only the coordinator's staleness reaper can catch
+/// it).
+struct Injection {
+  long long sleep_ms = 0;
+  std::set<int> sleep_seeds;
+  int wedge_seed = -1;
+
+  Injection() {
+    if (const char* ms = std::getenv("LCDA_TEST_SEED_SLEEP_MS")) {
+      sleep_ms = util::parse_int(ms).value_or(0);
+    }
+    if (const char* seeds = std::getenv("LCDA_TEST_SLEEP_SEEDS")) {
+      for (const std::string& s : util::split(seeds, ',')) {
+        if (const auto v = util::parse_int(util::trim(s))) {
+          sleep_seeds.insert(static_cast<int>(*v));
+        }
+      }
+    }
+    if (const char* seed = std::getenv("LCDA_TEST_WEDGE_SEED")) {
+      wedge_seed = static_cast<int>(util::parse_int(seed).value_or(-1));
+    }
+  }
+};
+
+/// Drives the per-seed loop shared by all three modes: re-reads the
+/// revocation file before each seed (a stolen seed is skipped — the
+/// coordinator re-dispatched it), emits start/done progress records, and
+/// honours the test injection hooks. `body(seed)` computes one seed and
+/// appends its manifest entry.
+template <typename Body>
+void for_each_owned_seed(const ShardSpec& spec, ProgressWriter* progress,
+                         const Body& body) {
+  const Injection injection;
+  for (int s : spec.seeds) {
+    if (!spec.revoke_path.empty()) {
+      const std::set<int> revoked = read_revocations(spec.revoke_path);
+      if (revoked.count(s) != 0) continue;
+    }
+    if (progress != nullptr) progress->seed_started(s);
+    if (injection.wedge_seed == s && spec.attempt == 0) {
+      std::fprintf(stderr, "worker: shard %d wedging at seed %d (injected)\n",
+                   spec.index, s);
+      if (progress != nullptr) progress->stop_heartbeats();
+      std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+    if (injection.sleep_ms > 0 && injection.sleep_seeds.count(s) != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(injection.sleep_ms));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    body(s);
+    if (progress != nullptr) {
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      progress->seed_done(s, wall_ms);
+    }
+  }
+}
+
 }  // namespace
 
-util::Json run_shard(const ShardSpec& spec) {
+util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress) {
   const core::ExperimentConfig& config = spec.scenario.config;
 
   util::Json manifest = util::Json::object();
@@ -125,27 +196,27 @@ util::Json run_shard(const ShardSpec& spec) {
       // shares one across the whole study: its memos are content-keyed,
       // so sharing scope cannot change a result.
       const auto evaluator = core::make_evaluator(config);
-      for (int s : spec.seeds) {
+      for_each_owned_seed(spec, progress, [&](int s) {
         const core::RunResult run = core::run_strategy(
             spec.strategy, spec.episodes,
             core::aggregate_seed_config(config, s, spec.total_seeds),
             evaluator.get());
         entries.push_back(aggregate_entry(s, run, spec.threshold));
-      }
+      });
       break;
     }
     case ShardMode::kSpeedup: {
       const auto evaluator = core::make_evaluator(config);
-      for (int s : spec.seeds) {
+      for_each_owned_seed(spec, progress, [&](int s) {
         const core::SpeedupReport report = core::measure_speedup(
             core::aggregate_seed_config(config, s, spec.total_seeds),
             spec.threshold_fraction, evaluator.get());
         entries.push_back(speedup_entry(s, report));
-      }
+      });
       break;
     }
     case ShardMode::kRuns: {
-      for (int s : spec.seeds) {
+      for_each_owned_seed(spec, progress, [&](int s) {
         // The CLI's per-seed mode offsets the base seed directly (the
         // aggregate modes derive by key instead); both are replicated
         // here verbatim so either partitioning is bit-compatible.
@@ -157,7 +228,7 @@ util::Json run_shard(const ShardSpec& spec) {
             std::string(core::strategy_name(spec.strategy)) + "/seed" +
             std::to_string(cfg.seed);
         entries.push_back(run_entry(s, label, run));
-      }
+      });
       break;
     }
   }
@@ -169,21 +240,29 @@ util::Json run_shard(const ShardSpec& spec) {
 int run_worker(const std::string& spec_path) {
   try {
     const ShardSpec spec = load_shard_spec(spec_path);
-    if (spec.fail_first_attempt && spec.attempt == 0) {
+    if ((spec.fail_first_attempt && spec.attempt == 0) ||
+        spec.attempt < spec.fail_attempts) {
       // Crash injection aborts at entry — before any evaluation or cache
       // write — so the retry runs the shard clean and the merged study,
       // cache counters included, is identical to one without the crash.
       std::fprintf(stderr,
-                   "worker: shard %d injected failure on attempt 0 "
-                   "(fail_first_attempt)\n",
-                   spec.index);
+                   "worker: shard %d injected failure on attempt %d\n",
+                   spec.index, spec.attempt);
       return 3;
     }
     if (spec.result_path.empty()) {
       throw std::invalid_argument("worker: spec has no result_path");
     }
 
-    write_manifest_atomically(run_shard(spec), spec.result_path);
+    std::unique_ptr<ProgressWriter> progress;
+    if (!spec.progress_path.empty()) {
+      progress = std::make_unique<ProgressWriter>(spec.progress_path);
+      progress->begin(spec.attempt);
+      progress->start_heartbeats(spec.heartbeat_ms);
+    }
+    util::Json manifest = run_shard(spec, progress.get());
+    if (progress != nullptr) progress->stop_heartbeats();
+    write_manifest_atomically(manifest, spec.result_path);
     std::fprintf(stderr, "worker: shard %d/%d done (%zu seed(s), attempt %d)\n",
                  spec.index, spec.count, spec.seeds.size(), spec.attempt);
     return 0;

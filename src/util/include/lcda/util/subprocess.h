@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,9 +15,11 @@ namespace lcda::util {
 /// should go through files the parent names, not through this class.
 ///
 /// The distributed study runner (lcda::dist) is the primary user: the
-/// coordinator spawns one `lcda_run --worker=<spec>` per shard, waits on
-/// each, and surfaces the captured stderr when a shard has to be retried
-/// or given up on.
+/// coordinator spawns one `lcda_run --worker=<spec>` per shard, polls them
+/// with try_wait() so finished workers are reaped in completion order, and
+/// stops superseded or wedged workers with stop() — SIGTERM first, so a
+/// worker can die mid-sleep cleanly, escalating to SIGKILL after a grace
+/// window for one that ignores it.
 class Subprocess {
  public:
   /// How a child ended. `exit_code` is the process exit status when it
@@ -40,15 +43,30 @@ class Subprocess {
   /// be non-empty.
   explicit Subprocess(std::vector<std::string> argv);
 
-  /// Kills (SIGKILL) and reaps a child that was never waited on, so an
-  /// exception unwinding past a live Subprocess cannot leak a zombie.
+  /// Stops (stop() with kDestructGraceMs) and reaps a child that was never
+  /// waited on, so an exception unwinding past a live Subprocess cannot
+  /// leak a zombie — and a child that handles SIGTERM gets a moment to die
+  /// cleanly before the SIGKILL backstop.
   ~Subprocess();
 
   Subprocess(const Subprocess&) = delete;
   Subprocess& operator=(const Subprocess&) = delete;
 
-  /// Drains the child's stderr to EOF, then reaps it. Call at most once.
+  /// Drains the child's stderr to EOF, then reaps it. Call at most once
+  /// (not after try_wait() returned a Result or stop() was called).
   [[nodiscard]] Result wait();
+
+  /// Non-blocking poll: drains whatever stderr is currently available and
+  /// reaps the child iff it already exited. Returns std::nullopt while the
+  /// child is still running; once it has exited, this and every later call
+  /// return the (cached) final Result — idempotent, so a poll loop can
+  /// check a child it already saw finish.
+  [[nodiscard]] std::optional<Result> try_wait();
+
+  /// Graceful stop: SIGTERM, then up to `grace_ms` for the child to exit
+  /// on its own, then SIGKILL, then reap. Returns how it actually ended
+  /// (exit code if it honoured the TERM, signal otherwise).
+  [[nodiscard]] Result stop(int grace_ms = kDefaultStopGraceMs);
 
   [[nodiscard]] pid_t pid() const { return pid_; }
   [[nodiscard]] bool waited() const { return waited_; }
@@ -56,10 +74,20 @@ class Subprocess {
   /// Convenience: spawn + wait.
   [[nodiscard]] static Result run(std::vector<std::string> argv);
 
+  static constexpr int kDefaultStopGraceMs = 1000;
+  static constexpr int kDestructGraceMs = 200;
+
  private:
+  /// Reads available stderr into buffer_; returns false once EOF is seen.
+  bool drain_available();
+  Result reap();
+
   pid_t pid_ = -1;
   int stderr_fd_ = -1;
   bool waited_ = false;
+  bool stderr_eof_ = false;
+  std::string buffer_;
+  std::optional<Result> result_;  ///< cached once reaped (try_wait idempotence)
 };
 
 /// Absolute path of the running executable (/proc/self/exe), falling back

@@ -2,37 +2,25 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <string.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 namespace lcda::util {
 
 namespace {
 
-/// Read to EOF, retrying on EINTR.
-std::string drain_fd(int fd) {
-  std::string out;
-  char buf[4096];
+int waitpid_retry(pid_t pid, int* status, int flags) {
   for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n > 0) {
-      out.append(buf, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return out;
-  }
-}
-
-int waitpid_retry(pid_t pid, int* status) {
-  for (;;) {
-    const pid_t r = ::waitpid(pid, status, 0);
+    const pid_t r = ::waitpid(pid, status, flags);
     if (r >= 0 || errno != EINTR) return static_cast<int>(r);
   }
 }
@@ -88,31 +76,48 @@ Subprocess::Subprocess(std::vector<std::string> argv) {
     ::_exit(127);
   }
 
-  // Parent.
+  // Parent. The read end is non-blocking so try_wait() can drain whatever
+  // is available without stalling the coordinator's poll loop; wait()
+  // blocks in poll() instead of in read().
   ::close(fds[1]);
+  const int fl = ::fcntl(fds[0], F_GETFL);
+  (void)::fcntl(fds[0], F_SETFL, fl | O_NONBLOCK);
   pid_ = pid;
   stderr_fd_ = fds[0];
 }
 
 Subprocess::~Subprocess() {
   if (waited_ || pid_ < 0) return;
-  ::kill(pid_, SIGKILL);
-  if (stderr_fd_ >= 0) ::close(stderr_fd_);
-  int status = 0;
-  (void)waitpid_retry(pid_, &status);
+  (void)stop(kDestructGraceMs);
 }
 
-Subprocess::Result Subprocess::wait() {
-  if (waited_) throw std::logic_error("Subprocess: wait() called twice");
-  waited_ = true;
+bool Subprocess::drain_available() {
+  if (stderr_eof_ || stderr_fd_ < 0) return false;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(stderr_fd_, buf, sizeof(buf));
+    if (n > 0) {
+      buffer_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    // EOF (or an unrecoverable error): no more stderr will arrive.
+    stderr_eof_ = true;
+    ::close(stderr_fd_);
+    stderr_fd_ = -1;
+    return false;
+  }
+}
 
+Subprocess::Result Subprocess::reap() {
+  waited_ = true;
   Result result;
-  result.stderr_output = drain_fd(stderr_fd_);
-  ::close(stderr_fd_);
-  stderr_fd_ = -1;
+  result.stderr_output = std::move(buffer_);
+  buffer_.clear();
 
   int status = 0;
-  if (waitpid_retry(pid_, &status) < 0) {
+  if (waitpid_retry(pid_, &status, 0) < 0) {
     throw std::runtime_error(std::string("Subprocess: waitpid: ") +
                              ::strerror(errno));
   }
@@ -122,7 +127,70 @@ Subprocess::Result Subprocess::wait() {
     result.exit_code = -1;
     result.term_signal = WTERMSIG(status);
   }
+  result_ = result;
   return result;
+}
+
+Subprocess::Result Subprocess::wait() {
+  if (waited_) throw std::logic_error("Subprocess: wait() called twice");
+
+  // Block until the pipe reports EOF — the child (and any inheritors of
+  // its stderr) are gone — then reap.
+  while (!stderr_eof_) {
+    if (!drain_available()) break;
+    struct pollfd pfd{stderr_fd_, POLLIN, 0};
+    (void)::poll(&pfd, 1, -1);
+  }
+  return reap();
+}
+
+std::optional<Subprocess::Result> Subprocess::try_wait() {
+  if (waited_) return result_;  // already reaped: idempotent
+  (void)drain_available();
+  int status = 0;
+  const int r = waitpid_retry(pid_, &status, WNOHANG);
+  if (r == 0) return std::nullopt;  // still running
+  if (r < 0) {
+    throw std::runtime_error(std::string("Subprocess: waitpid: ") +
+                             ::strerror(errno));
+  }
+  // Exited: the pipe can only hold already-buffered bytes now; drain to
+  // EOF (a still-open descendant holding the write end would report
+  // EAGAIN — accept what we have rather than block a poll loop).
+  (void)drain_available();
+  waited_ = true;
+  Result result;
+  result.stderr_output = std::move(buffer_);
+  buffer_.clear();
+  if (stderr_fd_ >= 0) {
+    ::close(stderr_fd_);
+    stderr_fd_ = -1;
+    stderr_eof_ = true;
+  }
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.exit_code = -1;
+    result.term_signal = WTERMSIG(status);
+  }
+  result_ = result;
+  return result;
+}
+
+Subprocess::Result Subprocess::stop(int grace_ms) {
+  if (waited_) return *result_;  // already reaped: nothing left to stop
+  ::kill(pid_, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms < 0 ? 0 : grace_ms);
+  for (;;) {
+    if (auto result = try_wait()) return *result;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // The grace window expired: the child ignored (or blocked) SIGTERM.
+  ::kill(pid_, SIGKILL);
+  (void)drain_available();
+  return reap();
 }
 
 Subprocess::Result Subprocess::run(std::vector<std::string> argv) {

@@ -14,6 +14,7 @@
 #include "lcda/core/stats_runner.h"
 #include "lcda/dist/coordinator.h"
 #include "lcda/dist/merge.h"
+#include "lcda/dist/progress.h"
 #include "lcda/dist/shard.h"
 #include "lcda/util/subprocess.h"
 
@@ -49,6 +50,22 @@ std::string lcda_run_path() {
   std::error_code ec;
   return std::filesystem::exists(candidate, ec) ? candidate.string() : "";
 }
+
+/// Scoped setenv for the worker-injection variables: set for the tests
+/// that spawn injected workers, guaranteed unset afterwards so later
+/// tests' workers run clean.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
 
 /// Runs every shard in-process (run_shard — the exact worker body) and
 /// returns the manifests after a JSON dump/parse round trip, exactly the
@@ -306,6 +323,9 @@ TEST(Distributed, WorkersAndRetriesConvergeToReferenceBytes) {
   opts.max_parallel = 2;
   opts.max_retries = 1;
   opts.verbose = false;
+  // This test asserts the exact plan shape afterwards; stealing is free to
+  // append/erase specs, so pin it off (it has its own tests below).
+  opts.enable_steal = false;
   dist::Coordinator(opts).run(specs);
   EXPECT_EQ(specs[0].attempt, 1);  // the injected failure was retried
   EXPECT_EQ(specs[1].attempt, 0);
@@ -319,6 +339,159 @@ TEST(Distributed, WorkersAndRetriesConvergeToReferenceBytes) {
   EXPECT_EQ(core::aggregate_to_json(merged).dump(2),
             core::aggregate_to_json(reference).dump(2));
   EXPECT_EQ(merged.persistent_hits, reference.persistent_hits);
+}
+
+// --------------------------------------------- progress sidecar protocol
+
+TEST(Progress, RoundTripsRecordsAndToleratesTornTail) {
+  const std::string dir = temp_dir("progress");
+  const std::string path = dir + "/p.jsonl";
+  {
+    dist::ProgressWriter w(path);
+    w.begin(0);
+    w.seed_started(3);
+    w.seed_done(3, 12.5);
+    w.seed_started(4);
+  }
+  dist::ProgressSnapshot snap = dist::read_progress(path);
+  EXPECT_EQ(snap.started, (std::set<int>{3, 4}));
+  EXPECT_EQ(snap.done, (std::set<int>{3}));
+  EXPECT_TRUE(snap.started_not_done(4));
+  EXPECT_DOUBLE_EQ(snap.done_wall_ms, 12.5);
+
+  // A torn final line (the worker died mid-append) is ignored; every
+  // record before it still counts.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"e\":\"done\",\"se";
+  }
+  snap = dist::read_progress(path);
+  EXPECT_EQ(snap.done, (std::set<int>{3}));
+  EXPECT_EQ(snap.started, (std::set<int>{3, 4}));
+
+  // A worker that has not started yet has no file — an empty snapshot,
+  // not an error.
+  EXPECT_EQ(dist::read_progress(dir + "/absent.jsonl").records, 0);
+
+  // Revocations: atomic write, exact read-back, absent file = no steals.
+  const std::string revoke = dir + "/revoke.json";
+  dist::write_revocations(revoke, {1, 5});
+  EXPECT_EQ(dist::read_revocations(revoke), (std::set<int>{1, 5}));
+  EXPECT_TRUE(dist::read_revocations(dir + "/none.json").empty());
+}
+
+// ----------------------------------------- stealing and dead workers
+
+TEST(Distributed, StragglerStealingKeepsBytesIdentical) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+
+  // Reference: the CLI's plain per-seed path, same loop as the runs-mode
+  // merge test above.
+  core::Scenario scenario = small_scenario();
+  const int kSeeds = 6;
+  std::string reference_csv;
+  std::string reference_runs_json;
+  {
+    util::Json arr = util::Json::array();
+    std::ostringstream csv;
+    for (int s = 0; s < kSeeds; ++s) {
+      core::ExperimentConfig cfg = scenario.config;
+      cfg.seed = scenario.config.seed + static_cast<std::uint64_t>(s);
+      const core::RunResult run = core::run_strategy(
+          core::Strategy::kLcda, scenario.config.lcda_episodes, cfg);
+      const std::string label = "LCDA/seed" + std::to_string(cfg.seed);
+      core::write_run_csv(csv, run, label);
+      arr.push_back(core::run_to_json(run, label));
+    }
+    reference_csv = csv.str();
+    reference_runs_json = arr.dump(2);
+  }
+
+  // Inject a straggler: shard 0 owns seeds {0,1} (6 seeds over 4 chunks)
+  // and sleeps 400ms before each, while its peers finish in milliseconds.
+  // The coordinator must steal/duplicate its pending work — and the
+  // merged bytes must not move.
+  auto specs = dist::plan_shards(
+      scenario, dist::ShardMode::kRuns,
+      {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, kSeeds,
+      /*shards=*/4, NAN, 0.95);
+  const ScopedEnv sleep_ms("LCDA_TEST_SEED_SLEEP_MS", "400");
+  const ScopedEnv sleep_seeds("LCDA_TEST_SLEEP_SEEDS", "0,1");
+
+  dist::Coordinator::Options opts;
+  opts.worker_command = {runner};
+  opts.shard_dir = temp_dir("steal");
+  opts.max_parallel = 4;
+  opts.max_retries = 0;
+  opts.verbose = false;
+  opts.steal_threshold = 1.5;
+  dist::Coordinator coordinator(opts);
+  coordinator.run(specs);
+  EXPECT_GE(coordinator.stats().steals, 1);
+  EXPECT_GE(coordinator.stats().stolen_seeds, 1);
+
+  std::vector<util::Json> manifests;
+  for (const auto& spec : specs) {
+    manifests.push_back(dist::load_shard_manifest(spec));
+  }
+  const std::vector<dist::MergedRun> merged =
+      dist::merge_runs(specs, manifests);
+  ASSERT_EQ(merged.size(), static_cast<std::size_t>(kSeeds));
+  std::string csv;
+  util::Json arr = util::Json::array();
+  for (const dist::MergedRun& run : merged) {
+    csv += run.csv;
+    arr.push_back(run.run_json);
+  }
+  EXPECT_EQ(csv, reference_csv);
+  EXPECT_EQ(arr.dump(2), reference_runs_json);
+}
+
+TEST(Distributed, DeadWorkerIsReapedThroughHeartbeatTimeout) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+
+  core::Scenario scenario = small_scenario();
+  const int kSeeds = 4;
+  const core::AggregateResult reference =
+      core::run_aggregate(core::Strategy::kLcda, scenario.config.lcda_episodes,
+                          kSeeds, scenario.config, NAN);
+
+  auto specs = dist::plan_shards(
+      scenario, dist::ShardMode::kAggregate,
+      {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, kSeeds,
+      /*shards=*/2, NAN, 0.95);
+  // Shard 1 owns seeds {2,3}; its attempt 0 stops heartbeating and hangs
+  // at seed 2 — a live process doing nothing, invisible to try_wait().
+  // Only the staleness reaper can recover it.
+  const ScopedEnv wedge("LCDA_TEST_WEDGE_SEED", "2");
+
+  dist::Coordinator::Options opts;
+  opts.worker_command = {runner};
+  opts.shard_dir = temp_dir("wedge");
+  opts.max_parallel = 2;
+  opts.max_retries = 1;
+  opts.verbose = false;
+  opts.enable_steal = false;  // isolate the heartbeat path
+  opts.heartbeat_ms = 50;
+  opts.heartbeat_timeout_ms = 1000;
+  dist::Coordinator coordinator(opts);
+  coordinator.run(specs);
+  EXPECT_EQ(coordinator.stats().dead_workers, 1);
+  EXPECT_EQ(coordinator.stats().retries, 1);
+
+  std::vector<util::Json> manifests;
+  for (const auto& spec : specs) {
+    manifests.push_back(dist::load_shard_manifest(spec));
+  }
+  const core::AggregateResult merged = dist::merge_aggregate(specs, manifests);
+  EXPECT_EQ(core::aggregate_to_json(merged).dump(2),
+            core::aggregate_to_json(reference).dump(2));
 }
 
 TEST(Distributed, ExhaustedRetriesFailLoudly) {

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <csignal>
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "lcda/util/csv.h"
@@ -12,6 +17,7 @@
 #include "lcda/util/rng.h"
 #include "lcda/util/stats.h"
 #include "lcda/util/strings.h"
+#include "lcda/util/subprocess.h"
 
 namespace lcda::util {
 namespace {
@@ -446,6 +452,62 @@ TEST(Logging, LevelFilters) {
   Logger("test").info() << "filtered";
   Logger("test").error() << "emitted";
   set_log_level(LogLevel::kWarn);
+}
+
+// ------------------------------------------------------------ Subprocess
+
+TEST(Subprocess, TryWaitPollsWithoutBlocking) {
+  Subprocess child({"/bin/sh", "-c", "sleep 0.2; echo late >&2; exit 7"});
+  // The child is still sleeping: try_wait must return nothing, instantly.
+  EXPECT_FALSE(child.try_wait().has_value());
+  // Poll to completion — the loop is the coordinator's reap pattern.
+  std::optional<Subprocess::Result> result;
+  for (int i = 0; i < 200 && !result; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    result = child.try_wait();
+  }
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->exit_code, 7);
+  EXPECT_EQ(result->stderr_output, "late\n");
+  // After completion, try_wait keeps returning the same result.
+  const auto again = child.try_wait();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->exit_code, 7);
+}
+
+TEST(Subprocess, StopTerminatesGracefully) {
+  // A child that dies to SIGTERM: stop() never needs the KILL escalation.
+  Subprocess child({"/bin/sleep", "30"});
+  const auto t0 = std::chrono::steady_clock::now();
+  const Subprocess::Result result = child.stop(/*grace_ms=*/2000);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(result.term_signal, SIGTERM);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+TEST(Subprocess, StopEscalatesToKillAfterGrace) {
+  // A child that ignores SIGTERM must be SIGKILLed once the grace runs
+  // out. The trailing exit keeps sh from exec-replacing itself with sleep
+  // (which would drop the trap).
+  Subprocess child({"/bin/sh", "-c", "trap '' TERM; sleep 30; exit 0"});
+  // Give the shell a moment to install the trap, or the TERM wins the race.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const Subprocess::Result result = child.stop(/*grace_ms=*/300);
+  EXPECT_EQ(result.term_signal, SIGKILL);
+}
+
+TEST(Subprocess, DestructorReapsRunningChild) {
+  // Leaving scope with a live child must not hang (graceful stop with a
+  // short grace) and must not leak a zombie — nothing to assert beyond
+  // "this returns quickly", which the test timeout enforces.
+  const auto t0 = std::chrono::steady_clock::now();
+  { Subprocess child({"/bin/sleep", "30"}); }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
 }
 
 }  // namespace

@@ -128,6 +128,35 @@ measure)
       end=$(date +%s%N)
       echo $(( (end - start) / 1000000 )) >>"$tmpdir/dist_walls.txt"
     done
+
+    # Straggler mitigation: the same sharded study with two injected
+    # 400ms-per-seed stragglers, once with work stealing (the default)
+    # and once with --no-steal. Records both min walls plus the steal
+    # count reported in the coordinator's stderr summary; the quotient
+    # is the tracked straggler-mitigation win.
+    echo "bench_record: straggler mitigation ($REPS runs each, steal on/off)..." >&2
+    : >"$tmpdir/straggler_steal_walls.txt"
+    : >"$tmpdir/straggler_nosteal_walls.txt"
+    : >"$tmpdir/straggler_steals.txt"
+    for rep in $(seq "$REPS"); do
+      start=$(date +%s%N)
+      LCDA_TEST_SEED_SLEEP_MS=400 LCDA_TEST_SLEEP_SEEDS=0,1 \
+        "$BUILD/lcda_run" --scenario=paper-energy --strategy=rl --aggregate \
+        --seeds="$SEEDS" --episodes="$EPISODES" --parallelism=4 \
+        --distribute="$DISTRIBUTE" --quiet \
+        >/dev/null 2>"$tmpdir/straggler_rep.err"
+      end=$(date +%s%N)
+      echo $(( (end - start) / 1000000 )) >>"$tmpdir/straggler_steal_walls.txt"
+      grep -o 'steals=[0-9]*' "$tmpdir/straggler_rep.err" | head -1 \
+        | cut -d= -f2 >>"$tmpdir/straggler_steals.txt"
+      start=$(date +%s%N)
+      LCDA_TEST_SEED_SLEEP_MS=400 LCDA_TEST_SLEEP_SEEDS=0,1 \
+        "$BUILD/lcda_run" --scenario=paper-energy --strategy=rl --aggregate \
+        --seeds="$SEEDS" --episodes="$EPISODES" --parallelism=4 \
+        --distribute="$DISTRIBUTE" --no-steal --quiet >/dev/null 2>&1
+      end=$(date +%s%N)
+      echo $(( (end - start) / 1000000 )) >>"$tmpdir/straggler_nosteal_walls.txt"
+    done
   fi
 
   # nproc is what std::thread::hardware_concurrency reports on Linux
@@ -198,6 +227,25 @@ if distribute > 0:
         "wall_ms": min(dist_walls),
         "note": "lcda_run --distribute wall clock incl. process spawn and merge",
     }
+    steal_walls = [int(line) for line in open(f"{tmpdir}/straggler_steal_walls.txt")
+                   if line.strip()]
+    nosteal_walls = [int(line) for line in
+                     open(f"{tmpdir}/straggler_nosteal_walls.txt") if line.strip()]
+    steal_counts = [int(line) for line in open(f"{tmpdir}/straggler_steals.txt")
+                    if line.strip()]
+    if not steal_walls or not nosteal_walls:
+        raise SystemExit("bench_record: no straggler wall samples")
+    measurement["straggler_mitigation_wall_ms"] = {
+        "workers": distribute,
+        "seeds": seeds,
+        "episodes": episodes,
+        "injected_sleep_ms": 400,
+        "injected_seeds": [0, 1],
+        "steal_wall_ms": min(steal_walls),
+        "no_steal_wall_ms": min(nosteal_walls),
+        "steals": max(steal_counts) if steal_counts else 0,
+        "note": "two injected 400ms/seed stragglers; steal vs --no-steal wall",
+    }
 json.dump(measurement, open(out_path, "w"), indent=2)
 print(json.dumps(measurement, indent=2))
 PYEOF
@@ -265,6 +313,18 @@ if "distributed_wall_ms" in after or "distributed_wall_ms" in before:
         "before": before.get("distributed_wall_ms"),
         "after": after.get("distributed_wall_ms"),
     }
+
+# Straggler-mitigation walls ride along the same way; the no_steal /
+# steal quotient on the "after" side is the headline mitigation win.
+if "straggler_mitigation_wall_ms" in after or "straggler_mitigation_wall_ms" in before:
+    entry["straggler_mitigation_wall_ms"] = {
+        "before": before.get("straggler_mitigation_wall_ms"),
+        "after": after.get("straggler_mitigation_wall_ms"),
+    }
+    a = after.get("straggler_mitigation_wall_ms")
+    if a and a.get("steal_wall_ms"):
+        entry["straggler_mitigation_wall_ms"]["mitigation_speedup"] = round(
+            a["no_steal_wall_ms"] / a["steal_wall_ms"], 2)
 
 doc = json.load(open(bench_file))
 if doc.get("format") != "lcda-bench-engine-v1":

@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Compare two lcda_run --json documents, ignoring the "dist" object.
+
+Distributed runs attach scheduling stats (per-shard wall clocks, steal
+counts) under a top-level "dist" key; those are real measurements and so
+non-reproducible by design. Everything else — the engine payload — must
+match exactly, which is the byte-identity contract CI enforces.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    doc.pop("dist", None)
+    return doc
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} A.json B.json")
+    a, b = load(sys.argv[1]), load(sys.argv[2])
+    if a != b:
+        sys.exit(f"FATAL: {sys.argv[1]} and {sys.argv[2]} differ outside 'dist'")
+    print(f"{sys.argv[1]} == {sys.argv[2]} (ignoring 'dist')")
+
+
+if __name__ == "__main__":
+    main()

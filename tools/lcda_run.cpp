@@ -57,6 +57,17 @@
 //   --shard-dir=DIR        keep shard specs/manifests in DIR instead of an
 //                          auto-cleaned temp directory (requires
 //                          --distribute)
+//   --keep-shard-dir       keep the automatic temp shard directory (specs,
+//                          manifests, progress sidecars) for post-mortem;
+//                          without it the temp directory is removed on
+//                          success AND failure (requires --distribute)
+//   --no-steal             disable straggler work stealing; shards then run
+//                          exactly where the planner put them (requires
+//                          --distribute)
+//   --steal-threshold=K    a shard is a straggler when its estimated
+//                          remaining time exceeds K x the median of its
+//                          peers (default 2.0, must be >= 1; requires
+//                          --distribute)
 //   --worker=SPEC.json     internal: run one shard spec and write its result
 //                          manifest (what --distribute spawns)
 //   --json=PATH            write the full experiment (runs + traces + cache
@@ -139,6 +150,10 @@ struct CliOptions {
   int distribute = 0;           // 0 = in-process; N = worker processes
   int max_retries = 2;          // per-shard retry budget (--distribute)
   bool max_retries_set = false;
+  bool keep_shard_dir = false;  // keep the auto temp shard dir
+  bool no_steal = false;        // disable straggler work stealing
+  double steal_threshold = 2.0; // straggler bar (x median peer estimate)
+  bool steal_threshold_set = false;
   double threshold = std::numeric_limits<double>::quiet_NaN();
   double threshold_fraction = 0.95;
 };
@@ -151,7 +166,8 @@ int usage(const char* argv0) {
                "[--cache-dir=DIR] [--parallelism=N] [--json=PATH] "
                "[--trace=PATH|-] [--quiet]\n"
                "       %s ... --distribute=N [--max-retries=K] "
-               "[--shard-dir=DIR]\n"
+               "[--shard-dir=DIR] [--keep-shard-dir] [--no-steal] "
+               "[--steal-threshold=K]\n"
                "       %s --scenario=NAME --aggregate [--threshold=R] [...]\n"
                "       %s --scenario=NAME --speedup [--threshold-fraction=F] "
                "[...]\n"
@@ -244,32 +260,72 @@ std::vector<dist::StrategyStudy> resolve_studies(
   return studies;
 }
 
-/// A completed distributed study: the executed plan plus every shard's
-/// loaded (and spec-verified) result manifest, index-aligned with specs.
+/// A completed distributed study: the executed plan (steal-appended specs
+/// included) plus every shard's loaded (and spec-verified) result
+/// manifest, index-aligned with specs, and the coordinator's scheduling
+/// stats for the "dist" JSON object.
 struct DistributedStudy {
   std::vector<dist::ShardSpec> specs;
   std::vector<util::Json> manifests;
+  dist::Coordinator::Stats stats;
 
-  /// The contiguous shard range study entry `k` owns (plan_shards is
-  /// strategy-major with a fixed chunk count per strategy), as parallel
-  /// spec/manifest slices for the per-strategy mergers.
+  /// The shards study entry `k` owns. Plan order used to make this a
+  /// contiguous range; work stealing appends specs out of order, so
+  /// select by the study_slot tag the planner stamped (and steals
+  /// inherit).
   [[nodiscard]] std::pair<std::vector<dist::ShardSpec>,
                           std::vector<util::Json>>
-  strategy_slice(std::size_t k, std::size_t study_count) const {
-    const std::size_t chunks = specs.size() / study_count;
+  study_slice(std::size_t k) const {
     std::pair<std::vector<dist::ShardSpec>, std::vector<util::Json>> slice;
-    for (std::size_t i = k * chunks; i < (k + 1) * chunks; ++i) {
-      slice.first.push_back(specs[i]);
-      slice.second.push_back(manifests[i]);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].study_slot == static_cast<int>(k)) {
+        slice.first.push_back(specs[i]);
+        slice.second.push_back(manifests[i]);
+      }
     }
     return slice;
   }
 };
 
+/// The "dist" object distributed --json documents carry: study-level
+/// scheduling counters plus one record per shard that ever existed in the
+/// plan. Wall times are real milliseconds, so this object is the one part
+/// of a distributed document that is NOT byte-reproducible — consumers
+/// diffing documents strip it first (CI does).
+util::Json dist_stats_to_json(const dist::Coordinator::Stats& stats) {
+  util::Json j = util::Json::object();
+  j["planned"] = stats.planned;
+  j["spawned"] = stats.spawned;
+  j["retries"] = stats.retries;
+  j["steals"] = stats.steals;
+  j["stolen_seeds"] = stats.stolen_seeds;
+  j["superseded"] = stats.superseded;
+  j["dead_workers"] = stats.dead_workers;
+  util::Json banned = util::Json::array();
+  for (int slot : stats.banlisted_slots) banned.push_back(slot);
+  j["banlisted_slots"] = banned;
+  util::Json shards = util::Json::array();
+  for (const dist::Coordinator::ShardStats& s : stats.shards) {
+    util::Json e = util::Json::object();
+    e["index"] = s.index;
+    e["seeds"] = s.seeds;
+    e["attempts"] = s.attempts;
+    e["slot"] = s.slot;
+    e["wall_ms"] = s.wall_ms;
+    if (s.stolen_from >= 0) e["stolen_from"] = s.stolen_from;
+    if (s.supersedes) e["supersedes"] = true;
+    if (s.superseded) e["superseded"] = true;
+    shards.push_back(e);
+  }
+  j["shards"] = shards;
+  return j;
+}
+
 /// Plans the study, drives the shard workers to completion through the
 /// coordinator, and loads their manifests. The shard directory is the
-/// user's --shard-dir (kept) or an automatic temp directory (removed on
-/// success, kept on failure for post-mortem).
+/// user's --shard-dir (theirs to keep) or an automatic temp directory,
+/// removed on success AND failure unless --keep-shard-dir asks for a
+/// post-mortem copy.
 DistributedStudy run_distributed(const CliOptions& cli,
                                  const core::Scenario& scenario,
                                  dist::ShardMode mode,
@@ -282,6 +338,7 @@ DistributedStudy run_distributed(const CliOptions& cli,
                   ("lcda-shards-" + std::to_string(static_cast<long>(::getpid()))))
                      .string()
                : cli.shard_dir;
+  const bool cleanup = auto_dir && !cli.keep_shard_dir;
 
   DistributedStudy study;
   study.specs =
@@ -294,16 +351,43 @@ DistributedStudy run_distributed(const CliOptions& cli,
   opts.max_parallel = cli.distribute;
   opts.max_retries = cli.max_retries;
   opts.verbose = !cli.quiet;  // --quiet silences shard narration too
-  dist::Coordinator(opts).run(study.specs);
+  opts.enable_steal = !cli.no_steal;
+  opts.steal_threshold = cli.steal_threshold;
 
-  study.manifests.reserve(study.specs.size());
-  for (const dist::ShardSpec& spec : study.specs) {
-    study.manifests.push_back(dist::load_shard_manifest(spec));
+  try {
+    dist::Coordinator coordinator(opts);
+    coordinator.run(study.specs);
+    study.stats = coordinator.stats();
+    study.manifests.reserve(study.specs.size());
+    for (const dist::ShardSpec& spec : study.specs) {
+      study.manifests.push_back(dist::load_shard_manifest(spec));
+    }
+  } catch (...) {
+    std::error_code ec;
+    if (cleanup) {
+      fs::remove_all(shard_dir, ec);
+    } else if (auto_dir) {
+      std::fprintf(stderr, "lcda_run: shard dir kept at %s\n",
+                   shard_dir.c_str());
+    }
+    throw;
   }
-  if (auto_dir) {
+  if (cleanup) {
     std::error_code ec;
     fs::remove_all(shard_dir, ec);
+  } else if (auto_dir) {
+    std::fprintf(stderr, "lcda_run: shard dir kept at %s\n", shard_dir.c_str());
   }
+
+  // One greppable scheduling summary per distributed run (bench_record.sh
+  // and humans read it; byte-diffed outputs never include stderr).
+  const dist::Coordinator::Stats& st = study.stats;
+  std::fprintf(stderr,
+               "[dist] summary: shards=%d spawned=%d retries=%d steals=%d "
+               "stolen_seeds=%d superseded=%d dead_workers=%d "
+               "banlisted_slots=%zu\n",
+               st.planned, st.spawned, st.retries, st.steals, st.stolen_seeds,
+               st.superseded, st.dead_workers, st.banlisted_slots.size());
   return study;
 }
 
@@ -337,6 +421,17 @@ int main(int argc, char** argv) {
       else if (flag_value(arg, "--json=", cli.json_path)) {}
       else if (flag_value(arg, "--trace=", cli.trace_path)) {}
       else if (flag_value(arg, "--shard-dir=", cli.shard_dir)) {}
+      else if (arg == "--keep-shard-dir") cli.keep_shard_dir = true;
+      else if (arg == "--no-steal") cli.no_steal = true;
+      else if (flag_value(arg, "--steal-threshold=", value)) {
+        cli.steal_threshold = parse_double_flag(value, "--steal-threshold");
+        if (cli.steal_threshold < 1.0) {
+          throw std::invalid_argument(
+              "bad value for --steal-threshold: \"" + value +
+              "\" (want a number >= 1)");
+        }
+        cli.steal_threshold_set = true;
+      }
       else if (flag_value(arg, "--worker=", cli.worker_spec)) {}
       else if (arg == "--set" && i + 1 < argc) cli.overrides.emplace_back(argv[++i]);
       else if (flag_value(arg, "--set=", value)) cli.overrides.push_back(value);
@@ -478,10 +573,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "lcda_run: --threshold requires --aggregate\n");
       return usage(argv[0]);
     }
-    if (cli.distribute == 0 && (!cli.shard_dir.empty() || cli.max_retries_set)) {
+    if (cli.distribute == 0 &&
+        (!cli.shard_dir.empty() || cli.max_retries_set || cli.keep_shard_dir ||
+         cli.no_steal || cli.steal_threshold_set)) {
       std::fprintf(stderr,
-                   "lcda_run: --shard-dir / --max-retries require "
-                   "--distribute\n");
+                   "lcda_run: --shard-dir / --max-retries / --keep-shard-dir "
+                   "/ --no-steal / --steal-threshold require --distribute\n");
       return usage(argv[0]);
     }
 
@@ -500,14 +597,15 @@ int main(int argc, char** argv) {
       const std::vector<dist::StrategyStudy> studies =
           resolve_studies(cli, scenario, strategies);
       std::vector<core::AggregateResult> aggregates;
+      util::Json dist_stats;
       if (cli.distribute > 0) {
         // Shard across worker processes and fold the manifests back; the
         // merged aggregates are byte-identical to the in-process branch.
         const DistributedStudy study = run_distributed(
             cli, scenario, dist::ShardMode::kAggregate, studies, argv[0]);
+        dist_stats = dist_stats_to_json(study.stats);
         for (std::size_t k = 0; k < studies.size(); ++k) {
-          const auto [specs, manifests] =
-              study.strategy_slice(k, studies.size());
+          const auto [specs, manifests] = study.study_slice(k);
           aggregates.push_back(dist::merge_aggregate(specs, manifests));
         }
       } else {
@@ -559,6 +657,7 @@ int main(int argc, char** argv) {
         }
         doc["aggregates"] = arr;
         doc["scenario"] = core::scenario_to_json(scenario);
+        if (cli.distribute > 0) doc["dist"] = dist_stats;
         core::write_json_file(doc, cli.json_path);
         std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
       }
@@ -568,11 +667,13 @@ int main(int argc, char** argv) {
     // --- paired LCDA-vs-NACIM speedup study -----------------------------
     if (cli.speedup) {
       std::vector<core::SpeedupReport> reports;
+      util::Json dist_stats;
       if (cli.distribute > 0) {
         // The speedup study has no strategy axis: one plan over the seeds.
         const DistributedStudy study =
             run_distributed(cli, scenario, dist::ShardMode::kSpeedup,
                             {{core::Strategy::kLcda, 0}}, argv[0]);
+        dist_stats = dist_stats_to_json(study.stats);
         reports = dist::merge_speedup(study.specs, study.manifests);
       } else {
         reports = core::speedup_study(scenario.config, cli.seeds,
@@ -605,6 +706,7 @@ int main(int argc, char** argv) {
         doc["seed"] = static_cast<long long>(scenario.config.seed);
         doc["speedup_study"] = core::speedup_study_to_json(reports);
         doc["scenario"] = core::scenario_to_json(scenario);
+        if (cli.distribute > 0) doc["dist"] = dist_stats;
         core::write_json_file(doc, cli.json_path);
         std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
       }
@@ -650,6 +752,7 @@ int main(int argc, char** argv) {
         for (const dist::MergedRun& run : runs) arr.push_back(run.run_json);
         doc["runs"] = arr;
         doc["scenario"] = core::scenario_to_json(scenario);
+        doc["dist"] = dist_stats_to_json(study.stats);
         core::write_json_file(doc, cli.json_path);
         std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
       }
