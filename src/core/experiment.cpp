@@ -188,6 +188,13 @@ RunResult run_strategy(Strategy strategy, int episodes,
         static_cast<std::int64_t>(pstore->skipped_files());
     result.persistent_save_failures =
         static_cast<std::int64_t>(pstore->save_failures());
+    const store::EvalStore::Metrics& m = pstore->metrics();
+    result.store.hits = static_cast<std::int64_t>(m.hits);
+    result.store.misses = static_cast<std::int64_t>(m.misses);
+    result.store.shared_hits = static_cast<std::int64_t>(m.shared_hits);
+    result.store.shared_misses = static_cast<std::int64_t>(m.shared_misses);
+    result.store.bytes_read = static_cast<std::int64_t>(m.bytes_read);
+    result.store.bytes_published = static_cast<std::int64_t>(m.bytes_published);
   }
   return result;
 }
@@ -212,6 +219,8 @@ SpeedupReport measure_speedup(const ExperimentConfig& config,
   const int n = nacim.episodes_to_reach(report.threshold);
   report.lcda_episodes = l < 0 ? -1 : l + 1;
   report.nacim_episodes = n < 0 ? -1 : n + 1;
+  report.store += lcda.store;
+  report.store += nacim.store;
   return report;
 }
 

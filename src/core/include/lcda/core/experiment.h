@@ -149,6 +149,9 @@ struct SpeedupReport {
   int nacim_episodes = -1;     ///< episodes NACIM needed (-1 = never)
   double lcda_best = 0.0;
   double nacim_best = 0.0;
+  /// Store-level traffic summed over both runs (observability only; never
+  /// serialized into the deterministic speedup document).
+  StoreMetrics store;
   [[nodiscard]] double speedup() const {
     if (lcda_episodes <= 0 || nacim_episodes <= 0) return 0.0;
     return static_cast<double>(nacim_episodes) / lcda_episodes;

@@ -26,6 +26,32 @@ struct EpisodeRecord {
   bool valid = false;
 };
 
+/// Store-level traffic counters mirrored out of store::EvalStore after a
+/// run (core cannot depend on the store layer, so the shape is duplicated
+/// here): full-key and shared-namespace lookup outcomes plus bytes moved.
+/// Real measurements of where answers came from, NOT part of a run's
+/// deterministic result — a warm store turns misses into hits without
+/// changing a single trace byte, which is exactly what these counters
+/// exist to make observable.
+struct StoreMetrics {
+  std::int64_t hits = 0;            ///< full-key (own-stream) lookup hits
+  std::int64_t misses = 0;          ///< full-key lookup misses
+  std::int64_t shared_hits = 0;     ///< shared-namespace (bucket) hits
+  std::int64_t shared_misses = 0;   ///< shared-namespace misses
+  std::int64_t bytes_read = 0;      ///< record bytes decoded by probes
+  std::int64_t bytes_published = 0; ///< segment bytes written by saves
+
+  StoreMetrics& operator+=(const StoreMetrics& o) {
+    hits += o.hits;
+    misses += o.misses;
+    shared_hits += o.shared_hits;
+    shared_misses += o.shared_misses;
+    bytes_read += o.bytes_read;
+    bytes_published += o.bytes_published;
+    return *this;
+  }
+};
+
 /// Result of a full co-design run.
 struct RunResult {
   std::vector<EpisodeRecord> episodes;
@@ -53,6 +79,10 @@ struct RunResult {
   std::int64_t persistent_evictions = 0;
   std::int64_t persistent_skipped = 0;
   std::int64_t persistent_save_failures = 0;
+
+  /// Store-level lookup/byte traffic for this run's EvalStore session
+  /// (all zero when no persistent store was configured).
+  StoreMetrics store;
 
   /// Best episode, or a sentinel record (episode == -1, reward == -inf)
   /// when the run recorded no episodes.

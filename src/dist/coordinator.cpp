@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <deque>
 #include <filesystem>
-#include <map>
 #include <memory>
 #include <set>
 #include <stdexcept>
@@ -13,6 +12,7 @@
 #include <vector>
 
 #include "lcda/dist/progress.h"
+#include "lcda/dist/protocol.h"
 #include "lcda/util/subprocess.h"
 
 namespace lcda::dist {
@@ -62,16 +62,32 @@ struct Track {
   std::set<int> started, done;     // current attempt's progress records
   bool stolen = false;             // phase-1 steal already taken
   int duplicate_pos = -1;          // position of its supersede-duplicate
-  Clock::time_point spawn_time{};
+  Clock::time_point dispatch_time{};  // when the CURRENT spec was handed to
+                                      // its worker (not when the resident
+                                      // process was forked — an idle-then-
+                                      // busy pool worker must not inherit
+                                      // stale wall)
+  Clock::time_point last_event{};  // when a seed start/done was last
+                                   // observed (heartbeats excluded — they
+                                   // prove liveness, not progress)
+  double done_wall_ms = 0.0;       // sum of finished seeds' walls
   double wall_ms = 0.0;            // busy wall summed across attempts
   int slot = -1;
   int spawns = 0;
 };
 
-struct Active {
-  std::unique_ptr<util::Subprocess> process;
-  std::size_t pos = 0;  // position in the specs vector
-  int slot = -1;
+/// One scheduler slot. Under the pool a slot IS a resident --worker-loop
+/// process: `worker` outlives the specs dispatched to it, `lines`
+/// reassembles its stdout into protocol replies, and `busy`/`pos` name the
+/// spec currently in flight. With the pool off, `worker` is the per-attempt
+/// --worker process and exit status is the completion signal.
+struct Slot {
+  std::unique_ptr<util::Subprocess> worker;
+  LineBuffer lines;
+  bool busy = false;
+  bool banned = false;
+  std::size_t pos = 0;     // spec in flight (valid while busy)
+  std::set<int> failures;  // distinct shard indices that failed here
 };
 
 /// The seeds a spec still owes the merger: its seed list minus the
@@ -103,6 +119,7 @@ Coordinator::Coordinator(Options opts) : opts_(std::move(opts)) {
   if (opts_.steal_threshold < 1.0) {
     throw std::invalid_argument("Coordinator: steal_threshold must be >= 1");
   }
+  if (opts_.steal_min_stale_ms < 0) opts_.steal_min_stale_ms = 0;
   if (opts_.poll_min_ms < 1) opts_.poll_min_ms = 1;
   if (opts_.poll_max_ms < opts_.poll_min_ms) {
     opts_.poll_max_ms = opts_.poll_min_ms;
@@ -122,11 +139,7 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
 
   std::vector<Track> track(specs.size());
   std::deque<std::size_t> queue;
-  std::vector<Active> active;
-  std::vector<char> slot_busy(static_cast<std::size_t>(opts_.max_parallel), 0);
-  std::vector<char> slot_banned(static_cast<std::size_t>(opts_.max_parallel), 0);
-  std::vector<std::set<int>> slot_failures(
-      static_cast<std::size_t>(opts_.max_parallel));
+  std::vector<Slot> slots(static_cast<std::size_t>(opts_.max_parallel));
 
   // Shard "names" (spec.index) survive steals: new specs take fresh
   // indices past every existing one, so file stems never collide.
@@ -153,64 +166,110 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
 
   const auto free_slot = [&]() -> int {
     for (int s = 0; s < opts_.max_parallel; ++s) {
-      if (!slot_busy[static_cast<std::size_t>(s)] &&
-          !slot_banned[static_cast<std::size_t>(s)]) {
-        return s;
-      }
+      const Slot& slot = slots[static_cast<std::size_t>(s)];
+      if (!slot.busy && !slot.banned) return s;
     }
     return -1;
   };
-  const auto usable_slots = [&] {
+  const auto idle_slots = [&] {
     int n = 0;
-    for (char b : slot_banned) n += b == 0;
+    for (const Slot& slot : slots) n += !slot.busy && !slot.banned;
     return n;
   };
+  const auto usable_slots = [&] {
+    int n = 0;
+    for (const Slot& slot : slots) n += !slot.banned;
+    return n;
+  };
+  const auto any_busy = [&] {
+    for (const Slot& slot : slots) {
+      if (slot.busy) return true;
+    }
+    return false;
+  };
 
-  const auto spawn = [&](std::size_t p, int slot) {
+  /// Forks a fresh resident --worker-loop process into `slot`, replacing
+  /// whatever was there (a dead or killed predecessor).
+  const auto launch_pool_worker = [&](Slot& slot) {
+    std::vector<std::string> argv = opts_.worker_command;
+    argv.push_back("--worker-loop");
+    util::Subprocess::Options popts;
+    popts.pipe_stdin = true;
+    popts.pipe_stdout = true;
+    slot.worker = std::make_unique<util::Subprocess>(std::move(argv), popts);
+    slot.lines = LineBuffer{};
+    ++stats_.pool_workers;
+  };
+
+  /// Hands spec `p` to slot `slot_idx`: writes the spec file and either
+  /// streams a `run` command to the slot's resident worker (spawning or
+  /// respawning it as needed) or forks a one-shot --worker process.
+  const auto dispatch = [&](std::size_t p, int slot_idx) {
+    Slot& slot = slots[static_cast<std::size_t>(slot_idx)];
     ShardSpec& spec = specs[p];
     const std::string spec_path = stem(p) + "-spec.json";
     spec.progress_path =
         stem(p) + "-progress-a" + std::to_string(spec.attempt) + ".jsonl";
     fs::remove(spec.progress_path, ec);
     save_shard_spec(spec, spec_path);
-    std::vector<std::string> argv = opts_.worker_command;
-    argv.push_back("--worker=" + spec_path);
-    Active a;
-    a.process = std::make_unique<util::Subprocess>(std::move(argv));
-    a.pos = p;
-    a.slot = slot;
-    slot_busy[static_cast<std::size_t>(slot)] = 1;
+    if (opts_.use_worker_pool) {
+      WorkerCommand cmd;
+      cmd.kind = WorkerCommand::Kind::kRun;
+      cmd.spec_path = spec_path;
+      const std::string line = encode_worker_command(cmd);
+      // A worker that died while idle surfaces here as a broken pipe; one
+      // respawn covers it. Failing twice in a row means workers cannot be
+      // created at all, which is fatal exactly like a failed fork was.
+      bool sent = false;
+      for (int tries = 0; tries < 2 && !sent; ++tries) {
+        if (!slot.worker || slot.worker->waited()) launch_pool_worker(slot);
+        sent = slot.worker->write_stdin(line);
+        if (!sent) slot.worker.reset();
+      }
+      if (!sent) {
+        throw std::runtime_error(
+            "Coordinator: cannot keep a resident worker alive on slot " +
+            std::to_string(slot_idx));
+      }
+    } else {
+      std::vector<std::string> argv = opts_.worker_command;
+      argv.push_back("--worker=" + spec_path);
+      slot.worker = std::make_unique<util::Subprocess>(std::move(argv));
+    }
+    slot.busy = true;
+    slot.pos = p;
     Track& t = track[p];
     t.state = State::kRunning;
     t.started.clear();
     t.done.clear();
-    t.slot = slot;
-    t.spawn_time = Clock::now();
+    t.slot = slot_idx;
+    t.dispatch_time = Clock::now();
+    t.last_event = t.dispatch_time;
+    t.done_wall_ms = 0.0;
     ++t.spawns;
     ++stats_.spawned;
     if (opts_.verbose) {
       std::fprintf(stderr,
                    "[dist] shard %d/%d (%s, %s, attempt %d) -> pid %ld "
-                   "slot %d\n",
+                   "slot %d%s\n",
                    spec.index, spec.count,
                    std::string(core::strategy_name(spec.strategy)).c_str(),
                    seeds_label(spec).c_str(), spec.attempt,
-                   static_cast<long>(a.process->pid()), slot);
+                   static_cast<long>(slot.worker->pid()), slot_idx,
+                   opts_.use_worker_pool ? " (pool)" : "");
     }
-    active.push_back(std::move(a));
   };
 
-  const auto release_slot = [&](int slot) {
-    if (slot >= 0) slot_busy[static_cast<std::size_t>(slot)] = 0;
-  };
-
-  /// Stops the active worker of shard `p` (if any) and drops its entry.
+  /// Stops the worker executing shard `p` (if any) and frees its slot.
+  /// Under the pool this kills the resident process mid-spec — the next
+  /// dispatch to the slot respawns a replacement.
   const auto stop_worker = [&](std::size_t p) {
-    for (std::size_t a = 0; a < active.size(); ++a) {
-      if (active[a].pos != p) continue;
-      (void)active[a].process->stop(/*grace_ms=*/500);
-      release_slot(active[a].slot);
-      active.erase(active.begin() + static_cast<std::ptrdiff_t>(a));
+    for (Slot& slot : slots) {
+      if (!slot.busy || slot.pos != p) continue;
+      if (slot.worker) (void)slot.worker->stop(/*grace_ms=*/500);
+      slot.worker.reset();
+      slot.lines = LineBuffer{};
+      slot.busy = false;
       return;
     }
   };
@@ -237,6 +296,15 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
   const auto on_success = [&](std::size_t p) {
     Track& t = track[p];
     t.state = State::kDone;
+    // Final progress read: the finished shard's per-seed walls anchor the
+    // straggler detector's reference scale even when completion arrived
+    // between progress scans.
+    if (!specs[p].progress_path.empty()) {
+      const ProgressSnapshot snap = read_progress(specs[p].progress_path);
+      t.started = snap.started;
+      t.done = snap.done;
+      t.done_wall_ms = snap.done_wall_ms;
+    }
     if (opts_.verbose) {
       std::fprintf(stderr, "[dist] shard %d done\n", specs[p].index);
     }
@@ -262,7 +330,7 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
     }
   };
 
-  const auto on_failure = [&](std::size_t p, int slot,
+  const auto on_failure = [&](std::size_t p, int slot_idx,
                               const std::string& described,
                               const std::string& stderr_output) {
     Track& t = track[p];
@@ -270,18 +338,18 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
     // era) remembers which distinct shards died on it; repeat offenders
     // are banlisted for the rest of the study, but never below one
     // usable slot.
-    if (slot >= 0) {
-      auto& failures = slot_failures[static_cast<std::size_t>(slot)];
-      failures.insert(specs[p].index);
-      if (static_cast<int>(failures.size()) >= opts_.banlist_after &&
-          !slot_banned[static_cast<std::size_t>(slot)] && usable_slots() > 1) {
-        slot_banned[static_cast<std::size_t>(slot)] = 1;
-        stats_.banlisted_slots.push_back(slot);
+    if (slot_idx >= 0) {
+      Slot& slot = slots[static_cast<std::size_t>(slot_idx)];
+      slot.failures.insert(specs[p].index);
+      if (static_cast<int>(slot.failures.size()) >= opts_.banlist_after &&
+          !slot.banned && usable_slots() > 1) {
+        slot.banned = true;
+        stats_.banlisted_slots.push_back(slot_idx);
         if (opts_.verbose) {
           std::fprintf(stderr,
                        "[dist] slot %d banlisted after %zu distinct shard "
                        "failure(s)\n",
-                       slot, failures.size());
+                       slot_idx, slot.failures.size());
         }
       }
     }
@@ -356,122 +424,135 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
     return p;
   };
 
-  /// One straggler-mitigation pass: finds the worst relative straggler
-  /// among running shards and steals its not-yet-started seeds (phase 1)
-  /// or duplicates its whole unpublished remainder (phase 2). At most one
-  /// steal per pass keeps the policy easy to reason about; the next scan
-  /// can steal again.
+  /// One straggler-mitigation pass. A shard is a straggler when its
+  /// progress has STALLED: no seed started or finished for longer than
+  /// steal_threshold x the observed median per-seed wall (floored by
+  /// steal_min_stale_ms so scan jitter cannot trip it). Healthy shards
+  /// racing to the finish keep emitting seed events at per-seed cadence
+  /// and never look stalled — even on an oversubscribed box where every
+  /// wall estimate is inflated by CPU queueing — while a shard grinding
+  /// inside one slow seed goes quiet (heartbeats keep it alive, not
+  /// fresh: they are excluded from last_event on purpose). Phase 1 steals
+  /// its not-yet-started seeds onto idle slots; phase 2 duplicates the
+  /// started remainder as a supersede race. At most one steal per pass
+  /// keeps the policy easy to reason about; the next scan can steal
+  /// again.
   const auto maybe_steal = [&] {
     if (!opts_.enable_steal || !queue.empty() || free_slot() < 0) return false;
 
-    struct Estimate {
+    struct Candidate {
       std::size_t pos;
-      double remaining_ms;
-      double elapsed;
+      double stale_ms;
       std::vector<int> owned;
     };
-    std::vector<Estimate> running;
-    for (const Active& a : active) {
-      const Track& t = track[a.pos];
-      Estimate e;
-      e.pos = a.pos;
-      e.elapsed = elapsed_ms(t.spawn_time);
-      e.owned = owned_seeds(specs[a.pos], t.revoked);
-      const double done_n = static_cast<double>(t.done.size());
-      const double remaining_n =
-          static_cast<double>(e.owned.size()) - done_n;
-      const double per_seed = done_n > 0 ? e.elapsed / done_n : e.elapsed;
-      e.remaining_ms = remaining_n > 0 ? remaining_n * per_seed : 0.0;
-      running.push_back(std::move(e));
+    std::vector<Candidate> running;
+    for (const Slot& slot : slots) {
+      if (!slot.busy) continue;
+      // A supersede-duplicate is never itself a steal source: it exists
+      // only as the second copy in a publish race the original is still
+      // running. Allowing it would chain duplicates-of-duplicates — every
+      // copy of a genuinely slow seed stalls past the bar, and each
+      // would spawn the next (duplicate_pos only guards the immediate
+      // parent) — so a slow seed could breed specs without bound instead
+      // of racing exactly two copies.
+      if (specs[slot.pos].supersedes) continue;
+      const Track& t = track[slot.pos];
+      Candidate c;
+      c.pos = slot.pos;
+      c.stale_ms = elapsed_ms(t.last_event);
+      c.owned = owned_seeds(specs[slot.pos], t.revoked);
+      if (t.done.size() < c.owned.size()) running.push_back(std::move(c));
     }
     if (running.empty()) return false;
 
-    std::vector<double> completed_walls;
-    for (std::size_t p = 0; p < track.size(); ++p) {
-      if (track[p].state == State::kDone) {
-        completed_walls.push_back(track[p].wall_ms);
+    // Reference scale: median of the shards' observed mean per-seed walls
+    // (any state — finished shards anchor it via on_success's final
+    // progress read). Without a single finished seed anywhere there is no
+    // scale to judge "stalled" against, and only the lone-shard split
+    // below may act.
+    std::vector<double> seed_walls;
+    for (const Track& t : track) {
+      if (!t.done.empty() && t.done_wall_ms > 0.0) {
+        seed_walls.push_back(t.done_wall_ms /
+                             static_cast<double>(t.done.size()));
       }
     }
+    const double reference = seed_walls.empty() ? 0.0 : median_of(seed_walls);
 
-    // Worst straggler first.
+    // Most-stalled first.
     std::sort(running.begin(), running.end(), [](const auto& x, const auto& y) {
-      return x.remaining_ms > y.remaining_ms;
+      return x.stale_ms > y.stale_ms;
     });
-    for (const Estimate& e : running) {
-      if (e.remaining_ms <= 0.0) continue;
-      std::vector<double> others;
-      for (const Estimate& o : running) {
-        if (o.pos != e.pos) others.push_back(o.remaining_ms);
-      }
-      bool straggling = false;
-      if (!others.empty()) {
-        straggling = e.remaining_ms > opts_.steal_threshold * median_of(others);
-      } else if (!completed_walls.empty()) {
-        straggling = e.elapsed > opts_.steal_threshold * median_of(completed_walls);
-      } else {
-        // A lone shard with idle slots and no reference point: splitting
-        // it is pure win as long as it has parallelizable seeds left.
-        straggling = true;
-      }
-      if (!straggling) continue;
+    for (const Candidate& c : running) {
+      // "Stalled" judges the gap between OBSERVED events, so it needs at
+      // least one: before the first start event the gap only measures
+      // dispatch-to-startup latency, and flagging on that would revoke
+      // seeds from healthy-but-queued workers (each revocation spawning a
+      // child that is equally slow to start — another unbounded chain). A
+      // worker wedged before its first event is the heartbeat reaper's
+      // case, not the stealer's.
+      const bool stalled =
+          reference > 0.0 && !track[c.pos].started.empty() &&
+          c.stale_ms > std::max(opts_.steal_threshold * reference,
+                                static_cast<double>(opts_.steal_min_stale_ms));
+      // A lone running shard with idle slots and no reference point:
+      // splitting its unstarted seeds is pure win as long as it has
+      // parallelizable seeds left (phase 1 only — duplicating work the
+      // shard is actively progressing through is not).
+      const bool lone_split = running.size() == 1 && reference == 0.0;
+      if (!stalled && !lone_split) continue;
 
       // No reference into track across dispatch_steal: it grows the
       // vector and would invalidate one.
       std::vector<int> unstarted;
-      for (int s : e.owned) {
-        if (track[e.pos].started.count(s) == 0) unstarted.push_back(s);
+      for (int s : c.owned) {
+        if (track[c.pos].started.count(s) == 0) unstarted.push_back(s);
       }
 
       if (!unstarted.empty()) {
         // Phase 1: revoke the unstarted seeds, split them over the idle
         // slots. The worker re-reads the revocation file before each
         // seed, so it simply never runs them.
-        for (int s : unstarted) track[e.pos].revoked.insert(s);
-        write_revocations(specs[e.pos].revoke_path, track[e.pos].revoked);
-        int idle = 0;
-        for (int s = 0; s < opts_.max_parallel; ++s) {
-          if (!slot_busy[static_cast<std::size_t>(s)] &&
-              !slot_banned[static_cast<std::size_t>(s)]) {
-            ++idle;
-          }
-        }
+        for (int s : unstarted) track[c.pos].revoked.insert(s);
+        write_revocations(specs[c.pos].revoke_path, track[c.pos].revoked);
+        const int idle = idle_slots();
         const std::size_t chunks =
             std::min(unstarted.size(), static_cast<std::size_t>(idle));
         std::vector<int> created;
-        for (std::size_t c = 0; c < chunks; ++c) {
-          const std::size_t begin = c * unstarted.size() / chunks;
-          const std::size_t end = (c + 1) * unstarted.size() / chunks;
+        for (std::size_t ch = 0; ch < chunks; ++ch) {
+          const std::size_t begin = ch * unstarted.size() / chunks;
+          const std::size_t end = (ch + 1) * unstarted.size() / chunks;
           const std::size_t p = dispatch_steal(
-              e.pos,
+              c.pos,
               std::vector<int>(unstarted.begin() + begin,
                                unstarted.begin() + end),
               /*supersedes=*/false);
           created.push_back(specs[p].index);
         }
-        track[e.pos].stolen = true;
+        track[c.pos].stolen = true;
         if (opts_.verbose) {
           std::fprintf(stderr,
                        "[dist] stealing %zu not-yet-started seed(s) from "
                        "shard %d into %zu new shard(s)\n",
-                       unstarted.size(), specs[e.pos].index, created.size());
+                       unstarted.size(), specs[c.pos].index, created.size());
         }
         return true;
       }
 
-      if (track[e.pos].duplicate_pos < 0 && !e.owned.empty() &&
-          track[e.pos].done.size() < e.owned.size()) {
+      if (stalled && track[c.pos].duplicate_pos < 0 && !c.owned.empty() &&
+          track[c.pos].done.size() < c.owned.size()) {
         // Phase 2: everything left is already started (or finished but
         // unpublished), so re-dispatch the shard's whole owed seed set as
         // a supersede duplicate; whichever copy publishes first wins and
         // the other worker is stopped.
         const std::size_t d =
-            dispatch_steal(e.pos, e.owned, /*supersedes=*/true);
-        track[e.pos].duplicate_pos = static_cast<int>(d);
+            dispatch_steal(c.pos, c.owned, /*supersedes=*/true);
+        track[c.pos].duplicate_pos = static_cast<int>(d);
         if (opts_.verbose) {
           std::fprintf(stderr,
                        "[dist] duplicating shard %d's remaining %zu seed(s) "
                        "as shard %d (supersede race)\n",
-                       specs[e.pos].index, e.owned.size(), specs[d].index);
+                       specs[c.pos].index, c.owned.size(), specs[d].index);
         }
         return true;
       }
@@ -479,18 +560,118 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
     return false;
   };
 
+  /// Resolves the in-flight spec of a busy slot from a protocol reply.
+  const auto resolve_reply = [&](int slot_idx, Slot& slot,
+                                 const WorkerReply& reply,
+                                 const std::string& worker_stderr) {
+    slot.busy = false;
+    Track& t = track[slot.pos];
+    t.wall_ms += elapsed_ms(t.dispatch_time);
+    if (reply.kind == WorkerReply::Kind::kDone) {
+      on_success(slot.pos);
+    } else {
+      on_failure(slot.pos, slot_idx,
+                 reply.reason.empty() ? "worker error" : reply.reason,
+                 worker_stderr);
+    }
+  };
+
+  /// Runs every complete reply line buffered for a pool slot.
+  /// `dead_stderr` non-null means the worker is already reaped — its
+  /// captured stderr stands in for take_stderr().
+  const auto drain_replies = [&](int slot_idx, Slot& slot,
+                                 const std::string* dead_stderr) {
+    bool event = false;
+    while (const std::optional<std::string> line = slot.lines.next_line()) {
+      const std::optional<WorkerReply> reply = parse_worker_reply(*line);
+      // Stray stdout noise (or a reply kind we did not ask for) is not a
+      // scheduling signal; real worker trouble surfaces as a `failed`
+      // reply, a process exit, or heartbeat staleness.
+      if (!reply || reply->kind == WorkerReply::Kind::kPong) continue;
+      if (!slot.busy) continue;
+      // Attribute the worker's accumulated stderr to THIS spec before the
+      // slot takes another one.
+      const std::string worker_stderr =
+          dead_stderr != nullptr ? *dead_stderr : slot.worker->take_stderr();
+      resolve_reply(slot_idx, slot, *reply, worker_stderr);
+      event = true;
+    }
+    return event;
+  };
+
+  /// Completion scan: one pass over the slots that multiplexes the two
+  /// completion signals. For live pool workers, stdout is drained through
+  /// the line buffer and each protocol reply resolves the in-flight spec.
+  /// Process exit is abnormal under the pool (a healthy resident worker
+  /// replies and stays alive) — except that a reply written just before
+  /// death still counts, so the final drained stdout is processed before
+  /// the exit is judged; without the pool, exit IS the completion signal.
+  const auto scan_completions = [&] {
+    bool event = false;
+    for (int s = 0; s < opts_.max_parallel; ++s) {
+      Slot& slot = slots[static_cast<std::size_t>(s)];
+      if (!slot.worker) continue;
+      const std::optional<util::Subprocess::Result> result =
+          slot.worker->try_wait();
+      if (result) {
+        const long pid = static_cast<long>(slot.worker->pid());
+        if (opts_.use_worker_pool) {
+          slot.lines.feed(slot.worker->read_stdout());
+          event = drain_replies(s, slot, &result->stderr_output) || event;
+        }
+        slot.worker.reset();
+        slot.lines = LineBuffer{};
+        if (slot.busy) {
+          slot.busy = false;
+          Track& t = track[slot.pos];
+          t.wall_ms += elapsed_ms(t.dispatch_time);
+          if (!opts_.use_worker_pool && result->ok()) {
+            on_success(slot.pos);
+          } else {
+            if (opts_.use_worker_pool && opts_.verbose) {
+              std::fprintf(stderr,
+                           "[dist] resident worker pid %ld died mid-spec "
+                           "(%s) — will respawn\n",
+                           pid, result->describe().c_str());
+            }
+            on_failure(slot.pos, s, result->describe(),
+                       result->stderr_output);
+          }
+          event = true;
+        } else if (opts_.use_worker_pool && opts_.verbose &&
+                   result->exit_code != 0) {
+          std::fprintf(stderr,
+                       "[dist] idle resident worker pid %ld exited (%s)\n",
+                       pid, result->describe().c_str());
+        }
+        continue;
+      }
+      if (!opts_.use_worker_pool) continue;  // completion = exit only
+      slot.lines.feed(slot.worker->read_stdout());
+      event = drain_replies(s, slot, nullptr) || event;
+    }
+    return event;
+  };
+
   /// Progress scan: refresh per-seed knowledge and reap workers whose
   /// progress file has gone stale (alive but wedged — a crash would have
   /// surfaced through try_wait already).
   const auto scan_progress = [&] {
     bool event = false;
-    for (std::size_t a = 0; a < active.size();) {
-      Track& t = track[active[a].pos];
-      const ShardSpec& spec = specs[active[a].pos];
+    for (int s = 0; s < opts_.max_parallel; ++s) {
+      Slot& slot = slots[static_cast<std::size_t>(s)];
+      if (!slot.busy || !slot.worker) continue;
+      Track& t = track[slot.pos];
+      const ShardSpec& spec = specs[slot.pos];
       if (!spec.progress_path.empty()) {
         const ProgressSnapshot snap = read_progress(spec.progress_path);
+        if (snap.started.size() != t.started.size() ||
+            snap.done.size() != t.done.size()) {
+          t.last_event = Clock::now();
+        }
         t.started = snap.started;
         t.done = snap.done;
+        t.done_wall_ms = snap.done_wall_ms;
       }
       bool stale = false;
       if (opts_.heartbeat_timeout_ms > 0 && opts_.heartbeat_ms > 0) {
@@ -501,41 +682,41 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
           stale = std::chrono::duration_cast<std::chrono::milliseconds>(age)
                       .count() > opts_.heartbeat_timeout_ms;
         } else {
-          // No progress file yet: measure from spawn (a worker that never
-          // even opened its sidecar is just as dead).
-          stale = elapsed_ms(t.spawn_time) >
+          // No progress file yet: measure from the CURRENT spec's
+          // dispatch (a worker that never even opened its sidecar is just
+          // as dead). Dispatch, not process spawn — a resident worker
+          // that sat idle before taking this spec is not late.
+          stale = elapsed_ms(t.dispatch_time) >
                   static_cast<double>(opts_.heartbeat_timeout_ms);
         }
       }
-      if (!stale) {
-        ++a;
-        continue;
-      }
+      if (!stale) continue;
       // Declared dead: stop it (TERM -> grace -> KILL) and route the
       // shard through the ordinary failure path without waiting for a
-      // voluntary exit.
-      Active dead = std::move(active[a]);
-      active.erase(active.begin() + static_cast<std::ptrdiff_t>(a));
-      const util::Subprocess::Result result = dead.process->stop(500);
-      release_slot(dead.slot);
-      t.wall_ms += elapsed_ms(t.spawn_time);
+      // voluntary exit. Under the pool the resident process dies with its
+      // spec; the slot respawns a replacement on its next dispatch.
+      const long pid = static_cast<long>(slot.worker->pid());
+      const util::Subprocess::Result result = slot.worker->stop(500);
+      slot.worker.reset();
+      slot.lines = LineBuffer{};
+      slot.busy = false;
+      t.wall_ms += elapsed_ms(t.dispatch_time);
       ++stats_.dead_workers;
       if (opts_.verbose) {
         std::fprintf(stderr,
                      "[dist] shard %d worker pid %ld stale (no heartbeat "
                      "for > %d ms) — stopped (%s)\n",
-                     spec.index, static_cast<long>(dead.process->pid()),
-                     opts_.heartbeat_timeout_ms, result.describe().c_str());
+                     spec.index, pid, opts_.heartbeat_timeout_ms,
+                     result.describe().c_str());
       }
-      on_failure(dead.pos, dead.slot, "heartbeat timeout",
-                 result.stderr_output);
+      on_failure(slot.pos, s, "heartbeat timeout", result.stderr_output);
       event = true;
     }
     return event;
   };
 
   int backoff_ms = opts_.poll_min_ms;
-  while (!queue.empty() || !active.empty()) {
+  while (!queue.empty() || any_busy()) {
     bool event = false;
 
     while (!queue.empty()) {
@@ -543,34 +724,14 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
       if (slot < 0) break;
       const std::size_t next = queue.front();
       queue.pop_front();
-      spawn(next, slot);
+      dispatch(next, slot);
       event = true;
     }
 
     // Reap in completion order: every in-flight worker is polled, so a
-    // straggler at the head of the spawn order no longer blocks reaping
+    // straggler at the head of the dispatch order never blocks reaping
     // (and retrying, and stealing from) everyone behind it.
-    for (std::size_t a = 0; a < active.size();) {
-      std::optional<util::Subprocess::Result> result =
-          active[a].process->try_wait();
-      if (!result) {
-        ++a;
-        continue;
-      }
-      Active fin = std::move(active[a]);
-      active.erase(active.begin() + static_cast<std::ptrdiff_t>(a));
-      release_slot(fin.slot);
-      Track& t = track[fin.pos];
-      t.wall_ms += elapsed_ms(t.spawn_time);
-      if (result->ok()) {
-        on_success(fin.pos);
-      } else {
-        on_failure(fin.pos, fin.slot, result->describe(),
-                   result->stderr_output);
-      }
-      event = true;
-    }
-
+    event = scan_completions() || event;
     event = scan_progress() || event;
     event = maybe_steal() || event;
 
@@ -578,9 +739,50 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
       backoff_ms = opts_.poll_min_ms;
       continue;  // something changed; see if more work unblocked
     }
-    if (active.empty()) continue;  // pending work only; spawn next pass
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms = std::min(backoff_ms * 2, opts_.poll_max_ms);
+    if (!any_busy()) continue;  // pending work only; dispatch next pass
+    // Not a blind sleep: block on the live workers' pipes so a pooled
+    // reply, stderr output, or the EOF of an exit wakes the loop the
+    // moment it happens. The backoff only paces the purely time-based
+    // scans (heartbeat staleness, straggler estimates) between wakes.
+    std::vector<int> wake_fds;
+    for (const Slot& slot : slots) {
+      if (!slot.worker || slot.worker->waited()) continue;
+      for (const int fd : slot.worker->poll_fds()) wake_fds.push_back(fd);
+    }
+    if (util::Subprocess::wait_any_readable(wake_fds, backoff_ms)) {
+      backoff_ms = opts_.poll_min_ms;
+    } else {
+      backoff_ms = std::min(backoff_ms * 2, opts_.poll_max_ms);
+    }
+  }
+
+  // Drain the pool: ask each surviving resident worker to exit on its own
+  // (`shutdown` + stdin EOF), give the fleet a short shared grace window,
+  // then escalate to stop() for any that linger. Workers are gone before
+  // run() returns, so the caller can delete the shard directory safely.
+  if (opts_.use_worker_pool) {
+    for (Slot& slot : slots) {
+      if (!slot.worker || slot.worker->waited()) {
+        slot.worker.reset();
+        continue;
+      }
+      WorkerCommand cmd;
+      cmd.kind = WorkerCommand::Kind::kShutdown;
+      (void)slot.worker->write_stdin(encode_worker_command(cmd));
+      slot.worker->close_stdin();
+    }
+    // Give quick exits one poll, then escalate. An idle resident holds no
+    // in-flight state, so there is nothing a long grace window could
+    // save — stop(0) (TERM, KILL backstop, reap) collapses a straggling
+    // worker's drain to one blocking reap instead of polling the fleet
+    // down over several scheduler quanta.
+    for (Slot& slot : slots) {
+      if (slot.worker && !slot.worker->waited() && !slot.worker->try_wait()) {
+        (void)util::Subprocess::wait_any_readable(slot.worker->poll_fds(), 1);
+        if (!slot.worker->try_wait()) (void)slot.worker->stop(/*grace_ms=*/0);
+      }
+      slot.worker.reset();
+    }
   }
 
   // Final shard records, then drop superseded specs from the plan: they

@@ -7,30 +7,45 @@
 
 namespace lcda::dist {
 
-/// Process-level shard executor, rebuilt as an event-driven scheduler:
-/// writes each spec to the shard directory, spawns one worker subprocess
-/// per shard (`<worker_command> --worker=<spec.json>`), keeps up to
-/// `max_parallel` in flight, and — instead of draining FIFO — polls all
-/// in-flight workers with Subprocess::try_wait() so they are reaped in
-/// completion order, with a backed-off sleep between scans (no busy loop).
+/// Process-level shard executor, rebuilt as an event-driven scheduler
+/// over a persistent worker pool: each of the `max_parallel` slots IS a
+/// resident `<worker_command> --worker-loop` process that the coordinator
+/// dispatches shard specs to over a stdin/stdout pipe protocol
+/// (lcda-worker-cmd-v1, protocol.h) — fork/exec, store open and evaluator
+/// memo warm-up are paid once per slot, not once per shard attempt. The
+/// event loop multiplexes pipe replies (`done` / `failed`) with process
+/// exits (Subprocess::try_wait — a worker that dies mid-spec is detected
+/// the same poll) and the progress-sidecar liveness signal, with a
+/// backed-off sleep between scans (no busy loop). A dead or wedged
+/// resident worker is simply dropped; the next dispatch to its slot
+/// respawns a replacement and the in-flight spec is retried.
+///
+/// `use_worker_pool = false` restores spawn-per-attempt
+/// (`--worker=<spec.json>`, exit status as the completion signal) behind
+/// the same scheduler — merged bytes are identical either way, which the
+/// tests pin.
 ///
 /// On top of plain execution it mitigates stragglers and dead workers:
 ///
 /// - **Progress tracking.** Every worker appends per-seed start/done
 ///   records and heartbeats to a sidecar progress file; the coordinator
 ///   polls those files to know how far each shard has got.
-/// - **Work stealing.** A shard whose remaining-work estimate exceeds
-///   `steal_threshold` x the median of its peers has its not-yet-started
-///   seeds revoked (the worker skips them) and re-dispatched to idle
-///   slots as fresh specs. Legal because seed derivation is
-///   order-independent and the merger accepts arbitrary partitions; the
-///   merged bytes cannot change, only the wall clock.
+/// - **Work stealing.** A shard whose progress has stalled — no seed
+///   started or finished for longer than `steal_threshold` x the median
+///   observed per-seed wall — has its not-yet-started seeds revoked (the
+///   worker skips them) and re-dispatched to idle slots as fresh specs.
+///   Legal because seed derivation is order-independent and the merger
+///   accepts arbitrary partitions; the merged bytes cannot change, only
+///   the wall clock.
 /// - **Supersede duplication.** A straggler with nothing left to steal
 ///   (all remaining seeds already started) gets its whole unpublished
 ///   seed set duplicated onto an idle slot; whichever copy finishes
 ///   first wins and the other worker is stopped (SIGTERM -> grace ->
 ///   SIGKILL). Seed arbitration in the merger keeps exactly one copy of
-///   any seed both published, deterministically (lowest shard index).
+///   any seed both published, deterministically (lowest shard index). A
+///   duplicate is never itself a steal source and a shard is only judged
+///   stalled after its first observed event, so a slow seed races
+///   exactly two copies — the plan cannot breed specs without bound.
 /// - **Health tracking.** A worker whose progress file goes stale for
 ///   `heartbeat_timeout_ms` is declared dead, stopped, and its shard
 ///   retried without waiting for the process to exit. A slot whose
@@ -57,17 +72,31 @@ class Coordinator {
     int max_parallel = 1;  ///< concurrent worker processes (slots)
     int max_retries = 2;   ///< extra attempts per shard after the first
 
+    /// Keep one resident --worker-loop process per slot and dispatch
+    /// specs over its stdin/stdout pipes (the default); false spawns one
+    /// --worker process per shard attempt instead. Byte-identical merged
+    /// output either way.
+    bool use_worker_pool = true;
+
     /// Shard lifecycle narration on stderr (spawn / done / retry /
     /// steal / banlist lines).
     bool verbose = true;
 
-    /// Work stealing. A running shard is a straggler when its estimated
-    /// remaining milliseconds exceed steal_threshold x the median
-    /// estimate of the other running shards (or of the completed shard
-    /// walls when it runs alone). Requires >= 1.0; stealing only happens
-    /// when a slot is idle, so it can never slow a saturated study.
+    /// Work stealing. A running shard is a straggler when its progress
+    /// has STALLED: no seed started or finished for longer than
+    /// steal_threshold x the observed median per-seed wall (heartbeats
+    /// prove liveness, not progress, and do not reset the clock). The
+    /// stall bar is additionally floored by steal_min_stale_ms so scan
+    /// jitter on sub-millisecond seeds cannot trip it. Judging the GAP
+    /// between events rather than a remaining-wall projection keeps the
+    /// detector honest on oversubscribed boxes, where CPU queueing
+    /// inflates every projection but healthy shards still emit events at
+    /// per-seed cadence. Requires steal_threshold >= 1.0; stealing only
+    /// happens when a slot is idle, so it can never slow a saturated
+    /// study.
     bool enable_steal = true;
     double steal_threshold = 2.0;
+    int steal_min_stale_ms = 10;
 
     /// Worker heartbeat period (written into each spec; 0 disables the
     /// worker-side heartbeat thread) and the staleness bar after which a
@@ -105,7 +134,9 @@ class Coordinator {
   /// "dist" object) and the one-line stderr summary.
   struct Stats {
     int planned = 0;    ///< specs at entry
-    int spawned = 0;    ///< worker processes started (incl. retries)
+    int spawned = 0;    ///< shard dispatches (one per attempt, both modes)
+    int pool_workers = 0;  ///< resident worker processes launched (incl.
+                           ///< replacements; 0 when the pool is off)
     int retries = 0;
     int steals = 0;     ///< steal/duplicate specs created
     int stolen_seeds = 0;

@@ -8,6 +8,10 @@
 #include "lcda/core/scenario.h"
 #include "lcda/util/json_lite.h"
 
+namespace lcda::core {
+class PerformanceEvaluator;
+}
+
 namespace lcda::dist {
 
 /// Which study a shard carries a slice of. `kRuns` is the CLI's per-seed
@@ -138,13 +142,35 @@ class ProgressWriter;
 /// worker's core, exposed for in-process testing of the merge contract.
 /// With a ProgressWriter it emits per-seed start/done records, and with
 /// spec.revoke_path set it skips seeds the coordinator stole.
+///
+/// `warm_evaluator` optionally supplies an evaluator that outlives the
+/// spec (the resident worker loop passes its cached one so striped memos
+/// stay warm across specs); nullptr builds a fresh one per shard. Safe
+/// because both evaluators are content-keyed and thread-safe — sharing
+/// scope cannot change a result — and it must match the spec's evaluator
+/// configuration, which is what the loop keys its cache by.
 [[nodiscard]] util::Json run_shard(const ShardSpec& spec,
-                                   ProgressWriter* progress = nullptr);
+                                   ProgressWriter* progress = nullptr,
+                                   core::PerformanceEvaluator* warm_evaluator =
+                                       nullptr);
 
 /// The `lcda_run --worker=<spec.json>` entry point: loads the spec,
 /// honours crash injection, runs the shard, and writes the manifest
 /// (atomic temp-file + rename). Returns a process exit code; failures
 /// are reported on stderr for the coordinator to capture.
 [[nodiscard]] int run_worker(const std::string& spec_path);
+
+/// The hidden `lcda_run --worker-loop` entry point: a resident worker that
+/// reads lcda-worker-cmd-v1 command lines (protocol.h) from stdin and
+/// executes each `run <spec_path>` through the same path as run_worker,
+/// replying `done <manifest_path>` / `failed <reason>` on stdout. Across
+/// specs it keeps warm what is content-keyed and therefore result-neutral:
+/// the evaluator's striped cost-plan/layer-span memos (keyed by
+/// core::evaluation_fingerprint) and the process-wide mmap'd store segment
+/// cache. Everything stream- or seed-scoped (RNG cursors, run caches,
+/// counters, the EvalStore session) is rebuilt per spec, so a pooled study
+/// merges byte-identical to spawn-per-shard. Exits 0 on `shutdown` or
+/// stdin EOF.
+[[nodiscard]] int run_worker_loop();
 
 }  // namespace lcda::dist

@@ -9,15 +9,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <iostream>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "lcda/core/report.h"
 #include "lcda/core/stats_runner.h"
 #include "lcda/dist/progress.h"
+#include "lcda/dist/protocol.h"
 #include "lcda/dist/shard.h"
 #include "lcda/util/strings.h"
 
@@ -110,17 +114,20 @@ void write_manifest_atomically(const util::Json& manifest,
   }
 }
 
-/// Test-only straggler/wedge injection, env-gated so production workers
-/// pay one getenv per process: LCDA_TEST_SEED_SLEEP_MS=T with
+/// Test-only straggler/wedge/death injection, env-gated so production
+/// workers pay one getenv per process: LCDA_TEST_SEED_SLEEP_MS=T with
 /// LCDA_TEST_SLEEP_SEEDS=a,b,... sleeps T ms before each listed global
 /// seed (the injected straggler); LCDA_TEST_WEDGE_SEED=s makes attempt 0
 /// stop heartbeating and hang at seed s (the injected dead worker — still
 /// a live process, so only the coordinator's staleness reaper can catch
-/// it).
+/// it); LCDA_TEST_DIE_SEED=s makes attempt 0 _exit(42) at seed s (the
+/// injected mid-spec crash — a resident worker killed with a command in
+/// flight, so only the coordinator's respawn-and-retry path can recover).
 struct Injection {
   long long sleep_ms = 0;
   std::set<int> sleep_seeds;
   int wedge_seed = -1;
+  int die_seed = -1;
 
   Injection() {
     if (const char* ms = std::getenv("LCDA_TEST_SEED_SLEEP_MS")) {
@@ -135,6 +142,9 @@ struct Injection {
     }
     if (const char* seed = std::getenv("LCDA_TEST_WEDGE_SEED")) {
       wedge_seed = static_cast<int>(util::parse_int(seed).value_or(-1));
+    }
+    if (const char* seed = std::getenv("LCDA_TEST_DIE_SEED")) {
+      die_seed = static_cast<int>(util::parse_int(seed).value_or(-1));
     }
   }
 };
@@ -160,6 +170,12 @@ void for_each_owned_seed(const ShardSpec& spec, ProgressWriter* progress,
       if (progress != nullptr) progress->stop_heartbeats();
       std::this_thread::sleep_for(std::chrono::hours(1));
     }
+    if (injection.die_seed == s && spec.attempt == 0) {
+      std::fprintf(stderr, "worker: shard %d dying at seed %d (injected)\n",
+                   spec.index, s);
+      std::fflush(stderr);
+      ::_exit(42);
+    }
     if (injection.sleep_ms > 0 && injection.sleep_seeds.count(s) != 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(injection.sleep_ms));
     }
@@ -177,7 +193,8 @@ void for_each_owned_seed(const ShardSpec& spec, ProgressWriter* progress,
 
 }  // namespace
 
-util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress) {
+util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress,
+                     core::PerformanceEvaluator* warm_evaluator) {
   const core::ExperimentConfig& config = spec.scenario.config;
 
   util::Json manifest = util::Json::object();
@@ -189,28 +206,39 @@ util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress) {
   manifest["episodes"] = spec.episodes;
   manifest["spec_checksum"] = hex64(shard_spec_checksum(spec));
   util::Json entries = util::Json::array();
+  core::StoreMetrics store_total;
 
   switch (spec.mode) {
     case ShardMode::kAggregate: {
       // One shared evaluator across the shard's seeds, like run_aggregate
       // shares one across the whole study: its memos are content-keyed,
-      // so sharing scope cannot change a result.
-      const auto evaluator = core::make_evaluator(config);
+      // so sharing scope cannot change a result. A warm evaluator from the
+      // worker loop widens the scope to "across specs" under the same
+      // contract.
+      const auto owned =
+          warm_evaluator != nullptr ? nullptr : core::make_evaluator(config);
+      core::PerformanceEvaluator* evaluator =
+          warm_evaluator != nullptr ? warm_evaluator : owned.get();
       for_each_owned_seed(spec, progress, [&](int s) {
         const core::RunResult run = core::run_strategy(
             spec.strategy, spec.episodes,
             core::aggregate_seed_config(config, s, spec.total_seeds),
-            evaluator.get());
+            evaluator);
+        store_total += run.store;
         entries.push_back(aggregate_entry(s, run, spec.threshold));
       });
       break;
     }
     case ShardMode::kSpeedup: {
-      const auto evaluator = core::make_evaluator(config);
+      const auto owned =
+          warm_evaluator != nullptr ? nullptr : core::make_evaluator(config);
+      core::PerformanceEvaluator* evaluator =
+          warm_evaluator != nullptr ? warm_evaluator : owned.get();
       for_each_owned_seed(spec, progress, [&](int s) {
         const core::SpeedupReport report = core::measure_speedup(
             core::aggregate_seed_config(config, s, spec.total_seeds),
-            spec.threshold_fraction, evaluator.get());
+            spec.threshold_fraction, evaluator);
+        store_total += report.store;
         entries.push_back(speedup_entry(s, report));
       });
       break;
@@ -222,11 +250,12 @@ util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress) {
         // here verbatim so either partitioning is bit-compatible.
         core::ExperimentConfig cfg = config;
         cfg.seed = config.seed + static_cast<std::uint64_t>(s);
-        const core::RunResult run =
-            core::run_strategy(spec.strategy, spec.episodes, cfg);
+        const core::RunResult run = core::run_strategy(
+            spec.strategy, spec.episodes, cfg, warm_evaluator);
         const std::string label =
             std::string(core::strategy_name(spec.strategy)) + "/seed" +
             std::to_string(cfg.seed);
+        store_total += run.store;
         entries.push_back(run_entry(s, label, run));
       });
       break;
@@ -234,42 +263,138 @@ util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress) {
   }
 
   manifest["entries"] = entries;
+  // Store-level traffic, shard-total. Deliberately OUTSIDE the entries the
+  // merger folds (the merge byte-contract stays untouched — a warm store
+  // shifts these without changing any merged byte); the coordinator sums
+  // them across manifests into the non-reproducible "dist" stats object.
+  util::Json store = util::Json::object();
+  store["hits"] = static_cast<long long>(store_total.hits);
+  store["misses"] = static_cast<long long>(store_total.misses);
+  store["shared_hits"] = static_cast<long long>(store_total.shared_hits);
+  store["shared_misses"] = static_cast<long long>(store_total.shared_misses);
+  store["bytes_read"] = static_cast<long long>(store_total.bytes_read);
+  store["bytes_published"] =
+      static_cast<long long>(store_total.bytes_published);
+  manifest["store"] = store;
   return manifest;
 }
+
+namespace {
+
+/// Crash injection aborts at entry — before any evaluation or cache
+/// write — so the retry runs the shard clean and the merged study, cache
+/// counters included, is identical to one without the crash.
+bool injected_crash(const ShardSpec& spec) {
+  if ((spec.fail_first_attempt && spec.attempt == 0) ||
+      spec.attempt < spec.fail_attempts) {
+    std::fprintf(stderr, "worker: shard %d injected failure on attempt %d\n",
+                 spec.index, spec.attempt);
+    return true;
+  }
+  return false;
+}
+
+/// The shared per-spec execution core behind --worker and --worker-loop:
+/// progress sidecar lifecycle, run_shard, atomic manifest publication, and
+/// the completion line on stderr. Throws on any failure.
+void execute_spec(const ShardSpec& spec,
+                  core::PerformanceEvaluator* warm_evaluator) {
+  if (spec.result_path.empty()) {
+    throw std::invalid_argument("worker: spec has no result_path");
+  }
+  std::unique_ptr<ProgressWriter> progress;
+  if (!spec.progress_path.empty()) {
+    progress = std::make_unique<ProgressWriter>(spec.progress_path);
+    progress->begin(spec.attempt);
+    progress->start_heartbeats(spec.heartbeat_ms);
+  }
+  util::Json manifest = run_shard(spec, progress.get(), warm_evaluator);
+  if (progress != nullptr) progress->stop_heartbeats();
+  write_manifest_atomically(manifest, spec.result_path);
+  std::fprintf(stderr, "worker: shard %d/%d done (%zu seed(s), attempt %d)\n",
+               spec.index, spec.count, spec.seeds.size(), spec.attempt);
+}
+
+void send_reply(const WorkerReply& reply) {
+  const std::string line = encode_worker_reply(reply);
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
 
 int run_worker(const std::string& spec_path) {
   try {
     const ShardSpec spec = load_shard_spec(spec_path);
-    if ((spec.fail_first_attempt && spec.attempt == 0) ||
-        spec.attempt < spec.fail_attempts) {
-      // Crash injection aborts at entry — before any evaluation or cache
-      // write — so the retry runs the shard clean and the merged study,
-      // cache counters included, is identical to one without the crash.
-      std::fprintf(stderr,
-                   "worker: shard %d injected failure on attempt %d\n",
-                   spec.index, spec.attempt);
-      return 3;
-    }
-    if (spec.result_path.empty()) {
-      throw std::invalid_argument("worker: spec has no result_path");
-    }
-
-    std::unique_ptr<ProgressWriter> progress;
-    if (!spec.progress_path.empty()) {
-      progress = std::make_unique<ProgressWriter>(spec.progress_path);
-      progress->begin(spec.attempt);
-      progress->start_heartbeats(spec.heartbeat_ms);
-    }
-    util::Json manifest = run_shard(spec, progress.get());
-    if (progress != nullptr) progress->stop_heartbeats();
-    write_manifest_atomically(manifest, spec.result_path);
-    std::fprintf(stderr, "worker: shard %d/%d done (%zu seed(s), attempt %d)\n",
-                 spec.index, spec.count, spec.seeds.size(), spec.attempt);
+    if (injected_crash(spec)) return 3;
+    execute_spec(spec, nullptr);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lcda_run --worker: %s\n", e.what());
     return 1;
   }
+}
+
+int run_worker_loop() {
+  // Warm evaluators keyed by evaluation identity: a spec whose
+  // evaluation_fingerprint matches an earlier one reuses its evaluator,
+  // so the striped cost-plan/layer-span memos survive across specs.
+  // Surrogate only — the trained evaluator's options are not covered by
+  // the fingerprint's replay contract, so it stays per-spec. Bounded so a
+  // long-lived worker serving many distinct studies cannot grow without
+  // limit (the memos inside one evaluator are already budgeted).
+  constexpr std::size_t kMaxWarmEvaluators = 8;
+  std::map<std::uint64_t, std::unique_ptr<core::PerformanceEvaluator>> warm;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::optional<WorkerCommand> cmd = parse_worker_command(line);
+    if (!cmd) {
+      WorkerReply reply;
+      reply.kind = WorkerReply::Kind::kFailed;
+      reply.reason = "malformed command line";
+      send_reply(reply);
+      continue;
+    }
+    if (cmd->kind == WorkerCommand::Kind::kShutdown) return 0;
+    if (cmd->kind == WorkerCommand::Kind::kPing) {
+      WorkerReply reply;
+      reply.kind = WorkerReply::Kind::kPong;
+      send_reply(reply);
+      continue;
+    }
+    WorkerReply reply;
+    try {
+      const ShardSpec spec = load_shard_spec(cmd->spec_path);
+      if (injected_crash(spec)) {
+        // Die like a crashed worker would (the coordinator must see
+        // process death with "exit 3", not a polite `failed` reply) so the
+        // pool's respawn-and-retry path is what the injection exercises.
+        std::fflush(stderr);
+        ::_exit(3);
+      }
+      core::PerformanceEvaluator* warm_evaluator = nullptr;
+      const core::ExperimentConfig& config = spec.scenario.config;
+      if (config.evaluator_kind == core::EvaluatorKind::kSurrogate) {
+        const std::uint64_t fp = core::evaluation_fingerprint(config);
+        auto it = warm.find(fp);
+        if (it == warm.end()) {
+          if (warm.size() >= kMaxWarmEvaluators) warm.clear();
+          it = warm.emplace(fp, core::make_evaluator(config)).first;
+        }
+        warm_evaluator = it->second.get();
+      }
+      execute_spec(spec, warm_evaluator);
+      reply.kind = WorkerReply::Kind::kDone;
+      reply.manifest_path = spec.result_path;
+    } catch (const std::exception& e) {
+      reply.kind = WorkerReply::Kind::kFailed;
+      reply.reason = e.what();
+    }
+    send_reply(reply);
+  }
+  // stdin EOF: the coordinator is gone (or closed us out) — exit cleanly.
+  return 0;
 }
 
 }  // namespace lcda::dist

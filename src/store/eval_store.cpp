@@ -1,5 +1,6 @@
 #include "lcda/store/eval_store.h"
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -7,9 +8,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "lcda/store/legacy_json.h"
@@ -40,6 +43,100 @@ std::uint64_t pair_shard(std::uint64_t eval_fp, std::uint64_t design_hash,
          static_cast<std::uint64_t>(buckets);
 }
 
+/// Process-wide cache of mmap'd segment views, keyed by path and validated
+/// by inode identity. Only *live segment files* are cacheable: their names
+/// embed pid+counter+content-hash, so a path is never reused for different
+/// bytes and a (ino, size, mtime) match IS the file on disk. Index buckets
+/// are explicitly NOT cached — compaction rename-replaces them at fixed
+/// paths, and on filesystems that recycle inode numbers a later bucket
+/// generation can land on a freed inode with equal size inside the same
+/// timestamp tick, making (ino, size, mtime) collide across generations
+/// and the cache serve a pre-publication view whose records have since
+/// moved out of the (now unlinked) input segments. This is what keeps a
+/// resident worker's store effectively open across specs (and across the
+/// per-seed EvalStore instances of one aggregate run): the O(files)
+/// directory listing still happens per open, so the visible file set and
+/// every counter match a cold open exactly, but re-mapping and re-reading
+/// segment headers does not (buckets are few — one mmap each per open).
+///
+/// A stat that fails, or a view that fails to open, evicts the path. The
+/// cache is capped; overflowing it just drops warm state (correctness
+/// never depends on a cache hit). Thread-safe: several worker threads may
+/// construct EvalStores concurrently, and SegmentView is read-only.
+class SegmentViewCache {
+ public:
+  /// Mirrors SegmentView::open's contract: nullptr with empty `*error`
+  /// means "file vanished" (not damage), nullptr with a message means an
+  /// unusable file.
+  std::shared_ptr<const SegmentView> open(const std::string& path,
+                                          std::string* error,
+                                          bool cacheable) {
+    if (!cacheable) {
+      std::optional<SegmentView> view = SegmentView::open(path, error);
+      if (!view) return nullptr;
+      return std::make_shared<const SegmentView>(std::move(*view));
+    }
+    struct ::stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cache_.erase(path);
+      if (error != nullptr) error->clear();  // vanished, like a lost race
+      return nullptr;
+    }
+    const Identity id{st.st_ino, static_cast<std::uint64_t>(st.st_size),
+                      static_cast<std::int64_t>(st.st_mtim.tv_sec),
+                      static_cast<std::int64_t>(st.st_mtim.tv_nsec)};
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = cache_.find(path);
+      if (it != cache_.end() && it->second.identity == id) {
+        if (error != nullptr) error->clear();
+        return it->second.view;
+      }
+    }
+    std::optional<SegmentView> view = SegmentView::open(path, error);
+    if (!view) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cache_.erase(path);
+      return nullptr;
+    }
+    auto shared = std::make_shared<const SegmentView>(std::move(*view));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cache_.size() >= kMaxCached && cache_.count(path) == 0) {
+      cache_.clear();  // crude, rare, and only costs warmth
+    }
+    cache_[path] = CachedView{id, shared};
+    return shared;
+  }
+
+ private:
+  struct Identity {
+    std::uint64_t ino = 0;
+    std::uint64_t size = 0;
+    std::int64_t mtime_s = 0;
+    std::int64_t mtime_ns = 0;
+    bool operator==(const Identity& o) const {
+      return ino == o.ino && size == o.size && mtime_s == o.mtime_s &&
+             mtime_ns == o.mtime_ns;
+    }
+  };
+  struct CachedView {
+    Identity identity;
+    std::shared_ptr<const SegmentView> view;
+  };
+
+  static constexpr std::size_t kMaxCached = 1024;
+  std::mutex mutex_;
+  std::unordered_map<std::string, CachedView> cache_;
+};
+
+std::shared_ptr<const SegmentView> open_segment_cached(const std::string& path,
+                                                       std::string* error,
+                                                       bool cacheable) {
+  static SegmentViewCache cache;
+  return cache.open(path, error, cacheable);
+}
+
 }  // namespace
 
 EvalStore::EvalStore(Options opts) : opts_(std::move(opts)) {
@@ -56,36 +153,63 @@ void EvalStore::open_directory() {
   // so the compacted (stable) tier is preferred when a record exists in
   // both. Either copy is byte-identical, the order just keeps probes
   // touching the fewest files.
-  std::vector<std::string> paths = list_segment_files(opts_.directory + "/index");
-  const std::size_t index_files = paths.size();
-  for (const std::string& path : list_segment_files(opts_.directory + "/segments")) {
-    paths.push_back(path);
-  }
-  for (std::size_t p = 0; p < paths.size(); ++p) {
-    std::string error;
-    std::optional<SegmentView> view = SegmentView::open(paths[p], &error);
-    if (!view) {
-      if (!error.empty()) {
-        // Unusable file: skip it (counted, warned once per process) and run
-        // cold on whatever it held instead of aborting — a distributed
-        // shard retry must be able to get past a bad file, and the next
-        // --store-compact drops it. "" means the file vanished under a
-        // concurrent compaction, which is not damage.
-        ++skipped_files_;
-        warn_once(paths[p], "skipping unusable store file: " + error);
+  //
+  // A file that vanishes between the listing and its open means a
+  // concurrent compaction published new buckets and unlinked its inputs
+  // mid-scan — the records are safe, but only in buckets newer than the
+  // ones this scan already mapped. Restart the whole scan (listing
+  // included) so buckets and segments come from one post-publication
+  // generation; a handful of attempts always suffices because each retry
+  // needs a *fresh* compaction pass inside a microsecond window.
+  const std::uint64_t entry_next_seq = next_seq_;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const bool last_attempt = attempt == 3;
+    files_.clear();
+    next_seq_ = entry_next_seq;
+    std::vector<std::string> paths =
+        list_segment_files(opts_.directory + "/index");
+    const std::size_t index_files = paths.size();
+    for (const std::string& path :
+         list_segment_files(opts_.directory + "/segments")) {
+      paths.push_back(path);
+    }
+    bool vanished = false;
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      // Buckets live at fixed rename-replaced paths, so their views must
+      // be opened fresh (see SegmentViewCache); immutable segments are
+      // served warm.
+      const bool cacheable = p >= index_files;
+      std::string error;
+      std::shared_ptr<const SegmentView> view =
+          open_segment_cached(paths[p], &error, cacheable);
+      if (!view) {
+        if (!error.empty()) {
+          // Unusable file: skip it (counted, warned once per process) and
+          // run cold on whatever it held instead of aborting — a
+          // distributed shard retry must be able to get past a bad file,
+          // and the next --store-compact drops it.
+          ++skipped_files_;
+          warn_once(paths[p], "skipping unusable store file: " + error);
+        } else if (!last_attempt) {
+          // "" means the file vanished under a concurrent compaction,
+          // which is not damage — rescan from the listing.
+          vanished = true;
+          break;
+        }
+        continue;
       }
-      continue;
+      MappedFile file;
+      file.bucket_count = 1;
+      if (p < index_files) {
+        const std::string name = fs::path(paths[p]).filename().string();
+        file.is_bucket =
+            parse_bucket_name(name, &file.bucket_index, &file.bucket_count);
+      }
+      next_seq_ = std::max(next_seq_, view->max_seq() + 1);
+      file.view = std::move(view);
+      files_.push_back(std::move(file));
     }
-    MappedFile file;
-    file.bucket_count = 1;
-    if (p < index_files) {
-      const std::string name = fs::path(paths[p]).filename().string();
-      file.is_bucket =
-          parse_bucket_name(name, &file.bucket_index, &file.bucket_count);
-    }
-    next_seq_ = std::max(next_seq_, view->max_seq() + 1);
-    file.view = std::move(*view);
-    files_.push_back(std::move(file));
+    if (!vanished) return;
   }
 }
 
@@ -132,7 +256,7 @@ std::optional<core::Evaluation> EvalStore::probe_file(
           file.bucket_index) {
     return std::nullopt;
   }
-  const SegmentView& view = file.view;
+  const SegmentView& view = *file.view;
   for (std::size_t i = view.lower_bound(opts_.eval_fingerprint, design_hash);
        view.matches_pair(i, opts_.eval_fingerprint, design_hash); ++i) {
     if (!record_checksum_ok(view.record(i))) {
@@ -141,6 +265,7 @@ std::optional<core::Evaluation> EvalStore::probe_file(
       ++corrupt_records_;
       continue;
     }
+    metrics_.bytes_read += kRecordSize;
     StoreRecord record = decode_record(view.record(i));
     if (shared) {
       if (record.evaluation.has_replay_params) {
@@ -156,11 +281,16 @@ std::optional<core::Evaluation> EvalStore::probe_file(
 std::optional<core::Evaluation> EvalStore::lookup(
     std::uint64_t design_hash) const {
   if (const auto it = entries_.find(design_hash); it != entries_.end()) {
+    ++metrics_.hits;
     return it->second.evaluation;
   }
   for (const MappedFile& file : files_) {
-    if (auto hit = probe_file(file, design_hash, /*shared=*/false)) return hit;
+    if (auto hit = probe_file(file, design_hash, /*shared=*/false)) {
+      ++metrics_.hits;
+      return hit;
+    }
   }
+  ++metrics_.misses;
   return std::nullopt;
 }
 
@@ -173,8 +303,12 @@ std::optional<core::Evaluation> EvalStore::lookup_shared(
   // (single-process == distributed, run-to-run).
   for (const MappedFile& file : files_) {
     if (!file.is_bucket) continue;
-    if (auto hit = probe_file(file, design_hash, /*shared=*/true)) return hit;
+    if (auto hit = probe_file(file, design_hash, /*shared=*/true)) {
+      ++metrics_.shared_hits;
+      return hit;
+    }
   }
+  ++metrics_.shared_misses;
   return std::nullopt;
 }
 
@@ -195,8 +329,8 @@ bool EvalStore::over_budget_estimate() const {
   // makes compaction run a pass it would otherwise skip — never miss one.
   std::size_t records = 0, bytes = 0;
   for (const MappedFile& file : files_) {
-    records += file.view.count();
-    bytes += kHeaderSize + file.view.count() * kRecordSize;
+    records += file.view->count();
+    bytes += kHeaderSize + file.view->count() * kRecordSize;
   }
   std::size_t published = 0;
   for (const auto& [hash, entry] : entries_) {
@@ -238,6 +372,7 @@ bool EvalStore::save() {
           std::to_string(segment_counter.fetch_add(1)) + "-" +
           util::hex_u64(content_hash) + ".seg";
       publish_file(path, bytes);
+      metrics_.bytes_published += bytes.size();
     } catch (const std::exception& e) {
       // A study's results are already in hand by the time it saves; an I/O
       // failure here degrades to a counted warning (mirroring the

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -81,6 +82,20 @@ class EvalStore {
     std::size_t buckets = 16;  ///< index shard count used by compaction
   };
 
+  /// Lookup/byte traffic of one store session, split by namespace:
+  /// full-key (this study's own stream) vs shared (cross-study bucket)
+  /// outcomes, record bytes decoded by probes, and segment bytes published
+  /// by saves. Observability only — a warm store shifts these without
+  /// changing any result.
+  struct Metrics {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t shared_hits = 0;
+    std::uint64_t shared_misses = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_published = 0;
+  };
+
   explicit EvalStore(Options opts);
 
   /// Full-key lookup: this study's own namespace, all sources (this run's
@@ -123,6 +138,8 @@ class EvalStore {
   [[nodiscard]] std::size_t corrupt_records() const { return corrupt_records_; }
   /// save() calls that failed and were degraded to a warning.
   [[nodiscard]] std::size_t save_failures() const { return save_failures_; }
+  /// This session's lookup/byte traffic (see Metrics).
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
 
  private:
   struct Entry {
@@ -131,7 +148,12 @@ class EvalStore {
     bool published = false;  ///< already in a segment written by this save
   };
   struct MappedFile {
-    SegmentView view;
+    /// Shared because mapped segment files are immutable once published:
+    /// every EvalStore in the process that opens the same on-disk file
+    /// (validated by inode identity — see open_segment_cached) holds one
+    /// mmap instead of re-mapping per instance, which is what makes a
+    /// resident worker's store effectively stay open across specs.
+    std::shared_ptr<const SegmentView> view;
     bool is_bucket = false;
     std::size_t bucket_index = 0;
     std::size_t bucket_count = 1;
@@ -153,6 +175,7 @@ class EvalStore {
   std::size_t skipped_files_ = 0;
   mutable std::size_t corrupt_records_ = 0;
   std::size_t save_failures_ = 0;
+  mutable Metrics metrics_;  ///< lookup() is const; counting is not a result
 };
 
 /// Integrity report of `lcda_run --store-fsck` / fsck().

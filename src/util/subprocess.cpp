@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -22,6 +23,27 @@ int waitpid_retry(pid_t pid, int* status, int flags) {
   for (;;) {
     const pid_t r = ::waitpid(pid, status, flags);
     if (r >= 0 || errno != EINTR) return static_cast<int>(r);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL);
+  (void)::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+}
+
+// A write into a pipe whose reader died raises SIGPIPE, which would kill
+// the coordinator; with the signal ignored the write returns EPIPE and
+// write_stdin() reports the dead worker as `false`. Process-wide and
+// sticky, installed once on first stdin-pipe use.
+void ignore_sigpipe_once() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
   }
 }
 
@@ -37,29 +59,48 @@ std::string Subprocess::Result::describe() const {
   return buf;
 }
 
-Subprocess::Subprocess(std::vector<std::string> argv) {
-  if (argv.empty()) throw std::invalid_argument("Subprocess: empty argv");
+Subprocess::Subprocess(std::vector<std::string> argv)
+    : Subprocess(std::move(argv), Options{}) {}
 
-  int fds[2];
-  if (::pipe(fds) != 0) {
-    throw std::runtime_error(std::string("Subprocess: pipe: ") +
-                             ::strerror(errno));
-  }
+Subprocess::Subprocess(std::vector<std::string> argv, const Options& options) {
+  if (argv.empty()) throw std::invalid_argument("Subprocess: empty argv");
+  if (options.pipe_stdin) ignore_sigpipe_once();
+
+  int err_fds[2] = {-1, -1};
+  int out_fds[2] = {-1, -1};
+  int in_fds[2] = {-1, -1};
+  auto fail = [&](const char* what) {
+    const int saved = errno;
+    for (int* p : {err_fds, out_fds, in_fds}) {
+      if (p[0] >= 0) ::close(p[0]);
+      if (p[1] >= 0) ::close(p[1]);
+    }
+    throw std::runtime_error(std::string("Subprocess: ") + what + ": " +
+                             ::strerror(saved));
+  };
+  if (::pipe(err_fds) != 0) fail("pipe");
+  if (options.pipe_stdout && ::pipe(out_fds) != 0) fail("pipe");
+  if (options.pipe_stdin && ::pipe(in_fds) != 0) fail("pipe");
 
   const pid_t pid = ::fork();
-  if (pid < 0) {
-    ::close(fds[0]);
-    ::close(fds[1]);
-    throw std::runtime_error(std::string("Subprocess: fork: ") +
-                             ::strerror(errno));
-  }
+  if (pid < 0) fail("fork");
 
   if (pid == 0) {
-    // Child: stderr goes to the pipe; the read end closes so EOF tracks
-    // child exit. Only async-signal-safe calls between fork and exec.
-    ::close(fds[0]);
-    ::dup2(fds[1], STDERR_FILENO);
-    if (fds[1] != STDERR_FILENO) ::close(fds[1]);
+    // Child: wire up its ends and close the parent's. Only
+    // async-signal-safe calls between fork and exec.
+    ::close(err_fds[0]);
+    ::dup2(err_fds[1], STDERR_FILENO);
+    if (err_fds[1] != STDERR_FILENO) ::close(err_fds[1]);
+    if (out_fds[1] >= 0) {
+      ::close(out_fds[0]);
+      ::dup2(out_fds[1], STDOUT_FILENO);
+      if (out_fds[1] != STDOUT_FILENO) ::close(out_fds[1]);
+    }
+    if (in_fds[0] >= 0) {
+      ::close(in_fds[1]);
+      ::dup2(in_fds[0], STDIN_FILENO);
+      if (in_fds[0] != STDIN_FILENO) ::close(in_fds[0]);
+    }
 
     std::vector<char*> cargv;
     cargv.reserve(argv.size() + 1);
@@ -76,14 +117,24 @@ Subprocess::Subprocess(std::vector<std::string> argv) {
     ::_exit(127);
   }
 
-  // Parent. The read end is non-blocking so try_wait() can drain whatever
-  // is available without stalling the coordinator's poll loop; wait()
-  // blocks in poll() instead of in read().
-  ::close(fds[1]);
-  const int fl = ::fcntl(fds[0], F_GETFL);
-  (void)::fcntl(fds[0], F_SETFL, fl | O_NONBLOCK);
+  // Parent. Every retained end is non-blocking: reads drain what is
+  // available without stalling the coordinator's poll loop (wait() blocks
+  // in poll() instead of in read()) and stdin writes spill to
+  // stdin_pending_ instead of blocking on a full pipe.
+  ::close(err_fds[1]);
+  set_nonblocking(err_fds[0]);
   pid_ = pid;
-  stderr_fd_ = fds[0];
+  stderr_fd_ = err_fds[0];
+  if (options.pipe_stdout) {
+    ::close(out_fds[1]);
+    set_nonblocking(out_fds[0]);
+    stdout_fd_ = out_fds[0];
+  }
+  if (options.pipe_stdin) {
+    ::close(in_fds[0]);
+    set_nonblocking(in_fds[1]);
+    stdin_fd_ = in_fds[1];
+  }
 }
 
 Subprocess::~Subprocess() {
@@ -104,10 +155,90 @@ bool Subprocess::drain_available() {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
     // EOF (or an unrecoverable error): no more stderr will arrive.
     stderr_eof_ = true;
-    ::close(stderr_fd_);
-    stderr_fd_ = -1;
+    close_if_open(stderr_fd_);
     return false;
   }
+}
+
+bool Subprocess::drain_stdout_available() {
+  if (stdout_eof_ || stdout_fd_ < 0) return false;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(stdout_fd_, buf, sizeof(buf));
+    if (n > 0) {
+      stdout_buffer_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    stdout_eof_ = true;
+    close_if_open(stdout_fd_);
+    return false;
+  }
+}
+
+bool Subprocess::flush_stdin() {
+  if (stdin_broken_) return false;
+  if (stdin_fd_ < 0) return stdin_pending_.empty();
+  std::size_t off = 0;
+  while (off < stdin_pending_.size()) {
+    const ssize_t n = ::write(stdin_fd_, stdin_pending_.data() + off,
+                              stdin_pending_.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EPIPE (reader gone) or an unrecoverable error: the channel is dead.
+    stdin_broken_ = true;
+    close_if_open(stdin_fd_);
+    stdin_pending_.clear();
+    return false;
+  }
+  stdin_pending_.erase(0, off);
+  return true;
+}
+
+bool Subprocess::write_stdin(std::string_view data) {
+  if (stdin_broken_) return false;
+  if (stdin_fd_ < 0) {
+    throw std::logic_error("Subprocess: write_stdin without pipe_stdin");
+  }
+  stdin_pending_.append(data.data(), data.size());
+  return flush_stdin();
+}
+
+void Subprocess::close_stdin() {
+  (void)flush_stdin();
+  stdin_pending_.clear();
+  close_if_open(stdin_fd_);
+}
+
+std::string Subprocess::read_stdout() {
+  if (stdout_fd_ < 0 && !stdout_eof_ && stdout_buffer_.empty()) {
+    throw std::logic_error("Subprocess: read_stdout without pipe_stdout");
+  }
+  (void)flush_stdin();
+  (void)drain_stdout_available();
+  std::string out = std::move(stdout_buffer_);
+  stdout_buffer_.clear();
+  return out;
+}
+
+std::string Subprocess::take_stderr() {
+  (void)drain_available();
+  std::string out = std::move(buffer_);
+  buffer_.clear();
+  return out;
+}
+
+void Subprocess::close_parent_fds() {
+  close_if_open(stderr_fd_);
+  close_if_open(stdout_fd_);
+  close_if_open(stdin_fd_);
+  stderr_eof_ = true;
+  stdout_eof_ = true;
 }
 
 Subprocess::Result Subprocess::reap() {
@@ -121,6 +252,7 @@ Subprocess::Result Subprocess::reap() {
     throw std::runtime_error(std::string("Subprocess: waitpid: ") +
                              ::strerror(errno));
   }
+  close_parent_fds();
   if (WIFEXITED(status)) {
     result.exit_code = WEXITSTATUS(status);
   } else if (WIFSIGNALED(status)) {
@@ -134,19 +266,26 @@ Subprocess::Result Subprocess::reap() {
 Subprocess::Result Subprocess::wait() {
   if (waited_) throw std::logic_error("Subprocess: wait() called twice");
 
-  // Block until the pipe reports EOF — the child (and any inheritors of
-  // its stderr) are gone — then reap.
-  while (!stderr_eof_) {
-    if (!drain_available()) break;
-    struct pollfd pfd{stderr_fd_, POLLIN, 0};
-    (void)::poll(&pfd, 1, -1);
+  // Block until both capture pipes report EOF — the child (and any
+  // inheritors of its streams) are gone — then reap.
+  for (;;) {
+    const bool err_open = drain_available();
+    const bool out_open = drain_stdout_available();
+    if (!err_open && !out_open) break;
+    struct pollfd pfds[2];
+    nfds_t n = 0;
+    if (err_open) pfds[n++] = {stderr_fd_, POLLIN, 0};
+    if (out_open) pfds[n++] = {stdout_fd_, POLLIN, 0};
+    (void)::poll(pfds, n, -1);
   }
   return reap();
 }
 
 std::optional<Subprocess::Result> Subprocess::try_wait() {
   if (waited_) return result_;  // already reaped: idempotent
+  (void)flush_stdin();
   (void)drain_available();
+  (void)drain_stdout_available();
   int status = 0;
   const int r = waitpid_retry(pid_, &status, WNOHANG);
   if (r == 0) return std::nullopt;  // still running
@@ -154,19 +293,16 @@ std::optional<Subprocess::Result> Subprocess::try_wait() {
     throw std::runtime_error(std::string("Subprocess: waitpid: ") +
                              ::strerror(errno));
   }
-  // Exited: the pipe can only hold already-buffered bytes now; drain to
-  // EOF (a still-open descendant holding the write end would report
+  // Exited: the pipes can only hold already-buffered bytes now; drain to
+  // EOF (a still-open descendant holding a write end would report
   // EAGAIN — accept what we have rather than block a poll loop).
   (void)drain_available();
+  (void)drain_stdout_available();
   waited_ = true;
   Result result;
   result.stderr_output = std::move(buffer_);
   buffer_.clear();
-  if (stderr_fd_ >= 0) {
-    ::close(stderr_fd_);
-    stderr_fd_ = -1;
-    stderr_eof_ = true;
-  }
+  close_parent_fds();
   if (WIFEXITED(status)) {
     result.exit_code = WEXITSTATUS(status);
   } else if (WIFSIGNALED(status)) {
@@ -190,7 +326,35 @@ Subprocess::Result Subprocess::stop(int grace_ms) {
   // The grace window expired: the child ignored (or blocked) SIGTERM.
   ::kill(pid_, SIGKILL);
   (void)drain_available();
+  (void)drain_stdout_available();
   return reap();
+}
+
+std::vector<int> Subprocess::poll_fds() const {
+  std::vector<int> fds;
+  if (!stderr_eof_ && stderr_fd_ >= 0) fds.push_back(stderr_fd_);
+  if (!stdout_eof_ && stdout_fd_ >= 0) fds.push_back(stdout_fd_);
+  return fds;
+}
+
+bool Subprocess::wait_any_readable(const std::vector<int>& fds,
+                                   int timeout_ms) {
+  if (timeout_ms < 0) timeout_ms = 0;
+  if (fds.empty()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(timeout_ms));
+    return false;
+  }
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (const int fd : fds) {
+    pfds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  for (;;) {
+    const int r =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    return r > 0;
+  }
 }
 
 Subprocess::Result Subprocess::run(std::vector<std::string> argv) {

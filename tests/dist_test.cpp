@@ -10,11 +10,15 @@
 #include <limits>
 #include <sstream>
 
+#include <chrono>
+#include <thread>
+
 #include "lcda/core/report.h"
 #include "lcda/core/stats_runner.h"
 #include "lcda/dist/coordinator.h"
 #include "lcda/dist/merge.h"
 #include "lcda/dist/progress.h"
+#include "lcda/dist/protocol.h"
 #include "lcda/dist/shard.h"
 #include "lcda/util/subprocess.h"
 
@@ -105,6 +109,195 @@ TEST(Subprocess, SignalDeathIsReported) {
   EXPECT_EQ(result.exit_code, -1);
   EXPECT_EQ(result.term_signal, 9);
   EXPECT_EQ(result.describe(), "signal 9");
+}
+
+/// Polls `condition` with short sleeps until it holds or ~10s elapse.
+template <typename F>
+bool eventually(F condition) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return condition();
+}
+
+TEST(Subprocess, PipedStdinStdoutRoundTrip) {
+  util::Subprocess::Options popts;
+  popts.pipe_stdin = true;
+  popts.pipe_stdout = true;
+  util::Subprocess cat({"/bin/cat"}, popts);
+  EXPECT_TRUE(cat.write_stdin("hello pipe\n"));
+  std::string got;
+  EXPECT_TRUE(eventually([&] {
+    got += cat.read_stdout();
+    return got == "hello pipe\n";
+  })) << "got: " << got;
+  // EOF on stdin ends cat; the exit is visible to the non-blocking poll.
+  cat.close_stdin();
+  std::optional<util::Subprocess::Result> result;
+  EXPECT_TRUE(eventually([&] {
+    result = cat.try_wait();
+    return result.has_value();
+  }));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+}
+
+TEST(Subprocess, WriteToDeadReaderReturnsFalseNotSignal) {
+  util::Subprocess::Options popts;
+  popts.pipe_stdin = true;
+  util::Subprocess child({"/bin/true"}, popts);  // never reads stdin
+  // Once the child is gone the pipe breaks; the write must surface that
+  // as `false` (SIGPIPE is ignored), not kill the test process.
+  EXPECT_TRUE(eventually([&] { return !child.write_stdin("x"); }));
+  EXPECT_FALSE(child.write_stdin("y"));  // stays broken
+  std::optional<util::Subprocess::Result> result;
+  EXPECT_TRUE(eventually([&] {
+    result = child.try_wait();
+    return result.has_value();
+  }));
+}
+
+// ------------------------------------------------- worker pipe protocol
+
+TEST(Protocol, CommandAndReplyRoundTrip) {
+  dist::WorkerCommand run;
+  run.kind = dist::WorkerCommand::Kind::kRun;
+  run.spec_path = "/tmp/spec with spaces.json";
+  const std::string line = dist::encode_worker_command(run);
+  EXPECT_EQ(line.back(), '\n');
+  const auto back = dist::parse_worker_command(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->kind, dist::WorkerCommand::Kind::kRun);
+  EXPECT_EQ(back->spec_path, run.spec_path);
+
+  for (const auto kind : {dist::WorkerCommand::Kind::kPing,
+                          dist::WorkerCommand::Kind::kShutdown}) {
+    dist::WorkerCommand cmd;
+    cmd.kind = kind;
+    const auto parsed = dist::parse_worker_command(dist::encode_worker_command(cmd));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, kind);
+  }
+
+  dist::WorkerReply done;
+  done.kind = dist::WorkerReply::Kind::kDone;
+  done.manifest_path = "/tmp/manifest.json";
+  const auto done_back = dist::parse_worker_reply(dist::encode_worker_reply(done));
+  ASSERT_TRUE(done_back.has_value());
+  EXPECT_EQ(done_back->kind, dist::WorkerReply::Kind::kDone);
+  EXPECT_EQ(done_back->manifest_path, done.manifest_path);
+
+  dist::WorkerReply failed;
+  failed.kind = dist::WorkerReply::Kind::kFailed;
+  failed.reason = "store exploded: \"quote\"";
+  const auto failed_back =
+      dist::parse_worker_reply(dist::encode_worker_reply(failed));
+  ASSERT_TRUE(failed_back.has_value());
+  EXPECT_EQ(failed_back->kind, dist::WorkerReply::Kind::kFailed);
+  EXPECT_EQ(failed_back->reason, failed.reason);
+
+  dist::WorkerReply pong;
+  pong.kind = dist::WorkerReply::Kind::kPong;
+  const auto pong_back = dist::parse_worker_reply(dist::encode_worker_reply(pong));
+  ASSERT_TRUE(pong_back.has_value());
+  EXPECT_EQ(pong_back->kind, dist::WorkerReply::Kind::kPong);
+}
+
+TEST(Protocol, MalformedLinesParseToNullopt) {
+  EXPECT_FALSE(dist::parse_worker_command("").has_value());
+  EXPECT_FALSE(dist::parse_worker_command("not json\n").has_value());
+  EXPECT_FALSE(dist::parse_worker_command("[1,2,3]\n").has_value());
+  EXPECT_FALSE(dist::parse_worker_command("{\"cmd\":\"run\"}\n").has_value());
+  EXPECT_FALSE(
+      dist::parse_worker_command(
+          "{\"format\":\"other-v1\",\"cmd\":\"ping\"}\n")
+          .has_value());
+  // `run` without a spec_path is incomplete, not a default-empty run.
+  EXPECT_FALSE(
+      dist::parse_worker_command(
+          "{\"format\":\"lcda-worker-cmd-v1\",\"cmd\":\"run\"}\n")
+          .has_value());
+  EXPECT_FALSE(dist::parse_worker_reply("{\"reply\":\"done\"}\n").has_value());
+  // `done` without its manifest path is torn, not an empty success.
+  EXPECT_FALSE(
+      dist::parse_worker_reply(
+          "{\"format\":\"lcda-worker-cmd-v1\",\"reply\":\"done\"}\n")
+          .has_value());
+}
+
+TEST(Protocol, LineBufferReassemblesTornLines) {
+  dist::LineBuffer lines;
+  lines.feed("first li");
+  EXPECT_FALSE(lines.next_line().has_value());  // incomplete: keep waiting
+  lines.feed("ne\nsecond\nthi");
+  auto line = lines.next_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "first line");
+  line = lines.next_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "second");
+  EXPECT_FALSE(lines.next_line().has_value());
+  EXPECT_EQ(lines.pending(), "thi");
+  lines.feed("rd\n");
+  line = lines.next_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "third");
+  EXPECT_TRUE(lines.pending().empty());
+}
+
+TEST(Protocol, WorkerLoopAnswersPingAndDrainsOnShutdown) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+  util::Subprocess::Options popts;
+  popts.pipe_stdin = true;
+  popts.pipe_stdout = true;
+  util::Subprocess worker({runner, "--worker-loop"}, popts);
+
+  dist::LineBuffer lines;
+  const auto next_reply = [&]() -> std::optional<dist::WorkerReply> {
+    std::optional<std::string> line;
+    if (!eventually([&] {
+          lines.feed(worker.read_stdout());
+          line = lines.next_line();
+          return line.has_value();
+        })) {
+      return std::nullopt;
+    }
+    return dist::parse_worker_reply(*line);
+  };
+
+  // A command torn across two writes still parses once the newline lands.
+  dist::WorkerCommand ping;
+  ping.kind = dist::WorkerCommand::Kind::kPing;
+  const std::string ping_line = dist::encode_worker_command(ping);
+  ASSERT_TRUE(worker.write_stdin(ping_line.substr(0, 5)));
+  ASSERT_TRUE(worker.write_stdin(ping_line.substr(5)));
+  auto reply = next_reply();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, dist::WorkerReply::Kind::kPong);
+
+  // Garbage does not kill the loop; it reports and keeps serving.
+  ASSERT_TRUE(worker.write_stdin("definitely not json\n"));
+  reply = next_reply();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, dist::WorkerReply::Kind::kFailed);
+
+  // `shutdown` drains the loop: clean exit 0, no kill needed.
+  dist::WorkerCommand shutdown;
+  shutdown.kind = dist::WorkerCommand::Kind::kShutdown;
+  ASSERT_TRUE(worker.write_stdin(dist::encode_worker_command(shutdown)));
+  std::optional<util::Subprocess::Result> result;
+  EXPECT_TRUE(eventually([&] {
+    result = worker.try_wait();
+    return result.has_value();
+  }));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok()) << result->describe();
 }
 
 // ------------------------------------------------------- specs and plans
@@ -484,6 +677,166 @@ TEST(Distributed, DeadWorkerIsReapedThroughHeartbeatTimeout) {
   coordinator.run(specs);
   EXPECT_EQ(coordinator.stats().dead_workers, 1);
   EXPECT_EQ(coordinator.stats().retries, 1);
+
+  std::vector<util::Json> manifests;
+  for (const auto& spec : specs) {
+    manifests.push_back(dist::load_shard_manifest(spec));
+  }
+  const core::AggregateResult merged = dist::merge_aggregate(specs, manifests);
+  EXPECT_EQ(core::aggregate_to_json(merged).dump(2),
+            core::aggregate_to_json(reference).dump(2));
+}
+
+// --------------------------------------------- persistent worker pool
+
+/// Drives `specs` through a coordinator (pooled or spawn-per-attempt) and
+/// returns the executed plan with its loaded manifests.
+std::pair<std::vector<dist::ShardSpec>, std::vector<util::Json>>
+run_through_coordinator(const std::string& runner,
+                        std::vector<dist::ShardSpec> specs, bool pool,
+                        const char* tag,
+                        dist::Coordinator::Stats* stats = nullptr) {
+  dist::Coordinator::Options opts;
+  opts.worker_command = {runner};
+  opts.shard_dir = temp_dir(tag);
+  opts.max_parallel = 2;
+  opts.max_retries = 0;
+  opts.verbose = false;
+  opts.enable_steal = false;
+  opts.use_worker_pool = pool;
+  dist::Coordinator coordinator(opts);
+  coordinator.run(specs);
+  if (pool) {
+    EXPECT_GE(coordinator.stats().pool_workers, 1);
+  } else {
+    EXPECT_EQ(coordinator.stats().pool_workers, 0);
+  }
+  if (stats != nullptr) *stats = coordinator.stats();
+  std::vector<util::Json> manifests;
+  for (const dist::ShardSpec& spec : specs) {
+    manifests.push_back(dist::load_shard_manifest(spec));
+  }
+  return {std::move(specs), std::move(manifests)};
+}
+
+TEST(Distributed, PooledMatchesNoPoolAndInProcessInAllModes) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+  const core::Scenario scenario = small_scenario();
+
+  // Aggregate mode: merged bytes must agree three ways — in-process
+  // shards (the merge contract's reference), the resident pool, and
+  // spawn-per-attempt.
+  {
+    auto specs = dist::plan_shards(
+        scenario, dist::ShardMode::kAggregate,
+        {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, /*seeds=*/4,
+        /*shards=*/2, NAN, 0.95);
+    const std::string reference =
+        core::aggregate_to_json(
+            dist::merge_aggregate(specs, run_shards_in_process(specs)))
+            .dump(2);
+    const auto [pool_specs, pool_manifests] =
+        run_through_coordinator(runner, specs, /*pool=*/true, "pool_agg");
+    EXPECT_EQ(core::aggregate_to_json(
+                  dist::merge_aggregate(pool_specs, pool_manifests))
+                  .dump(2),
+              reference);
+    const auto [spawn_specs, spawn_manifests] =
+        run_through_coordinator(runner, specs, /*pool=*/false, "nopool_agg");
+    EXPECT_EQ(core::aggregate_to_json(
+                  dist::merge_aggregate(spawn_specs, spawn_manifests))
+                  .dump(2),
+              reference);
+  }
+
+  // Speedup mode.
+  {
+    auto specs = dist::plan_shards(scenario, dist::ShardMode::kSpeedup,
+                                   {{core::Strategy::kLcda, 0}}, /*seeds=*/2,
+                                   /*shards=*/2, NAN, 0.95);
+    const std::string reference =
+        core::speedup_study_to_json(
+            dist::merge_speedup(specs, run_shards_in_process(specs)))
+            .dump(2);
+    const auto [pool_specs, pool_manifests] =
+        run_through_coordinator(runner, specs, /*pool=*/true, "pool_speedup");
+    EXPECT_EQ(core::speedup_study_to_json(
+                  dist::merge_speedup(pool_specs, pool_manifests))
+                  .dump(2),
+              reference);
+    const auto [spawn_specs, spawn_manifests] = run_through_coordinator(
+        runner, specs, /*pool=*/false, "nopool_speedup");
+    EXPECT_EQ(core::speedup_study_to_json(
+                  dist::merge_speedup(spawn_specs, spawn_manifests))
+                  .dump(2),
+              reference);
+  }
+
+  // Runs mode (CSV text and run JSON verbatim). The pooled run hands both
+  // shards to the same two resident workers, so this also pins that a
+  // worker's second spec is byte-identical to a fresh process's first —
+  // the warm-reuse contract.
+  {
+    auto specs = dist::plan_shards(
+        scenario, dist::ShardMode::kRuns,
+        {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, /*seeds=*/4,
+        /*shards=*/4, NAN, 0.95);
+    const auto render = [](const std::vector<dist::ShardSpec>& s,
+                           const std::vector<util::Json>& m) {
+      std::string csv;
+      util::Json arr = util::Json::array();
+      for (const dist::MergedRun& run : dist::merge_runs(s, m)) {
+        csv += run.csv;
+        arr.push_back(run.run_json);
+      }
+      return csv + "\n---\n" + arr.dump(2);
+    };
+    const std::string reference = render(specs, run_shards_in_process(specs));
+    const auto [pool_specs, pool_manifests] =
+        run_through_coordinator(runner, specs, /*pool=*/true, "pool_runs");
+    EXPECT_EQ(render(pool_specs, pool_manifests), reference);
+    const auto [spawn_specs, spawn_manifests] =
+        run_through_coordinator(runner, specs, /*pool=*/false, "nopool_runs");
+    EXPECT_EQ(render(spawn_specs, spawn_manifests), reference);
+  }
+}
+
+TEST(Distributed, PoolWorkerKilledMidSpecIsRespawnedAndRetried) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+  core::Scenario scenario = small_scenario();
+  const int kSeeds = 4;
+  const core::AggregateResult reference =
+      core::run_aggregate(core::Strategy::kLcda, scenario.config.lcda_episodes,
+                          kSeeds, scenario.config, NAN);
+
+  auto specs = dist::plan_shards(
+      scenario, dist::ShardMode::kAggregate,
+      {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, kSeeds,
+      /*shards=*/2, NAN, 0.95);
+  // Shard 1 owns seeds {2,3}; the resident worker _exit()s mid-spec at
+  // seed 2 on attempt 0 — the process dies with the spec in flight, which
+  // is exactly the pool's crash-recovery path (no manifest, no reply).
+  const ScopedEnv die("LCDA_TEST_DIE_SEED", "2");
+
+  dist::Coordinator::Options opts;
+  opts.worker_command = {runner};
+  opts.shard_dir = temp_dir("pool_die");
+  opts.max_parallel = 1;  // one resident worker serves both shards
+  opts.max_retries = 1;
+  opts.verbose = false;
+  opts.enable_steal = false;
+  dist::Coordinator coordinator(opts);
+  coordinator.run(specs);
+  EXPECT_EQ(coordinator.stats().retries, 1);
+  // The first resident worker died with the spec; its replacement ran the
+  // retry. Launches: the original plus exactly one respawn.
+  EXPECT_EQ(coordinator.stats().pool_workers, 2);
 
   std::vector<util::Json> manifests;
   for (const auto& spec : specs) {

@@ -495,6 +495,41 @@ TEST(EvalStore, SharedLookupsConsultOnlyCompactedBuckets) {
   EXPECT_FALSE(other_eval.lookup_shared(5).has_value());
 }
 
+// ----------------------------------------------------- store metrics
+
+TEST(EvalStore, MetricsCountLookupsAndBytes) {
+  const std::string dir = temp_dir("metrics");
+  {
+    store::EvalStore producer(opts(dir, 0x11, 0x1));
+    producer.insert(5, make_eval(5));
+    EXPECT_EQ(producer.metrics().bytes_published, 0u);  // nothing saved yet
+    EXPECT_TRUE(producer.save());
+    // One published segment: header plus the single record.
+    EXPECT_GE(producer.metrics().bytes_published, store::kRecordSize);
+  }
+  store::EvalStore reader(opts(dir, 0x11, 0x1));
+  EXPECT_FALSE(reader.lookup(6).has_value());
+  ASSERT_TRUE(reader.lookup(5).has_value());  // from the published segment
+  reader.insert(7, make_eval(7));
+  ASSERT_TRUE(reader.lookup(7).has_value());  // from the session map
+  const store::EvalStore::Metrics& m = reader.metrics();
+  EXPECT_EQ(m.hits, 2u);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_GE(m.bytes_read, store::kRecordSize);  // disk probes, hit or miss
+  EXPECT_EQ(m.bytes_published, 0u);             // this instance saved nothing
+
+  // Shared lookups count in their own namespace: a miss before compaction
+  // publishes buckets, a hit after.
+  store::EvalStore consumer(opts(dir, 0x11, 0x2));
+  EXPECT_FALSE(consumer.lookup_shared(5).has_value());
+  EXPECT_EQ(consumer.metrics().shared_misses, 1u);
+  (void)store::compact_store(dir, {}, 4);
+  store::EvalStore warm(opts(dir, 0x11, 0x2));
+  ASSERT_TRUE(warm.lookup_shared(5).has_value());
+  EXPECT_EQ(warm.metrics().shared_hits, 1u);
+  EXPECT_EQ(warm.metrics().shared_misses, 0u);
+}
+
 // ------------------------------------------------- multi-process hammer
 
 TEST(EvalStore, EightConcurrentWritersAndReadersStayConsistent) {

@@ -47,11 +47,18 @@
 //                          0 = one per hardware thread); traces are
 //                          bit-identical for every setting
 //   --distribute=N         shard the study across N worker PROCESSES (the
-//                          lcda::dist coordinator spawns `lcda_run --worker`
-//                          subprocesses and merges their result manifests);
-//                          every output — traces, JSON, cache counters — is
-//                          byte-identical to the same command without
-//                          --distribute (see README "Scaling out")
+//                          lcda::dist coordinator keeps a pool of N resident
+//                          `lcda_run --worker-loop` subprocesses, dispatches
+//                          shard specs to them over stdin/stdout pipes and
+//                          merges their result manifests); every output —
+//                          traces, JSON, cache counters — is byte-identical
+//                          to the same command without --distribute (see
+//                          README "Scaling out")
+//   --no-worker-pool       spawn one `lcda_run --worker=SPEC` process per
+//                          shard attempt instead of keeping the resident
+//                          pool; byte-identical output, pays process startup
+//                          and store/memo warm-up per attempt (requires
+//                          --distribute)
 //   --max-retries=K        extra attempts per failed shard before the run
 //                          aborts (default 2; requires --distribute)
 //   --shard-dir=DIR        keep shard specs/manifests in DIR instead of an
@@ -69,7 +76,12 @@
 //                          peers (default 2.0, must be >= 1; requires
 //                          --distribute)
 //   --worker=SPEC.json     internal: run one shard spec and write its result
-//                          manifest (what --distribute spawns)
+//                          manifest (what --distribute --no-worker-pool
+//                          spawns)
+//   --worker-loop          internal: resident worker — read
+//                          lcda-worker-cmd-v1 command lines from stdin, run
+//                          each dispatched spec, reply done/failed on stdout
+//                          (what --distribute keeps one of per slot)
 //   --json=PATH            write the full experiment (runs + traces + cache
 //                          counters) as JSON
 //   --trace=PATH           write the episode traces as CSV ("-" = stdout;
@@ -142,6 +154,8 @@ struct CliOptions {
   long long store_max_entries = 0;
   long long store_max_bytes = 0;
   std::string worker_spec;      // internal --worker mode
+  bool worker_loop = false;     // internal --worker-loop mode
+  bool no_worker_pool = false;  // spawn-per-attempt instead of the pool
   std::vector<std::string> overrides;
   int episodes = 0;  // 0 = scenario default
   int seeds = 1;
@@ -167,7 +181,7 @@ int usage(const char* argv0) {
                "[--trace=PATH|-] [--quiet]\n"
                "       %s ... --distribute=N [--max-retries=K] "
                "[--shard-dir=DIR] [--keep-shard-dir] [--no-steal] "
-               "[--steal-threshold=K]\n"
+               "[--steal-threshold=K] [--no-worker-pool]\n"
                "       %s --scenario=NAME --aggregate [--threshold=R] [...]\n"
                "       %s --scenario=NAME --speedup [--threshold-fraction=F] "
                "[...]\n"
@@ -264,10 +278,24 @@ std::vector<dist::StrategyStudy> resolve_studies(
 /// included) plus every shard's loaded (and spec-verified) result
 /// manifest, index-aligned with specs, and the coordinator's scheduling
 /// stats for the "dist" JSON object.
+/// Store-level traffic summed over every shard manifest's "store" object
+/// (workers report their EvalStore counters there, outside the merged
+/// entries). All zero when no --cache-dir was configured. Observability
+/// only — the numbers shift with pooling and scheduling, never the bytes.
+struct StoreTotals {
+  long long hits = 0;
+  long long misses = 0;
+  long long shared_hits = 0;
+  long long shared_misses = 0;
+  long long bytes_read = 0;
+  long long bytes_published = 0;
+};
+
 struct DistributedStudy {
   std::vector<dist::ShardSpec> specs;
   std::vector<util::Json> manifests;
   dist::Coordinator::Stats stats;
+  StoreTotals store;
 
   /// The shards study entry `k` owns. Plan order used to make this a
   /// contiguous range; work stealing appends specs out of order, so
@@ -292,10 +320,12 @@ struct DistributedStudy {
 /// plan. Wall times are real milliseconds, so this object is the one part
 /// of a distributed document that is NOT byte-reproducible — consumers
 /// diffing documents strip it first (CI does).
-util::Json dist_stats_to_json(const dist::Coordinator::Stats& stats) {
+util::Json dist_stats_to_json(const DistributedStudy& study) {
+  const dist::Coordinator::Stats& stats = study.stats;
   util::Json j = util::Json::object();
   j["planned"] = stats.planned;
   j["spawned"] = stats.spawned;
+  j["pool_workers"] = stats.pool_workers;
   j["retries"] = stats.retries;
   j["steals"] = stats.steals;
   j["stolen_seeds"] = stats.stolen_seeds;
@@ -318,6 +348,14 @@ util::Json dist_stats_to_json(const dist::Coordinator::Stats& stats) {
     shards.push_back(e);
   }
   j["shards"] = shards;
+  util::Json store = util::Json::object();
+  store["hits"] = study.store.hits;
+  store["misses"] = study.store.misses;
+  store["shared_hits"] = study.store.shared_hits;
+  store["shared_misses"] = study.store.shared_misses;
+  store["bytes_read"] = study.store.bytes_read;
+  store["bytes_published"] = study.store.bytes_published;
+  j["store"] = store;
   return j;
 }
 
@@ -353,6 +391,7 @@ DistributedStudy run_distributed(const CliOptions& cli,
   opts.verbose = !cli.quiet;  // --quiet silences shard narration too
   opts.enable_steal = !cli.no_steal;
   opts.steal_threshold = cli.steal_threshold;
+  opts.use_worker_pool = !cli.no_worker_pool;
 
   try {
     dist::Coordinator coordinator(opts);
@@ -361,6 +400,18 @@ DistributedStudy run_distributed(const CliOptions& cli,
     study.manifests.reserve(study.specs.size());
     for (const dist::ShardSpec& spec : study.specs) {
       study.manifests.push_back(dist::load_shard_manifest(spec));
+    }
+    // Fold the per-shard store counters the workers reported (tolerated
+    // extra manifest key; absent when the shard ran without --cache-dir).
+    for (const util::Json& manifest : study.manifests) {
+      if (!manifest.contains("store")) continue;
+      const util::Json& s = manifest.at("store");
+      study.store.hits += s.at("hits").as_int();
+      study.store.misses += s.at("misses").as_int();
+      study.store.shared_hits += s.at("shared_hits").as_int();
+      study.store.shared_misses += s.at("shared_misses").as_int();
+      study.store.bytes_read += s.at("bytes_read").as_int();
+      study.store.bytes_published += s.at("bytes_published").as_int();
     }
   } catch (...) {
     std::error_code ec;
@@ -385,9 +436,14 @@ DistributedStudy run_distributed(const CliOptions& cli,
   std::fprintf(stderr,
                "[dist] summary: shards=%d spawned=%d retries=%d steals=%d "
                "stolen_seeds=%d superseded=%d dead_workers=%d "
-               "banlisted_slots=%zu\n",
+               "banlisted_slots=%zu pool_workers=%d store_hits=%lld "
+               "store_shared=%lld store_misses=%lld store_bytes_read=%lld "
+               "store_bytes_published=%lld\n",
                st.planned, st.spawned, st.retries, st.steals, st.stolen_seeds,
-               st.superseded, st.dead_workers, st.banlisted_slots.size());
+               st.superseded, st.dead_workers, st.banlisted_slots.size(),
+               st.pool_workers, study.store.hits, study.store.shared_hits,
+               study.store.misses, study.store.bytes_read,
+               study.store.bytes_published);
   return study;
 }
 
@@ -432,6 +488,8 @@ int main(int argc, char** argv) {
         }
         cli.steal_threshold_set = true;
       }
+      else if (arg == "--worker-loop") cli.worker_loop = true;
+      else if (arg == "--no-worker-pool") cli.no_worker_pool = true;
       else if (flag_value(arg, "--worker=", cli.worker_spec)) {}
       else if (arg == "--set" && i + 1 < argc) cli.overrides.emplace_back(argv[++i]);
       else if (flag_value(arg, "--set=", value)) cli.overrides.push_back(value);
@@ -459,8 +517,13 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Internal worker mode: execute one shard spec and exit. Everything
-    // the shard needs travels in the spec file, so no other flag applies.
+    // Internal worker modes. --worker executes one shard spec and exits;
+    // --worker-loop stays resident and executes specs dispatched over
+    // stdin until `shutdown` or EOF. Everything a shard needs travels in
+    // its spec file, so no other flag applies to either.
+    if (cli.worker_loop) {
+      return dist::run_worker_loop();
+    }
     if (!cli.worker_spec.empty()) {
       return dist::run_worker(cli.worker_spec);
     }
@@ -575,10 +638,11 @@ int main(int argc, char** argv) {
     }
     if (cli.distribute == 0 &&
         (!cli.shard_dir.empty() || cli.max_retries_set || cli.keep_shard_dir ||
-         cli.no_steal || cli.steal_threshold_set)) {
+         cli.no_steal || cli.steal_threshold_set || cli.no_worker_pool)) {
       std::fprintf(stderr,
                    "lcda_run: --shard-dir / --max-retries / --keep-shard-dir "
-                   "/ --no-steal / --steal-threshold require --distribute\n");
+                   "/ --no-steal / --steal-threshold / --no-worker-pool "
+                   "require --distribute\n");
       return usage(argv[0]);
     }
 
@@ -603,7 +667,7 @@ int main(int argc, char** argv) {
         // merged aggregates are byte-identical to the in-process branch.
         const DistributedStudy study = run_distributed(
             cli, scenario, dist::ShardMode::kAggregate, studies, argv[0]);
-        dist_stats = dist_stats_to_json(study.stats);
+        dist_stats = dist_stats_to_json(study);
         for (std::size_t k = 0; k < studies.size(); ++k) {
           const auto [specs, manifests] = study.study_slice(k);
           aggregates.push_back(dist::merge_aggregate(specs, manifests));
@@ -673,7 +737,7 @@ int main(int argc, char** argv) {
         const DistributedStudy study =
             run_distributed(cli, scenario, dist::ShardMode::kSpeedup,
                             {{core::Strategy::kLcda, 0}}, argv[0]);
-        dist_stats = dist_stats_to_json(study.stats);
+        dist_stats = dist_stats_to_json(study);
         reports = dist::merge_speedup(study.specs, study.manifests);
       } else {
         reports = core::speedup_study(scenario.config, cli.seeds,
@@ -752,7 +816,7 @@ int main(int argc, char** argv) {
         for (const dist::MergedRun& run : runs) arr.push_back(run.run_json);
         doc["runs"] = arr;
         doc["scenario"] = core::scenario_to_json(scenario);
-        doc["dist"] = dist_stats_to_json(study.stats);
+        doc["dist"] = dist_stats_to_json(study);
         core::write_json_file(doc, cli.json_path);
         std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
       }
