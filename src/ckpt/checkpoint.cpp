@@ -1,0 +1,603 @@
+#include "lcda/ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "lcda/util/fault.h"
+#include "lcda/util/logging.h"
+#include "lcda/util/rng.h"
+#include "lcda/util/strings.h"
+
+namespace lcda::ckpt {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr std::uint32_t kRoundVersion = 1;
+
+void encode_rng(util::BinaryWriter& w, const util::Rng::State& st) {
+  for (std::uint64_t word : st.s) w.u64(word);
+  w.f64(st.spare_normal);
+  w.u8(st.has_spare ? 1 : 0);
+}
+
+bool decode_rng(util::BinaryReader& r, util::Rng::State& st) {
+  for (std::uint64_t& word : st.s) {
+    if (!r.u64(word)) return false;
+  }
+  std::uint8_t has_spare = 0;
+  if (!r.f64(st.spare_normal) || !r.u8(has_spare)) return false;
+  st.has_spare = has_spare != 0;
+  return true;
+}
+
+void encode_episode(util::BinaryWriter& w, const core::EpisodeRecord& ep) {
+  w.i64(ep.episode);
+  encode_design(w, ep.design);
+  w.f64(ep.accuracy);
+  w.f64(ep.energy_pj);
+  w.f64(ep.latency_ns);
+  w.f64(ep.area_mm2);
+  w.f64(ep.reward);
+  w.u8(ep.valid ? 1 : 0);
+}
+
+bool decode_episode(util::BinaryReader& r, core::EpisodeRecord& ep) {
+  std::int64_t episode = 0;
+  std::uint8_t valid = 0;
+  if (!r.i64(episode) || !decode_design(r, ep.design) || !r.f64(ep.accuracy) ||
+      !r.f64(ep.energy_pj) || !r.f64(ep.latency_ns) || !r.f64(ep.area_mm2) ||
+      !r.f64(ep.reward) || !r.u8(valid)) {
+    return false;
+  }
+  ep.episode = static_cast<int>(episode);
+  ep.valid = valid != 0;
+  return true;
+}
+
+/// A corrupt element count must not drive a huge reserve before the
+/// element decodes fail; every element is at least `min_bytes` long.
+std::size_t bounded_reserve(std::uint64_t n, std::size_t remaining,
+                            std::size_t min_bytes) {
+  return std::min<std::size_t>(n, remaining / std::max<std::size_t>(min_bytes, 1));
+}
+
+struct SnapshotFile {
+  long long episode = 0;
+  std::filesystem::path path;
+};
+
+/// `snap-<E>.ckpt` -> E, or nullopt for any other name.
+std::optional<long long> snapshot_episode(const std::string& name) {
+  constexpr std::string_view prefix = "snap-";
+  constexpr std::string_view suffix = ".ckpt";
+  if (name.size() <= prefix.size() + suffix.size() ||
+      !name.starts_with(prefix) || !name.ends_with(suffix)) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  long long value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+/// Newest-first list of snapshot generations in a study directory.
+std::vector<SnapshotFile> list_snapshots(const std::filesystem::path& dir) {
+  std::vector<SnapshotFile> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const auto ep = snapshot_episode(entry.path().filename().string());
+    if (ep) out.push_back({*ep, entry.path()});
+  }
+  std::sort(out.begin(), out.end(), [](const SnapshotFile& a, const SnapshotFile& b) {
+    return a.episode > b.episode;
+  });
+  return out;
+}
+
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return data;
+}
+
+/// Validates a snapshot file's envelope; returns the payload view or
+/// nullopt (magic, identity, size and checksum must all agree).
+std::optional<std::string_view> snapshot_payload(std::string_view file,
+                                                 std::uint64_t identity) {
+  std::uint64_t file_identity = 0;
+  std::uint64_t size = 0;
+  std::uint64_t checksum = 0;
+  if (file.size() < kSnapshotMagic.size() ||
+      file.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+    return std::nullopt;
+  }
+  util::BinaryReader header(file.substr(kSnapshotMagic.size()));
+  if (!header.u64(file_identity) || !header.u64(size) || !header.u64(checksum)) {
+    return std::nullopt;
+  }
+  if (file_identity != identity) return std::nullopt;
+  if (header.remaining() != size) return std::nullopt;
+  const std::string_view payload =
+      file.substr(file.size() - header.remaining());
+  if (util::fnv1a64(payload) != checksum) return std::nullopt;
+  return payload;
+}
+
+/// Parses a changelog, tolerating a torn tail: records after the first
+/// short or corrupt one are dropped (the loop re-evaluates them live).
+std::vector<core::RoundDelta> read_changelog(const std::filesystem::path& path,
+                                             std::uint64_t identity,
+                                             long long base_episode) {
+  std::vector<core::RoundDelta> deltas;
+  const auto data = read_file(path);
+  if (!data) return deltas;
+  std::string_view view = *data;
+  if (view.size() < kChangelogMagic.size() ||
+      view.substr(0, kChangelogMagic.size()) != kChangelogMagic) {
+    util::warn_once("ckpt-bad-log:" + path.string(), "ckpt",
+                    "changelog has a foreign header; ignoring it");
+    return deltas;
+  }
+  util::BinaryReader header(view.substr(kChangelogMagic.size()));
+  std::uint64_t file_identity = 0;
+  std::int64_t file_base = 0;
+  if (!header.u64(file_identity) || !header.i64(file_base) ||
+      file_identity != identity || file_base != base_episode) {
+    util::warn_once("ckpt-bad-log:" + path.string(), "ckpt",
+                    "changelog identity/base mismatch; ignoring it");
+    return deltas;
+  }
+  std::string_view rest = view.substr(view.size() - header.remaining());
+  while (!rest.empty()) {
+    util::BinaryReader rec(rest);
+    std::uint64_t len = 0;
+    std::uint64_t checksum = 0;
+    if (!rec.u64(len) || !rec.u64(checksum) || rec.remaining() < len) break;
+    const std::string_view payload =
+        rest.substr(rest.size() - rec.remaining(), len);
+    if (util::fnv1a64(payload) != checksum) break;
+    core::RoundDelta delta;
+    if (!decode_round(payload, delta)) break;
+    deltas.push_back(std::move(delta));
+    rest = rest.substr(16 + len);
+  }
+  if (!rest.empty()) {
+    util::warn_once("ckpt-torn-log:" + path.string(), "ckpt",
+                    "changelog tail is torn; rounds after it will be "
+                    "re-evaluated on resume");
+  }
+  return deltas;
+}
+
+}  // namespace
+
+void encode_design(util::BinaryWriter& w, const search::Design& d) {
+  w.u32(static_cast<std::uint32_t>(d.rollout.size()));
+  for (const nn::ConvSpec& spec : d.rollout) {
+    w.i64(spec.channels);
+    w.i64(spec.kernel);
+  }
+  w.i64(static_cast<std::int64_t>(d.hw.device));
+  w.i64(d.hw.bits_per_cell);
+  w.i64(d.hw.weight_bits);
+  w.i64(d.hw.input_bits);
+  w.i64(d.hw.adc_bits);
+  w.i64(d.hw.xbar_size);
+  w.i64(d.hw.col_mux);
+  w.f64(d.hw.area_budget_mm2);
+}
+
+bool decode_design(util::BinaryReader& r, search::Design& d) {
+  std::uint32_t layers = 0;
+  if (!r.u32(layers)) return false;
+  d.rollout.clear();
+  d.rollout.reserve(bounded_reserve(layers, r.remaining(), 16));
+  for (std::uint32_t i = 0; i < layers; ++i) {
+    std::int64_t channels = 0;
+    std::int64_t kernel = 0;
+    if (!r.i64(channels) || !r.i64(kernel)) return false;
+    d.rollout.push_back({static_cast<int>(channels), static_cast<int>(kernel)});
+  }
+  std::int64_t device = 0;
+  std::int64_t bits_per_cell = 0, weight_bits = 0, input_bits = 0;
+  std::int64_t adc_bits = 0, xbar_size = 0, col_mux = 0;
+  if (!r.i64(device) || !r.i64(bits_per_cell) || !r.i64(weight_bits) ||
+      !r.i64(input_bits) || !r.i64(adc_bits) || !r.i64(xbar_size) ||
+      !r.i64(col_mux) || !r.f64(d.hw.area_budget_mm2)) {
+    return false;
+  }
+  d.hw.device = static_cast<cim::DeviceType>(device);
+  d.hw.bits_per_cell = static_cast<int>(bits_per_cell);
+  d.hw.weight_bits = static_cast<int>(weight_bits);
+  d.hw.input_bits = static_cast<int>(input_bits);
+  d.hw.adc_bits = static_cast<int>(adc_bits);
+  d.hw.xbar_size = static_cast<int>(xbar_size);
+  d.hw.col_mux = static_cast<int>(col_mux);
+  return true;
+}
+
+void encode_evaluation(util::BinaryWriter& w, const core::Evaluation& ev) {
+  std::uint8_t flags = 0;
+  if (ev.cost.valid) flags |= 1;
+  if (ev.has_replay_params) flags |= 2;
+  w.u8(flags);
+  w.f64(ev.accuracy);
+  w.f64(ev.accuracy_stddev);
+  w.f64(ev.replay_mean);
+  w.f64(ev.replay_spread);
+  const cim::CostReport& c = ev.cost;
+  w.f64(c.area_arrays_mm2);
+  w.f64(c.area_buffer_mm2);
+  w.f64(c.area_digital_mm2);
+  w.f64(c.area_noc_mm2);
+  w.f64(c.area_total_mm2);
+  w.f64(c.energy_adc_pj);
+  w.f64(c.energy_xbar_pj);
+  w.f64(c.energy_dac_pj);
+  w.f64(c.energy_digital_pj);
+  w.f64(c.energy_buffer_pj);
+  w.f64(c.energy_noc_pj);
+  w.f64(c.energy_total_pj);
+  w.f64(c.latency_ns);
+  w.f64(c.leakage_mw);
+  w.f64(c.programming_energy_pj);
+  w.f64(c.weight_sigma);
+  w.i64(c.total_weights);
+  w.i64(c.total_cells);
+  w.i64(c.max_adc_deficit_bits);
+  // The invalid reason is kept whole (unlike the store's fixed-width
+  // record, which truncates it): a resumed trace must not differ from the
+  // uninterrupted one in any byte, reasons included. Per-layer costs and
+  // the mapping are deliberately absent — the lean engine path never
+  // populates them, matching the store's record shape.
+  w.str(c.invalid_reason);
+}
+
+bool decode_evaluation(util::BinaryReader& r, core::Evaluation& ev) {
+  std::uint8_t flags = 0;
+  if (!r.u8(flags) || !r.f64(ev.accuracy) || !r.f64(ev.accuracy_stddev) ||
+      !r.f64(ev.replay_mean) || !r.f64(ev.replay_spread)) {
+    return false;
+  }
+  cim::CostReport& c = ev.cost;
+  std::int64_t total_weights = 0, total_cells = 0, deficit = 0;
+  if (!r.f64(c.area_arrays_mm2) || !r.f64(c.area_buffer_mm2) ||
+      !r.f64(c.area_digital_mm2) || !r.f64(c.area_noc_mm2) ||
+      !r.f64(c.area_total_mm2) || !r.f64(c.energy_adc_pj) ||
+      !r.f64(c.energy_xbar_pj) || !r.f64(c.energy_dac_pj) ||
+      !r.f64(c.energy_digital_pj) || !r.f64(c.energy_buffer_pj) ||
+      !r.f64(c.energy_noc_pj) || !r.f64(c.energy_total_pj) ||
+      !r.f64(c.latency_ns) || !r.f64(c.leakage_mw) ||
+      !r.f64(c.programming_energy_pj) || !r.f64(c.weight_sigma) ||
+      !r.i64(total_weights) || !r.i64(total_cells) || !r.i64(deficit) ||
+      !r.str(c.invalid_reason)) {
+    return false;
+  }
+  c.valid = (flags & 1) != 0;
+  ev.has_replay_params = (flags & 2) != 0;
+  c.total_weights = total_weights;
+  c.total_cells = total_cells;
+  c.max_adc_deficit_bits = static_cast<int>(deficit);
+  c.layers.clear();
+  c.mapping = {};
+  return true;
+}
+
+namespace {
+
+/// Appends the snapshot payload to `out` (which may already hold an
+/// envelope prefix). Split from encode_snapshot so the checkpoint writer
+/// can assemble envelope + payload in one reused buffer, without an
+/// intermediate per-snapshot string.
+void encode_snapshot_append(std::string& out, const core::LoopSnapshot& snap) {
+  util::BinaryWriter w(out);
+  w.u32(kSnapshotVersion);
+  w.i64(snap.next_episode);
+  encode_rng(w, snap.rng_state);
+  w.str(*snap.optimizer_state);
+  const core::RunResult& res = *snap.result;
+  w.i64(res.best_episode);
+  w.i64(res.cache_hits);
+  w.i64(res.cache_misses);
+  w.i64(res.persistent_hits);
+  w.i64(res.persistent_shared_hits);
+  w.i64(res.persistent_evictions);
+  w.i64(res.persistent_skipped);
+  w.i64(res.persistent_save_failures);
+  w.u64(res.episodes.size());
+  for (const core::EpisodeRecord& ep : res.episodes) encode_episode(w, ep);
+  const auto& cache_log = *snap.cache_log;
+  w.u64(cache_log.size());
+  for (const core::CacheLogEntry& entry : cache_log) {
+    w.u64(entry.hash);
+    encode_evaluation(w, entry.eval);
+    w.u8(entry.published ? 1 : 0);
+  }
+}
+
+}  // namespace
+
+std::string encode_snapshot(const core::LoopSnapshot& snap) {
+  std::string out;
+  encode_snapshot_append(out, snap);
+  return out;
+}
+
+bool decode_snapshot(std::string_view payload, core::LoopResume& out) {
+  util::BinaryReader r(payload);
+  std::uint32_t version = 0;
+  std::int64_t next_episode = 0;
+  if (!r.u32(version) || version != kSnapshotVersion || !r.i64(next_episode) ||
+      !decode_rng(r, out.rng_state) || !r.str(out.optimizer_state)) {
+    return false;
+  }
+  out.next_episode = static_cast<int>(next_episode);
+  core::RunResult& res = out.result;
+  std::int64_t best_episode = 0;
+  std::uint64_t n_records = 0;
+  if (!r.i64(best_episode) || !r.i64(res.cache_hits) ||
+      !r.i64(res.cache_misses) || !r.i64(res.persistent_hits) ||
+      !r.i64(res.persistent_shared_hits) || !r.i64(res.persistent_evictions) ||
+      !r.i64(res.persistent_skipped) || !r.i64(res.persistent_save_failures) ||
+      !r.u64(n_records)) {
+    return false;
+  }
+  res.best_episode = static_cast<int>(best_episode);
+  res.episodes.clear();
+  res.episodes.reserve(bounded_reserve(n_records, r.remaining(), 64));
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    core::EpisodeRecord ep;
+    if (!decode_episode(r, ep)) return false;
+    res.episodes.push_back(std::move(ep));
+  }
+  std::uint64_t n_cache = 0;
+  if (!r.u64(n_cache)) return false;
+  out.cache_log.clear();
+  out.cache_log.reserve(bounded_reserve(n_cache, r.remaining(), 64));
+  for (std::uint64_t i = 0; i < n_cache; ++i) {
+    core::CacheLogEntry entry;
+    std::uint8_t published = 0;
+    if (!r.u64(entry.hash) || !decode_evaluation(r, entry.eval) ||
+        !r.u8(published)) {
+      return false;
+    }
+    entry.published = published != 0;
+    out.cache_log.push_back(std::move(entry));
+  }
+  return r.done();
+}
+
+namespace {
+
+/// Appends the round payload to `out`; same envelope-assembly split as
+/// encode_snapshot_append.
+void encode_round_append(std::string& out, const core::RoundDelta& delta) {
+  util::BinaryWriter w(out);
+  w.u32(kRoundVersion);
+  w.i64(delta.first_episode);
+  w.u64(delta.job_hashes.size());
+  for (std::uint64_t h : delta.job_hashes) w.u64(h);
+  w.u64(delta.job_evals.size());
+  for (const core::Evaluation& ev : delta.job_evals) encode_evaluation(w, ev);
+}
+
+/// Overwrites 8 bytes at `pos` with the little-endian encoding of `v` —
+/// the back-patch for length/checksum fields whose values are only known
+/// after the payload behind them is encoded in place.
+void patch_u64(std::string& buf, std::size_t pos, std::uint64_t v) {
+  std::memcpy(buf.data() + pos, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::string encode_round(const core::RoundDelta& delta) {
+  std::string out;
+  encode_round_append(out, delta);
+  return out;
+}
+
+bool decode_round(std::string_view payload, core::RoundDelta& out) {
+  util::BinaryReader r(payload);
+  std::uint32_t version = 0;
+  std::int64_t first_episode = 0;
+  std::uint64_t n_hashes = 0;
+  if (!r.u32(version) || version != kRoundVersion || !r.i64(first_episode) ||
+      !r.u64(n_hashes)) {
+    return false;
+  }
+  out.first_episode = static_cast<int>(first_episode);
+  out.job_hashes.clear();
+  out.job_hashes.reserve(bounded_reserve(n_hashes, r.remaining(), 8));
+  for (std::uint64_t i = 0; i < n_hashes; ++i) {
+    std::uint64_t h = 0;
+    if (!r.u64(h)) return false;
+    out.job_hashes.push_back(h);
+  }
+  std::uint64_t n_evals = 0;
+  if (!r.u64(n_evals)) return false;
+  out.job_evals.clear();
+  out.job_evals.reserve(bounded_reserve(n_evals, r.remaining(), 64));
+  for (std::uint64_t i = 0; i < n_evals; ++i) {
+    core::Evaluation ev;
+    if (!decode_evaluation(r, ev)) return false;
+    out.job_evals.push_back(std::move(ev));
+  }
+  return r.done();
+}
+
+std::filesystem::path study_checkpoint_dir(const std::string& root,
+                                           std::uint64_t identity) {
+  return std::filesystem::path(root) / util::hex_u64(identity);
+}
+
+std::optional<core::LoopResume> load_resume(const std::string& root,
+                                            std::uint64_t identity) {
+  const std::filesystem::path dir = study_checkpoint_dir(root, identity);
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return std::nullopt;
+  for (const SnapshotFile& snap : list_snapshots(dir)) {
+    const auto data = read_file(snap.path);
+    if (!data) continue;
+    const auto payload = snapshot_payload(*data, identity);
+    core::LoopResume resume;
+    if (!payload || !decode_snapshot(*payload, resume)) {
+      util::warn_once("ckpt-bad-snapshot:" + snap.path.string(), "ckpt",
+                      "snapshot failed validation; falling back to the "
+                      "previous generation");
+      continue;
+    }
+    std::filesystem::path log_path = snap.path;
+    log_path.replace_extension(".log");
+    resume.deltas = read_changelog(log_path, identity, snap.episode);
+    return resume;
+  }
+  return std::nullopt;
+}
+
+RunCheckpointer::RunCheckpointer(Options opts)
+    : opts_(std::move(opts)),
+      dir_(study_checkpoint_dir(opts_.directory, opts_.identity)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    util::warn_once("ckpt-dir-failed:" + dir_.string(), "ckpt",
+                    "cannot create checkpoint directory; checkpointing "
+                    "disabled for this run");
+  }
+}
+
+void RunCheckpointer::on_snapshot(const core::LoopSnapshot& snap) {
+  // Envelope and payload are assembled in one buffer that is reused
+  // across snapshots (its capacity sticks at the largest snapshot seen),
+  // with the size/checksum fields back-patched once the payload length is
+  // known — a snapshot costs one encoding pass plus the checksum, not
+  // intermediate copies.
+  std::string& file = file_buf_;
+  file.clear();
+  file.append(kSnapshotMagic);
+  util::BinaryWriter header(file);
+  header.u64(opts_.identity);
+  const std::size_t size_pos = file.size();
+  header.u64(0);
+  header.u64(0);
+  const std::size_t payload_pos = file.size();
+  encode_snapshot_append(file, snap);
+  const std::size_t payload_size = file.size() - payload_pos;
+  patch_u64(file, size_pos, payload_size);
+  patch_u64(file, size_pos + 8,
+            util::fnv1a64(std::string_view(file).substr(payload_pos)));
+
+  // Fires on the first snapshot at-or-after the armed episode (drained
+  // boundaries rarely land exactly on one).
+  const long long torn_at =
+      util::FaultInjector::instance().torn_snapshot_episode();
+  const bool torn =
+      torn_at >= 0 && static_cast<long long>(snap.next_episode) >= torn_at;
+  if (torn) file.resize(file.size() - payload_size / 2 - 1);
+
+  const std::filesystem::path final_path =
+      dir_ / ("snap-" + std::to_string(snap.next_episode) + ".ckpt");
+  const std::filesystem::path tmp_path =
+      dir_ / ("snap-" + std::to_string(snap.next_episode) + ".ckpt.tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out.write(file.data(), static_cast<std::streamsize>(file.size()));
+    if (!out.flush()) {
+      util::warn_once("ckpt-write-failed:" + dir_.string(), "ckpt",
+                      "snapshot write failed; run continues uncheckpointed");
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    util::warn_once("ckpt-write-failed:" + dir_.string(), "ckpt",
+                    "snapshot rename failed; run continues uncheckpointed");
+    return;
+  }
+  if (torn) {
+    // Simulated crash immediately after tearing the snapshot file.
+    std::_Exit(42);
+  }
+
+  if (log_.is_open()) log_.close();
+  rotate_generations();
+
+  std::filesystem::path log_path = final_path;
+  log_path.replace_extension(".log");
+  log_.open(log_path, std::ios::binary | std::ios::trunc);
+  if (log_.is_open()) {
+    std::string header_bytes;
+    header_bytes.append(kChangelogMagic);
+    util::BinaryWriter w(header_bytes);
+    w.u64(opts_.identity);
+    w.i64(snap.next_episode);
+    log_.write(header_bytes.data(),
+               static_cast<std::streamsize>(header_bytes.size()));
+    log_.flush();
+  }
+  ++snapshots_written_;
+}
+
+void RunCheckpointer::on_round(const core::RoundDelta& delta) {
+  // No generation of our own open yet (fresh run before the first
+  // snapshot, or resumed run still replaying toward one): the previous
+  // process's changelog is not ours to extend, so the round is simply not
+  // logged — a crash here resumes from the last snapshot again.
+  if (!log_.is_open()) return;
+  std::string& record = record_buf_;
+  record.clear();
+  util::BinaryWriter w(record);
+  const std::size_t len_pos = record.size();
+  w.u64(0);
+  w.u64(0);
+  const std::size_t payload_pos = record.size();
+  encode_round_append(record, delta);
+  const std::size_t payload_size = record.size() - payload_pos;
+  patch_u64(record, len_pos, payload_size);
+  patch_u64(record, len_pos + 8,
+            util::fnv1a64(std::string_view(record).substr(payload_pos)));
+
+  const long long torn_at = util::FaultInjector::instance().torn_log_episode();
+  const bool torn =
+      torn_at >= 0 && static_cast<long long>(delta.first_episode) >= torn_at;
+  if (torn) record.resize(record.size() - payload_size / 2 - 1);
+  log_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  log_.flush();
+  if (torn) {
+    // Simulated crash mid-append: the tail record is torn.
+    std::_Exit(42);
+  }
+  if (!log_) {
+    util::warn_once("ckpt-log-write-failed:" + dir_.string(), "ckpt",
+                    "changelog append failed; later rounds will be "
+                    "re-evaluated on resume");
+  }
+}
+
+void RunCheckpointer::rotate_generations() {
+  const std::vector<SnapshotFile> snaps = list_snapshots(dir_);
+  for (std::size_t i = static_cast<std::size_t>(std::max(opts_.keep, 1));
+       i < snaps.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(snaps[i].path, ec);
+    std::filesystem::path log_path = snaps[i].path;
+    log_path.replace_extension(".log");
+    std::filesystem::remove(log_path, ec);
+  }
+}
+
+}  // namespace lcda::ckpt

@@ -76,6 +76,19 @@ struct ExperimentConfig {
   /// caps are trace-invariant.
   std::size_t persistent_cache_max_entries = 0;
   std::size_t persistent_cache_max_bytes = 0;
+
+  /// Checkpoint root directory ("" = checkpointing off). Each study
+  /// snapshots its full engine state under `<dir>/<study fingerprint>`
+  /// every `checkpoint_every` episodes (at the nearest drained round
+  /// boundary — cadence only affects when snapshots land, never a trace
+  /// byte). With `resume`, a run first restores the newest valid snapshot
+  /// and replays its changelog, producing output byte-identical to an
+  /// uninterrupted run; without a usable checkpoint it cold-starts.
+  /// All three are engine knobs like `parallelism`: normalized away by
+  /// the study/evaluation fingerprints.
+  std::string checkpoint_dir;
+  int checkpoint_every = 64;
+  bool resume = false;
 };
 
 /// Which optimization strategy drives a run.
@@ -152,6 +165,9 @@ struct SpeedupReport {
   /// Store-level traffic summed over both runs (observability only; never
   /// serialized into the deterministic speedup document).
   StoreMetrics store;
+  /// Checkpoint-restored episodes summed over both runs (observability
+  /// only, like `store`).
+  std::int64_t resumed_episodes = 0;
   [[nodiscard]] double speedup() const {
     if (lcda_episodes <= 0 || nacim_episodes <= 0) return 0.0;
     return static_cast<double>(nacim_episodes) / lcda_episodes;

@@ -40,6 +40,10 @@ struct AggregateResult {
   std::int64_t persistent_skipped = 0;
   std::int64_t persistent_save_failures = 0;
 
+  /// Checkpoint-restored episodes summed over all seeds (observability
+  /// only — never serialized into the deterministic aggregate document).
+  std::int64_t resumed_episodes = 0;
+
   [[nodiscard]] double mean_running_best(int episode) const {
     return running_best[static_cast<std::size_t>(episode)].mean();
   }

@@ -461,6 +461,9 @@ util::Json config_to_json(const ExperimentConfig& config, bool include_defaults)
           def.persistent_cache_max_entries);
   w.field("persistent_cache_max_bytes", config.persistent_cache_max_bytes,
           def.persistent_cache_max_bytes);
+  w.field("checkpoint_dir", config.checkpoint_dir, def.checkpoint_dir);
+  w.field("checkpoint_every", config.checkpoint_every, def.checkpoint_every);
+  w.field("resume", config.resume, def.resume);
   return w.take();
 }
 
@@ -495,6 +498,9 @@ ExperimentConfig config_from_json(const util::Json& j) {
   r.str("persistent_cache_dir", config.persistent_cache_dir);
   r.size("persistent_cache_max_entries", config.persistent_cache_max_entries);
   r.size("persistent_cache_max_bytes", config.persistent_cache_max_bytes);
+  r.str("checkpoint_dir", config.checkpoint_dir);
+  r.integer("checkpoint_every", config.checkpoint_every);
+  r.boolean("resume", config.resume);
   r.finish();
   return config;
 }
@@ -901,6 +907,9 @@ std::uint64_t study_fingerprint(const ExperimentConfig& config,
   canon.persistent_cache_max_bytes = def.persistent_cache_max_bytes;
   canon.lcda_episodes = def.lcda_episodes;
   canon.nacim_episodes = def.nacim_episodes;
+  canon.checkpoint_dir = def.checkpoint_dir;
+  canon.checkpoint_every = def.checkpoint_every;
+  canon.resume = def.resume;
   const std::string text = std::string(strategy_name(strategy)) + '/' +
                            std::to_string(episodes) + '\n' +
                            config_to_json(canon, /*include_defaults=*/true).dump();
@@ -925,6 +934,9 @@ std::uint64_t evaluation_fingerprint(const ExperimentConfig& config) {
   canon.persistent_cache_max_bytes = def.persistent_cache_max_bytes;
   canon.lcda_episodes = def.lcda_episodes;
   canon.nacim_episodes = def.nacim_episodes;
+  canon.checkpoint_dir = def.checkpoint_dir;
+  canon.checkpoint_every = def.checkpoint_every;
+  canon.resume = def.resume;
   canon.seed = def.seed;
   canon.batch_size = def.batch_size;
   const std::string text =

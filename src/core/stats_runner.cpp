@@ -74,6 +74,7 @@ AggregateResult run_aggregate(Strategy strategy, int episodes, int seeds,
     agg.persistent_shared_hits += run.persistent_shared_hits;
     agg.persistent_skipped += run.persistent_skipped;
     agg.persistent_save_failures += run.persistent_save_failures;
+    agg.resumed_episodes += run.resumed_episodes;
     if (!std::isnan(threshold)) {
       const int hit = run.episodes_to_reach(threshold);
       if (hit >= 0) {

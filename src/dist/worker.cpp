@@ -23,6 +23,7 @@
 #include "lcda/dist/progress.h"
 #include "lcda/dist/protocol.h"
 #include "lcda/dist/shard.h"
+#include "lcda/util/fault.h"
 #include "lcda/util/strings.h"
 
 namespace lcda::dist {
@@ -114,70 +115,41 @@ void write_manifest_atomically(const util::Json& manifest,
   }
 }
 
-/// Test-only straggler/wedge/death injection, env-gated so production
-/// workers pay one getenv per process: LCDA_TEST_SEED_SLEEP_MS=T with
-/// LCDA_TEST_SLEEP_SEEDS=a,b,... sleeps T ms before each listed global
-/// seed (the injected straggler); LCDA_TEST_WEDGE_SEED=s makes attempt 0
-/// stop heartbeating and hang at seed s (the injected dead worker — still
-/// a live process, so only the coordinator's staleness reaper can catch
-/// it); LCDA_TEST_DIE_SEED=s makes attempt 0 _exit(42) at seed s (the
-/// injected mid-spec crash — a resident worker killed with a command in
-/// flight, so only the coordinator's respawn-and-retry path can recover).
-struct Injection {
-  long long sleep_ms = 0;
-  std::set<int> sleep_seeds;
-  int wedge_seed = -1;
-  int die_seed = -1;
-
-  Injection() {
-    if (const char* ms = std::getenv("LCDA_TEST_SEED_SLEEP_MS")) {
-      sleep_ms = util::parse_int(ms).value_or(0);
-    }
-    if (const char* seeds = std::getenv("LCDA_TEST_SLEEP_SEEDS")) {
-      for (const std::string& s : util::split(seeds, ',')) {
-        if (const auto v = util::parse_int(util::trim(s))) {
-          sleep_seeds.insert(static_cast<int>(*v));
-        }
-      }
-    }
-    if (const char* seed = std::getenv("LCDA_TEST_WEDGE_SEED")) {
-      wedge_seed = static_cast<int>(util::parse_int(seed).value_or(-1));
-    }
-    if (const char* seed = std::getenv("LCDA_TEST_DIE_SEED")) {
-      die_seed = static_cast<int>(util::parse_int(seed).value_or(-1));
-    }
-  }
-};
-
 /// Drives the per-seed loop shared by all three modes: re-reads the
 /// revocation file before each seed (a stolen seed is skipped — the
 /// coordinator re-dispatched it), emits start/done progress records, and
-/// honours the test injection hooks. `body(seed)` computes one seed and
-/// appends its manifest entry.
+/// honours the LCDA_FAULT injection harness (util/fault.h): wedge@seed
+/// hangs without heartbeats (the injected dead worker — still a live
+/// process, so only the coordinator's staleness reaper can catch it),
+/// kill@seed _exit(42)s (the injected mid-spec crash — only the
+/// respawn-and-retry path can recover), and sleep@seed is the injected
+/// straggler. `body(seed)` computes one seed and appends its manifest
+/// entry.
 template <typename Body>
 void for_each_owned_seed(const ShardSpec& spec, ProgressWriter* progress,
                          const Body& body) {
-  const Injection injection;
+  util::FaultInjector::set_attempt(spec.attempt);
+  const util::FaultInjector& faults = util::FaultInjector::instance();
   for (int s : spec.seeds) {
     if (!spec.revoke_path.empty()) {
       const std::set<int> revoked = read_revocations(spec.revoke_path);
       if (revoked.count(s) != 0) continue;
     }
     if (progress != nullptr) progress->seed_started(s);
-    if (injection.wedge_seed == s && spec.attempt == 0) {
+    if (faults.wedge_at_seed(s, spec.attempt)) {
       std::fprintf(stderr, "worker: shard %d wedging at seed %d (injected)\n",
                    spec.index, s);
       if (progress != nullptr) progress->stop_heartbeats();
       std::this_thread::sleep_for(std::chrono::hours(1));
     }
-    if (injection.die_seed == s && spec.attempt == 0) {
+    if (faults.kill_at_seed(s, spec.attempt)) {
       std::fprintf(stderr, "worker: shard %d dying at seed %d (injected)\n",
                    spec.index, s);
       std::fflush(stderr);
       ::_exit(42);
     }
-    if (injection.sleep_ms > 0 && injection.sleep_seeds.count(s) != 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(injection.sleep_ms));
+    if (const int sleep_ms = faults.sleep_ms_at_seed(s); sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
     const auto t0 = std::chrono::steady_clock::now();
     body(s);
@@ -207,6 +179,19 @@ util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress,
   manifest["spec_checksum"] = hex64(shard_spec_checksum(spec));
   util::Json entries = util::Json::array();
   core::StoreMetrics store_total;
+  long long resumed_total = 0;
+
+  // Retried and stolen shard copies resume each seed from its checkpoint
+  // when the study checkpoints at all: a seed the dead attempt finished
+  // restores instantly from its final snapshot, a seed it died inside
+  // continues from the last boundary — and either way the re-run seed's
+  // output is byte-identical to a clean first attempt, which is what
+  // keeps the retry path inside the merge byte-contract.
+  const bool resume_retries = spec.attempt > 0 || spec.stolen_from >= 0;
+  auto with_resume = [&](core::ExperimentConfig cfg) {
+    if (!cfg.checkpoint_dir.empty() && resume_retries) cfg.resume = true;
+    return cfg;
+  };
 
   switch (spec.mode) {
     case ShardMode::kAggregate: {
@@ -222,9 +207,10 @@ util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress,
       for_each_owned_seed(spec, progress, [&](int s) {
         const core::RunResult run = core::run_strategy(
             spec.strategy, spec.episodes,
-            core::aggregate_seed_config(config, s, spec.total_seeds),
+            with_resume(core::aggregate_seed_config(config, s, spec.total_seeds)),
             evaluator);
         store_total += run.store;
+        resumed_total += run.resumed_episodes;
         entries.push_back(aggregate_entry(s, run, spec.threshold));
       });
       break;
@@ -236,9 +222,10 @@ util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress,
           warm_evaluator != nullptr ? warm_evaluator : owned.get();
       for_each_owned_seed(spec, progress, [&](int s) {
         const core::SpeedupReport report = core::measure_speedup(
-            core::aggregate_seed_config(config, s, spec.total_seeds),
+            with_resume(core::aggregate_seed_config(config, s, spec.total_seeds)),
             spec.threshold_fraction, evaluator);
         store_total += report.store;
+        resumed_total += report.resumed_episodes;
         entries.push_back(speedup_entry(s, report));
       });
       break;
@@ -250,12 +237,14 @@ util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress,
         // here verbatim so either partitioning is bit-compatible.
         core::ExperimentConfig cfg = config;
         cfg.seed = config.seed + static_cast<std::uint64_t>(s);
+        cfg = with_resume(std::move(cfg));
         const core::RunResult run = core::run_strategy(
             spec.strategy, spec.episodes, cfg, warm_evaluator);
         const std::string label =
             std::string(core::strategy_name(spec.strategy)) + "/seed" +
             std::to_string(cfg.seed);
         store_total += run.store;
+        resumed_total += run.resumed_episodes;
         entries.push_back(run_entry(s, label, run));
       });
       break;
@@ -276,6 +265,10 @@ util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress,
   store["bytes_published"] =
       static_cast<long long>(store_total.bytes_published);
   manifest["store"] = store;
+  // Episodes this shard restored from checkpoints instead of re-running —
+  // like "store", outside the merged byte-contract (the coordinator sums
+  // it into the non-reproducible "dist" stats object).
+  manifest["resumed_episodes"] = resumed_total;
   return manifest;
 }
 

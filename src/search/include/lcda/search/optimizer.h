@@ -2,6 +2,7 @@
 
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lcda/search/design.h"
@@ -74,6 +75,35 @@ class Optimizer {
   /// strictly sequential strategies, the population size for generational
   /// ones, 0 for "no preference" (any batch size is as good as any other).
   [[nodiscard]] virtual std::size_t preferred_batch() const { return 1; }
+
+  /// --- Checkpoint contract ---------------------------------------------
+  ///
+  /// serialize_state appends a self-contained binary blob of the
+  /// optimizer's LEARNED state (populations, trajectories, policy weights,
+  /// duplicate filters — everything that evolves with feedback) to `out`;
+  /// configuration (options, the search space) is not serialized, because
+  /// a restored optimizer is always constructed from the same experiment
+  /// config first. Returns false when the strategy does not support
+  /// checkpointing (the default — e.g. the LLM strategies, whose state
+  /// lives in conversation history); a false return leaves `out` empty
+  /// and the caller must skip checkpointing rather than write a hole.
+  ///
+  /// restore_state inverts serialize_state on a same-config optimizer:
+  /// after it returns true, the proposal stream continues bit-for-bit
+  /// where the serialized instance left off. Returns false on a
+  /// malformed, truncated, or version-incompatible blob, in which case
+  /// the optimizer must be treated as unusable for resume (cold-start a
+  /// fresh one instead).
+
+  virtual bool serialize_state(std::string& out) const {
+    out.clear();
+    return false;
+  }
+
+  virtual bool restore_state(std::string_view blob) {
+    (void)blob;
+    return false;
+  }
 
   /// How many batches beyond the last fed-back one this optimizer may be
   /// asked to propose WITHOUT changing its proposal stream — the engine's

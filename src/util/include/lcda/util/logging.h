@@ -15,6 +15,14 @@ void set_log_level(LogLevel level);
 /// Emits one line to stderr: "[LEVEL] component: message".
 void log(LogLevel level, std::string_view component, std::string_view message);
 
+/// Counted one-shot warning: the first occurrence of `key` logs `message`
+/// at warn level, repeats only bump a process-wide counter (queryable via
+/// warn_once_count, e.g. by tests asserting a degraded path fired). Keys
+/// are free-form; use a stable slug per condition, not per message.
+void warn_once(std::string_view key, std::string_view component,
+               std::string_view message);
+[[nodiscard]] long long warn_once_count(std::string_view key);
+
 /// Stream-style helper:  Logger("cim").info() << "x=" << x;
 class Logger {
  public:

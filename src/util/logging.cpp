@@ -1,8 +1,11 @@
 #include "lcda/util/logging.h"
 
 #include <atomic>
+#include <functional>
 #include <iostream>
+#include <map>
 #include <mutex>
+#include <string>
 
 namespace lcda::util {
 
@@ -33,5 +36,30 @@ void log(LogLevel level, std::string_view component, std::string_view message) {
 }
 
 Logger::Line::~Line() { log(level_, component_, stream_.str()); }
+
+namespace {
+std::mutex g_warn_once_mutex;
+std::map<std::string, long long, std::less<>>& warn_once_counts() {
+  static std::map<std::string, long long, std::less<>> counts;
+  return counts;
+}
+}  // namespace
+
+void warn_once(std::string_view key, std::string_view component,
+               std::string_view message) {
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(g_warn_once_mutex);
+    first = ++warn_once_counts()[std::string(key)] == 1;
+  }
+  if (first) log(LogLevel::kWarn, component, message);
+}
+
+long long warn_once_count(std::string_view key) {
+  std::lock_guard<std::mutex> lock(g_warn_once_mutex);
+  const auto& counts = warn_once_counts();
+  const auto it = counts.find(key);
+  return it == counts.end() ? 0 : it->second;
+}
 
 }  // namespace lcda::util

@@ -1,0 +1,653 @@
+// The checkpoint subsystem: fault-spec parsing, value codecs, snapshot
+// atomicity and generation fallback, changelog torn-tail tolerance, and —
+// the load-bearing contract — checkpointed, killed-and-resumed runs
+// byte-identical to uninterrupted ones for every serializable strategy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lcda/ckpt/checkpoint.h"
+#include "lcda/core/report.h"
+#include "lcda/core/scenario.h"
+#include "lcda/util/fault.h"
+#include "lcda/util/logging.h"
+#include "lcda/util/subprocess.h"
+
+namespace {
+
+using namespace lcda;
+
+std::string temp_dir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("lcda_ckpt_test_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// A small config with per-episode rounds, so checkpoint boundaries land
+/// exactly on the cadence and every strategy produces several generations
+/// within a handful of episodes.
+core::ExperimentConfig small_config() {
+  core::ExperimentConfig config = core::scenario_by_name("paper-energy").config;
+  config.batch_size = 1;
+  return config;
+}
+
+/// Serializable strategies — every optimizer except the LLM-driven ones
+/// (whose state lives inside the simulated client).
+const std::vector<core::Strategy>& serializable_strategies() {
+  static const std::vector<core::Strategy> kAll = {
+      core::Strategy::kRandom,    core::Strategy::kGenetic,
+      core::Strategy::kNsga2,     core::Strategy::kAnnealing,
+      core::Strategy::kNacimRl,
+  };
+  return kAll;
+}
+
+/// Everything a run's byte contract covers: the full JSON document plus
+/// the trace CSV.
+std::string render(const core::RunResult& run, std::string_view label) {
+  std::ostringstream csv;
+  core::write_run_csv(csv, run, label);
+  return core::run_to_json(run, label).dump(2) + "\n---\n" + csv.str();
+}
+
+/// The snapshot files of a study directory, as (episode, path) sorted by
+/// episode ascending.
+std::vector<std::pair<int, std::filesystem::path>> list_snapshots(
+    const std::filesystem::path& study_dir) {
+  std::vector<std::pair<int, std::filesystem::path>> snaps;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(study_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 10 && name.rfind("snap-", 0) == 0 &&
+        name.substr(name.size() - 5) == ".ckpt") {
+      snaps.emplace_back(std::atoi(name.c_str() + 5), entry.path());
+    }
+  }
+  std::sort(snaps.begin(), snaps.end());
+  return snaps;
+}
+
+void remove_generation(const std::filesystem::path& ckpt_path) {
+  std::filesystem::path log = ckpt_path;
+  log.replace_extension(".log");
+  std::filesystem::remove(ckpt_path);
+  std::filesystem::remove(log);
+}
+
+// ------------------------------------------------------------- LCDA_FAULT
+
+TEST(Fault, GrammarParsesEveryKindAndScope) {
+  std::string error;
+  const auto f = util::FaultInjector::parse(
+      "kill@seed:2; sleep=400@seed:0,1; wedge@seed:3; kill@episode:9; "
+      "torn-snapshot@episode:4; torn-log@episode:5",
+      &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(f.specs().size(), 6u);
+
+  EXPECT_TRUE(f.kill_at_seed(2, /*attempt=*/0));
+  EXPECT_FALSE(f.kill_at_seed(2, /*attempt=*/1));  // attempt-0 only
+  EXPECT_FALSE(f.kill_at_seed(1, 0));
+  EXPECT_TRUE(f.wedge_at_seed(3, 0));
+  EXPECT_FALSE(f.wedge_at_seed(3, 1));
+  EXPECT_EQ(f.sleep_ms_at_seed(0), 400);
+  EXPECT_EQ(f.sleep_ms_at_seed(1), 400);
+  EXPECT_EQ(f.sleep_ms_at_seed(2), 0);
+
+  util::FaultInjector::set_attempt(0);
+  EXPECT_EQ(f.kill_episode(), 9);
+  EXPECT_EQ(f.torn_snapshot_episode(), 4);
+  EXPECT_EQ(f.torn_log_episode(), 5);
+  // Episode faults disarm on retries through the process-wide attempt.
+  util::FaultInjector::set_attempt(1);
+  EXPECT_EQ(f.kill_episode(), -1);
+  EXPECT_EQ(f.torn_snapshot_episode(), -1);
+  util::FaultInjector::set_attempt(0);
+}
+
+TEST(Fault, MalformedClausesAreDroppedNotFatal) {
+  const char* kBad[] = {
+      "explode@seed:1",        // unknown kind
+      "kill-seed:1",           // missing '@'
+      "kill@turn:1",           // unknown scope
+      "kill@seed",             // missing ':'
+      "kill@seed:",            // empty target list
+      "kill@seed:x",           // non-numeric
+      "sleep@seed:1",          // sleep without '=<ms>'
+      "kill=5@seed:1",         // kill does not take a value
+      "wedge@episode:1",       // wedge is seed-scoped
+      "torn-log@seed:1",       // torn-log is episode-scoped
+      "kill@episode:1,2",      // episode scope takes a single episode
+  };
+  for (const char* text : kBad) {
+    std::string error;
+    const auto f = util::FaultInjector::parse(text, &error);
+    EXPECT_TRUE(f.specs().empty()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+  // A good clause next to a bad one still arms.
+  std::string error;
+  const auto f = util::FaultInjector::parse("bogus@seed:1;kill@seed:7", &error);
+  EXPECT_FALSE(error.empty());
+  ASSERT_EQ(f.specs().size(), 1u);
+  EXPECT_TRUE(f.kill_at_seed(7, 0));
+}
+
+// ----------------------------------------------------------------- codecs
+
+TEST(Codec, SnapshotPayloadRoundTripsBitExactly) {
+  // A real run supplies designs, evaluations, and counters with realistic
+  // value ranges (NaN-free doubles, full design structs).
+  core::ExperimentConfig config = small_config();
+  const core::RunResult run =
+      core::run_strategy(core::Strategy::kGenetic, 6, config);
+  ASSERT_EQ(run.episodes.size(), 6u);
+
+  util::Rng rng(1234);
+  (void)rng.normal();  // leave a spare normal in flight
+  core::LoopSnapshot snap;
+  snap.next_episode = 6;
+  snap.rng_state = rng.state();
+  const std::string blob = "opaque optimizer bytes \x01\x02\x00 tail";
+  snap.optimizer_state = &blob;
+  snap.result = &run;
+  std::vector<core::CacheLogEntry> cache_log;
+  for (const core::EpisodeRecord& ep : run.episodes) {
+    core::Evaluation ev;
+    ev.cost.valid = ep.valid;
+    ev.accuracy = ep.accuracy;
+    cache_log.push_back({ep.design.hash(), ev, true});
+  }
+  cache_log.front().published = false;
+  snap.cache_log = &cache_log;
+
+  const std::string payload = ckpt::encode_snapshot(snap);
+  core::LoopResume out;
+  ASSERT_TRUE(ckpt::decode_snapshot(payload, out));
+  EXPECT_EQ(out.next_episode, 6);
+  EXPECT_EQ(out.optimizer_state, blob);
+  EXPECT_EQ(out.cache_log.size(), cache_log.size());
+  EXPECT_FALSE(out.cache_log.front().published);
+  EXPECT_TRUE(out.cache_log.back().published);
+  // Decoded RNG continues exactly where the original left off (spare
+  // normal included).
+  util::Rng reference(1234);
+  (void)reference.normal();
+  util::Rng restored(1);
+  restored.set_state(out.rng_state);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(reference.normal(), restored.normal());
+    EXPECT_EQ(reference.next_u64(), restored.next_u64());
+  }
+
+  // Re-encoding the decoded state reproduces the payload bit for bit —
+  // the codec loses nothing (designs and evaluations included).
+  core::LoopSnapshot again;
+  again.next_episode = out.next_episode;
+  again.rng_state = out.rng_state;
+  again.optimizer_state = &out.optimizer_state;
+  again.result = &out.result;
+  again.cache_log = &out.cache_log;
+  EXPECT_EQ(ckpt::encode_snapshot(again), payload);
+
+  // Truncation at any aligned prefix fails cleanly instead of returning a
+  // half-filled state.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, payload.size() / 2,
+                          payload.size() - 1}) {
+    core::LoopResume trash;
+    EXPECT_FALSE(ckpt::decode_snapshot(payload.substr(0, cut), trash));
+  }
+}
+
+TEST(Codec, RoundDeltaRoundTripsAndRejectsTruncation) {
+  core::RoundDelta delta;
+  delta.first_episode = 42;
+  delta.job_hashes = {0x1111, 0xdeadbeefcafe, 0};
+  delta.job_evals.resize(3);
+  delta.job_evals[0].cost.valid = true;
+  delta.job_evals[0].accuracy = 0.875;
+  delta.job_evals[2].cost.invalid_reason = "adc deficit";
+
+  const std::string payload = ckpt::encode_round(delta);
+  core::RoundDelta out;
+  ASSERT_TRUE(ckpt::decode_round(payload, out));
+  EXPECT_EQ(out.first_episode, 42);
+  EXPECT_EQ(out.job_hashes, delta.job_hashes);
+  ASSERT_EQ(out.job_evals.size(), 3u);
+  EXPECT_TRUE(out.job_evals[0].cost.valid);
+  EXPECT_EQ(out.job_evals[0].accuracy, 0.875);
+  EXPECT_EQ(out.job_evals[2].cost.invalid_reason, "adc deficit");
+  EXPECT_EQ(ckpt::encode_round(out), payload);
+
+  core::RoundDelta trash;
+  EXPECT_FALSE(ckpt::decode_round(payload.substr(0, payload.size() / 2), trash));
+  EXPECT_FALSE(ckpt::decode_round("", trash));
+}
+
+// --------------------------------------------- snapshot store on disk
+
+/// A tiny synthetic snapshot (no engine needed) for store-level tests.
+core::LoopSnapshot make_snapshot(int next_episode, const std::string& blob,
+                                 const core::RunResult& result,
+                                 const std::vector<core::CacheLogEntry>& log) {
+  core::LoopSnapshot snap;
+  snap.next_episode = next_episode;
+  snap.rng_state = util::Rng(7).state();
+  snap.optimizer_state = &blob;
+  snap.result = &result;
+  snap.cache_log = &log;
+  return snap;
+}
+
+TEST(Store, WritesLoadsAndRotatesGenerations) {
+  const std::string root = temp_dir("rotate");
+  const std::uint64_t identity = 0xabcdef12;
+  ckpt::RunCheckpointer::Options opts;
+  opts.directory = root;
+  opts.identity = identity;
+  ckpt::RunCheckpointer cp(opts);
+
+  const std::string blob = "state";
+  core::RunResult result;
+  std::vector<core::CacheLogEntry> log;
+  cp.on_snapshot(make_snapshot(2, blob, result, log));
+  cp.on_snapshot(make_snapshot(4, blob, result, log));
+  cp.on_snapshot(make_snapshot(6, blob, result, log));
+  EXPECT_EQ(cp.snapshots_written(), 3);
+
+  // keep=2: only the newest two generations survive.
+  const auto snaps = list_snapshots(ckpt::study_checkpoint_dir(root, identity));
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_EQ(snaps[0].first, 4);
+  EXPECT_EQ(snaps[1].first, 6);
+
+  const auto resume = ckpt::load_resume(root, identity);
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->next_episode, 6);
+  EXPECT_EQ(resume->optimizer_state, "state");
+  EXPECT_TRUE(resume->deltas.empty());
+
+  // A different study identity sees nothing.
+  EXPECT_FALSE(ckpt::load_resume(root, identity + 1).has_value());
+  // An absent root is a cold start, not an error.
+  EXPECT_FALSE(ckpt::load_resume(root + "/nope", identity).has_value());
+}
+
+TEST(Store, ChangelogReplaysAndToleratesTornTail) {
+  const std::string root = temp_dir("torn_log");
+  const std::uint64_t identity = 0x77;
+  ckpt::RunCheckpointer::Options opts;
+  opts.directory = root;
+  opts.identity = identity;
+  ckpt::RunCheckpointer cp(opts);
+
+  const std::string blob = "state";
+  core::RunResult result;
+  std::vector<core::CacheLogEntry> log;
+  cp.on_snapshot(make_snapshot(2, blob, result, log));
+  core::RoundDelta d1;
+  d1.first_episode = 2;
+  d1.job_hashes = {11};
+  d1.job_evals.resize(1);
+  core::RoundDelta d2 = d1;
+  d2.first_episode = 3;
+  d2.job_hashes = {22};
+  cp.on_round(d1);
+  cp.on_round(d2);
+
+  {
+    const auto resume = ckpt::load_resume(root, identity);
+    ASSERT_TRUE(resume.has_value());
+    ASSERT_EQ(resume->deltas.size(), 2u);
+    EXPECT_EQ(resume->deltas[0].first_episode, 2);
+    EXPECT_EQ(resume->deltas[1].first_episode, 3);
+  }
+
+  // Tear the last record: the reader keeps everything before the tear and
+  // warns (counted), instead of failing the whole resume.
+  const auto study_dir = ckpt::study_checkpoint_dir(root, identity);
+  const auto log_path = study_dir / "snap-2.log";
+  const auto size = std::filesystem::file_size(log_path);
+  std::filesystem::resize_file(log_path, size - 5);
+  const long long warned_before =
+      util::warn_once_count("ckpt-torn-log:" + log_path.string());
+  const auto resume = ckpt::load_resume(root, identity);
+  ASSERT_TRUE(resume.has_value());
+  ASSERT_EQ(resume->deltas.size(), 1u);
+  EXPECT_EQ(resume->deltas[0].first_episode, 2);
+  EXPECT_GT(util::warn_once_count("ckpt-torn-log:" + log_path.string()),
+            warned_before);
+}
+
+TEST(Store, CorruptSnapshotFallsBackToPreviousGeneration) {
+  const std::string root = temp_dir("fallback");
+  const std::uint64_t identity = 0x99;
+  ckpt::RunCheckpointer::Options opts;
+  opts.directory = root;
+  opts.identity = identity;
+  ckpt::RunCheckpointer cp(opts);
+
+  const std::string blob_a = "generation A";
+  const std::string blob_b = "generation B";
+  core::RunResult result;
+  std::vector<core::CacheLogEntry> log;
+  cp.on_snapshot(make_snapshot(2, blob_a, result, log));
+  cp.on_snapshot(make_snapshot(4, blob_b, result, log));
+
+  // Flip a payload byte in the newest snapshot: checksum fails, the
+  // previous generation answers, with a counted warning.
+  const auto study_dir = ckpt::study_checkpoint_dir(root, identity);
+  const auto newest = study_dir / "snap-4.ckpt";
+  {
+    std::fstream f(newest, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('!');
+  }
+  const long long warned_before =
+      util::warn_once_count("ckpt-bad-snapshot:" + newest.string());
+  auto resume = ckpt::load_resume(root, identity);
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(resume->next_episode, 2);
+  EXPECT_EQ(resume->optimizer_state, "generation A");
+  EXPECT_GT(util::warn_once_count("ckpt-bad-snapshot:" + newest.string()),
+            warned_before);
+
+  // Corrupt every generation: cold start (nullopt), never a throw.
+  std::filesystem::resize_file(study_dir / "snap-2.ckpt", 3);
+  EXPECT_FALSE(ckpt::load_resume(root, identity).has_value());
+
+  // Garbage and empty files are tolerated the same way.
+  std::ofstream(study_dir / "snap-8.ckpt") << "not a checkpoint at all";
+  std::ofstream(study_dir / "snap-9.ckpt");
+  EXPECT_FALSE(ckpt::load_resume(root, identity).has_value());
+}
+
+// ------------------------------------------------ engine-level contracts
+
+TEST(Engine, CheckpointingNeverChangesRunBytes) {
+  // For every serializable strategy: a checkpointed run renders the exact
+  // bytes of an uncheckpointed one, and actually wrote snapshots.
+  for (core::Strategy strategy : serializable_strategies()) {
+    const int episodes = 6;
+    core::ExperimentConfig config = small_config();
+    const core::RunResult reference =
+        core::run_strategy(strategy, episodes, config);
+
+    core::ExperimentConfig ckpt_config = config;
+    ckpt_config.checkpoint_dir =
+        temp_dir(("bytes_" + std::string(core::strategy_name(strategy)))
+                     .c_str());
+    ckpt_config.checkpoint_every = 2;
+    const core::RunResult checkpointed =
+        core::run_strategy(strategy, episodes, ckpt_config);
+
+    EXPECT_EQ(render(checkpointed, "run"), render(reference, "run"))
+        << core::strategy_name(strategy);
+    EXPECT_EQ(checkpointed.resumed_episodes, 0);
+    const auto study_dir = ckpt::study_checkpoint_dir(
+        ckpt_config.checkpoint_dir,
+        core::study_fingerprint(ckpt_config, strategy, episodes));
+    EXPECT_FALSE(list_snapshots(study_dir).empty())
+        << core::strategy_name(strategy);
+  }
+}
+
+TEST(Engine, ResumeReplaysAndContinuesByteIdentically) {
+  // For every serializable strategy, exercise both resume paths against
+  // the same reference:
+  //  1. newest generation lost -> restore the previous snapshot and REPLAY
+  //     its changelog to the end of the run;
+  //  2. changelog lost too -> restore the previous snapshot and CONTINUE
+  //     LIVE (restored optimizer + RNG must reproduce the tail).
+  for (core::Strategy strategy : serializable_strategies()) {
+    SCOPED_TRACE(std::string(core::strategy_name(strategy)));
+    const int episodes = 8;
+    core::ExperimentConfig config = small_config();
+    config.checkpoint_dir =
+        temp_dir(("resume_" + std::string(core::strategy_name(strategy)))
+                     .c_str());
+    config.checkpoint_every = 2;
+    const core::RunResult reference =
+        core::run_strategy(strategy, episodes, config);
+    const std::string reference_bytes = render(reference, "run");
+
+    const auto study_dir = ckpt::study_checkpoint_dir(
+        config.checkpoint_dir,
+        core::study_fingerprint(config, strategy, episodes));
+
+    // 1. Replay: drop snap-8, resume from snap-6 + its changelog.
+    {
+      auto snaps = list_snapshots(study_dir);
+      ASSERT_EQ(snaps.size(), 2u);
+      EXPECT_EQ(snaps.back().first, episodes);
+      remove_generation(snaps.back().second);
+      core::ExperimentConfig resume_config = config;
+      resume_config.resume = true;
+      const core::RunResult resumed =
+          core::run_strategy(strategy, episodes, resume_config);
+      EXPECT_EQ(render(resumed, "run"), reference_bytes);
+      EXPECT_EQ(resumed.resumed_episodes, episodes);  // nothing re-evaluated
+    }
+
+    // 2. Live continuation: drop snap-8 again AND the surviving
+    //    generation's changelog.
+    {
+      auto snaps = list_snapshots(study_dir);
+      remove_generation(snaps.back().second);
+      snaps = list_snapshots(study_dir);
+      ASSERT_EQ(snaps.size(), 1u);
+      const int base = snaps.front().first;
+      ASSERT_LT(base, episodes);
+      std::filesystem::path log = snaps.front().second;
+      log.replace_extension(".log");
+      std::filesystem::remove(log);
+      core::ExperimentConfig resume_config = config;
+      resume_config.resume = true;
+      const core::RunResult resumed =
+          core::run_strategy(strategy, episodes, resume_config);
+      EXPECT_EQ(render(resumed, "run"), reference_bytes);
+      EXPECT_EQ(resumed.resumed_episodes, base);  // tail ran live
+    }
+
+    // 3. Resuming a completed run restores the final snapshot and runs
+    //    nothing at all.
+    {
+      core::ExperimentConfig resume_config = config;
+      resume_config.resume = true;
+      const core::RunResult resumed =
+          core::run_strategy(strategy, episodes, resume_config);
+      EXPECT_EQ(render(resumed, "run"), reference_bytes);
+      EXPECT_EQ(resumed.resumed_episodes, episodes);
+    }
+  }
+}
+
+TEST(Engine, LlmStrategiesWarnAndRunUncheckpointed) {
+  const int episodes = 4;
+  core::ExperimentConfig config = small_config();
+  const core::RunResult reference =
+      core::run_strategy(core::Strategy::kLcda, episodes, config);
+
+  core::ExperimentConfig ckpt_config = config;
+  ckpt_config.checkpoint_dir = temp_dir("llm_unsupported");
+  ckpt_config.checkpoint_every = 2;
+  ckpt_config.resume = true;  // must be a no-op without state on disk
+  const long long warned_before = util::warn_once_count("ckpt-unsupported:LCDA");
+  const core::RunResult run =
+      core::run_strategy(core::Strategy::kLcda, episodes, ckpt_config);
+  EXPECT_GT(util::warn_once_count("ckpt-unsupported:LCDA"), warned_before);
+  EXPECT_EQ(render(run, "run"), render(reference, "run"));
+  // No study directory was created for it.
+  EXPECT_TRUE(std::filesystem::is_empty(ckpt_config.checkpoint_dir));
+}
+
+// --------------------------------------- killed-and-resumed subprocesses
+
+std::string lcda_run_path() {
+  const std::string self = util::self_executable_path(nullptr);
+  if (self.empty()) return "";
+  const std::filesystem::path candidate =
+      std::filesystem::path(self).parent_path() / "lcda_run";
+  std::error_code ec;
+  return std::filesystem::exists(candidate, ec) ? candidate.string() : "";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// The byte-contract slice of a CLI JSON document: the runs array. The
+/// scenario echo necessarily differs between a reference run and a
+/// checkpoint-flagged run (it reproduces the config verbatim, checkpoint
+/// knobs included), so whole-file comparison would test the wrong thing.
+std::string runs_slice(const std::string& json_path) {
+  return util::Json::parse(slurp(json_path)).at("runs").dump(2);
+}
+
+struct CliCase {
+  const char* cli_name;  ///< --strategy= spelling
+};
+
+TEST(Crash, KillAtEveryBoundaryThenResumeIsByteIdentical) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+  const std::string out_dir = temp_dir("crash_sweep");
+  const int kEpisodes = 6;
+  long long resumed_total = 0;
+
+  for (const char* strategy :
+       {"random", "genetic", "nsga2", "annealing", "rl"}) {
+    // Uninterrupted, checkpoint-free reference (so the sweep also
+    // re-proves checkpoint-on == checkpoint-off byte invariance).
+    const std::string ref_json = out_dir + "/" + strategy + "_ref.json";
+    const std::string ref_csv = out_dir + "/" + strategy + "_ref.csv";
+    const std::vector<std::string> base = {
+        runner,
+        "--scenario=paper-energy",
+        std::string("--strategy=") + strategy,
+        "--episodes=" + std::to_string(kEpisodes),
+        "--seeds=1",
+        "--set=batch_size=1",
+        "--quiet",
+    };
+    {
+      auto argv = base;
+      argv.push_back("--json=" + ref_json);
+      argv.push_back("--trace=" + ref_csv);
+      const auto r = util::Subprocess::run(argv);
+      ASSERT_EQ(r.exit_code, 0) << r.stderr_output;
+    }
+    const std::string reference =
+        runs_slice(ref_json) + "\n---\n" + slurp(ref_csv);
+
+    for (int k : {1, 3, 5}) {
+      SCOPED_TRACE(std::string(strategy) + " kill@" + std::to_string(k));
+      const std::string tag =
+          out_dir + "/" + strategy + "_k" + std::to_string(k);
+      const std::string ckpt_dir = tag + "_ckpt";
+      auto argv = base;
+      argv.push_back("--checkpoint-dir=" + ckpt_dir);
+      argv.push_back("--checkpoint-every=2");
+      argv.push_back("--json=" + tag + ".json");
+      argv.push_back("--trace=" + tag + ".csv");
+
+      // Crash the run at episode k (the injected _Exit(42)).
+      ::setenv("LCDA_FAULT", ("kill@episode:" + std::to_string(k)).c_str(), 1);
+      const auto killed = util::Subprocess::run(argv);
+      ::unsetenv("LCDA_FAULT");
+      ASSERT_EQ(killed.exit_code, 42) << killed.stderr_output;
+
+      // Resume and finish; the document and trace must match the
+      // uninterrupted reference byte for byte.
+      argv.push_back("--resume");
+      const auto resumed = util::Subprocess::run(argv);
+      ASSERT_EQ(resumed.exit_code, 0) << resumed.stderr_output;
+      EXPECT_EQ(runs_slice(tag + ".json") + "\n---\n" + slurp(tag + ".csv"),
+                reference);
+
+      // The CLI narrates how much the resume restored.
+      const auto pos = resumed.stderr_output.find("resumed_episodes=");
+      ASSERT_NE(pos, std::string::npos) << resumed.stderr_output;
+      resumed_total +=
+          std::atoll(resumed.stderr_output.c_str() + pos +
+                     std::string("resumed_episodes=").size());
+    }
+  }
+  // Across the sweep, at least one resume genuinely restored state (kills
+  // before the first boundary legitimately cold-start).
+  EXPECT_GT(resumed_total, 0);
+}
+
+TEST(Crash, TornCheckpointWritesDegradeToEarlierState) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+  const std::string out_dir = temp_dir("crash_torn");
+  const int kEpisodes = 6;
+  const std::vector<std::string> base = {
+      runner,
+      "--scenario=paper-energy",
+      "--strategy=genetic",
+      "--episodes=" + std::to_string(kEpisodes),
+      "--seeds=1",
+      "--set=batch_size=1",
+      "--quiet",
+  };
+  const std::string ref_json = out_dir + "/ref.json";
+  const std::string ref_csv = out_dir + "/ref.csv";
+  {
+    auto argv = base;
+    argv.push_back("--json=" + ref_json);
+    argv.push_back("--trace=" + ref_csv);
+    const auto r = util::Subprocess::run(argv);
+    ASSERT_EQ(r.exit_code, 0) << r.stderr_output;
+  }
+  const std::string reference =
+      runs_slice(ref_json) + "\n---\n" + slurp(ref_csv);
+
+  for (const char* fault : {"torn-snapshot@episode:4", "torn-log@episode:3"}) {
+    SCOPED_TRACE(fault);
+    const std::string tag = out_dir + "/" + std::string(fault).substr(0, 8);
+    const std::string ckpt_dir = tag + "_ckpt";
+    auto argv = base;
+    argv.push_back("--checkpoint-dir=" + ckpt_dir);
+    argv.push_back("--checkpoint-every=2");
+    argv.push_back("--json=" + tag + ".json");
+    argv.push_back("--trace=" + tag + ".csv");
+
+    // The writer truncates the targeted file mid-write, then dies.
+    ::setenv("LCDA_FAULT", fault, 1);
+    const auto torn = util::Subprocess::run(argv);
+    ::unsetenv("LCDA_FAULT");
+    ASSERT_EQ(torn.exit_code, 42) << torn.stderr_output;
+
+    // Resume: fsck-on-load skips the torn file (counted warning on
+    // stderr), falls back to the previous state, and the finished run is
+    // still byte-identical to the uninterrupted reference.
+    argv.push_back("--resume");
+    const auto resumed = util::Subprocess::run(argv);
+    ASSERT_EQ(resumed.exit_code, 0) << resumed.stderr_output;
+    EXPECT_NE(resumed.stderr_output.find("ckpt"), std::string::npos)
+        << resumed.stderr_output;
+    EXPECT_EQ(runs_slice(tag + ".json") + "\n---\n" + slurp(tag + ".csv"),
+              reference);
+  }
+}
+
+}  // namespace

@@ -611,8 +611,7 @@ TEST(Distributed, StragglerStealingKeepsBytesIdentical) {
       scenario, dist::ShardMode::kRuns,
       {{core::Strategy::kLcda, scenario.config.lcda_episodes}}, kSeeds,
       /*shards=*/4, NAN, 0.95);
-  const ScopedEnv sleep_ms("LCDA_TEST_SEED_SLEEP_MS", "400");
-  const ScopedEnv sleep_seeds("LCDA_TEST_SLEEP_SEEDS", "0,1");
+  const ScopedEnv sleep_fault("LCDA_FAULT", "sleep=400@seed:0,1");
 
   dist::Coordinator::Options opts;
   opts.worker_command = {runner};
@@ -662,7 +661,7 @@ TEST(Distributed, DeadWorkerIsReapedThroughHeartbeatTimeout) {
   // Shard 1 owns seeds {2,3}; its attempt 0 stops heartbeating and hangs
   // at seed 2 — a live process doing nothing, invisible to try_wait().
   // Only the staleness reaper can recover it.
-  const ScopedEnv wedge("LCDA_TEST_WEDGE_SEED", "2");
+  const ScopedEnv wedge("LCDA_FAULT", "wedge@seed:2");
 
   dist::Coordinator::Options opts;
   opts.worker_command = {runner};
@@ -822,7 +821,7 @@ TEST(Distributed, PoolWorkerKilledMidSpecIsRespawnedAndRetried) {
   // Shard 1 owns seeds {2,3}; the resident worker _exit()s mid-spec at
   // seed 2 on attempt 0 — the process dies with the spec in flight, which
   // is exactly the pool's crash-recovery path (no manifest, no reply).
-  const ScopedEnv die("LCDA_TEST_DIE_SEED", "2");
+  const ScopedEnv die("LCDA_FAULT", "kill@seed:2");
 
   dist::Coordinator::Options opts;
   opts.worker_command = {runner};
@@ -845,6 +844,89 @@ TEST(Distributed, PoolWorkerKilledMidSpecIsRespawnedAndRetried) {
   const core::AggregateResult merged = dist::merge_aggregate(specs, manifests);
   EXPECT_EQ(core::aggregate_to_json(merged).dump(2),
             core::aggregate_to_json(reference).dump(2));
+}
+
+TEST(Distributed, KilledWorkerResumesFromCheckpointByteIdentically) {
+  const std::string runner = lcda_run_path();
+  if (runner.empty()) {
+    GTEST_SKIP() << "lcda_run binary not next to the test binary";
+  }
+
+  // Reference: the plain per-seed path with checkpointing OFF — the killed
+  // and checkpoint-resumed distributed study below must reproduce these
+  // bytes exactly (trace-invariance covers the checkpoint machinery too).
+  // Genetic rather than LCDA: the LLM strategies run uncheckpointed (their
+  // state lives in the simulated client), and per-episode rounds
+  // (batch_size=1) put a snapshot boundary before the kill episode.
+  core::Scenario scenario = small_scenario();
+  scenario.config.batch_size = 1;
+  const int kSeeds = 4;
+  std::string reference_csv;
+  std::string reference_runs_json;
+  {
+    util::Json arr = util::Json::array();
+    std::ostringstream csv;
+    for (int s = 0; s < kSeeds; ++s) {
+      core::ExperimentConfig cfg = scenario.config;
+      cfg.seed = scenario.config.seed + static_cast<std::uint64_t>(s);
+      const core::RunResult run = core::run_strategy(
+          core::Strategy::kGenetic, scenario.config.lcda_episodes, cfg);
+      const std::string label = "Genetic/seed" + std::to_string(cfg.seed);
+      core::write_run_csv(csv, run, label);
+      arr.push_back(core::run_to_json(run, label));
+    }
+    reference_csv = csv.str();
+    reference_runs_json = arr.dump(2);
+  }
+
+  // The distributed copy of the study checkpoints every 2 of its 6
+  // episodes. Every attempt-0 worker _Exit(42)s mid-run once its first
+  // seed reaches episode 4 — after the episode-4 snapshot landed — so the
+  // retry (attempt 1, faults disarmed) restores that seed from its
+  // checkpoint instead of re-running it from scratch.
+  core::Scenario ckpt_scenario = scenario;
+  ckpt_scenario.config.checkpoint_dir = temp_dir("ckpt_resume_store");
+  ckpt_scenario.config.checkpoint_every = 2;
+  auto specs = dist::plan_shards(
+      ckpt_scenario, dist::ShardMode::kRuns,
+      {{core::Strategy::kGenetic, scenario.config.lcda_episodes}}, kSeeds,
+      /*shards=*/2, NAN, 0.95);
+  const ScopedEnv kill_fault("LCDA_FAULT", "kill@episode:4");
+
+  dist::Coordinator::Options opts;
+  opts.worker_command = {runner};
+  opts.shard_dir = temp_dir("ckpt_resume");
+  opts.max_parallel = 2;
+  opts.max_retries = 1;
+  opts.verbose = false;
+  opts.enable_steal = false;
+  dist::Coordinator coordinator(opts);
+  coordinator.run(specs);
+  EXPECT_GE(coordinator.stats().retries, 1);
+
+  std::vector<util::Json> manifests;
+  long long resumed = 0;
+  for (const auto& spec : specs) {
+    manifests.push_back(dist::load_shard_manifest(spec));
+    if (manifests.back().contains("resumed_episodes")) {
+      resumed += manifests.back().at("resumed_episodes").as_int();
+    }
+  }
+  // At least one retried seed actually restored episodes from disk — the
+  // byte match below must not be explained by a silent cold re-run.
+  EXPECT_GE(resumed, 1);
+
+  const std::vector<dist::MergedRun> merged =
+      dist::merge_runs(specs, manifests);
+  ASSERT_EQ(merged.size(), static_cast<std::size_t>(kSeeds));
+  std::string csv;
+  util::Json arr = util::Json::array();
+  for (const dist::MergedRun& run : merged) {
+    csv += run.csv;
+    arr.push_back(run.run_json);
+  }
+  EXPECT_EQ(csv, reference_csv);
+  EXPECT_EQ(arr.dump(2), reference_runs_json);
 }
 
 TEST(Distributed, ExhaustedRetriesFailLoudly) {

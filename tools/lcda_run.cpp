@@ -43,6 +43,19 @@
 //   --set key=value        dotted-path config override (repeatable), e.g.
 //                          --set space.conv_layers=4 --set objective=latency
 //   --cache-dir=PATH       enable the on-disk evaluation store
+//   --checkpoint-dir=DIR   enable crash-resumable checkpoints: each run
+//                          snapshots its full engine state (optimizer
+//                          internals, RNG cursors, trace, cache log) under
+//                          DIR/<study fingerprint> and appends a per-round
+//                          changelog between snapshots. Trace-invariant:
+//                          output is byte-identical with or without it
+//   --checkpoint-every=N   episodes between snapshots (default 64; requires
+//                          --checkpoint-dir or a scenario checkpoint_dir)
+//   --resume               restore the newest valid checkpoint before
+//                          running; a run killed at any episode and resumed
+//                          this way produces byte-identical final JSON and
+//                          trace CSV. Falls back to a cold start (with a
+//                          warning) when no usable checkpoint exists
 //   --parallelism=N        worker threads (default: LCDA_PARALLELISM, else 1;
 //                          0 = one per hardware thread); traces are
 //                          bit-identical for every setting
@@ -145,6 +158,9 @@ struct CliOptions {
   std::string scenario_dir;
   std::string strategies;
   std::string cache_dir;
+  std::string checkpoint_dir;
+  long long checkpoint_every = 0;  // 0 = scenario default
+  bool resume = false;
   std::string json_path;
   std::string trace_path;
   std::string shard_dir;        // --distribute: where shard files live
@@ -289,6 +305,10 @@ struct StoreTotals {
   long long shared_misses = 0;
   long long bytes_read = 0;
   long long bytes_published = 0;
+  /// Episodes the shards restored from checkpoints instead of re-running
+  /// (summed over every shard manifest's "resumed_episodes" key). Zero
+  /// without --checkpoint-dir or when no shard was retried/stolen.
+  long long resumed_episodes = 0;
 };
 
 struct DistributedStudy {
@@ -356,6 +376,7 @@ util::Json dist_stats_to_json(const DistributedStudy& study) {
   store["bytes_read"] = study.store.bytes_read;
   store["bytes_published"] = study.store.bytes_published;
   j["store"] = store;
+  j["resumed_episodes"] = study.store.resumed_episodes;
   return j;
 }
 
@@ -413,6 +434,12 @@ DistributedStudy run_distributed(const CliOptions& cli,
       study.store.bytes_read += s.at("bytes_read").as_int();
       study.store.bytes_published += s.at("bytes_published").as_int();
     }
+    for (const util::Json& manifest : study.manifests) {
+      if (manifest.contains("resumed_episodes")) {
+        study.store.resumed_episodes +=
+            manifest.at("resumed_episodes").as_int();
+      }
+    }
   } catch (...) {
     std::error_code ec;
     if (cleanup) {
@@ -438,12 +465,12 @@ DistributedStudy run_distributed(const CliOptions& cli,
                "stolen_seeds=%d superseded=%d dead_workers=%d "
                "banlisted_slots=%zu pool_workers=%d store_hits=%lld "
                "store_shared=%lld store_misses=%lld store_bytes_read=%lld "
-               "store_bytes_published=%lld\n",
+               "store_bytes_published=%lld resumed_episodes=%lld\n",
                st.planned, st.spawned, st.retries, st.steals, st.stolen_seeds,
                st.superseded, st.dead_workers, st.banlisted_slots.size(),
                st.pool_workers, study.store.hits, study.store.shared_hits,
                study.store.misses, study.store.bytes_read,
-               study.store.bytes_published);
+               study.store.bytes_published, study.store.resumed_episodes);
   return study;
 }
 
@@ -465,6 +492,11 @@ int main(int argc, char** argv) {
       else if (flag_value(arg, "--scenario=", cli.scenario)) {}
       else if (flag_value(arg, "--strategy=", cli.strategies)) {}
       else if (flag_value(arg, "--cache-dir=", cli.cache_dir)) {}
+      else if (flag_value(arg, "--checkpoint-dir=", cli.checkpoint_dir)) {}
+      else if (flag_value(arg, "--checkpoint-every=", value)) {
+        cli.checkpoint_every = parse_number_flag(value, "--checkpoint-every", 1);
+      }
+      else if (arg == "--resume") cli.resume = true;
       else if (arg == "--store-compact") cli.store_compact = true;
       else if (arg == "--store-fsck") cli.store_fsck = true;
       else if (flag_value(arg, "--store-buckets=", value)) {
@@ -600,6 +632,20 @@ int main(int argc, char** argv) {
     scenario.config.parallelism =
         cli.parallelism >= 0 ? cli.parallelism : core::env_parallelism();
     if (!cli.cache_dir.empty()) scenario.config.persistent_cache_dir = cli.cache_dir;
+    if (!cli.checkpoint_dir.empty()) {
+      scenario.config.checkpoint_dir = cli.checkpoint_dir;
+    }
+    if (cli.checkpoint_every > 0) {
+      scenario.config.checkpoint_every = static_cast<int>(cli.checkpoint_every);
+    }
+    if (cli.resume) scenario.config.resume = true;
+    if ((cli.checkpoint_every > 0 || cli.resume) &&
+        scenario.config.checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "lcda_run: --checkpoint-every/--resume require "
+                   "--checkpoint-dir (or a scenario checkpoint_dir)\n");
+      return 2;
+    }
 
     if (cli.print_config) {
       std::printf("%s\n", core::scenario_to_json(scenario).dump(2).c_str());
@@ -678,6 +724,13 @@ int main(int argc, char** argv) {
                                                    cli.seeds, scenario.config,
                                                    cli.threshold));
         }
+        if (!scenario.config.checkpoint_dir.empty()) {
+          long long resumed = 0;
+          for (const core::AggregateResult& agg : aggregates)
+            resumed += agg.resumed_episodes;
+          std::fprintf(stderr, "[ckpt] aggregate: resumed_episodes=%lld\n",
+                       resumed);
+        }
       }
 
       std::fprintf(human, "%-14s %8s %8s %10s %10s %10s %10s\n", "strategy",
@@ -742,6 +795,13 @@ int main(int argc, char** argv) {
       } else {
         reports = core::speedup_study(scenario.config, cli.seeds,
                                       cli.threshold_fraction);
+        if (!scenario.config.checkpoint_dir.empty()) {
+          long long resumed = 0;
+          for (const core::SpeedupReport& r : reports)
+            resumed += r.resumed_episodes;
+          std::fprintf(stderr, "[ckpt] speedup: resumed_episodes=%lld\n",
+                       resumed);
+        }
       }
       std::fprintf(human, "%-6s %12s %10s %10s %10s %10s\n", "seed",
                    "threshold", "lcda eps", "nacim eps", "nacim best",
@@ -862,6 +922,11 @@ int main(int argc, char** argv) {
                      static_cast<long long>(run.cache_misses),
                      static_cast<long long>(run.persistent_hits),
                      shared_hits_suffix(run.persistent_shared_hits).c_str());
+        if (!scenario.config.checkpoint_dir.empty()) {
+          std::fprintf(stderr, "[ckpt] %s: resumed_episodes=%lld/%d\n",
+                       label.c_str(),
+                       static_cast<long long>(run.resumed_episodes), episodes);
+        }
         completed.push_back({label, run});
       }
     }
