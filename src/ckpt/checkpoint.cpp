@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "lcda/obs/metrics.h"
+#include "lcda/obs/trace.h"
 #include "lcda/util/fault.h"
 #include "lcda/util/logging.h"
 #include "lcda/util/rng.h"
@@ -448,6 +450,7 @@ std::optional<core::LoopResume> load_resume(const std::string& root,
   const std::filesystem::path dir = study_checkpoint_dir(root, identity);
   std::error_code ec;
   if (!std::filesystem::is_directory(dir, ec)) return std::nullopt;
+  obs::Span span("ckpt.replay");
   for (const SnapshotFile& snap : list_snapshots(dir)) {
     const auto data = read_file(snap.path);
     if (!data) continue;
@@ -462,6 +465,9 @@ std::optional<core::LoopResume> load_resume(const std::string& root,
     std::filesystem::path log_path = snap.path;
     log_path.replace_extension(".log");
     resume.deltas = read_changelog(log_path, identity, snap.episode);
+    if (obs::Registry::instance().enabled()) {
+      obs::add_counter("ckpt.resumes", 1);
+    }
     return resume;
   }
   return std::nullopt;
@@ -480,6 +486,7 @@ RunCheckpointer::RunCheckpointer(Options opts)
 }
 
 void RunCheckpointer::on_snapshot(const core::LoopSnapshot& snap) {
+  obs::Span span("ckpt.snapshot");
   // Envelope and payload are assembled in one buffer that is reused
   // across snapshots (its capacity sticks at the largest snapshot seen),
   // with the size/checksum fields back-patched once the payload length is
@@ -550,6 +557,9 @@ void RunCheckpointer::on_snapshot(const core::LoopSnapshot& snap) {
     log_.flush();
   }
   ++snapshots_written_;
+  if (obs::Registry::instance().enabled()) {
+    obs::add_counter("ckpt.snapshots", 1);
+  }
 }
 
 void RunCheckpointer::on_round(const core::RoundDelta& delta) {

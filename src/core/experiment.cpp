@@ -6,6 +6,7 @@
 
 #include "lcda/ckpt/checkpoint.h"
 #include "lcda/core/scenario.h"
+#include "lcda/obs/metrics.h"
 #include "lcda/store/eval_store.h"
 #include "lcda/util/csv.h"
 #include "lcda/util/logging.h"
@@ -231,6 +232,27 @@ RunResult run_strategy(Strategy strategy, int episodes,
     result.store.shared_misses = static_cast<std::int64_t>(m.shared_misses);
     result.store.bytes_read = static_cast<std::int64_t>(m.bytes_read);
     result.store.bytes_published = static_cast<std::int64_t>(m.bytes_published);
+  }
+  // Single mirror point into the metrics registry: every run — in-process
+  // study, pool thread, shard worker — passes through here exactly once,
+  // so registry totals always equal the sum of RunResult counters and
+  // nothing double-counts. Thread-safe (striped relaxed adds).
+  if (obs::Registry::instance().enabled()) {
+    obs::add_counter("engine.runs", 1);
+    obs::add_counter("engine.episodes",
+                     static_cast<long long>(result.episodes.size()));
+    obs::add_counter("engine.cache_hits", result.cache_hits);
+    obs::add_counter("engine.cache_misses", result.cache_misses);
+    obs::add_counter("engine.persistent_hits", result.persistent_hits);
+    obs::add_counter("engine.persistent_shared_hits",
+                     result.persistent_shared_hits);
+    obs::add_counter("engine.resumed_episodes", result.resumed_episodes);
+    obs::add_counter("store.hits", result.store.hits);
+    obs::add_counter("store.misses", result.store.misses);
+    obs::add_counter("store.shared_hits", result.store.shared_hits);
+    obs::add_counter("store.shared_misses", result.store.shared_misses);
+    obs::add_counter("store.bytes_read", result.store.bytes_read);
+    obs::add_counter("store.bytes_published", result.store.bytes_published);
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include "lcda/store/eval_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -13,6 +14,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "lcda/obs/metrics.h"
+#include "lcda/obs/trace.h"
 #include "lcda/util/fault.h"
 #include "lcda/util/logging.h"
 #include "lcda/util/thread_pool.h"
@@ -117,8 +120,13 @@ struct Round {
   std::condition_variable done_cv;
   std::exception_ptr error;
 
+  /// Plan-time stamp for the engine.round_us histogram; 0 while metrics
+  /// are off (the clock is only read when the histogram is live).
+  std::int64_t obs_begin_us = 0;
+
   void reset(int episode) {
     first_episode = episode;
+    obs_begin_us = 0;
     designs.clear();
     evals.clear();
     alias.clear();
@@ -147,6 +155,16 @@ RunResult CodesignLoop::run(util::Rng& rng) {
   const int parallelism = util::ThreadPool::resolve_parallelism(opts_.parallelism);
   std::unique_ptr<util::ThreadPool> pool;
   if (parallelism > 1) pool = std::make_unique<util::ThreadPool>(parallelism);
+
+  // Round-latency histogram, acquired once per run (inert when metrics are
+  // off — observe() and the clock reads behind it cost a branch).
+  obs::Histogram round_us =
+      obs::Registry::instance().histogram("engine.round_us");
+  const auto steady_now_us = [] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
 
   // Content-addressed evaluation cache: Design::hash -> Evaluation of the
   // first episode that proposed it. Bucket count reserved up front: a run
@@ -198,6 +216,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
   // layout is independent of cache contents), resolve cache hits and
   // duplicates, and collect the unique misses as jobs.
   auto plan_round = [&](int ep) {
+    obs::Span span("round.plan");
     const std::size_t batch =
         effective_batch(static_cast<std::size_t>(opts_.episodes - ep));
     std::unique_ptr<Round> round;
@@ -209,6 +228,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
     }
     Round& r = *round;
     r.reset(ep);
+    if (round_us.live()) r.obs_begin_us = steady_now_us();
 
     // des_i = parse(LLM(prompt)) / controller sample / breed / ...
     optimizer_->propose_batch_into(batch, rng, r.designs);
@@ -299,6 +319,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
   // one atomic decrement per chunk. Without a pool the whole round runs
   // inline as a single batch.
   auto dispatch = [&](Round& r) {
+    obs::Span span("round.dispatch");
     const std::size_t jobs = r.job_slots.size();
     if (jobs == 0) return;
     r.requests.reserve(jobs);
@@ -319,6 +340,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
     for (std::size_t c = 0; c < chunks; ++c) {
       const auto [begin, end] = util::chunk_range(jobs, chunks, c);
       tasks.push_back([this, &r, begin = begin, end = end] {
+        obs::Span span("eval.chunk");
         try {
           evaluator_->evaluate_batch(
               std::span<EvalRequest>(r.requests.data() + begin, end - begin));
@@ -337,6 +359,7 @@ RunResult CodesignLoop::run(util::Rng& rng) {
   // and delivers records + feedback — always called in round order.
   std::vector<search::Observation> observations;
   auto finalize = [&](Round& r) {
+    obs::Span span("round.drain");
     if (pool) r.await();
     if (r.error) std::rethrow_exception(r.error);
 
@@ -392,6 +415,9 @@ RunResult CodesignLoop::run(util::Rng& rng) {
       result.episodes.push_back(std::move(record));
     }
     optimizer_->feedback_batch(observations);
+    if (r.obs_begin_us != 0) {
+      round_us.observe(steady_now_us() - r.obs_begin_us);
+    }
   };
 
   // Snapshot and changelog emission. The optimizer blob buffer is reused

@@ -13,6 +13,8 @@
 
 #include "lcda/dist/progress.h"
 #include "lcda/dist/protocol.h"
+#include "lcda/obs/metrics.h"
+#include "lcda/obs/trace.h"
 #include "lcda/util/subprocess.h"
 
 namespace lcda::dist {
@@ -127,6 +129,7 @@ Coordinator::Coordinator(Options opts) : opts_(std::move(opts)) {
 }
 
 void Coordinator::run(std::vector<ShardSpec>& specs) {
+  obs::Span run_span("dist.run");
   std::error_code ec;
   fs::create_directories(opts_.shard_dir, ec);
   if (ec) {
@@ -191,6 +194,7 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
   /// Forks a fresh resident --worker-loop process into `slot`, replacing
   /// whatever was there (a dead or killed predecessor).
   const auto launch_pool_worker = [&](Slot& slot) {
+    obs::Span span("dist.respawn");
     std::vector<std::string> argv = opts_.worker_command;
     argv.push_back("--worker-loop");
     util::Subprocess::Options popts;
@@ -205,12 +209,20 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
   /// streams a `run` command to the slot's resident worker (spawning or
   /// respawning it as needed) or forks a one-shot --worker process.
   const auto dispatch = [&](std::size_t p, int slot_idx) {
+    obs::Span span("dist.dispatch");
     Slot& slot = slots[static_cast<std::size_t>(slot_idx)];
     ShardSpec& spec = specs[p];
     const std::string spec_path = stem(p) + "-spec.json";
     spec.progress_path =
         stem(p) + "-progress-a" + std::to_string(spec.attempt) + ".jsonl";
     fs::remove(spec.progress_path, ec);
+    if (opts_.trace_spans) {
+      // Per-attempt, like the progress sidecar: a retry must not clobber
+      // (or be mistaken for) the attempt that died.
+      spec.trace_path =
+          stem(p) + "-trace-a" + std::to_string(spec.attempt) + ".json";
+      fs::remove(spec.trace_path, ec);
+    }
     save_shard_spec(spec, spec_path);
     if (opts_.use_worker_pool) {
       WorkerCommand cmd;
@@ -491,10 +503,14 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
       // child that is equally slow to start — another unbounded chain). A
       // worker wedged before its first event is the heartbeat reaper's
       // case, not the stealer's.
+      ++stats_.steal_considered;
+      const bool judged = reference > 0.0 && !track[c.pos].started.empty();
+      const bool over_bar =
+          judged && c.stale_ms > opts_.steal_threshold * reference;
       const bool stalled =
-          reference > 0.0 && !track[c.pos].started.empty() &&
-          c.stale_ms > std::max(opts_.steal_threshold * reference,
-                                static_cast<double>(opts_.steal_min_stale_ms));
+          over_bar &&
+          c.stale_ms > static_cast<double>(opts_.steal_min_stale_ms);
+      if (over_bar && !stalled) ++stats_.steal_suppressed_min_stale;
       // A lone running shard with idle slots and no reference point:
       // splitting its unstarted seeds is pure win as long as it has
       // parallelizable seeds left (phase 1 only — duplicating work the
@@ -513,6 +529,7 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
         // Phase 1: revoke the unstarted seeds, split them over the idle
         // slots. The worker re-reads the revocation file before each
         // seed, so it simply never runs them.
+        obs::Span steal_span("dist.steal");
         for (int s : unstarted) track[c.pos].revoked.insert(s);
         write_revocations(specs[c.pos].revoke_path, track[c.pos].revoked);
         const int idle = idle_slots();
@@ -545,6 +562,7 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
         // unpublished), so re-dispatch the shard's whole owed seed set as
         // a supersede duplicate; whichever copy publishes first wins and
         // the other worker is stopped.
+        obs::Span steal_span("dist.steal");
         const std::size_t d =
             dispatch_steal(c.pos, c.owned, /*supersedes=*/true);
         track[c.pos].duplicate_pos = static_cast<int>(d);
@@ -808,6 +826,25 @@ void Coordinator::run(std::vector<ShardSpec>& specs) {
     }
   }
   specs = std::move(surviving);
+
+  // Mirror the scheduling outcome into the metrics registry once, at the
+  // end — cheap, and it keeps the hot scheduling loop free of metric
+  // plumbing. Stats itself stays authoritative when the registry is off.
+  if (obs::Registry::instance().enabled()) {
+    obs::add_counter("dist.shards_planned", stats_.planned);
+    obs::add_counter("dist.dispatches", stats_.spawned);
+    obs::add_counter("dist.pool_workers", stats_.pool_workers);
+    obs::add_counter("dist.retries", stats_.retries);
+    obs::add_counter("dist.steals", stats_.steals);
+    obs::add_counter("dist.stolen_seeds", stats_.stolen_seeds);
+    obs::add_counter("dist.steal_considered", stats_.steal_considered);
+    obs::add_counter("dist.steal_suppressed_min_stale",
+                     stats_.steal_suppressed_min_stale);
+    obs::add_counter("dist.superseded", stats_.superseded);
+    obs::add_counter("dist.dead_workers", stats_.dead_workers);
+    obs::add_counter("dist.banlisted_slots",
+                     static_cast<long long>(stats_.banlisted_slots.size()));
+  }
 }
 
 }  // namespace lcda::dist

@@ -114,6 +114,11 @@ class Coordinator {
     /// YT-style node retirement scaled down to process slots. At least
     /// one slot always stays usable.
     int banlist_after = 3;
+
+    /// Stamp a per-attempt trace_path into every dispatched spec, so
+    /// workers export their span ring (lcda::obs) next to their manifest
+    /// and the caller can gather the files into one merged timeline.
+    bool trace_spans = false;
   };
 
   /// Per-shard scheduling record, kept for every spec that ever existed
@@ -140,6 +145,13 @@ class Coordinator {
     int retries = 0;
     int steals = 0;     ///< steal/duplicate specs created
     int stolen_seeds = 0;
+    /// Straggler-detector visibility: candidates the stall judgement ran
+    /// on at all, and candidates over the threshold bar that only the
+    /// steal_min_stale_ms floor suppressed. Both zero distinguishes
+    /// "detection never ran" (no idle slot, no running candidate) from a
+    /// genuinely healthy study that was judged and passed.
+    int steal_considered = 0;
+    int steal_suppressed_min_stale = 0;
     int superseded = 0; ///< workers stopped because their seeds were covered
     int dead_workers = 0;  ///< heartbeat-staleness kills
     std::vector<int> banlisted_slots;

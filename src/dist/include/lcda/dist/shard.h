@@ -79,6 +79,13 @@ struct ShardSpec {
   /// still honours earlier steals.
   std::string revoke_path;
 
+  /// Where the worker exports its span ring (Chrome trace-event JSON, see
+  /// obs/trace.h) after publishing the manifest; empty disables tracing in
+  /// the worker. Assigned per attempt by the coordinator when its
+  /// trace_spans option is on; lcda_run gathers the files into one merged
+  /// timeline. Bookkeeping, like result_path — not part of the checksum.
+  std::string trace_path;
+
   /// Heartbeat period for the progress sidecar; 0 disables the heartbeat
   /// thread (per-seed records still freshen the file).
   int heartbeat_ms = 0;

@@ -89,6 +89,7 @@ util::Json shard_spec_to_json(const ShardSpec& spec) {
   if (spec.study_slot != 0) j["study_slot"] = spec.study_slot;
   if (!spec.progress_path.empty()) j["progress_path"] = spec.progress_path;
   if (!spec.revoke_path.empty()) j["revoke_path"] = spec.revoke_path;
+  if (!spec.trace_path.empty()) j["trace_path"] = spec.trace_path;
   if (spec.heartbeat_ms != 0) j["heartbeat_ms"] = spec.heartbeat_ms;
   if (spec.stolen_from >= 0) j["stolen_from"] = spec.stolen_from;
   if (spec.supersedes) j["supersedes"] = true;
@@ -127,6 +128,9 @@ ShardSpec shard_spec_from_json(const util::Json& j) {
   }
   if (j.contains("revoke_path")) {
     spec.revoke_path = j.at("revoke_path").as_string();
+  }
+  if (j.contains("trace_path")) {
+    spec.trace_path = j.at("trace_path").as_string();
   }
   if (j.contains("heartbeat_ms")) {
     spec.heartbeat_ms = static_cast<int>(j.at("heartbeat_ms").as_int());

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -23,6 +24,8 @@
 #include "lcda/dist/progress.h"
 #include "lcda/dist/protocol.h"
 #include "lcda/dist/shard.h"
+#include "lcda/obs/metrics.h"
+#include "lcda/obs/trace.h"
 #include "lcda/util/fault.h"
 #include "lcda/util/strings.h"
 
@@ -151,6 +154,12 @@ void for_each_owned_seed(const ShardSpec& spec, ProgressWriter* progress,
     if (const int sleep_ms = faults.sleep_ms_at_seed(s); sleep_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
+    std::optional<obs::Span> seed_span;
+    if (obs::SpanTracer::instance().enabled()) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "seed-%d", s);
+      seed_span.emplace(label);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     body(s);
     if (progress != nullptr) {
@@ -168,6 +177,10 @@ void for_each_owned_seed(const ShardSpec& spec, ProgressWriter* progress,
 util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress,
                      core::PerformanceEvaluator* warm_evaluator) {
   const core::ExperimentConfig& config = spec.scenario.config;
+  // This spec's slice of the worker's metrics: the resident loop runs many
+  // specs in one process, so the manifest carries a DELTA over the
+  // registry, not the process totals. Disabled registry -> empty delta.
+  const obs::MetricsSnapshot obs_base = obs::Registry::instance().snapshot();
 
   util::Json manifest = util::Json::object();
   manifest["format"] = kResultFormat;
@@ -269,6 +282,11 @@ util::Json run_shard(const ShardSpec& spec, ProgressWriter* progress,
   // like "store", outside the merged byte-contract (the coordinator sums
   // it into the non-reproducible "dist" stats object).
   manifest["resumed_episodes"] = resumed_total;
+  // The spec's metrics delta (lcda-metrics-v1). Rides outside the merge
+  // byte-contract like "store"; lcda_run merges the deltas across
+  // manifests with the coordinator's own snapshot into the study totals.
+  manifest["obs"] =
+      obs::Registry::instance().snapshot().delta_since(obs_base).to_json();
   return manifest;
 }
 
@@ -295,15 +313,36 @@ void execute_spec(const ShardSpec& spec,
   if (spec.result_path.empty()) {
     throw std::invalid_argument("worker: spec has no result_path");
   }
-  std::unique_ptr<ProgressWriter> progress;
-  if (!spec.progress_path.empty()) {
-    progress = std::make_unique<ProgressWriter>(spec.progress_path);
-    progress->begin(spec.attempt);
-    progress->start_heartbeats(spec.heartbeat_ms);
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  const bool tracing = !spec.trace_path.empty();
+  if (tracing) {
+    // Each exported file covers exactly this spec: a resident worker
+    // clears between specs, so its ring never mixes two shards' spans.
+    tracer.enable();
+    tracer.clear();
   }
-  util::Json manifest = run_shard(spec, progress.get(), warm_evaluator);
-  if (progress != nullptr) progress->stop_heartbeats();
-  write_manifest_atomically(manifest, spec.result_path);
+  {
+    char label[32];
+    std::snprintf(label, sizeof(label), "shard-%d", spec.index);
+    obs::Span span(label);
+    std::unique_ptr<ProgressWriter> progress;
+    if (!spec.progress_path.empty()) {
+      progress = std::make_unique<ProgressWriter>(spec.progress_path);
+      progress->begin(spec.attempt);
+      progress->start_heartbeats(spec.heartbeat_ms);
+    }
+    util::Json manifest = run_shard(spec, progress.get(), warm_evaluator);
+    if (progress != nullptr) progress->stop_heartbeats();
+    write_manifest_atomically(manifest, spec.result_path);
+  }
+  if (tracing) {
+    // After the manifest: an attempt that died mid-spec leaves no trace
+    // file, so the gatherer only ever sees complete timelines.
+    obs::write_trace_file(
+        tracer.export_chrome(static_cast<int>(::getpid()),
+                             "worker shard " + std::to_string(spec.index)),
+        spec.trace_path);
+  }
   std::fprintf(stderr, "worker: shard %d/%d done (%zu seed(s), attempt %d)\n",
                spec.index, spec.count, spec.seeds.size(), spec.attempt);
 }
@@ -317,6 +356,11 @@ void send_reply(const WorkerReply& reply) {
 }  // namespace
 
 int run_worker(const std::string& spec_path) {
+  // Workers always meter: the manifest's "obs" delta is how store totals
+  // and engine counters reach the coordinator's merged snapshot. Metering
+  // is counter bumps at run/round granularity — noise next to a spec's
+  // evaluation work — and it never touches an output byte.
+  obs::Registry::instance().enable();
   try {
     const ShardSpec spec = load_shard_spec(spec_path);
     if (injected_crash(spec)) return 3;
@@ -329,6 +373,7 @@ int run_worker(const std::string& spec_path) {
 }
 
 int run_worker_loop() {
+  obs::Registry::instance().enable();  // see run_worker
   // Warm evaluators keyed by evaluation identity: a spec whose
   // evaluation_fingerprint matches an earlier one reuses its evaluator,
   // so the striped cost-plan/layer-span memos survive across specs.

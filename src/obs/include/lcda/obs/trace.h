@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lcda/util/json_lite.h"
+
+/// Span tracing: begin/end events in a per-process ring buffer, exported
+/// as Chrome trace-event JSON (Perfetto / chrome://tracing loadable).
+///
+/// Like the metrics registry (metrics.h) the tracer is OFF by default and
+/// zero-cost while off: Span construction is a single branch on a plain
+/// bool, no atomics, no clock reads. Enabled, a span costs two clock
+/// reads (vDSO, not syscalls) and two short critical sections on the ring
+/// mutex — which is why instrumentation sits at round/chunk/spec
+/// granularity, never per episode.
+///
+/// Timestamps are wall-clock microseconds (system_clock), so traces
+/// exported by different processes of one study (coordinator + workers on
+/// the same host) land on a shared timeline and can be merged. Export
+/// clamps timestamps non-decreasing per thread and balances begin/end
+/// pairs (orphaned ends from overwritten ring entries are dropped,
+/// still-open spans are closed), so an exported file always validates.
+namespace lcda::obs {
+
+/// One ring entry. The name is captured into a fixed buffer — recording
+/// never allocates, and the ring's memory footprint is exact.
+struct TraceEvent {
+  char name[40] = {};
+  char phase = 'B';  ///< 'B' begin / 'E' end
+  std::uint32_t tid = 0;
+  std::int64_t ts_us = 0;
+};
+
+class SpanTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  static SpanTracer& instance();
+
+  /// Arms the tracer with a fixed-capacity ring. Call before the traced
+  /// threads start; idempotent (the first capacity wins).
+  void enable(std::size_t capacity = kDefaultCapacity);
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Record a begin/end event now. No-ops while disabled. When the ring
+  /// is full the oldest event is overwritten and counted in dropped().
+  void begin(std::string_view name);
+  void end(std::string_view name);
+
+  /// Events overwritten since enable()/clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Events currently held in the ring.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drop every buffered event (the resident worker clears between specs
+  /// so each exported file covers exactly one spec).
+  void clear();
+
+  /// Export the ring as a Chrome trace-event document:
+  /// {"traceEvents":[...]} with every event stamped `pid` plus a
+  /// process_name metadata record. Per-tid timestamps are clamped
+  /// non-decreasing and begin/end pairs balanced (see file comment); the
+  /// ring is left untouched.
+  [[nodiscard]] util::Json export_chrome(int pid,
+                                         std::string_view process_name) const;
+
+ private:
+  SpanTracer() = default;
+  void record(char phase, std::string_view name);
+
+  bool enabled_ = false;  // plain bool: set single-threaded, read hot
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;   ///< oldest event (valid when full_)
+  std::size_t count_ = 0;  ///< events held
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: begin on construction, end on destruction, both through the
+/// process tracer. Constructing one while the tracer is disabled is a
+/// single branch. The name is copied, so temporaries are safe.
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    SpanTracer& tracer = SpanTracer::instance();
+    if (!tracer.enabled()) return;
+    tracer_ = &tracer;
+    const std::size_t n = std::min(name.size(), sizeof(name_) - 1);
+    std::memcpy(name_, name.data(), n);
+    name_[n] = '\0';
+    tracer.begin(std::string_view(name_, n));
+  }
+  ~Span() {
+    if (tracer_ != nullptr) tracer_->end(name_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  SpanTracer* tracer_ = nullptr;
+  char name_[sizeof(TraceEvent{}.name)] = {};
+};
+
+/// Writes `doc` (an export_chrome document) to `path` (pretty-printed,
+/// trailing newline). Throws on I/O failure.
+void write_trace_file(const util::Json& doc, const std::string& path);
+
+/// Merge support: append every non-metadata event of `doc` (a Chrome
+/// trace document) into `events`, rewriting its pid to `pid`, then append
+/// a process_name metadata record naming the lane. Tolerates foreign
+/// documents missing "traceEvents" (appends nothing).
+void append_chrome_events(util::Json& events, const util::Json& doc, int pid,
+                          std::string_view process_name);
+
+}  // namespace lcda::obs

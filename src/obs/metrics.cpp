@@ -1,0 +1,250 @@
+#include "lcda/obs/metrics.h"
+
+#include <stdexcept>
+
+#include "lcda/util/logging.h"
+
+namespace lcda::obs {
+
+namespace {
+
+constexpr std::string_view kMetricsFormat = "lcda-metrics-v1";
+
+}  // namespace
+
+namespace detail {
+
+std::size_t assign_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+const std::vector<long long>& default_latency_bounds_us() {
+  static const std::vector<long long> kBounds = {
+      1,      2,      5,      10,      20,      50,      100,     200,
+      500,    1000,   2000,   5000,    10000,   20000,   50000,   100000,
+      200000, 500000, 1000000, 2000000, 5000000, 10000000};
+  return kBounds;
+}
+
+long long HistogramData::total_count() const {
+  long long total = 0;
+  for (long long c : counts) total += c;
+  return total;
+}
+
+long long MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) {
+    const auto it = gauges.find(name);
+    if (it == gauges.end()) gauges[name] = value;
+    else it->second = std::max(it->second, value);
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = hist;
+      continue;
+    }
+    HistogramData& mine = it->second;
+    if (mine.bounds != hist.bounds || mine.counts.size() != hist.counts.size()) {
+      util::warn_once("obs-histogram-bounds:" + name, "obs",
+                      "histogram \"" + name +
+                          "\" has mismatched bounds across snapshots; "
+                          "keeping the first and dropping the other");
+      continue;
+    }
+    for (std::size_t i = 0; i < mine.counts.size(); ++i) {
+      mine.counts[i] += hist.counts[i];
+    }
+    mine.sum += hist.sum;
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(const MetricsSnapshot& base) const {
+  MetricsSnapshot out = *this;
+  for (const auto& [name, value] : base.counters) {
+    const auto it = out.counters.find(name);
+    if (it != out.counters.end()) it->second -= value;
+  }
+  for (const auto& [name, hist] : base.histograms) {
+    const auto it = out.histograms.find(name);
+    if (it == out.histograms.end()) continue;
+    HistogramData& mine = it->second;
+    if (mine.bounds != hist.bounds || mine.counts.size() != hist.counts.size()) {
+      continue;  // bounds changed mid-run: keep the absolute values
+    }
+    for (std::size_t i = 0; i < mine.counts.size(); ++i) {
+      mine.counts[i] -= hist.counts[i];
+    }
+    mine.sum -= hist.sum;
+  }
+  return out;  // gauges: current value stands
+}
+
+util::Json MetricsSnapshot::to_json() const {
+  util::Json j = util::Json::object();
+  j["format"] = kMetricsFormat;
+  util::Json cj = util::Json::object();
+  for (const auto& [name, value] : counters) cj[name] = value;
+  j["counters"] = cj;
+  util::Json gj = util::Json::object();
+  for (const auto& [name, value] : gauges) gj[name] = value;
+  j["gauges"] = gj;
+  util::Json hj = util::Json::object();
+  for (const auto& [name, hist] : histograms) {
+    util::Json h = util::Json::object();
+    util::Json bounds = util::Json::array();
+    for (long long b : hist.bounds) bounds.push_back(b);
+    h["bounds"] = bounds;
+    util::Json counts = util::Json::array();
+    for (long long c : hist.counts) counts.push_back(c);
+    h["counts"] = counts;
+    h["sum"] = hist.sum;
+    hj[name] = h;
+  }
+  j["histograms"] = hj;
+  return j;
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const util::Json& j) {
+  if (!j.is_object() || !j.contains("format") ||
+      j.at("format").as_string() != kMetricsFormat) {
+    throw std::invalid_argument(
+        std::string("MetricsSnapshot::from_json: not a ") +
+        std::string(kMetricsFormat) + " document");
+  }
+  MetricsSnapshot snap;
+  for (const auto& [name, value] : j.at("counters").items()) {
+    snap.counters[name] = value.as_int();
+  }
+  for (const auto& [name, value] : j.at("gauges").items()) {
+    snap.gauges[name] = value.as_int();
+  }
+  for (const auto& [name, h] : j.at("histograms").items()) {
+    HistogramData hist;
+    for (const util::Json& b : h.at("bounds").elements()) {
+      hist.bounds.push_back(b.as_int());
+    }
+    for (const util::Json& c : h.at("counts").elements()) {
+      hist.counts.push_back(c.as_int());
+    }
+    hist.sum = h.at("sum").as_int();
+    snap.histograms[name] = hist;
+  }
+  return snap;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::enable() { enabled_ = true; }
+
+Counter Registry::counter(std::string_view name) {
+  if (!enabled_) return Counter();
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name),
+                           std::make_unique<CounterStripes>()).first;
+  }
+  return Counter(it->second->cells);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  if (!enabled_) return Gauge();
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name),
+                         std::make_unique<std::atomic<long long>>(0)).first;
+  }
+  return Gauge(it->second.get());
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  return histogram(name, default_latency_bounds_us());
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::vector<long long> bounds) {
+  if (!enabled_) return Histogram();
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    auto cells = std::make_unique<detail::HistogramCells>();
+    cells->bounds = std::move(bounds);
+    cells->cells = std::vector<CounterCell>(
+        kCounterStripes * (cells->bounds.size() + 1));
+    cells->sums = std::vector<CounterCell>(kCounterStripes);
+    it = histograms_.emplace(std::string(name), std::move(cells)).first;
+  }
+  return Histogram(it->second.get());
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, stripes] : counters_) {
+    long long total = 0;
+    for (const CounterCell& cell : stripes->cells) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    snap.counters[name] = total;
+  }
+  for (const auto& [name, cell] : gauges_) {
+    snap.gauges[name] = cell->load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, cells] : histograms_) {
+    HistogramData hist;
+    hist.bounds = cells->bounds;
+    const std::size_t buckets = cells->bounds.size() + 1;
+    hist.counts.assign(buckets, 0);
+    for (std::size_t stripe = 0; stripe < kCounterStripes; ++stripe) {
+      for (std::size_t b = 0; b < buckets; ++b) {
+        hist.counts[b] += cells->cells[stripe * buckets + b].value.load(
+            std::memory_order_relaxed);
+      }
+      hist.sum += cells->sums[stripe].value.load(std::memory_order_relaxed);
+    }
+    snap.histograms[name] = std::move(hist);
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, stripes] : counters_) {
+    for (CounterCell& cell : stripes->cells) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& [name, cell] : gauges_) {
+    cell->store(0, std::memory_order_relaxed);
+  }
+  for (const auto& [name, cells] : histograms_) {
+    for (CounterCell& cell : cells->cells) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+    for (CounterCell& cell : cells->sums) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void add_counter(std::string_view name, long long n) {
+  Registry& registry = Registry::instance();
+  if (!registry.enabled()) return;
+  registry.counter(name).add(n);
+}
+
+}  // namespace lcda::obs

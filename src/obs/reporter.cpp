@@ -1,0 +1,65 @@
+#include "lcda/obs/reporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace lcda::obs {
+
+StatsReporter::StatsReporter(double interval_sec) {
+  if (interval_sec <= 0.0) return;
+  started_ = true;
+  thread_ = std::thread([this, interval_sec] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto interval = std::chrono::duration<double>(interval_sec);
+    std::unique_lock lock(mutex_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      heartbeat_line(elapsed);
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    heartbeat_line(elapsed);
+  });
+}
+
+StatsReporter::~StatsReporter() { stop(); }
+
+void StatsReporter::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsReporter::heartbeat_line(double elapsed_sec) const {
+  const MetricsSnapshot snap = Registry::instance().snapshot();
+  std::string line = "[obs] t=" + std::to_string(elapsed_sec) + "s";
+  for (const auto& [name, value] : snap.counters) {
+    line += " " + name + "=" + std::to_string(value);
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void write_metrics_file(const MetricsSnapshot& snapshot,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("obs: cannot write metrics file " + path);
+  }
+  out << snapshot.to_json().dump(2) << "\n";
+  if (!out.flush()) {
+    throw std::runtime_error("obs: short write to metrics file " + path);
+  }
+}
+
+}  // namespace lcda::obs

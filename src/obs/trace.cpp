@@ -1,0 +1,200 @@
+#include "lcda/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace lcda::obs {
+
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Small dense thread id for the "tid" lane (0 is reserved so Chrome
+/// never sees a zero tid on a real thread).
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  static thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+util::Json make_event(const char* name, const char* phase, std::int64_t ts,
+                      int pid, std::uint32_t tid) {
+  util::Json e = util::Json::object();
+  e["name"] = std::string(name);
+  e["ph"] = std::string(phase);
+  e["ts"] = static_cast<long long>(ts);
+  e["pid"] = pid;
+  e["tid"] = static_cast<long long>(tid);
+  return e;
+}
+
+}  // namespace
+
+SpanTracer& SpanTracer::instance() {
+  static SpanTracer tracer;
+  return tracer;
+}
+
+void SpanTracer::enable(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  if (enabled_) return;
+  ring_.resize(std::max<std::size_t>(capacity, 8));
+  enabled_ = true;
+}
+
+void SpanTracer::begin(std::string_view name) { record('B', name); }
+void SpanTracer::end(std::string_view name) { record('E', name); }
+
+void SpanTracer::record(char phase, std::string_view name) {
+  if (!enabled_) return;
+  const std::int64_t ts = now_us();
+  const std::uint32_t tid = current_tid();
+  std::lock_guard lock(mutex_);
+  std::size_t slot;
+  if (count_ < ring_.size()) {
+    slot = (head_ + count_) % ring_.size();
+    ++count_;
+  } else {
+    // Full: overwrite the oldest event (drop-oldest) and count the loss.
+    slot = head_;
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  }
+  TraceEvent& e = ring_[slot];
+  const std::size_t n = std::min(name.size(), sizeof(e.name) - 1);
+  std::memcpy(e.name, name.data(), n);
+  e.name[n] = '\0';
+  e.phase = phase;
+  e.tid = tid;
+  e.ts_us = ts;
+}
+
+std::uint64_t SpanTracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::size_t SpanTracer::size() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+void SpanTracer::clear() {
+  std::lock_guard lock(mutex_);
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+util::Json SpanTracer::export_chrome(int pid,
+                                     std::string_view process_name) const {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped;
+  {
+    std::lock_guard lock(mutex_);
+    events.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      events.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    dropped = dropped_;
+  }
+
+  util::Json arr = util::Json::array();
+  util::Json meta = util::Json::object();
+  meta["name"] = std::string("process_name");
+  meta["ph"] = std::string("M");
+  meta["pid"] = pid;
+  meta["tid"] = 0;
+  util::Json args = util::Json::object();
+  args["name"] = std::string(process_name);
+  meta["args"] = args;
+  arr.push_back(meta);
+
+  // Balance and clamp per thread. Ring order IS per-thread program order
+  // (each thread's records are sequenced), so a per-tid pass sees each
+  // thread's events in the order they happened:
+  //  - an 'E' with no open 'B' is an orphan whose begin was overwritten
+  //    (drop-oldest) — skip it, the pair is gone;
+  //  - wall clock going backwards (NTP step) is clamped away so per-tid
+  //    timestamps stay non-decreasing;
+  //  - spans still open at export get a synthetic 'E' at the thread's
+  //    last timestamp.
+  struct TidState {
+    std::vector<std::string> open;
+    std::int64_t last_ts = 0;
+  };
+  std::map<std::uint32_t, TidState> tids;
+  for (const TraceEvent& e : events) {
+    TidState& st = tids[e.tid];
+    const std::int64_t ts = std::max(e.ts_us, st.last_ts);
+    if (e.phase == 'B') {
+      st.open.emplace_back(e.name);
+    } else {
+      if (st.open.empty()) continue;  // orphaned end: begin was dropped
+      st.open.pop_back();
+    }
+    st.last_ts = ts;
+    arr.push_back(make_event(e.name, e.phase == 'B' ? "B" : "E", ts, pid,
+                             e.tid));
+  }
+  for (auto& [tid, st] : tids) {
+    while (!st.open.empty()) {
+      arr.push_back(
+          make_event(st.open.back().c_str(), "E", st.last_ts, pid, tid));
+      st.open.pop_back();
+    }
+  }
+
+  util::Json doc = util::Json::object();
+  doc["traceEvents"] = arr;
+  doc["displayTimeUnit"] = std::string("ms");
+  doc["obs_dropped_events"] = static_cast<long long>(dropped);
+  return doc;
+}
+
+void write_trace_file(const util::Json& doc, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("obs: cannot write trace file " + path);
+  }
+  out << doc.dump() << "\n";
+  if (!out.flush()) {
+    throw std::runtime_error("obs: short write to trace file " + path);
+  }
+}
+
+void append_chrome_events(util::Json& events, const util::Json& doc, int pid,
+                          std::string_view process_name) {
+  if (!doc.is_object() || !doc.contains("traceEvents")) return;
+  for (const util::Json& e : doc.at("traceEvents").elements()) {
+    if (!e.is_object() || !e.contains("ph")) continue;
+    if (e.at("ph").as_string() == "M") continue;  // re-labelled below
+    // Rebuild rather than copy-and-poke: Json copies share their object
+    // rep, and this helper must not mutate the caller's document.
+    util::Json copy = util::Json::object();
+    for (const auto& [key, value] : e.items()) {
+      if (key != "pid") copy[key] = value;
+    }
+    copy["pid"] = pid;
+    events.push_back(std::move(copy));
+  }
+  util::Json meta = util::Json::object();
+  meta["name"] = std::string("process_name");
+  meta["ph"] = std::string("M");
+  meta["pid"] = pid;
+  meta["tid"] = 0;
+  util::Json args = util::Json::object();
+  args["name"] = std::string(process_name);
+  meta["args"] = args;
+  events.push_back(meta);
+}
+
+}  // namespace lcda::obs

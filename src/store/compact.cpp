@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "lcda/obs/trace.h"
 #include "lcda/store/eval_store.h"
 #include "lcda/util/rng.h"
 
@@ -71,6 +72,7 @@ FsckReport fsck(const std::string& directory) {
 
 CompactionReport compact_store(const std::string& directory, Budget budget,
                                std::size_t buckets) {
+  obs::Span span("store.compact");
   if (buckets == 0) buckets = 1;
   CompactionReport report;
   ScannedInputs inputs = scan_inputs(directory);

@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "lcda/obs/metrics.h"
+#include "lcda/obs/trace.h"
 #include "lcda/store/legacy_json.h"
 #include "lcda/util/rng.h"
 #include "lcda/util/strings.h"
@@ -149,6 +151,7 @@ EvalStore::EvalStore(Options opts) : opts_(std::move(opts)) {
 }
 
 void EvalStore::open_directory() {
+  obs::Span span("store.open");
   // Index buckets first, then live segments: lookups walk files_ in order,
   // so the compacted (stable) tier is preferred when a record exists in
   // both. Either copy is byte-identical, the order just keeps probes
@@ -280,6 +283,7 @@ std::optional<core::Evaluation> EvalStore::probe_file(
 
 std::optional<core::Evaluation> EvalStore::lookup(
     std::uint64_t design_hash) const {
+  obs::Span span("store.lookup");
   if (const auto it = entries_.find(design_hash); it != entries_.end()) {
     ++metrics_.hits;
     return it->second.evaluation;
@@ -296,6 +300,7 @@ std::optional<core::Evaluation> EvalStore::lookup(
 
 std::optional<core::Evaluation> EvalStore::lookup_shared(
     std::uint64_t design_hash) const {
+  obs::Span span("store.lookup");
   // Compacted buckets only — never live segments, never this session's
   // entries. Buckets change only under an explicit --store-compact, so
   // whether a sibling study's record is visible here cannot depend on
@@ -343,6 +348,25 @@ bool EvalStore::over_budget_estimate() const {
 }
 
 bool EvalStore::save() {
+  obs::Span span("store.save");
+  // Save-latency histogram: once per run, so the per-call registry lock
+  // and clock reads are nowhere near a hot path. Inert while metrics are
+  // off (the clock is not even read).
+  obs::Histogram save_us = obs::Registry::instance().histogram("store.save_us");
+  std::int64_t t0_us = 0;
+  if (save_us.live()) {
+    t0_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+  }
+  const auto observe_save = [&] {
+    if (t0_us != 0) {
+      save_us.observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count() -
+                      t0_us);
+    }
+  };
   std::vector<StoreRecord> fresh;
   for (const auto& [hash, entry] : entries_) {
     if (entry.published) continue;
@@ -381,6 +405,7 @@ bool EvalStore::save() {
       ++save_failures_;
       warn_once(opts_.directory + "/save",
                 std::string("save failed (cache not persisted): ") + e.what());
+      observe_save();
       return false;
     }
     for (auto& [hash, entry] : entries_) entry.published = true;
@@ -402,9 +427,11 @@ bool EvalStore::save() {
       ++save_failures_;
       warn_once(opts_.directory + "/compact",
                 std::string("budget compaction failed: ") + e.what());
+      observe_save();
       return false;
     }
   }
+  observe_save();
   return true;
 }
 

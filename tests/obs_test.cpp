@@ -1,0 +1,281 @@
+// lcda::obs — the metrics registry, span tracer and snapshot algebra.
+// The load-bearing test is the first one: engine output must be
+// byte-identical with observability fully on and fully off, at every
+// parallelism. It runs first because the registry/tracer singletons can
+// be enabled but never disabled — the obs-off baseline must be captured
+// before any other test arms them.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lcda/core/experiment.h"
+#include "lcda/core/scenario.h"
+#include "lcda/obs/metrics.h"
+#include "lcda/obs/trace.h"
+#include "lcda/util/json_lite.h"
+
+namespace {
+
+using namespace lcda;
+
+/// One small engine run rendered as the golden-trace CSV format.
+std::string run_csv(int parallelism) {
+  core::Scenario s = core::scenario_by_name("paper-energy");
+  s.config.lcda_episodes = 6;
+  s.config.parallelism = parallelism;
+  const core::RunResult run =
+      core::run_strategy(core::Strategy::kLcda, 6, s.config);
+  std::ostringstream os;
+  core::write_run_csv(os, run, "lcda/p" + std::to_string(parallelism));
+  return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Byte invariance: the whole point of the obs contract. Must run before
+// any test that enables the singletons (gtest runs tests in definition
+// order within a file; each *_test.cpp is its own binary).
+// ---------------------------------------------------------------------
+
+TEST(ObsByteInvariance, EngineBytesIdenticalWithObsOnAndOff) {
+  ASSERT_FALSE(obs::Registry::instance().enabled())
+      << "another test armed the registry first; this test must run first";
+  ASSERT_FALSE(obs::SpanTracer::instance().enabled());
+
+  const std::string off_p1 = run_csv(1);
+  const std::string off_p4 = run_csv(4);
+
+  obs::Registry::instance().enable();
+  obs::SpanTracer::instance().enable();
+
+  EXPECT_EQ(off_p1, run_csv(1));
+  EXPECT_EQ(off_p4, run_csv(4));
+
+  // The instrumented runs actually metered: the engine mirrored its
+  // counters and the round spans landed in the ring.
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  EXPECT_GE(snap.counter("engine.runs"), 2);
+  EXPECT_GE(snap.counter("engine.episodes"), 12);
+  EXPECT_GT(obs::SpanTracer::instance().size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+
+TEST(ObsMetrics, StripedCounterSurvivesThreadHammer) {
+  obs::Registry::instance().enable();
+  obs::Counter counter = obs::Registry::instance().counter("test.hammer");
+  ASSERT_TRUE(counter.live());
+
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(obs::Registry::instance().snapshot().counter("test.hammer"),
+            static_cast<long long>(kThreads) * kAddsPerThread);
+}
+
+TEST(ObsMetrics, InertHandlesAreSafeNoOps) {
+  obs::Counter counter;  // default-constructed: inert
+  obs::Gauge gauge;
+  obs::Histogram histogram;
+  EXPECT_FALSE(counter.live());
+  EXPECT_FALSE(gauge.live());
+  EXPECT_FALSE(histogram.live());
+  counter.add(7);  // must not crash
+  gauge.set(7);
+  histogram.observe(7);
+}
+
+TEST(ObsMetrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  obs::Registry::instance().enable();
+  obs::Histogram h =
+      obs::Registry::instance().histogram("test.edges", {10, 20});
+  ASSERT_TRUE(h.live());
+  h.observe(0);    // bucket 0: v <= 10
+  h.observe(10);   // bucket 0: edge is inclusive
+  h.observe(11);   // bucket 1: 10 < v <= 20
+  h.observe(20);   // bucket 1: edge is inclusive
+  h.observe(21);   // overflow bucket
+  h.observe(1000); // overflow bucket
+
+  const obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  const auto it = snap.histograms.find("test.edges");
+  ASSERT_NE(it, snap.histograms.end());
+  ASSERT_EQ(it->second.counts.size(), 3u);  // bounds.size() + 1, overflow last
+  EXPECT_EQ(it->second.counts[0], 2);
+  EXPECT_EQ(it->second.counts[1], 2);
+  EXPECT_EQ(it->second.counts[2], 2);
+  EXPECT_EQ(it->second.sum, 0 + 10 + 11 + 20 + 21 + 1000);
+  EXPECT_EQ(it->second.total_count(), 6);
+}
+
+obs::MetricsSnapshot make_snapshot(long long a, long long g,
+                                   std::vector<long long> counts,
+                                   long long sum) {
+  obs::MetricsSnapshot s;
+  s.counters["c"] = a;
+  s.gauges["g"] = g;
+  obs::HistogramData h;
+  h.bounds = {10, 20};
+  h.counts = std::move(counts);
+  h.sum = sum;
+  s.histograms["h"] = h;
+  return s;
+}
+
+TEST(ObsMetrics, SnapshotMergeIsAssociative) {
+  const obs::MetricsSnapshot a = make_snapshot(1, 5, {1, 0, 0}, 3);
+  const obs::MetricsSnapshot b = make_snapshot(2, 9, {0, 2, 0}, 30);
+  const obs::MetricsSnapshot c = make_snapshot(4, 7, {0, 0, 3}, 300);
+
+  obs::MetricsSnapshot left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  obs::MetricsSnapshot bc = b;     // a + (b + c)
+  bc.merge(c);
+  obs::MetricsSnapshot right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.to_json().dump(), right.to_json().dump());
+  EXPECT_EQ(left.counter("c"), 7);
+  EXPECT_EQ(left.gauges.at("g"), 9);  // gauges take the max
+  EXPECT_EQ(left.histograms.at("h").sum, 333);
+  EXPECT_EQ(left.histograms.at("h").total_count(), 6);
+}
+
+TEST(ObsMetrics, DeltaSinceIsolatesTheChange) {
+  obs::Registry::instance().enable();
+  obs::Counter counter = obs::Registry::instance().counter("test.delta");
+  counter.add(5);
+  const obs::MetricsSnapshot base = obs::Registry::instance().snapshot();
+  counter.add(11);
+  const obs::MetricsSnapshot delta =
+      obs::Registry::instance().snapshot().delta_since(base);
+  EXPECT_EQ(delta.counter("test.delta"), 11);
+}
+
+TEST(ObsMetrics, SnapshotJsonRoundTrips) {
+  const obs::MetricsSnapshot s = make_snapshot(42, 3, {1, 2, 3}, 99);
+  const obs::MetricsSnapshot back =
+      obs::MetricsSnapshot::from_json(s.to_json());
+  EXPECT_EQ(s.to_json().dump(), back.to_json().dump());
+}
+
+// ---------------------------------------------------------------------
+// Span tracer
+// ---------------------------------------------------------------------
+
+TEST(ObsTrace, RingOverflowDropsOldestAndCounts) {
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  tracer.enable();  // idempotent; first capacity (the default) wins
+  tracer.clear();
+  ASSERT_EQ(tracer.dropped(), 0u);
+
+  tracer.begin("the-very-first-span");
+  const std::size_t kRecorded = obs::SpanTracer::kDefaultCapacity + 10;
+  for (std::size_t i = 1; i < kRecorded; ++i) tracer.begin("filler");
+
+  EXPECT_EQ(tracer.size(), obs::SpanTracer::kDefaultCapacity);
+  EXPECT_EQ(tracer.dropped(), kRecorded - obs::SpanTracer::kDefaultCapacity);
+
+  // Oldest-first eviction: the first span was overwritten.
+  const util::Json doc = tracer.export_chrome(0, "test");
+  const util::Json& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const util::Json& e = events.at(i);
+    if (e.contains("name")) {
+      EXPECT_NE(e.at("name").as_string(), "the-very-first-span");
+    }
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(ObsTrace, ExportBalancesPairsAndClampsTimestamps) {
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  tracer.enable();
+  tracer.clear();
+
+  tracer.end("orphan");  // no matching begin: export must drop it
+  {
+    obs::Span outer("outer");
+    obs::Span inner("inner");
+  }
+  tracer.begin("dangling");  // never ended: export must close it
+
+  const util::Json doc = tracer.export_chrome(7, "test-process");
+  const util::Json& events = doc.at("traceEvents");
+
+  std::map<long long, int> open_per_tid;       // running B/E balance
+  std::map<long long, long long> last_ts;      // per-tid monotonicity
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const util::Json& e = events.at(i);
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M") continue;
+    EXPECT_EQ(e.at("pid").as_int(), 7);
+    const long long tid = e.at("tid").as_int();
+    const long long ts = e.at("ts").as_int();
+    const auto prev = last_ts.find(tid);
+    if (prev != last_ts.end()) EXPECT_GE(ts, prev->second);
+    last_ts[tid] = ts;
+    if (ph == "B") ++open_per_tid[tid];
+    if (ph == "E") --open_per_tid[tid];
+    EXPECT_GE(open_per_tid[tid], 0) << "end before begin on tid " << tid;
+    if (e.contains("name")) names.insert(e.at("name").as_string());
+  }
+  for (const auto& [tid, open] : open_per_tid) {
+    EXPECT_EQ(open, 0) << "unbalanced spans on tid " << tid;
+  }
+  EXPECT_EQ(names.count("orphan"), 0u);
+  EXPECT_EQ(names.count("outer"), 1u);
+  EXPECT_EQ(names.count("inner"), 1u);
+  EXPECT_EQ(names.count("dangling"), 1u);
+  tracer.clear();
+}
+
+TEST(ObsTrace, AppendChromeEventsRewritesPidAndSkipsMetadata) {
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  tracer.enable();
+  tracer.clear();
+  { obs::Span s("worker-span"); }
+  const util::Json worker_doc = tracer.export_chrome(12345, "original");
+  tracer.clear();
+  { obs::Span s("coordinator-span"); }
+  util::Json merged = tracer.export_chrome(0, "coordinator");
+
+  obs::append_chrome_events(merged["traceEvents"], worker_doc, 101,
+                            "worker shard 1");
+  const util::Json& events = merged.at("traceEvents");
+  bool saw_worker_span = false, saw_lane_name = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const util::Json& e = events.at(i);
+    const std::string ph = e.at("ph").as_string();
+    if (ph != "M" && e.contains("name") &&
+        e.at("name").as_string() == "worker-span") {
+      saw_worker_span = true;
+      EXPECT_EQ(e.at("pid").as_int(), 101);  // re-pinned to the shard lane
+    }
+    if (ph == "M" && e.at("pid").as_int() == 101) saw_lane_name = true;
+  }
+  EXPECT_TRUE(saw_worker_span);
+  EXPECT_TRUE(saw_lane_name);
+  tracer.clear();
+}
+
+}  // namespace

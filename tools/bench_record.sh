@@ -214,6 +214,21 @@ measure)
   echo $(( (end - start) / 1000000 )) >"$tmpdir/ckpt_faithful_on.txt"
   echo "$faithful_eps" >"$tmpdir/ckpt_faithful_eps.txt"
 
+  # Observability overhead on the same faithful workload: one run with
+  # the obs substrate fully on (--trace-spans + --metrics-out) against
+  # the obs-off wall already measured above (the checkpoint pair's "off"
+  # run is the identical command). The per-episode engine cost dwarfs
+  # the one-time export tail here, which is what the <=1.05 budget
+  # (README "Observability") is about — the ~2 us surrogate runs are
+  # cheaper than writing any trace file at all.
+  echo "bench_record: observability overhead, faithful evaluator (1 obs-on run)..." >&2
+  start=$(date +%s%N)
+  "$BUILD/lcda_run" "${faithful_args[@]}" \
+    --trace-spans="$tmpdir/obs_trace.json" \
+    --metrics-out="$tmpdir/obs_metrics.json" --quiet >/dev/null 2>&1
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 )) >"$tmpdir/obs_on_wall.txt"
+
   # Crash recovery: kill a single-seed study three-quarters through via
   # the fault harness, resume it, and record how many episodes the resume
   # recovered from the checkpoint instead of re-running. resumed / total
@@ -361,6 +376,16 @@ measurement["checkpoint_overhead_wall_ms"] = {
                 " tracks the checkpoint floor cost, not the <=5% budget",
     },
 }
+o_on = int(open(f"{tmpdir}/obs_on_wall.txt").read().strip())
+measurement["obs_overhead_wall_ms"] = {
+    "episodes": f_eps,
+    "off_wall_ms": f_off,
+    "on_wall_ms": o_on,
+    "obs_overhead_ratio": round(o_on / f_off, 3) if f_off else None,
+    "note": "single-seed genetic study on the faithful evaluator with"
+            " --trace-spans + --metrics-out vs the same run with"
+            " observability off; the ratio is held to <= 1.05",
+}
 resumed_txt = open(f"{tmpdir}/recovery_resumed.txt").read().strip()
 if not resumed_txt:
     raise SystemExit("bench_record: resume run reported no resumed_episodes")
@@ -434,6 +459,17 @@ if "warm_rerun_wall_ms" in after or "warm_rerun_wall_ms" in before:
     if b and a and a.get("warm_wall_ms"):
         entry["warm_rerun_wall_ms"]["warm_speedup"] = round(
             b["warm_wall_ms"] / a["warm_wall_ms"], 2)
+
+# Observability overhead rides along when either side measured it; the
+# "after" side's ratio is the recorded on/off cost, budgeted <= 1.05.
+if "obs_overhead_wall_ms" in after or "obs_overhead_wall_ms" in before:
+    entry["obs_overhead_wall_ms"] = {
+        "before": before.get("obs_overhead_wall_ms"),
+        "after": after.get("obs_overhead_wall_ms"),
+    }
+    a = after.get("obs_overhead_wall_ms")
+    if a and a.get("obs_overhead_ratio") is not None:
+        entry["obs_overhead_wall_ms"]["obs_overhead_ratio"] = a["obs_overhead_ratio"]
 
 # Distributed wall clock rides along when either side measured it (a PR
 # introducing the mode has no "before" number). When the "after" side

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file exported by lcda_run --trace-spans.
+
+Checks the invariants the exporter promises (trace.h):
+
+  - the document is well-formed JSON with a "traceEvents" array and at
+    least one non-metadata event (an empty timeline means the spans never
+    fired — a wiring regression, not a quiet success);
+  - every event carries ph/pid/tid/ts, and ph is "B", "E" or "M";
+  - begin/end pairs are balanced per (pid, tid) lane and properly nested
+    (an "E" never arrives with no open "B");
+  - timestamps are non-decreasing per (pid, tid) lane.
+
+Optional arguments assert the merged-timeline shape:
+
+  --min-pids=N   require at least N distinct pid lanes (a distributed
+                 run's merged timeline must span the coordinator AND its
+                 workers; 1 + worker count is the natural bar)
+
+Exit status: 0 when valid, 1 when any check fails, 2 on usage errors.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FATAL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    path = None
+    min_pids = 1
+    for arg in sys.argv[1:]:
+        if arg.startswith("--min-pids="):
+            min_pids = int(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            sys.exit(f"usage: {sys.argv[0]} [--min-pids=N] trace.json")
+        else:
+            path = arg
+    if path is None:
+        sys.exit(f"usage: {sys.argv[0]} [--min-pids=N] trace.json")
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no 'traceEvents' array")
+
+    spans = 0
+    open_stacks = {}  # (pid, tid) -> list of open span names
+    last_ts = {}      # (pid, tid) -> last timestamp seen
+    pids = set()
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"{path}: event {i} is not an object")
+        ph = e.get("ph")
+        if ph not in ("B", "E", "M"):
+            fail(f"{path}: event {i} has unexpected ph {ph!r}")
+        if "pid" not in e:
+            fail(f"{path}: event {i} has no pid")
+        pids.add(e["pid"])
+        if ph == "M":
+            continue
+        for key in ("name", "tid", "ts"):
+            if key not in e:
+                fail(f"{path}: event {i} ({ph}) has no {key}")
+        lane = (e["pid"], e["tid"])
+        ts = e["ts"]
+        if lane in last_ts and ts < last_ts[lane]:
+            fail(f"{path}: event {i}: timestamp {ts} goes backwards on "
+                 f"pid={lane[0]} tid={lane[1]} (last was {last_ts[lane]})")
+        last_ts[lane] = ts
+        stack = open_stacks.setdefault(lane, [])
+        if ph == "B":
+            stack.append(e["name"])
+            spans += 1
+        else:
+            if not stack:
+                fail(f"{path}: event {i}: 'E' ({e['name']}) with no open "
+                     f"'B' on pid={lane[0]} tid={lane[1]}")
+            stack.pop()
+
+    for (pid, tid), stack in open_stacks.items():
+        if stack:
+            fail(f"{path}: unbalanced spans on pid={pid} tid={tid}: "
+                 f"still open at end: {stack}")
+    if spans == 0:
+        fail(f"{path}: no spans at all — instrumentation never fired")
+    if len(pids) < min_pids:
+        fail(f"{path}: only {len(pids)} pid lane(s), expected >= {min_pids}")
+
+    print(f"{path}: OK — {spans} spans across {len(pids)} pid lane(s), "
+          f"{len(open_stacks)} thread lane(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,8 +3,10 @@
 
 Distributed runs attach scheduling stats (per-shard wall clocks, steal
 counts) under a top-level "dist" key; those are real measurements and so
-non-reproducible by design. Everything else — the engine payload — must
-match exactly, which is the byte-identity contract CI enforces.
+non-reproducible by design — as is the "obs" metrics snapshot (inside
+"dist" today; stripped at the top level too, defensively). Everything
+else — the engine payload — must match exactly, which is the
+byte-identity contract CI enforces.
 """
 import json
 import sys
@@ -14,6 +16,7 @@ def load(path):
     with open(path) as f:
         doc = json.load(f)
     doc.pop("dist", None)
+    doc.pop("obs", None)
     return doc
 
 

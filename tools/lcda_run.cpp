@@ -101,6 +101,20 @@
 //                          human-readable output then moves to stderr so
 //                          stdout stays valid CSV) — the format CI diffs
 //                          against golden traces
+//   --trace-spans=PATH     export the span timeline as Chrome trace-event
+//                          JSON (load it in Perfetto or chrome://tracing).
+//                          With --distribute the coordinator gathers every
+//                          worker's per-attempt trace file and merges them
+//                          into one timeline: pid 0 is the coordinator,
+//                          pid 1+k is shard k. Purely additive — traces,
+//                          JSON and manifests stay byte-identical
+//   --metrics-out=PATH     write the final metrics snapshot
+//                          (lcda-metrics-v1 JSON). Distributed runs fold
+//                          every worker manifest's "obs" delta in, so the
+//                          per-study store totals equal the manifest sums
+//   --metrics-interval=SEC periodic "[obs] t=..s name=value" heartbeat on
+//                          stderr while the study runs (and a final line
+//                          when it stops)
 //   --quiet                suppress the per-episode listing
 //
 // Store maintenance (act on --cache-dir=DIR and exit):
@@ -123,6 +137,8 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -133,6 +149,9 @@
 #include "lcda/dist/coordinator.h"
 #include "lcda/dist/merge.h"
 #include "lcda/dist/shard.h"
+#include "lcda/obs/metrics.h"
+#include "lcda/obs/reporter.h"
+#include "lcda/obs/trace.h"
 #include "lcda/util/strings.h"
 #include "lcda/util/subprocess.h"
 
@@ -163,6 +182,9 @@ struct CliOptions {
   bool resume = false;
   std::string json_path;
   std::string trace_path;
+  std::string trace_spans;      // --trace-spans: Chrome trace-event JSON
+  std::string metrics_out;      // --metrics-out: final snapshot JSON
+  double metrics_interval = 0.0;  // --metrics-interval: stderr heartbeat
   std::string shard_dir;        // --distribute: where shard files live
   bool store_compact = false;   // store maintenance modes (need --cache-dir)
   bool store_fsck = false;
@@ -194,7 +216,8 @@ int usage(const char* argv0) {
                "[--strategy=A,B] [--seeds=N] "
                "[--episodes=N] [--seed=K] [--set key=value ...] "
                "[--cache-dir=DIR] [--parallelism=N] [--json=PATH] "
-               "[--trace=PATH|-] [--quiet]\n"
+               "[--trace=PATH|-] [--trace-spans=PATH] [--metrics-out=PATH] "
+               "[--metrics-interval=SEC] [--quiet]\n"
                "       %s ... --distribute=N [--max-retries=K] "
                "[--shard-dir=DIR] [--keep-shard-dir] [--no-steal] "
                "[--steal-threshold=K] [--no-worker-pool]\n"
@@ -294,28 +317,25 @@ std::vector<dist::StrategyStudy> resolve_studies(
 /// included) plus every shard's loaded (and spec-verified) result
 /// manifest, index-aligned with specs, and the coordinator's scheduling
 /// stats for the "dist" JSON object.
-/// Store-level traffic summed over every shard manifest's "store" object
-/// (workers report their EvalStore counters there, outside the merged
-/// entries). All zero when no --cache-dir was configured. Observability
-/// only — the numbers shift with pooling and scheduling, never the bytes.
-struct StoreTotals {
-  long long hits = 0;
-  long long misses = 0;
-  long long shared_hits = 0;
-  long long shared_misses = 0;
-  long long bytes_read = 0;
-  long long bytes_published = 0;
-  /// Episodes the shards restored from checkpoints instead of re-running
-  /// (summed over every shard manifest's "resumed_episodes" key). Zero
-  /// without --checkpoint-dir or when no shard was retried/stolen.
-  long long resumed_episodes = 0;
-};
-
 struct DistributedStudy {
   std::vector<dist::ShardSpec> specs;
   std::vector<util::Json> manifests;
   dist::Coordinator::Stats stats;
-  StoreTotals store;
+
+  /// Study-wide metrics: every worker manifest's "obs" delta folded
+  /// together, then the coordinator's own registry merged in. The store
+  /// totals and resumed_episodes the summary line and "dist" JSON report
+  /// read from here (counters "store.*", "engine.resumed_episodes") —
+  /// the same values the old per-manifest-key sums produced, since
+  /// run_strategy mirrors each run's counters into the registry exactly
+  /// once. Observability only — the numbers shift with pooling and
+  /// scheduling, never the bytes.
+  obs::MetricsSnapshot obs;
+
+  /// Worker span timelines gathered from the shard directory before it
+  /// is cleaned up: one (shard index, export_chrome document) pair per
+  /// successful attempt that ran with --trace-spans.
+  std::vector<std::pair<int, util::Json>> trace_docs;
 
   /// The shards study entry `k` owns. Plan order used to make this a
   /// contiguous range; work stealing appends specs out of order, so
@@ -369,14 +389,19 @@ util::Json dist_stats_to_json(const DistributedStudy& study) {
   }
   j["shards"] = shards;
   util::Json store = util::Json::object();
-  store["hits"] = study.store.hits;
-  store["misses"] = study.store.misses;
-  store["shared_hits"] = study.store.shared_hits;
-  store["shared_misses"] = study.store.shared_misses;
-  store["bytes_read"] = study.store.bytes_read;
-  store["bytes_published"] = study.store.bytes_published;
+  store["hits"] = study.obs.counter("store.hits");
+  store["misses"] = study.obs.counter("store.misses");
+  store["shared_hits"] = study.obs.counter("store.shared_hits");
+  store["shared_misses"] = study.obs.counter("store.shared_misses");
+  store["bytes_read"] = study.obs.counter("store.bytes_read");
+  store["bytes_published"] = study.obs.counter("store.bytes_published");
   j["store"] = store;
-  j["resumed_episodes"] = study.store.resumed_episodes;
+  j["resumed_episodes"] = study.obs.counter("engine.resumed_episodes");
+  // Everything below is append-only: existing consumers index the keys
+  // above by name and must keep finding them where they are.
+  j["steal_considered"] = stats.steal_considered;
+  j["steal_suppressed_min_stale"] = stats.steal_suppressed_min_stale;
+  j["obs"] = study.obs.to_json();
   return j;
 }
 
@@ -413,6 +438,7 @@ DistributedStudy run_distributed(const CliOptions& cli,
   opts.enable_steal = !cli.no_steal;
   opts.steal_threshold = cli.steal_threshold;
   opts.use_worker_pool = !cli.no_worker_pool;
+  opts.trace_spans = !cli.trace_spans.empty();
 
   try {
     dist::Coordinator coordinator(opts);
@@ -422,22 +448,37 @@ DistributedStudy run_distributed(const CliOptions& cli,
     for (const dist::ShardSpec& spec : study.specs) {
       study.manifests.push_back(dist::load_shard_manifest(spec));
     }
-    // Fold the per-shard store counters the workers reported (tolerated
-    // extra manifest key; absent when the shard ran without --cache-dir).
+    // Fold every worker's metrics delta (the tolerated extra "obs"
+    // manifest key), then merge the coordinator's own registry — the
+    // dist.* scheduling counters land there at the end of
+    // Coordinator::run. Store totals and resumed_episodes read from this
+    // snapshot downstream.
     for (const util::Json& manifest : study.manifests) {
-      if (!manifest.contains("store")) continue;
-      const util::Json& s = manifest.at("store");
-      study.store.hits += s.at("hits").as_int();
-      study.store.misses += s.at("misses").as_int();
-      study.store.shared_hits += s.at("shared_hits").as_int();
-      study.store.shared_misses += s.at("shared_misses").as_int();
-      study.store.bytes_read += s.at("bytes_read").as_int();
-      study.store.bytes_published += s.at("bytes_published").as_int();
+      if (!manifest.contains("obs")) continue;
+      study.obs.merge(obs::MetricsSnapshot::from_json(manifest.at("obs")));
     }
-    for (const util::Json& manifest : study.manifests) {
-      if (manifest.contains("resumed_episodes")) {
-        study.store.resumed_episodes +=
-            manifest.at("resumed_episodes").as_int();
+    study.obs.merge(obs::Registry::instance().snapshot());
+    // Worker span timelines must leave the shard directory before the
+    // cleanup below removes it. Failed attempts never write a trace
+    // file, so missing paths are expected, not errors.
+    if (opts.trace_spans) {
+      for (const dist::Coordinator::ShardStats& s : study.stats.shards) {
+        for (int a = 0; a <= s.attempts; ++a) {
+          const std::string path = shard_dir + "/shard-" +
+                                   std::to_string(s.index) + "-trace-a" +
+                                   std::to_string(a) + ".json";
+          std::ifstream in(path);
+          if (!in) continue;
+          std::ostringstream buf;
+          buf << in.rdbuf();
+          try {
+            study.trace_docs.emplace_back(s.index,
+                                          util::Json::parse(buf.str()));
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "lcda_run: skipping damaged trace %s: %s\n",
+                         path.c_str(), e.what());
+          }
+        }
       }
     }
   } catch (...) {
@@ -458,20 +499,58 @@ DistributedStudy run_distributed(const CliOptions& cli,
   }
 
   // One greppable scheduling summary per distributed run (bench_record.sh
-  // and humans read it; byte-diffed outputs never include stderr).
+  // and humans read it; byte-diffed outputs never include stderr). Store
+  // fields come from the merged registry snapshot now; the field order is
+  // frozen, new fields append at the end.
   const dist::Coordinator::Stats& st = study.stats;
   std::fprintf(stderr,
                "[dist] summary: shards=%d spawned=%d retries=%d steals=%d "
                "stolen_seeds=%d superseded=%d dead_workers=%d "
                "banlisted_slots=%zu pool_workers=%d store_hits=%lld "
                "store_shared=%lld store_misses=%lld store_bytes_read=%lld "
-               "store_bytes_published=%lld resumed_episodes=%lld\n",
+               "store_bytes_published=%lld resumed_episodes=%lld "
+               "steal_considered=%d steal_suppressed_min_stale=%d\n",
                st.planned, st.spawned, st.retries, st.steals, st.stolen_seeds,
                st.superseded, st.dead_workers, st.banlisted_slots.size(),
-               st.pool_workers, study.store.hits, study.store.shared_hits,
-               study.store.misses, study.store.bytes_read,
-               study.store.bytes_published, study.store.resumed_episodes);
+               st.pool_workers, study.obs.counter("store.hits"),
+               study.obs.counter("store.shared_hits"),
+               study.obs.counter("store.misses"),
+               study.obs.counter("store.bytes_read"),
+               study.obs.counter("store.bytes_published"),
+               study.obs.counter("engine.resumed_episodes"),
+               st.steal_considered, st.steal_suppressed_min_stale);
   return study;
+}
+
+/// Final observability artifacts, written once just before a successful
+/// exit: the Chrome-trace span timeline (--trace-spans) and the final
+/// metrics snapshot (--metrics-out). `study` is non-null on distributed
+/// runs: its gathered worker timelines land on per-shard pid lanes
+/// (pid 1+k for shard k; the coordinator owns pid 0) and its merged
+/// snapshot — not the local registry — becomes the metrics document, so
+/// per-study store totals equal the manifest-summed values.
+void write_observability(const CliOptions& cli, const DistributedStudy* study) {
+  if (!cli.trace_spans.empty()) {
+    util::Json doc = obs::SpanTracer::instance().export_chrome(
+        0, study != nullptr ? "coordinator" : "lcda_run");
+    if (study != nullptr) {
+      util::Json& events = doc["traceEvents"];
+      for (const auto& [index, worker_doc] : study->trace_docs) {
+        obs::append_chrome_events(events, worker_doc, 1 + index,
+                                  "worker shard " + std::to_string(index));
+      }
+    }
+    obs::write_trace_file(doc, cli.trace_spans);
+    std::fprintf(stderr, "[obs] wrote span timeline %s\n",
+                 cli.trace_spans.c_str());
+  }
+  if (!cli.metrics_out.empty()) {
+    obs::write_metrics_file(study != nullptr
+                                ? study->obs
+                                : obs::Registry::instance().snapshot(),
+                            cli.metrics_out);
+    std::fprintf(stderr, "[obs] wrote metrics %s\n", cli.metrics_out.c_str());
+  }
 }
 
 }  // namespace
@@ -507,7 +586,16 @@ int main(int argc, char** argv) {
         cli.store_max_bytes = parse_number_flag(value, "--store-max-bytes", 0);
       }
       else if (flag_value(arg, "--json=", cli.json_path)) {}
+      else if (flag_value(arg, "--trace-spans=", cli.trace_spans)) {}
       else if (flag_value(arg, "--trace=", cli.trace_path)) {}
+      else if (flag_value(arg, "--metrics-out=", cli.metrics_out)) {}
+      else if (flag_value(arg, "--metrics-interval=", value)) {
+        cli.metrics_interval = parse_double_flag(value, "--metrics-interval");
+        if (cli.metrics_interval <= 0.0) {
+          throw std::invalid_argument("bad value for --metrics-interval: \"" +
+                                      value + "\" (want seconds > 0)");
+        }
+      }
       else if (flag_value(arg, "--shard-dir=", cli.shard_dir)) {}
       else if (arg == "--keep-shard-dir") cli.keep_shard_dir = true;
       else if (arg == "--no-steal") cli.no_steal = true;
@@ -560,6 +648,20 @@ int main(int argc, char** argv) {
       return dist::run_worker(cli.worker_spec);
     }
 
+    // Arm observability before any worker thread exists: the enabled
+    // flags are plain bools, written single-threaded here and only read
+    // afterwards. Distributed runs always meter — the merged registry
+    // feeds the "dist" JSON store totals and the summary line. Worker
+    // processes never reach this point; they arm themselves at
+    // run_worker/run_worker_loop entry.
+    if (!cli.metrics_out.empty() || cli.metrics_interval > 0.0 ||
+        !cli.trace_spans.empty() || cli.distribute > 0) {
+      obs::Registry::instance().enable();
+    }
+    if (!cli.trace_spans.empty()) obs::SpanTracer::instance().enable();
+    std::optional<obs::StatsReporter> reporter;
+    if (cli.metrics_interval > 0.0) reporter.emplace(cli.metrics_interval);
+
     // Store maintenance modes: act on the store directory and exit.
     if (cli.store_compact || cli.store_fsck) {
       if (cli.cache_dir.empty()) {
@@ -591,6 +693,7 @@ int main(int argc, char** argv) {
             rep.bad_records, rep.clean() ? "clean" : "DAMAGED");
         if (!rep.clean()) return 1;
       }
+      write_observability(cli, nullptr);
       return 0;
     }
 
@@ -708,14 +811,16 @@ int main(int argc, char** argv) {
           resolve_studies(cli, scenario, strategies);
       std::vector<core::AggregateResult> aggregates;
       util::Json dist_stats;
+      std::optional<DistributedStudy> dstudy;
       if (cli.distribute > 0) {
         // Shard across worker processes and fold the manifests back; the
         // merged aggregates are byte-identical to the in-process branch.
-        const DistributedStudy study = run_distributed(
-            cli, scenario, dist::ShardMode::kAggregate, studies, argv[0]);
-        dist_stats = dist_stats_to_json(study);
+        dstudy.emplace(run_distributed(cli, scenario,
+                                       dist::ShardMode::kAggregate, studies,
+                                       argv[0]));
+        dist_stats = dist_stats_to_json(*dstudy);
         for (std::size_t k = 0; k < studies.size(); ++k) {
-          const auto [specs, manifests] = study.study_slice(k);
+          const auto [specs, manifests] = dstudy->study_slice(k);
           aggregates.push_back(dist::merge_aggregate(specs, manifests));
         }
       } else {
@@ -778,6 +883,7 @@ int main(int argc, char** argv) {
         core::write_json_file(doc, cli.json_path);
         std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
       }
+      write_observability(cli, dstudy ? &*dstudy : nullptr);
       return 0;
     }
 
@@ -785,13 +891,13 @@ int main(int argc, char** argv) {
     if (cli.speedup) {
       std::vector<core::SpeedupReport> reports;
       util::Json dist_stats;
+      std::optional<DistributedStudy> dstudy;
       if (cli.distribute > 0) {
         // The speedup study has no strategy axis: one plan over the seeds.
-        const DistributedStudy study =
-            run_distributed(cli, scenario, dist::ShardMode::kSpeedup,
-                            {{core::Strategy::kLcda, 0}}, argv[0]);
-        dist_stats = dist_stats_to_json(study);
-        reports = dist::merge_speedup(study.specs, study.manifests);
+        dstudy.emplace(run_distributed(cli, scenario, dist::ShardMode::kSpeedup,
+                                       {{core::Strategy::kLcda, 0}}, argv[0]));
+        dist_stats = dist_stats_to_json(*dstudy);
+        reports = dist::merge_speedup(dstudy->specs, dstudy->manifests);
       } else {
         reports = core::speedup_study(scenario.config, cli.seeds,
                                       cli.threshold_fraction);
@@ -834,6 +940,7 @@ int main(int argc, char** argv) {
         core::write_json_file(doc, cli.json_path);
         std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
       }
+      write_observability(cli, dstudy ? &*dstudy : nullptr);
       return 0;
     }
 
@@ -880,6 +987,7 @@ int main(int argc, char** argv) {
         core::write_json_file(doc, cli.json_path);
         std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
       }
+      write_observability(cli, &study);
       return 0;
     }
 
@@ -951,6 +1059,7 @@ int main(int argc, char** argv) {
       core::write_json_file(doc, cli.json_path);
       std::fprintf(human, "\nwrote %s\n", cli.json_path.c_str());
     }
+    write_observability(cli, nullptr);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lcda_run: %s\n", e.what());
